@@ -1,0 +1,309 @@
+(* Benchmark harness: regenerates every exhibit of the paper's evaluation
+   (§4: Tables 1-4 and Figure 3) and times the building blocks with
+   Bechamel (one Test.make group per exhibit, plus ablations).
+
+   Environment knobs:
+     BDDMIN_BENCH_QUICK=1   use the small benchmark sub-suite
+     BDDMIN_BENCH_CALLS=N   per-benchmark cap on measured calls (default 250)
+     BDDMIN_BENCH_SKIP_MICRO=1  skip the Bechamel microbenchmarks *)
+
+let quick = Sys.getenv_opt "BDDMIN_BENCH_QUICK" = Some "1"
+let skip_micro = Sys.getenv_opt "BDDMIN_BENCH_SKIP_MICRO" = Some "1"
+
+let max_calls =
+  match Sys.getenv_opt "BDDMIN_BENCH_CALLS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 250)
+  | None -> 250
+
+(* ----- the experiment: capture all minimization calls ----- *)
+
+let config = { Harness.Capture.default_config with max_calls }
+
+let names = Harness.Capture.minimizer_names config
+
+let calls =
+  let benches =
+    if quick then Circuits.Registry.quick else Circuits.Registry.all
+  in
+  Printf.printf
+    "== Capturing EBM instances from FSM self-equivalence (%d machines, <=%d calls each) ==\n%!"
+    (List.length benches) max_calls;
+  let t0 = Unix.gettimeofday () in
+  let calls =
+    Harness.Capture.run_suite ~config
+      ~progress:(fun m -> Printf.printf "   %s\n%!" m)
+      benches
+  in
+  Printf.printf "   captured %d calls in %.1fs\n\n%!" (List.length calls)
+    (Unix.gettimeofday () -. t0);
+  calls
+
+(* ----- a standard instance pool for the microbenchmarks ----- *)
+
+(* Re-capture a small pool of live instances (manager kept alive). *)
+let pool =
+  let man = Bdd.new_man () in
+  let pool = ref [] in
+  let keep inst =
+    if not (Minimize.Ispec.trivial man inst) && List.length !pool < 60 then
+      pool := inst :: !pool
+  in
+  List.iter
+    (fun name ->
+       let b = Option.get (Circuits.Registry.find name) in
+       match
+         Fsm.Equiv.check_self man
+           ~on_instance:(fun ~iteration:_ i -> keep i)
+           ~on_image_constrain:(fun ~iteration:_ i -> keep i)
+           (b.Circuits.Registry.build ())
+       with
+       | Fsm.Equiv.Equivalent _ -> ()
+       | Fsm.Equiv.Not_equivalent _ -> assert false)
+    [ "tlc"; "gray6"; "rnd344" ];
+  (man, !pool)
+
+(* ----- Bechamel plumbing ----- *)
+
+open Bechamel
+open Toolkit
+
+let run_benchmarks group tests =
+  if skip_micro then ()
+  else begin
+    Printf.printf "-- microbenchmarks: %s --\n%!" group;
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw =
+      Benchmark.all cfg instances (Test.make_grouped ~name:group tests)
+    in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+    List.iter
+      (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.printf "   %-44s %12.0f ns/run\n" name est
+         | _ -> Printf.printf "   %-44s (no estimate)\n" name)
+      (List.sort compare rows);
+    print_newline ()
+  end
+
+let staged = Staged.stage
+
+(* ----- Table 1: matching criteria ----- *)
+
+let table1 () =
+  print_endline (Harness.Tables.render_table1 ());
+  let man, instances = pool in
+  let pairs =
+    match instances with
+    | a :: b :: rest -> List.combine (a :: b :: rest) (rest @ [ a; b ])
+    | _ -> []
+  in
+  let bench crit =
+    Test.make
+      ~name:("match_" ^ Minimize.Matching.name crit)
+      (staged (fun () ->
+           List.iter
+             (fun (s1, s2) ->
+                ignore (Minimize.Matching.matches man crit s1 s2))
+             pairs))
+  in
+  run_benchmarks "table1-criteria" (List.map bench Minimize.Matching.all)
+
+(* ----- Table 2: sibling heuristics ----- *)
+
+let table2 () =
+  print_endline (Harness.Tables.render_table2 ());
+  let man, instances = pool in
+  let bench h =
+    Test.make
+      ~name:(Minimize.Sibling.heuristic_name h)
+      (staged (fun () ->
+           List.iter
+             (fun s ->
+                Bdd.clear_caches man;
+                ignore (Minimize.Sibling.run_heuristic man h s))
+             instances))
+  in
+  run_benchmarks "table2-sibling-heuristics"
+    (List.map bench Minimize.Sibling.all_heuristics)
+
+(* ----- Table 3: the main comparison ----- *)
+
+let table3 () =
+  print_endline (Harness.Tables.render_table3 ~names calls);
+  print_endline (Harness.Tables.render_per_bench calls);
+  print_endline (Harness.Tables.render_lower_bound_summary ~names calls);
+  let man, instances = pool in
+  let bench (e : Minimize.Registry.entry) =
+    Test.make ~name:e.name
+      (staged (fun () ->
+           List.iter
+             (fun s ->
+                Bdd.clear_caches man;
+                ignore (e.run man s))
+             instances))
+  in
+  run_benchmarks "table3-all-minimizers"
+    (List.map bench Minimize.Registry.all)
+
+(* ----- Table 4: head-to-head ----- *)
+
+let table4 () =
+  print_endline (Harness.Tables.render_table4 calls);
+  run_benchmarks "table4-analysis"
+    [
+      Test.make ~name:"head_to_head_matrix"
+        (staged (fun () ->
+             ignore
+               (Harness.Stats.head_to_head
+                  ~names:
+                    [ "f_orig"; "const"; "restr"; "osm_bt"; "tsm_td";
+                      "opt_lv"; "min" ]
+                  calls)));
+    ]
+
+(* ----- Figure 3: robustness curves ----- *)
+
+let figure3 () =
+  print_endline (Harness.Tables.render_figure3 calls);
+  run_benchmarks "figure3-analysis"
+    [
+      Test.make ~name:"within_curves"
+        (staged (fun () ->
+             List.iter
+               (fun n ->
+                  ignore
+                    (Harness.Stats.within_curve ~name:n
+                       ~percents:[ 0; 20; 40; 60; 80; 100 ]
+                       calls))
+               [ "f_orig"; "const"; "restr"; "tsm_td"; "opt_lv" ]));
+    ]
+
+(* ----- Ablations beyond the paper's exhibits ----- *)
+
+let ablations () =
+  let man, instances = pool in
+  print_endline "== Ablations ==\n";
+  (* Schedule parameters (the experiment §3.4 leaves open). *)
+  let total name run =
+    let sum =
+      List.fold_left (fun acc s -> acc + Bdd.size man (run s)) 0 instances
+    in
+    Printf.printf "   %-40s total size %6d\n%!" name sum
+  in
+  total "constrain" (fun s ->
+      Bdd.constrain man s.Minimize.Ispec.f s.Minimize.Ispec.c);
+  List.iter
+    (fun (w, stop, levels) ->
+       let params =
+         {
+           Minimize.Schedule.default_params with
+           Minimize.Schedule.window_size = w;
+           stop_top_down = stop;
+           use_level_matching = levels;
+         }
+       in
+       total
+         (Printf.sprintf "schedule w=%d stop=%d levels=%b" w stop levels)
+         (fun s -> Minimize.Schedule.run man ~params s))
+    [ (2, 4, false); (4, 6, false); (8, 8, false); (4, 6, true) ];
+  (* Clique-cover optimizations of §3.3.2. *)
+  List.iter
+    (fun (degree, dist) ->
+       let params =
+         {
+           Minimize.Level.default_params with
+           Minimize.Level.order_by_degree = degree;
+           use_distance_weights = dist;
+           set_limit = Some 512;
+         }
+       in
+       total
+         (Printf.sprintf "opt_lv degree_order=%b dist_weights=%b" degree dist)
+         (fun s -> Minimize.Level.opt_lv man ~params s))
+    [ (true, true); (false, true); (true, false); (false, false) ];
+  print_newline ();
+  (* Static variable orderings (Symbolic.ordering). *)
+  List.iter
+    (fun bench_name ->
+       let b = Option.get (Circuits.Registry.find bench_name) in
+       let nl = b.Circuits.Registry.build () in
+       let size ordering =
+         let m = Bdd.new_man () in
+         Fsm.Symbolic.shared_node_count (Fsm.Symbolic.of_netlist ~ordering m nl)
+       in
+       Printf.printf
+         "   ordering %-10s interleaved=%-6d topological=%-6d inputs_first=%d\n%!"
+         bench_name
+         (size Fsm.Symbolic.Interleaved)
+         (size Fsm.Symbolic.Topological)
+         (size Fsm.Symbolic.Inputs_first))
+    [ "tlc"; "minmax4"; "rnd344"; "mult4b" ];
+  print_newline ();
+  (* The §1 resynthesis flow: symbolic size before/after exploiting the
+     unreachable-state don't cares. *)
+  List.iter
+    (fun bench_name ->
+       let b = Option.get (Circuits.Registry.find bench_name) in
+       let nl = b.Circuits.Registry.build () in
+       let man = Bdd.new_man () in
+       let nl2, _ = Fsm.Synth.resynthesize man nl in
+       let size nl =
+         let m = Bdd.new_man () in
+         Fsm.Symbolic.shared_node_count (Fsm.Symbolic.of_netlist m nl)
+       in
+       Printf.printf "   resynthesis %-10s %d -> %d nodes\n%!" bench_name
+         (size nl) (size nl2))
+    [ "bcd2"; "tlc"; "johnson8"; "rnd344" ];
+  print_newline ();
+  (* Sifting (variable reordering) on the machines' symbolic functions. *)
+  List.iter
+    (fun bench_name ->
+       let b = Option.get (Circuits.Registry.find bench_name) in
+       let nl = b.Circuits.Registry.build () in
+       let m = Bdd.new_man () in
+       let sym = Fsm.Symbolic.of_netlist m nl in
+       let fns =
+         Array.to_list sym.Fsm.Symbolic.next_fns
+         @ List.map snd sym.Fsm.Symbolic.output_fns
+       in
+       let before = Bdd.shared_size m fns in
+       let _, after = Bdd.Reorder.sift m fns in
+       Printf.printf "   sifting %-10s %6d -> %6d nodes\n%!" bench_name before
+         after)
+    [ "tlc"; "bcd2"; "rnd344"; "minmax4" ];
+  print_newline ();
+  (* Image strategies. *)
+  let bench_image strategy name =
+    Test.make ~name
+      (staged (fun () ->
+           let man = Bdd.new_man () in
+           let sym =
+             Fsm.Symbolic.of_netlist man (Circuits.Gray.make ~width:5)
+           in
+           ignore (Fsm.Reach.reachable ~strategy sym)))
+  in
+  run_benchmarks "ablation-image-strategies"
+    [
+      bench_image Fsm.Image.Monolithic "reach_monolithic";
+      bench_image Fsm.Image.Partitioned "reach_partitioned";
+      bench_image Fsm.Image.Range "reach_range";
+    ]
+
+let () =
+  Printf.printf
+    "bddmin benchmark harness — reproduction of Shiple et al., DAC 1994\n\
+     ===================================================================\n\n";
+  table1 ();
+  table2 ();
+  table3 ();
+  table4 ();
+  figure3 ();
+  ablations ();
+  print_endline "done."

@@ -1,0 +1,485 @@
+(* bddmin: command-line front end.
+
+   Subcommands: minimize (one instance from Boolean expressions), equiv
+   (product-machine equivalence of benchmark circuits or BLIF files),
+   reach (reachability statistics), tables (reproduce the paper's
+   exhibits), lower-bound, and dot (Graphviz export). *)
+
+open Cmdliner
+
+let ( let* ) r f = Result.bind r f
+
+(* Common verbosity handling (-v / -vv / --verbosity). *)
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+(* ----- shared helpers ----- *)
+
+let parse_pair fexpr cexpr =
+  let* f_ast =
+    Result.map_error (fun e -> "parsing f: " ^ e) (Logic.Bexpr.parse fexpr)
+  in
+  let* c_ast =
+    Result.map_error (fun e -> "parsing c: " ^ e) (Logic.Bexpr.parse cexpr)
+  in
+  let man = Bdd.new_man () in
+  (* Shared variable environment across both expressions. *)
+  let vars =
+    List.sort_uniq compare (Logic.Bexpr.vars f_ast @ Logic.Bexpr.vars c_ast)
+  in
+  let mapping = List.mapi (fun i v -> (v, i)) vars in
+  let env name = Bdd.ithvar man (List.assoc name mapping) in
+  let f = Logic.Bexpr.to_bdd man ~env f_ast in
+  let c = Logic.Bexpr.to_bdd man ~env c_ast in
+  Ok (man, mapping, Minimize.Ispec.make ~f ~c)
+
+let pp_cover man mapping g =
+  let var_name v =
+    match List.find_opt (fun (_, i) -> i = v) mapping with
+    | Some (n, _) -> n
+    | None -> Printf.sprintf "x%d" v
+  in
+  if Bdd.is_one g then "1"
+  else if Bdd.is_zero g then "0"
+  else
+    let cubes = Bdd.Cube.all_cubes ~limit:64 man g in
+    let cube_str c =
+      String.concat " & "
+        (List.map
+           (fun (v, ph) -> (if ph then "" else "!") ^ var_name v)
+           c)
+    in
+    let s = String.concat " | " (List.map cube_str cubes) in
+    if List.length cubes >= 64 then s ^ " | ..." else s
+
+let load_netlist spec =
+  match Circuits.Registry.find spec with
+  | Some b -> Ok (b.Circuits.Registry.build ())
+  | None ->
+    if Sys.file_exists spec then Fsm.Blif.parse_file spec
+    else
+      Error
+        (Printf.sprintf
+           "unknown benchmark %S (known: %s) and no such file" spec
+           (String.concat ", "
+              (Circuits.Registry.names Circuits.Registry.all)))
+
+(* ----- minimize ----- *)
+
+let minimize_cmd =
+  let run fexpr cexpr heuristic exact =
+    match parse_pair fexpr cexpr with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok (man, mapping, inst) ->
+      if Bdd.is_zero inst.Minimize.Ispec.c then begin
+        Printf.eprintf "error: empty care set\n";
+        1
+      end
+      else begin
+        let entries =
+          match heuristic with
+          | "all" -> Minimize.Registry.all
+          | name -> (
+              match Minimize.Registry.find name with
+              | Some e -> [ e ]
+              | None ->
+                Printf.eprintf "unknown heuristic %s\n" name;
+                exit 1)
+        in
+        Printf.printf "|f| = %d   c_onset = %.1f%%   lower bound = %d\n"
+          (Bdd.size man inst.Minimize.Ispec.f)
+          (100.0 *. Minimize.Ispec.c_onset_fraction man inst)
+          (Minimize.Lower_bound.compute man inst);
+        List.iter
+          (fun (e : Minimize.Registry.entry) ->
+             let g = e.run man inst in
+             Printf.printf "%-8s size %-4d  %s\n" e.name (Bdd.size man g)
+               (pp_cover man mapping g))
+          entries;
+        if exact then begin
+          match Minimize.Exact.minimize man inst with
+          | Some r ->
+            Printf.printf "%-8s size %-4d  %s   (%d covers tried)\n" "exact"
+              r.Minimize.Exact.size
+              (pp_cover man mapping r.Minimize.Exact.cover)
+              r.Minimize.Exact.covers_tried
+          | None ->
+            Printf.printf "exact: instance too large for exhaustive search\n"
+        end;
+        0
+      end
+  in
+  let fexpr =
+    Arg.(required & opt (some string) None
+         & info [ "f" ] ~docv:"EXPR" ~doc:"Function (e.g. \"a & b | !c\").")
+  in
+  let cexpr =
+    Arg.(required & opt (some string) None
+         & info [ "c" ] ~docv:"EXPR" ~doc:"Care set.")
+  in
+  let heuristic =
+    Arg.(value & opt string "all"
+         & info [ "heuristic"; "H" ] ~docv:"NAME"
+             ~doc:"Heuristic name, or $(b,all).")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also run the exact minimizer.")
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:"Minimize one incompletely specified function [f; c]")
+    Term.(const run $ fexpr $ cexpr $ heuristic $ exact)
+
+(* ----- lower-bound ----- *)
+
+let lower_bound_cmd =
+  let run fexpr cexpr cubes =
+    match parse_pair fexpr cexpr with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok (man, _, inst) ->
+      let bound, cube =
+        Minimize.Lower_bound.witness man ~cube_limit:cubes inst
+      in
+      Format.printf "lower bound = %d   (witness cube %a)@." bound
+        Bdd.Cube.pp cube;
+      0
+  in
+  let fexpr =
+    Arg.(required & opt (some string) None & info [ "f" ] ~docv:"EXPR" ~doc:"Function.")
+  in
+  let cexpr =
+    Arg.(required & opt (some string) None & info [ "c" ] ~docv:"EXPR" ~doc:"Care set.")
+  in
+  let cubes =
+    Arg.(value & opt int 1000
+         & info [ "cubes" ] ~docv:"N" ~doc:"Cube enumeration limit.")
+  in
+  Cmd.v
+    (Cmd.info "lower-bound" ~doc:"Theorem 7 lower bound for an instance")
+    Term.(const run $ fexpr $ cexpr $ cubes)
+
+(* ----- equiv ----- *)
+
+let equiv_cmd =
+  let run spec1 spec2 strategy =
+    let strategy =
+      match strategy with
+      | "range" -> Fsm.Image.Range
+      | "partitioned" -> Fsm.Image.Partitioned
+      | "monolithic" -> Fsm.Image.Monolithic
+      | s ->
+        Printf.eprintf "unknown strategy %s\n" s;
+        exit 1
+    in
+    match
+      let* nl1 = load_netlist spec1 in
+      let* nl2 =
+        match spec2 with Some s -> load_netlist s | None -> Ok nl1
+      in
+      Ok (nl1, nl2)
+    with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok (nl1, nl2) ->
+      let man = Bdd.new_man () in
+      (match Fsm.Equiv.check ~strategy man nl1 nl2 with
+       | Fsm.Equiv.Equivalent st ->
+         Printf.printf
+           "EQUIVALENT  (%d iterations, %.0f product states, %d minimization calls)\n"
+           st.Fsm.Reach.iterations st.Fsm.Reach.reached_states
+           st.Fsm.Reach.minimization_calls;
+         0
+       | Fsm.Equiv.Not_equivalent { stats; distinguishing_state } ->
+         Format.printf
+           "NOT EQUIVALENT after %d iterations; distinguishing state %a@."
+           stats.Fsm.Reach.iterations Bdd.Cube.pp distinguishing_state;
+         1)
+  in
+  let spec1 =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MACHINE1" ~doc:"Benchmark name or BLIF file.")
+  in
+  let spec2 =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"MACHINE2"
+             ~doc:"Second machine (default: MACHINE1 against itself).")
+  in
+  let strategy =
+    Arg.(value & opt string "range"
+         & info [ "strategy" ] ~docv:"S"
+             ~doc:"Image strategy: range, partitioned or monolithic.")
+  in
+  Cmd.v
+    (Cmd.info "equiv" ~doc:"Check product-machine equivalence")
+    Term.(const (fun () a b c -> run a b c) $ logs_term $ spec1 $ spec2 $ strategy)
+
+(* ----- reach ----- *)
+
+let reach_cmd =
+  let run spec =
+    match load_netlist spec with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok nl ->
+      let man = Bdd.new_man () in
+      let sym = Fsm.Symbolic.of_netlist man nl in
+      let reached, st = Fsm.Reach.reachable sym in
+      Printf.printf "%s\n" (Fsm.Netlist.stats nl);
+      Printf.printf
+        "reachable states: %.0f of %.0f   iterations: %d   |R| = %d nodes\n"
+        st.Fsm.Reach.reached_states
+        (2.0 ** float_of_int (Fsm.Symbolic.num_state_vars sym))
+        st.Fsm.Reach.iterations (Bdd.size man reached);
+      0
+  in
+  let spec =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MACHINE" ~doc:"Benchmark name or BLIF file.")
+  in
+  Cmd.v
+    (Cmd.info "reach" ~doc:"Symbolic reachability statistics")
+    Term.(const (fun () a -> run a) $ logs_term $ spec)
+
+(* ----- tables ----- *)
+
+let tables_cmd =
+  let run quick out_dir max_calls =
+    let benches =
+      if quick then Circuits.Registry.quick else Circuits.Registry.all
+    in
+    let config = { Harness.Capture.default_config with max_calls } in
+    let calls =
+      Harness.Capture.run_suite ~config
+        ~progress:(fun m -> Printf.eprintf "%s\n%!" m)
+        benches
+    in
+    let names = Harness.Capture.minimizer_names config in
+    print_endline (Harness.Tables.render_table1 ());
+    print_endline (Harness.Tables.render_table2 ());
+    print_endline (Harness.Tables.render_table3 ~names calls);
+    print_endline (Harness.Tables.render_table4 calls);
+    print_endline (Harness.Tables.render_figure3 calls);
+    print_endline (Harness.Tables.render_lower_bound_summary ~names calls);
+    (match out_dir with
+     | Some dir ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       let write name contents =
+         let oc = open_out (Filename.concat dir name) in
+         output_string oc contents;
+         close_out oc
+       in
+       write "calls.csv" (Harness.Tables.calls_to_csv ~names calls);
+       write "per_bench.txt" (Harness.Tables.render_per_bench calls);
+       write "figure3.csv"
+         (Harness.Tables.curve_to_csv
+            ~names:[ "f_orig"; "opt_lv"; "const"; "restr"; "tsm_td" ]
+            calls);
+       Printf.eprintf "CSV data written to %s/\n" dir
+     | None -> ());
+    0
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use the small sub-suite.")
+  in
+  let out_dir =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR" ~doc:"Also write CSV data here.")
+  in
+  let max_calls =
+    Arg.(value & opt int 400
+         & info [ "max-calls" ] ~docv:"N"
+             ~doc:"Per-benchmark cap on measured calls.")
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce the paper's tables and figure")
+    Term.(const (fun () a b c -> run a b c) $ logs_term $ quick $ out_dir $ max_calls)
+
+(* ----- optimize: the paper's second application as a flow ----- *)
+
+let optimize_cmd =
+  let run spec heuristic out =
+    match load_netlist spec with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok nl ->
+      let minimize =
+        match heuristic with
+        | "clamped-osm_bt" -> None
+        | name -> (
+            match Minimize.Registry.find name with
+            | Some e -> Some (fun man s -> e.Minimize.Registry.run man s)
+            | None ->
+              Printf.eprintf "unknown heuristic %s\n" name;
+              exit 1)
+      in
+      let man = Bdd.new_man () in
+      let nl2, reached = Fsm.Synth.resynthesize ?minimize man nl in
+      let shared nl =
+        let m = Bdd.new_man () in
+        Fsm.Symbolic.shared_node_count (Fsm.Symbolic.of_netlist m nl)
+      in
+      Printf.printf "%s\n%s\n" (Fsm.Netlist.stats nl) (Fsm.Netlist.stats nl2);
+      Printf.printf
+        "reachable states: %.0f   symbolic size: %d -> %d nodes\n"
+        (Bdd.sat_count man reached
+           ~nvars:(List.length (Fsm.Netlist.latches nl)))
+        (shared nl) (shared nl2);
+      (match out with
+       | Some path ->
+         Fsm.Blif.write_file path nl2;
+         Printf.printf "wrote %s\n" path
+       | None -> ());
+      0
+  in
+  let spec =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MACHINE" ~doc:"Benchmark name or BLIF file.")
+  in
+  let heuristic =
+    Arg.(value & opt string "clamped-osm_bt"
+         & info [ "heuristic"; "H" ] ~docv:"NAME"
+             ~doc:"Minimizer for the transition logic (default: size-clamped osm_bt).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o" ] ~docv:"FILE" ~doc:"Write the optimized machine as BLIF.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Minimize a machine's logic against its unreachable states and resynthesize")
+    Term.(const run $ spec $ heuristic $ out)
+
+(* ----- pla: espresso-lite two-level minimization ----- *)
+
+let pla_cmd =
+  let run path out =
+    match Logic.Pla.parse_file path with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | exception Sys_error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok pla ->
+      let man = Bdd.new_man () in
+      let fns = Logic.Pla.functions man pla in
+      Printf.printf "%d inputs, %d outputs, %d rows (type %s)\n"
+        pla.Logic.Pla.num_inputs pla.Logic.Pla.num_outputs
+        (List.length pla.Logic.Pla.rows)
+        pla.Logic.Pla.typ;
+      let covers =
+        List.map
+          (fun (name, (f, c)) ->
+             let inst = Minimize.Ispec.make ~f ~c in
+             let isop = Minimize.Isop.compute man inst in
+             let _, best = Minimize.Registry.best man Minimize.Registry.all inst in
+             Printf.printf
+               "%-8s |f| = %-4d best BDD cover = %-4d isop: %d cubes, %d literals\n"
+               name (Bdd.size man f) (Bdd.size man best)
+               (List.length isop.Minimize.Isop.cubes)
+               (Minimize.Isop.literal_count isop);
+             (name, isop.Minimize.Isop.cubes))
+          fns
+      in
+      (match out with
+       | Some path' ->
+         let minimized =
+           Logic.Pla.of_covers ~num_inputs:pla.Logic.Pla.num_inputs
+             ~input_labels:pla.Logic.Pla.input_labels covers
+         in
+         let oc = open_out path' in
+         output_string oc (Logic.Pla.print minimized);
+         close_out oc;
+         Printf.printf "wrote %s (%d rows)\n" path'
+           (List.fold_left (fun acc (_, c) -> acc + List.length c) 0 covers)
+       | None -> ());
+      0
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"PLA file (espresso format).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o" ] ~docv:"FILE"
+             ~doc:"Write the don't-care-minimized ISOP covers as a PLA.")
+  in
+  Cmd.v
+    (Cmd.info "pla"
+       ~doc:"Minimize the incompletely specified outputs of a PLA")
+    Term.(const run $ path $ out)
+
+(* ----- bench list ----- *)
+
+let benches_cmd =
+  let run () =
+    List.iter
+      (fun (b : Circuits.Registry.bench) ->
+         Printf.printf "%-10s %-28s %s\n" b.name b.paper_analog b.description)
+      Circuits.Registry.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "benches" ~doc:"List the benchmark machines and their paper analogues")
+    Term.(const run $ const ())
+
+(* ----- dot ----- *)
+
+let dot_cmd =
+  let run fexpr cexpr out =
+    match parse_pair fexpr (Option.value cexpr ~default:"1") with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok (man, mapping, inst) ->
+      let var_name v =
+        match List.find_opt (fun (_, i) -> i = v) mapping with
+        | Some (n, _) -> n
+        | None -> Printf.sprintf "x%d" v
+      in
+      let roots =
+        if cexpr = None then [ ("f", inst.Minimize.Ispec.f) ]
+        else
+          [ ("f", inst.Minimize.Ispec.f); ("c", inst.Minimize.Ispec.c) ]
+      in
+      let text = Bdd.Dot.to_dot ~var_name man roots in
+      (match out with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc text;
+         close_out oc
+       | None -> print_string text);
+      0
+  in
+  let fexpr =
+    Arg.(required & opt (some string) None & info [ "f" ] ~docv:"EXPR" ~doc:"Function.")
+  in
+  let cexpr =
+    Arg.(value & opt (some string) None & info [ "c" ] ~docv:"EXPR" ~doc:"Optional care set.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o" ] ~docv:"FILE" ~doc:"Output path (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export BDDs as Graphviz")
+    Term.(const run $ fexpr $ cexpr $ out)
+
+let main =
+  Cmd.group
+    (Cmd.info "bddmin" ~version:"1.0.0"
+       ~doc:"Heuristic minimization of BDDs using don't cares (DAC'94)")
+    [ minimize_cmd; lower_bound_cmd; equiv_cmd; reach_cmd; tables_cmd;
+      optimize_cmd; pla_cmd; benches_cmd; dot_cmd ]
+
+let () = exit (Cmd.eval' main)

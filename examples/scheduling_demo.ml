@@ -1,0 +1,78 @@
+(* The §3.4 schedule in action: combining the two heuristic classes.
+
+   We sweep the schedule's parameters (window size, stop-top-down
+   threshold, level matching on/off) over a pool of minimization
+   instances captured from the benchmark suite, and compare against the
+   individual heuristics — the ablation the paper leaves as future
+   experimental work ("Experimental verification of what values work well
+   for window_size and stop_top_down remains"). *)
+
+let capture_pool () =
+  (* A man per bench keeps instances usable after capture. *)
+  List.concat_map
+    (fun bench_name ->
+       let b = Option.get (Circuits.Registry.find bench_name) in
+       let man = Bdd.new_man () in
+       let nl = b.Circuits.Registry.build () in
+       let pool = ref [] in
+       let keep inst =
+         if not (Minimize.Ispec.trivial man inst) then
+           pool := (man, inst) :: !pool
+       in
+       (match
+          Fsm.Equiv.check_self man ~strategy:Fsm.Image.Range
+            ~on_instance:(fun ~iteration:_ i -> keep i)
+            ~on_image_constrain:(fun ~iteration:_ i -> keep i)
+            nl
+        with
+        | Fsm.Equiv.Equivalent _ -> ()
+        | Fsm.Equiv.Not_equivalent _ -> assert false);
+       !pool)
+    [ "tlc"; "gray6"; "minmax4"; "rnd344"; "rndstyr" ]
+
+let () =
+  let pool = capture_pool () in
+  Format.printf "Captured %d non-trivial instances.@.@." (List.length pool);
+  let total name run =
+    let t0 = Unix.gettimeofday () in
+    let sum =
+      List.fold_left
+        (fun acc (man, inst) -> acc + Bdd.size man (run man inst))
+        0 pool
+    in
+    Format.printf "  %-34s total size %6d   (%.2fs)@." name sum
+      (Unix.gettimeofday () -. t0)
+  in
+  Format.printf "Baselines:@.";
+  total "f_orig" (fun _ (i : Minimize.Ispec.t) -> i.Minimize.Ispec.f);
+  total "constrain" (fun man (i : Minimize.Ispec.t) ->
+      Bdd.constrain man i.Minimize.Ispec.f i.Minimize.Ispec.c);
+  total "osm_bt" (fun man i ->
+      Minimize.Sibling.run_heuristic man Minimize.Sibling.Osm_bt i);
+  total "tsm_cp" (fun man i ->
+      Minimize.Sibling.run_heuristic man Minimize.Sibling.Tsm_cp i);
+  total "opt_lv" (fun man i -> Minimize.Level.opt_lv man i);
+
+  Format.printf "@.Schedule parameter sweep:@.";
+  List.iter
+    (fun (window_size, stop_top_down, use_level_matching) ->
+       let params =
+         {
+           Minimize.Schedule.default_params with
+           window_size;
+           stop_top_down;
+           use_level_matching;
+         }
+       in
+       total
+         (Printf.sprintf "sched window=%d stop=%d levels=%b" window_size
+            stop_top_down use_level_matching)
+         (fun man i -> Minimize.Schedule.run man ~params i))
+    [
+      (2, 4, false);
+      (4, 6, false);
+      (8, 6, false);
+      (4, 12, false);
+      (2, 4, true);
+      (4, 6, true);
+    ]

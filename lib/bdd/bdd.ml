@@ -1,0 +1,11 @@
+(** Public face of the BDD substrate: the core engine plus cube and
+    Graphviz helpers.  See {!Core_dd} for the engine documentation. *)
+
+include Core_dd
+
+module Cube = Cube
+module Reorder = Reorder
+module Store = Store
+module Zdd = Zdd
+module Add = Add
+module Dot = Dot

@@ -1,0 +1,415 @@
+(* ROBDDs with output-complement edges, hash-consed in a unique table.
+   Canonical form invariants:
+   - every node's [n_hi] (then) edge is regular (complement bit clear);
+   - a node's variable level is strictly smaller than its children's;
+   - no node has [n_hi == n_lo];
+   hence two edges denote the same function iff node pointers and complement
+   bits coincide. *)
+
+type node = {
+  id : int;
+  var : int;                    (* level; [max_int] for the terminal *)
+  n_hi : t;                     (* invariant: regular *)
+  n_lo : t;
+}
+
+and t = { neg : bool; node : node }
+
+type man = {
+  mutable vars : int;
+  unique : (int * int * int, node) Hashtbl.t;     (* (var, hi id, lo uid) *)
+  cache : (int * int * int * int, t) Hashtbl.t;   (* (op tag, a, b, c) *)
+  mutable next_id : int;
+  terminal : node;
+  mutable made : int;                             (* nodes ever interned *)
+}
+
+let const_var = max_int
+
+let new_man ?(nvars = 0) () =
+  let rec terminal =
+    { id = 0; var = const_var; n_hi = self; n_lo = self }
+  and self = { neg = false; node = terminal } in
+  {
+    vars = nvars;
+    unique = Hashtbl.create 4096;
+    cache = Hashtbl.create 4096;
+    next_id = 1;
+    terminal;
+    made = 0;
+  }
+
+let nvars man = man.vars
+let clear_caches man = Hashtbl.reset man.cache
+
+let one man = { neg = false; node = man.terminal }
+let zero man = { neg = true; node = man.terminal }
+
+let is_const e = e.node.var = const_var
+let is_one e = is_const e && not e.neg
+let is_zero e = is_const e && e.neg
+let equal a b = a.node == b.node && a.neg = b.neg
+let compl e = { e with neg = not e.neg }
+let is_compl_pair a b = a.node == b.node && a.neg <> b.neg
+let topvar e = e.node.var
+let uid e = (2 * e.node.id) + Bool.to_int e.neg
+let node_id e = e.node.id
+
+(* Cofactors push the edge's complement bit through the node. *)
+let hi e =
+  let n = e.node in
+  if n.var = const_var then e
+  else { neg = e.neg; node = n.n_hi.node }
+
+let lo e =
+  let n = e.node in
+  if n.var = const_var then e
+  else { neg = e.neg <> n.n_lo.neg; node = n.n_lo.node }
+
+let branches e v =
+  assert (topvar e >= v);
+  if topvar e = v then (hi e, lo e) else (e, e)
+
+(* Intern a node whose then-edge is already regular. *)
+let intern man var ~hi:h ~lo:l =
+  assert (not h.neg);
+  let key = (var, h.node.id, uid l) in
+  match Hashtbl.find_opt man.unique key with
+  | Some n -> { neg = false; node = n }
+  | None ->
+    let n = { id = man.next_id; var; n_hi = h; n_lo = l } in
+    man.next_id <- man.next_id + 1;
+    man.made <- man.made + 1;
+    Hashtbl.add man.unique key n;
+    { neg = false; node = n }
+
+let mk man var ~hi:h ~lo:l =
+  assert (var < topvar h && var < topvar l);
+  if equal h l then h
+  else if h.neg then compl (intern man var ~hi:(compl h) ~lo:(compl l))
+  else intern man var ~hi:h ~lo:l
+
+let ithvar man i =
+  if i < 0 then invalid_arg "Core_dd.ithvar: negative variable";
+  if i >= man.vars then man.vars <- i + 1;
+  mk man i ~hi:(one man) ~lo:(zero man)
+
+(* ----- ITE with standard-triple normalization ----- *)
+
+let tag_ite = 0
+
+let rec ite man f g h =
+  if is_one f then g
+  else if is_zero f then h
+  else if equal g h then g
+  else if is_one g && is_zero h then f
+  else if is_zero g && is_one h then compl f
+  else begin
+    (* Collapse arguments equal (or complementary) to the test. *)
+    let g = if equal f g then one man else if is_compl_pair f g then zero man else g in
+    let h = if equal f h then zero man else if is_compl_pair f h then one man else h in
+    if is_one g && is_zero h then f
+    else begin
+      (* Canonical argument order for the commutative cases. *)
+      let f, g, h =
+        if is_one g && uid f > uid h then (h, g, f)
+        else if is_zero h && uid f > uid g then (g, f, h)
+        else if is_zero g && uid f > uid h then (compl h, g, compl f)
+        else if is_one h && uid f > uid g then (compl g, compl f, h)
+        else if is_compl_pair g h && uid f > uid g then (g, f, compl f)
+        else (f, g, h)
+      in
+      (* Regular test edge, then regular then-edge. *)
+      let f, g, h = if f.neg then (compl f, h, g) else (f, g, h) in
+      if g.neg then compl (ite_aux man f (compl g) (compl h))
+      else ite_aux man f g h
+    end
+  end
+
+and ite_aux man f g h =
+  let key = (tag_ite, uid f, uid g, uid h) in
+  match Hashtbl.find_opt man.cache key with
+  | Some r -> r
+  | None ->
+    let v = min (topvar f) (min (topvar g) (topvar h)) in
+    let ft, fe = branches f v and gt, ge = branches g v and ht, he = branches h v in
+    let t = ite man ft gt ht in
+    let e = ite man fe ge he in
+    let r = mk man v ~hi:t ~lo:e in
+    Hashtbl.add man.cache key r;
+    r
+
+let dand man f g = ite man f g (zero man)
+let dor man f g = ite man f (one man) g
+let dxor man f g = ite man f (compl g) g
+let dxnor man f g = ite man f g (compl g)
+let dnand man f g = compl (dand man f g)
+let dnor man f g = compl (dor man f g)
+let imply man f g = ite man f g (one man)
+let diff man f g = dand man f (compl g)
+
+let conj man fs = List.fold_left (dand man) (one man) fs
+let disj man fs = List.fold_left (dor man) (zero man) fs
+
+let leq man f g = is_zero (diff man f g)
+
+(* ----- Cofactor with respect to an arbitrary variable ----- *)
+
+let cofactor man f ~var phase =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if topvar f > var then f
+    else if topvar f = var then if phase then hi f else lo f
+    else
+      match Hashtbl.find_opt memo (uid f) with
+      | Some r -> r
+      | None ->
+        let r = mk man (topvar f) ~hi:(go (hi f)) ~lo:(go (lo f)) in
+        Hashtbl.add memo (uid f) r;
+        r
+  in
+  go f
+
+(* ----- Quantification ----- *)
+
+let quantify man combine vars f =
+  let vars = List.sort_uniq compare vars in
+  let memo = Hashtbl.create 64 in
+  let rec go vars f =
+    match vars with
+    | [] -> f
+    | v :: rest ->
+      if is_const f then f
+      else if topvar f > v then go rest f
+      else
+        let key = (uid f, List.length vars) in
+        match Hashtbl.find_opt memo key with
+        | Some r -> r
+        | None ->
+          let vars' = if topvar f = v then rest else vars in
+          let t = go vars' (hi f) and e = go vars' (lo f) in
+          let r =
+            if topvar f = v then combine t e
+            else mk man (topvar f) ~hi:t ~lo:e
+          in
+          Hashtbl.add memo key r;
+          r
+  in
+  go vars f
+
+let exists man vars f = quantify man (dor man) vars f
+let forall man vars f = quantify man (dand man) vars f
+
+let and_exists man vars f g =
+  let vars = List.sort_uniq compare vars in
+  let memo = Hashtbl.create 256 in
+  let rec go vars f g =
+    if is_zero f || is_zero g then zero man
+    else if is_one f && is_one g then one man
+    else
+      match vars with
+      | [] -> dand man f g
+      | v :: rest ->
+        let tf = topvar f and tg = topvar g in
+        let top = min tf tg in
+        if top > v then go rest f g
+        else
+          let key = (uid f, uid g, List.length vars) in
+          (match Hashtbl.find_opt memo key with
+           | Some r -> r
+           | None ->
+             let ft, fe = branches f top and gt, ge = branches g top in
+             let vars' = if top = v then rest else vars in
+             let r =
+               if top = v then dor man (go vars' ft gt) (go vars' fe ge)
+               else mk man top ~hi:(go vars' ft gt) ~lo:(go vars' fe ge)
+             in
+             Hashtbl.add memo key r;
+             r)
+  in
+  go vars f g
+
+(* ----- Composition ----- *)
+
+let compose man f ~var g =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if topvar f > var then f
+    else
+      match Hashtbl.find_opt memo (uid f) with
+      | Some r -> r
+      | None ->
+        let r =
+          if topvar f = var then ite man g (hi f) (lo f)
+          else
+            (* [g] may reach above this level, so rebuild with ITE. *)
+            ite man (ithvar man (topvar f)) (go (hi f)) (go (lo f))
+        in
+        Hashtbl.add memo (uid f) r;
+        r
+  in
+  go f
+
+let vector_compose man f subs =
+  match subs with
+  | [] -> f
+  | _ ->
+    let table = Hashtbl.create 16 in
+    List.iter (fun (v, g) -> Hashtbl.replace table v g) subs;
+    let last = List.fold_left (fun acc (v, _) -> max acc v) 0 subs in
+    let memo = Hashtbl.create 64 in
+    let rec go f =
+      if topvar f > last then f
+      else
+        match Hashtbl.find_opt memo (uid f) with
+        | Some r -> r
+        | None ->
+          let v = topvar f in
+          let test =
+            match Hashtbl.find_opt table v with
+            | Some g -> g
+            | None -> ithvar man v
+          in
+          let r = ite man test (go (hi f)) (go (lo f)) in
+          Hashtbl.add memo (uid f) r;
+          r
+    in
+    go f
+
+let rename man f pairs =
+  vector_compose man f (List.map (fun (a, b) -> (a, ithvar man b)) pairs)
+
+(* ----- Generalized cofactors ----- *)
+
+let tag_constrain = 1
+let tag_restrict = 2
+
+let rec constrain_rec man f c =
+  if is_one c || is_const f then f
+  else
+    let key = (tag_constrain, uid f, uid c, 0) in
+    match Hashtbl.find_opt man.cache key with
+    | Some r -> r
+    | None ->
+      let v = min (topvar f) (topvar c) in
+      let ft, fe = branches f v and ct, ce = branches c v in
+      let r =
+        if is_zero ce then constrain_rec man ft ct
+        else if is_zero ct then constrain_rec man fe ce
+        else
+          mk man v ~hi:(constrain_rec man ft ct) ~lo:(constrain_rec man fe ce)
+      in
+      Hashtbl.add man.cache key r;
+      r
+
+let constrain man f c =
+  if is_zero c then invalid_arg "Core_dd.constrain: empty care set";
+  constrain_rec man f c
+
+let rec restrict_rec man f c =
+  if is_one c || is_const f then f
+  else
+    let key = (tag_restrict, uid f, uid c, 0) in
+    match Hashtbl.find_opt man.cache key with
+    | Some r -> r
+    | None ->
+      let fv = topvar f and cv = topvar c in
+      let r =
+        if cv < fv then restrict_rec man f (dor man (hi c) (lo c))
+        else
+          let ft, fe = branches f fv and ct, ce = branches c fv in
+          if is_zero ce then restrict_rec man ft ct
+          else if is_zero ct then restrict_rec man fe ce
+          else
+            mk man fv ~hi:(restrict_rec man ft ct) ~lo:(restrict_rec man fe ce)
+      in
+      Hashtbl.add man.cache key r;
+      r
+
+let restrict man f c =
+  if is_zero c then invalid_arg "Core_dd.restrict: empty care set";
+  restrict_rec man f c
+
+(* ----- Inspection ----- *)
+
+let iter_nodes _man f k =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.add seen n.id ();
+      k n.id n.var;
+      if n.var <> const_var then begin
+        go n.n_hi.node;
+        go n.n_lo.node
+      end
+    end
+  in
+  go f.node
+
+let size man f =
+  let n = ref 0 in
+  iter_nodes man f (fun _ _ -> incr n);
+  !n
+
+let shared_size _man fs =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go n =
+    if not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.add seen n.id ();
+      incr count;
+      if n.var <> const_var then begin
+        go n.n_hi.node;
+        go n.n_lo.node
+      end
+    end
+  in
+  List.iter (fun e -> go e.node) fs;
+  !count
+
+let support man f =
+  let vars = Hashtbl.create 16 in
+  iter_nodes man f (fun _ v -> if v <> const_var then Hashtbl.replace vars v ());
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let eval f assign =
+  let rec go e =
+    if is_const e then not e.neg
+    else if assign (topvar e) then go (hi e)
+    else go (lo e)
+  in
+  go f
+
+let sat_count man f ~nvars =
+  (* Density of the onset under the uniform measure; independent of which
+     variables actually occur, so a per-function memo is sound. *)
+  let memo = Hashtbl.create 64 in
+  let rec density e =
+    if is_one e then 1.0
+    else if is_zero e then 0.0
+    else
+      match Hashtbl.find_opt memo (uid e) with
+      | Some d -> d
+      | None ->
+        let d = 0.5 *. (density (hi e) +. density (lo e)) in
+        Hashtbl.add memo (uid e) d;
+        d
+  in
+  ignore man;
+  density f *. (2.0 ** float_of_int nvars)
+
+let nodes_at_level man f level =
+  let n = ref 0 in
+  iter_nodes man f (fun _ v -> if v = level then incr n);
+  !n
+
+let count_below man f level =
+  let n = ref 0 in
+  iter_nodes man f (fun _ v -> if v > level then incr n);
+  !n
+
+let stats man =
+  Printf.sprintf "vars=%d live_nodes=%d interned=%d cache=%d" man.vars
+    (Hashtbl.length man.unique + 1)
+    man.made
+    (Hashtbl.length man.cache)

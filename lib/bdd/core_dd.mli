@@ -1,0 +1,170 @@
+(** Reduced ordered binary decision diagrams with output-complement edges.
+
+    The engine follows Brace, Rudell and Bryant, "Efficient implementation
+    of a BDD package" (DAC 1990), the package the paper builds on: nodes are
+    hash-consed in a unique table, every edge carries a complement bit, and
+    the canonical form keeps the {e then} edge of every node regular
+    (non-complemented).  There is a single terminal node; the constant zero
+    is the complemented edge to it.
+
+    Variables are identified by integer {e levels}: variable [0] is the
+    topmost variable of the order, larger levels sit deeper.  The order is
+    fixed for the lifetime of a manager, as in the paper. *)
+
+type man
+(** A BDD manager: owns the unique table and the operation caches.  All
+    edges combined by an operation must belong to the same manager. *)
+
+type t
+(** An edge (a possibly complemented pointer to a node).  Two edges of the
+    same manager represent the same function iff they are [equal]. *)
+
+val new_man : ?nvars:int -> unit -> man
+(** [new_man ()] creates a fresh manager.  [nvars] merely preallocates the
+    variable count; variables are created on demand by {!ithvar}. *)
+
+val nvars : man -> int
+(** Number of variables created so far. *)
+
+val clear_caches : man -> unit
+(** Flush all operation caches (the unique table is kept).  Used to time
+    heuristics fairly, as in §4.1.1 of the paper. *)
+
+val stats : man -> string
+(** One-line human-readable manager statistics. *)
+
+(** {1 Constants, variables and structure} *)
+
+val one : man -> t
+val zero : man -> t
+
+val ithvar : man -> int -> t
+(** [ithvar man i] is the projection function of variable [i] ([i >= 0]);
+    creates intermediate variables as needed. *)
+
+val is_one : t -> bool
+val is_zero : t -> bool
+val is_const : t -> bool
+
+val equal : t -> t -> bool
+(** Constant-time function equality (canonicity). *)
+
+val compl : t -> t
+(** Complement (constant time, flips the edge's complement bit). *)
+
+val is_compl_pair : t -> t -> bool
+(** [is_compl_pair f g] iff [g] is the complement of [f] (constant time). *)
+
+val topvar : t -> int
+(** Level of the root variable; [max_int] for constants. *)
+
+val const_var : int
+(** The pseudo-level of the terminal node ([max_int]). *)
+
+val hi : t -> t
+(** Then-cofactor of the root node (complement bit of the edge pushed
+    through).  For a constant, the edge itself. *)
+
+val lo : t -> t
+(** Else-cofactor of the root node, likewise. *)
+
+val branches : t -> int -> t * t
+(** [branches f v] is the paper's [bdd_get_branches]: [(then, else)]
+    cofactors of [f] with respect to variable [v] when [topvar f = v], and
+    [(f, f)] when [f] is independent of [v] (i.e. [topvar f > v]).
+    Requires [topvar f >= v]. *)
+
+val uid : t -> int
+(** Stable integer identifier of the edge, unique within its manager
+    (complement bit included); usable as a hash key. *)
+
+val node_id : t -> int
+(** Identifier of the underlying node, ignoring the complement bit. *)
+
+(** {1 Boolean operations} *)
+
+val ite : man -> t -> t -> t -> t
+(** If-then-else: [ite man f g h = f·g + ¬f·h]. *)
+
+val dand : man -> t -> t -> t
+val dor : man -> t -> t -> t
+val dxor : man -> t -> t -> t
+val dxnor : man -> t -> t -> t
+val dnand : man -> t -> t -> t
+val dnor : man -> t -> t -> t
+val imply : man -> t -> t -> t
+val diff : man -> t -> t -> t
+(** [diff man f g = f·¬g]. *)
+
+val conj : man -> t list -> t
+val disj : man -> t list -> t
+
+val leq : man -> t -> t -> bool
+(** Containment: [leq man f g] iff [f ≤ g] as functions. *)
+
+val cofactor : man -> t -> var:int -> bool -> t
+(** Shannon cofactor of [f] with respect to variable [var] set to the given
+    phase (works for any position of [var] in the order). *)
+
+val exists : man -> int list -> t -> t
+(** Existential quantification over the listed variables. *)
+
+val forall : man -> int list -> t -> t
+(** Universal quantification over the listed variables. *)
+
+val and_exists : man -> int list -> t -> t -> t
+(** [and_exists man vars f g = ∃ vars. f·g], computed without building the
+    full conjunction first (the image-computation workhorse). *)
+
+val compose : man -> t -> var:int -> t -> t
+(** [compose man f ~var g] substitutes function [g] for variable [var]
+    in [f]. *)
+
+val vector_compose : man -> t -> (int * t) list -> t
+(** Simultaneous substitution of several variables (the substituted
+    functions see the original variable values). *)
+
+val rename : man -> t -> (int * int) list -> t
+(** [rename man f pairs] renames variable [a] to [b] for each [(a, b)];
+    a simultaneous substitution by projection functions. *)
+
+(** {1 Generalized cofactors} *)
+
+val constrain : man -> t -> t -> t
+(** Coudert/Madre's [constrain] (generalized cofactor) of [f] by care set
+    [c].  Requires [c <> zero].  The result is a cover of [[f; c]]. *)
+
+val restrict : man -> t -> t -> t
+(** Coudert/Madre's [restrict] of [f] by care set [c].  Requires
+    [c <> zero].  The result is a cover of [[f; c]] whose support never
+    gains variables absent from [f]. *)
+
+(** {1 Inspection} *)
+
+val size : man -> t -> int
+(** Number of distinct nodes reachable from the edge, {e including} the
+    terminal node — the paper's [|f|].  [size] of a constant is 1. *)
+
+val shared_size : man -> t list -> int
+(** Node count of the shared DAG of several functions (terminal included
+    once). *)
+
+val support : man -> t -> int list
+(** Variables the function depends on, in increasing level order. *)
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under an assignment given as a predicate on variables. *)
+
+val sat_count : man -> t -> nvars:int -> float
+(** Number of satisfying assignments over a space of [nvars] variables. *)
+
+val iter_nodes : man -> t -> (int -> int -> unit) -> unit
+(** [iter_nodes man f k] calls [k node_id var] once per reachable node,
+    terminal included (with [var = const_var]). *)
+
+val nodes_at_level : man -> t -> int -> int
+(** Number of distinct nodes rooted at the given level. *)
+
+val count_below : man -> t -> int -> int
+(** The paper's [N_i(g)]: number of distinct nodes rooted strictly below
+    level [i] (terminal included). *)

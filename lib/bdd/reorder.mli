@@ -1,0 +1,43 @@
+(** Variable reordering.
+
+    The paper's problem statement fixes the variable order, but choosing
+    that order well is the complementary lever on BDD size, so the package
+    provides it.  Nodes here are immutable and hash-consed, so reordering
+    is {e rebuild-based}: functions are reconstructed in a fresh manager
+    whose levels correspond to a permuted variable order, rather than by
+    in-place level swaps.
+
+    Terminology: a {e placement} maps each original variable [v] to its
+    new level [placement.(v)].  The rebuilt function over the new manager
+    satisfies [new_f(y_{placement.(v)} := b_v) = old_f(x_v := b_v)]. *)
+
+val rebuild :
+  Core_dd.man -> placement:int array -> Core_dd.t list ->
+  Core_dd.man * Core_dd.t list
+(** Rebuild the functions into a fresh manager under the placement.
+    [placement] must be injective on the union support (checked).  The
+    originals are untouched. *)
+
+val shared_size_under :
+  Core_dd.man -> placement:int array -> Core_dd.t list -> int
+(** Shared node count the functions would have under the placement
+    (computed in a scratch manager). *)
+
+val sift :
+  ?max_rounds:int ->
+  Core_dd.man ->
+  Core_dd.t list ->
+  int array * int
+(** Greedy sifting: repeatedly take each variable (most populous level
+    first) and move it to the position in the current order that
+    minimizes the shared node count, until a round yields no improvement
+    or [max_rounds] (default 2) rounds are done.  Returns the best
+    placement found (never worse than the identity) and its shared
+    size. *)
+
+val sift_apply :
+  ?max_rounds:int ->
+  Core_dd.man ->
+  Core_dd.t list ->
+  int array * Core_dd.man * Core_dd.t list
+(** {!sift} followed by {!rebuild} under the winning placement. *)

@@ -1,0 +1,26 @@
+(** Textual serialization of shared BDD DAGs.
+
+    Format (line-oriented, human-diffable):
+    {v
+      bdd 1                          header, format version
+      node <id> <var> <hi> <lo>      one line per internal node,
+                                     children before parents;
+                                     edge syntax: <id> or !<id>, 0 = terminal
+      root <name> <edge>             one line per named root
+    v}
+    Node ids are arbitrary positive integers unique within the file; the
+    terminal is id 0 (so the constant one is edge [0] and zero is [!0]).
+    Loading reconstructs the functions in any manager, re-establishing
+    maximal sharing through the unique table. *)
+
+val save : Core_dd.man -> (string * Core_dd.t) list -> string
+(** Serialize the shared DAG of the named roots. *)
+
+val save_file : string -> Core_dd.man -> (string * Core_dd.t) list -> unit
+
+val load : Core_dd.man -> string -> ((string * Core_dd.t) list, string) result
+(** Parse and rebuild in the given manager.  Fails on malformed input,
+    unknown ids, or order violations ([var] must be strictly smaller than
+    the children's variables). *)
+
+val load_file : Core_dd.man -> string -> ((string * Core_dd.t) list, string) result

@@ -1,0 +1,230 @@
+(* Zero-suppressed decision diagrams.  Canonical form: [hi] is never the
+   empty family; variables strictly increase along paths.  No complement
+   edges (the zero-suppression rule is incompatible with them). *)
+
+type node = {
+  id : int;
+  var : int;  (* max_int for terminals *)
+  hi : node;  (* member sets containing var; never the empty family *)
+  lo : node;
+}
+
+type t = node
+
+type man = {
+  unique : (int * int * int, node) Hashtbl.t;
+  cache : (int * int * int, node) Hashtbl.t;
+  mutable next_id : int;
+  bot : node;  (* empty family *)
+  top : node;  (* {∅} *)
+}
+
+let new_man () =
+  let rec bot = { id = 0; var = max_int; hi = bot; lo = bot } in
+  let rec top = { id = 1; var = max_int; hi = top; lo = top } in
+  {
+    unique = Hashtbl.create 1024;
+    cache = Hashtbl.create 1024;
+    next_id = 2;
+    bot;
+    top;
+  }
+
+let empty man = man.bot
+let base man = man.top
+let is_empty z = z.var = max_int && z.id = 0
+let is_base z = z.var = max_int && z.id = 1
+let equal a b = a == b
+
+let mk man v ~hi ~lo =
+  assert (v < hi.var && v < lo.var);
+  if is_empty hi then lo
+  else
+    let key = (v, hi.id, lo.id) in
+    match Hashtbl.find_opt man.unique key with
+    | Some n -> n
+    | None ->
+      let n = { id = man.next_id; var = v; hi; lo } in
+      man.next_id <- man.next_id + 1;
+      Hashtbl.add man.unique key n;
+      n
+
+let singleton man vs =
+  let vs = List.sort_uniq compare vs in
+  if List.exists (fun v -> v < 0) vs then
+    invalid_arg "Zdd.singleton: negative element";
+  List.fold_right (fun v acc -> mk man v ~hi:acc ~lo:man.bot) vs man.top
+
+let elem man v = singleton man [ v ]
+
+let tag_union = 0
+let tag_inter = 1
+let tag_diff = 2
+let tag_join = 3
+
+let cached man tag a b compute =
+  let key = (tag, a.id, b.id) in
+  match Hashtbl.find_opt man.cache key with
+  | Some r -> r
+  | None ->
+    let r = compute () in
+    Hashtbl.add man.cache key r;
+    r
+
+let rec union man a b =
+  if equal a b || is_empty b then a
+  else if is_empty a then b
+  else
+    (* commutative: canonicalize the cache key *)
+    let a, b = if a.id <= b.id then (a, b) else (b, a) in
+    cached man tag_union a b (fun () ->
+        if a.var < b.var then mk man a.var ~hi:a.hi ~lo:(union man a.lo b)
+        else if b.var < a.var then mk man b.var ~hi:b.hi ~lo:(union man a b.lo)
+        else if a.var = max_int then
+          (* distinct terminals: bot ∪ top handled above; only {∅} vs ∅ *)
+          if is_empty a then b else a
+        else
+          mk man a.var ~hi:(union man a.hi b.hi) ~lo:(union man a.lo b.lo))
+
+let rec inter man a b =
+  if equal a b then a
+  else if is_empty a || is_empty b then man.bot
+  else
+    let a, b = if a.id <= b.id then (a, b) else (b, a) in
+    cached man tag_inter a b (fun () ->
+        if a.var < b.var then inter man a.lo b
+        else if b.var < a.var then inter man a b.lo
+        else if a.var = max_int then man.bot (* base vs bot handled above *)
+        else
+          mk man a.var ~hi:(inter man a.hi b.hi) ~lo:(inter man a.lo b.lo))
+
+let rec diff man a b =
+  if equal a b || is_empty a then man.bot
+  else if is_empty b then a
+  else
+    cached man tag_diff a b (fun () ->
+        if a.var < b.var then mk man a.var ~hi:a.hi ~lo:(diff man a.lo b)
+        else if b.var < a.var then diff man a b.lo
+        else if a.var = max_int then
+          (* distinct terminals with neither empty cannot happen *)
+          assert false
+        else
+          mk man a.var ~hi:(diff man a.hi b.hi) ~lo:(diff man a.lo b.lo))
+
+let rec join man a b =
+  if is_empty a || is_empty b then man.bot
+  else if is_base a then b
+  else if is_base b then a
+  else
+    let a, b = if a.id <= b.id then (a, b) else (b, a) in
+    cached man tag_join a b (fun () ->
+        if a.var < b.var then
+          mk man a.var ~hi:(join man a.hi b) ~lo:(join man a.lo b)
+        else if b.var < a.var then
+          mk man b.var ~hi:(join man a b.hi) ~lo:(join man a b.lo)
+        else
+          let hi =
+            union man
+              (join man a.hi b.hi)
+              (union man (join man a.hi b.lo) (join man a.lo b.hi))
+          in
+          mk man a.var ~hi ~lo:(join man a.lo b.lo))
+
+let rec change man z v =
+  if v < 0 then invalid_arg "Zdd.change: negative element";
+  if z.var > v then
+    (* no member mentions v: all gain it *)
+    if is_empty z then z else mk man v ~hi:z ~lo:man.bot
+  else if z.var = v then mk man v ~hi:z.lo ~lo:z.hi
+  else mk man z.var ~hi:(change man z.hi v) ~lo:(change man z.lo v)
+
+let rec subset1 man z v =
+  if z.var > v then man.bot
+  else if z.var = v then z.hi
+  else mk man z.var ~hi:(subset1 man z.hi v) ~lo:(subset1 man z.lo v)
+
+let rec subset0 man z v =
+  if z.var > v then z
+  else if z.var = v then z.lo
+  else mk man z.var ~hi:(subset0 man z.hi v) ~lo:(subset0 man z.lo v)
+
+let mem man z vs =
+  let vs = List.sort_uniq compare vs in
+  let rec go z vs =
+    match vs with
+    | [] ->
+      let rec down z = if z.var = max_int then is_base z else down z.lo in
+      down z
+    | v :: rest ->
+      if z.var > v then false
+      else if z.var = v then go z.hi rest
+      else go z.lo vs
+  in
+  ignore man;
+  go z vs
+
+let count man z =
+  let memo = Hashtbl.create 64 in
+  let rec go z =
+    if is_empty z then 0
+    else if z.var = max_int then 1
+    else
+      match Hashtbl.find_opt memo z.id with
+      | Some n -> n
+      | None ->
+        let n = go z.hi + go z.lo in
+        Hashtbl.add memo z.id n;
+        n
+  in
+  ignore man;
+  go z
+
+let node_count man z =
+  let seen = Hashtbl.create 64 in
+  let rec go z =
+    if z.var <> max_int && not (Hashtbl.mem seen z.id) then begin
+      Hashtbl.add seen z.id ();
+      go z.hi;
+      go z.lo
+    end
+  in
+  ignore man;
+  go z;
+  Hashtbl.length seen
+
+let iter_sets man z k =
+  ignore man;
+  let rec go acc z =
+    if is_base z then k (List.rev acc)
+    else if not (is_empty z) then begin
+      go (z.var :: acc) z.hi;
+      go acc z.lo
+    end
+  in
+  go [] z
+
+let to_list man z =
+  let out = ref [] in
+  iter_sets man z (fun s -> out := s :: !out);
+  List.rev !out
+
+let of_list man sets =
+  List.fold_left (fun acc s -> union man acc (singleton man s)) man.bot sets
+
+let pp man ppf z =
+  let sets = to_list man z in
+  if List.length sets > 64 then
+    Format.fprintf ppf "<family of %d sets>" (List.length sets)
+  else begin
+    Format.pp_print_string ppf "{ ";
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf s ->
+         Format.fprintf ppf "{%a}"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+              Format.pp_print_int)
+           s)
+      ppf sets;
+    Format.pp_print_string ppf " }"
+  end

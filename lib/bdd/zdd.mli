@@ -1,0 +1,64 @@
+(** Zero-suppressed binary decision diagrams (Minato): canonical
+    representations of families of sets over integer elements — the
+    natural data structure for cube covers (each cube a set of literals),
+    complementing the function-oriented {!Core_dd}.
+
+    Canonical form: a node's [hi] child (subsets containing the node's
+    element) is never the empty family; elements increase along every
+    path.  Two families are equal iff their handles are {!equal}. *)
+
+type man
+type t
+
+val new_man : unit -> man
+
+val empty : man -> t
+(** The empty family [∅]. *)
+
+val base : man -> t
+(** The family containing only the empty set [{∅}]. *)
+
+val is_empty : t -> bool
+val is_base : t -> bool
+val equal : t -> t -> bool
+
+val singleton : man -> int list -> t
+(** The family containing exactly the given set. *)
+
+val elem : man -> int -> t
+(** [{{v}}]. *)
+
+val union : man -> t -> t -> t
+val inter : man -> t -> t -> t
+val diff : man -> t -> t -> t
+
+val join : man -> t -> t -> t
+(** Minato's product: [{ s ∪ t | s ∈ a, t ∈ b }]. *)
+
+val change : man -> t -> int -> t
+(** Toggle element [v] in every member set. *)
+
+val subset1 : man -> t -> int -> t
+(** Members containing [v], with [v] removed. *)
+
+val subset0 : man -> t -> int -> t
+(** Members not containing [v]. *)
+
+val mem : man -> t -> int list -> bool
+(** Membership of one set. *)
+
+val count : man -> t -> int
+(** Number of member sets. *)
+
+val node_count : man -> t -> int
+(** Nodes of the shared DAG (terminals excluded). *)
+
+val iter_sets : man -> t -> (int list -> unit) -> unit
+(** Apply to every member set (elements ascending), in lexicographic
+    DFS order. *)
+
+val to_list : man -> t -> int list list
+val of_list : man -> int list list -> t
+
+val pp : man -> Format.formatter -> t -> unit
+(** Print as [{ {1,3}, {2}, ... }] (small families only). *)

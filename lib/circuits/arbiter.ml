@@ -1,0 +1,44 @@
+module N = Fsm.Netlist
+
+let make ~clients =
+  if clients < 2 then invalid_arg "Arbiter.make: need at least 2 clients";
+  let b = N.create (Printf.sprintf "arbiter%d" clients) in
+  let req =
+    Array.init clients (fun i -> N.input b (Printf.sprintf "req%d" i))
+  in
+  (* One-hot token marking the highest-priority client. *)
+  let token =
+    Array.init clients (fun i ->
+        N.latch b ~name:(Printf.sprintf "tok%d" i) ~init:(i = 0) ())
+  in
+  let tok = Array.map fst token in
+  (* Grant: the first requesting client at or after the token position. *)
+  let grant = Array.make clients (N.const_signal b false) in
+  for i = 0 to clients - 1 do
+    (* grant_i = OR over token positions t of: tok_t and req_i and no
+       req_j for j between t and i (cyclically). *)
+    let terms = ref [] in
+    for t = 0 to clients - 1 do
+      let blockers = ref [] in
+      let j = ref t in
+      while !j <> i do
+        blockers := req.(!j) :: !blockers;
+        j := (!j + 1) mod clients
+      done;
+      let none_before =
+        N.not_gate b (N.or_list b !blockers)
+      in
+      terms := N.and_list b [ tok.(t); req.(i); none_before ] :: !terms
+    done;
+    grant.(i) <- N.or_list b !terms
+  done;
+  let any = N.or_list b (Array.to_list grant) in
+  (* Token moves just past the granted client; otherwise it holds. *)
+  Array.iteri
+    (fun i (_, set) ->
+       let gets_token = grant.((i + clients - 1) mod clients) in
+       set (N.mux b ~sel:any ~t1:gets_token ~e0:tok.(i)))
+    token;
+  Array.iteri (fun i g -> N.output b (Printf.sprintf "gnt%d" i) g) grant;
+  N.output b "any_grant" any;
+  N.finalize b

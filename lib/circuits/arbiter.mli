@@ -1,0 +1,7 @@
+(** Round-robin bus arbiter: a rotating priority token and per-client
+    grant logic — a control-dominated benchmark in the spirit of the
+    paper's [s*] controllers. *)
+
+val make : clients:int -> Fsm.Netlist.t
+(** Inputs: [req0 … req{clients-1}].  Outputs: [gnt0 …], [any_grant].
+    The token advances past the granted client each cycle. *)

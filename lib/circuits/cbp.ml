@@ -1,0 +1,51 @@
+module N = Fsm.Netlist
+
+(* Stage k adds bit slice [k·width/stages, (k+1)·width/stages); operands
+   for later stages and results of earlier stages travel through pipeline
+   registers so that one addition completes per cycle after the fill. *)
+let make ~width ~stages =
+  if width <= 0 || stages <= 0 || stages > width then
+    invalid_arg "Cbp.make: need 0 < stages <= width";
+  let b = N.create (Printf.sprintf "cbp.%d.%d" width stages) in
+  let a = Array.init width (fun i -> N.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init width (fun i -> N.input b (Printf.sprintf "b%d" i)) in
+  let bound k = k * width / stages in
+  (* Current pipeline contents: sum bits computed so far, remaining
+     operand bits, and the carry. *)
+  let sum_so_far = ref [||] in
+  let a_rest = ref a in
+  let b_rest = ref bb in
+  let carry = ref (N.const_signal b false) in
+  let rest_offset = ref 0 in
+  for k = 0 to stages - 1 do
+    let lo = bound k and hi = bound (k + 1) in
+    let slice = hi - lo in
+    (* Add the slice at the head of the remaining operands. *)
+    let a_slice = Array.sub !a_rest 0 slice in
+    let b_slice = Array.sub !b_rest 0 slice in
+    let sum, cout = N.word_add b ~carry_in:!carry a_slice b_slice in
+    let sums = Array.append !sum_so_far sum in
+    let a_tail = Array.sub !a_rest slice (Array.length !a_rest - slice) in
+    let b_tail = Array.sub !b_rest slice (Array.length !b_rest - slice) in
+    rest_offset := hi;
+    if k = stages - 1 then begin
+      Array.iteri (fun i s -> N.output b (Printf.sprintf "s%d" i) s) sums;
+      N.output b "cout" cout
+    end
+    else begin
+      (* Register everything crossing into the next stage. *)
+      let reg name word =
+        let r, set = N.word_latch b ~name:(Printf.sprintf "%s%d" name k)
+            ~width:(Array.length word) ~init:0 () in
+        set word;
+        r
+      in
+      sum_so_far := reg "ps" sums;
+      a_rest := reg "pa" a_tail;
+      b_rest := reg "pb" b_tail;
+      let c, set_c = N.latch b ~name:(Printf.sprintf "pc%d" k) ~init:false () in
+      set_c cout;
+      carry := c
+    end
+  done;
+  N.finalize b

@@ -1,0 +1,8 @@
+(** Pipelined carry-propagate adder — the analogue of the paper's
+    [cbp.32.4] benchmark: a [width]-bit ripple adder cut into [stages]
+    register-separated pipeline stages.  The traversal depth equals the
+    pipeline depth while the state is wide. *)
+
+val make : width:int -> stages:int -> Fsm.Netlist.t
+(** Inputs: [a0 …], [b0 …].  Outputs: [s0 … s{width-1}], [cout].
+    Requires [stages ≥ 1] and [stages ≤ width]. *)

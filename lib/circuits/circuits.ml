@@ -1,0 +1,15 @@
+(** Benchmark circuit generators: synthetic sequential machines standing
+    in for the paper's benchmark suite (see {!Registry} and DESIGN.md). *)
+
+module Counter = Counter
+module Gray = Gray
+module Johnson = Johnson
+module Lfsr = Lfsr
+module Tlc = Tlc
+module Minmax = Minmax
+module Mult = Mult
+module Cbp = Cbp
+module Arbiter = Arbiter
+module Random_fsm = Random_fsm
+module Mutate = Mutate
+module Registry = Registry

@@ -1,0 +1,18 @@
+module N = Fsm.Netlist
+
+let make ~width =
+  if width <= 0 then invalid_arg "Gray.make: width must be positive";
+  let b = N.create (Printf.sprintf "gray%d" width) in
+  let en = N.input b "en" in
+  let q, set_q = N.word_latch b ~name:"q" ~width ~init:0 () in
+  let incremented, _ = N.word_inc b q in
+  set_q (N.word_mux b ~sel:en ~t1:incremented ~e0:q);
+  (* Gray encoding: g_i = q_i xor q_{i+1}. *)
+  Array.iteri
+    (fun i qi ->
+       let g =
+         if i + 1 < width then N.xor_gate b qi q.(i + 1) else qi
+       in
+       N.output b (Printf.sprintf "g%d" i) g)
+    q;
+  N.finalize b

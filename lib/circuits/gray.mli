@@ -1,0 +1,6 @@
+(** Gray-code counter: binary core with Gray-encoded outputs; one bit
+    flips per step, giving frontiers that are single states with
+    non-cube reached-set complements. *)
+
+val make : width:int -> Fsm.Netlist.t
+(** Inputs: [en].  Outputs: [g0 … g{width-1}] (Gray code of the count). *)

@@ -1,0 +1,14 @@
+module N = Fsm.Netlist
+
+let make ~width =
+  if width <= 0 then invalid_arg "Johnson.make: width must be positive";
+  let b = N.create (Printf.sprintf "johnson%d" width) in
+  let en = N.input b "en" in
+  let q, set_q = N.word_latch b ~name:"q" ~width ~init:0 () in
+  let shifted =
+    Array.init width (fun i ->
+        if i = 0 then N.not_gate b q.(width - 1) else q.(i - 1))
+  in
+  set_q (N.word_mux b ~sel:en ~t1:shifted ~e0:q);
+  Array.iteri (fun i qi -> N.output b (Printf.sprintf "q%d" i) qi) q;
+  N.finalize b

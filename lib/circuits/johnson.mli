@@ -1,0 +1,6 @@
+(** Johnson (twisted-ring) counter: only [2·width] of the [2^width]
+    states are reachable — a sparse reachable set whose complement is a
+    rich don't-care set. *)
+
+val make : width:int -> Fsm.Netlist.t
+(** Inputs: [en].  Outputs: the ring bits [q0 … q{width-1}]. *)

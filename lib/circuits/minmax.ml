@@ -1,0 +1,23 @@
+module N = Fsm.Netlist
+
+let make ~width =
+  if width <= 0 then invalid_arg "Minmax.make: width must be positive";
+  let b = N.create (Printf.sprintf "minmax%d" width) in
+  let d = Array.init width (fun i -> N.input b (Printf.sprintf "d%d" i)) in
+  let clear = N.input b "clear" in
+  let all_ones = (1 lsl width) - 1 in
+  let mn, set_mn = N.word_latch b ~name:"mn" ~width ~init:all_ones () in
+  let mx, set_mx = N.word_latch b ~name:"mx" ~width ~init:0 () in
+  let d_below = N.word_lt b d mn in
+  let d_above = N.word_lt b mx d in
+  let mn_upd = N.word_mux b ~sel:d_below ~t1:d ~e0:mn in
+  let mx_upd = N.word_mux b ~sel:d_above ~t1:d ~e0:mx in
+  set_mn (N.word_mux b ~sel:clear ~t1:(N.word_const b ~width all_ones) ~e0:mn_upd);
+  set_mx (N.word_mux b ~sel:clear ~t1:(N.word_const b ~width 0) ~e0:mx_upd);
+  Array.iteri (fun i s -> N.output b (Printf.sprintf "min%d" i) s) mn;
+  Array.iteri (fun i s -> N.output b (Printf.sprintf "max%d" i) s) mx;
+  let in_range =
+    N.and_gate b (N.not_gate b d_below) (N.not_gate b d_above)
+  in
+  N.output b "in_range" in_range;
+  N.finalize b

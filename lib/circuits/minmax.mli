@@ -1,0 +1,8 @@
+(** Min/max tracker — the analogue of the paper's [minmax5] benchmark:
+    registers holding the running minimum and maximum of an input
+    stream. *)
+
+val make : width:int -> Fsm.Netlist.t
+(** Inputs: data word [d0 … d{width-1}], [clear].  Outputs:
+    [min0 …], [max0 …], and [in_range] ([min ≤ d ≤ max]).  The min
+    register initializes to all ones, the max register to zero. *)

@@ -1,0 +1,49 @@
+module N = Fsm.Netlist
+
+let make ~width =
+  if width <= 0 then invalid_arg "Mult.make: width must be positive";
+  let b = N.create (Printf.sprintf "mult%db" width) in
+  let start = N.input b "start" in
+  let a = Array.init width (fun i -> N.input b (Printf.sprintf "a%d" i)) in
+  let m = Array.init width (fun i -> N.input b (Printf.sprintf "m%d" i)) in
+  let pw = 2 * width in
+  (* Registers: multiplicand (shifting left), multiplier (shifting right),
+     accumulator, cycle countdown encoded one-hot in a shift register. *)
+  let mc, set_mc = N.word_latch b ~name:"mc" ~width:pw ~init:0 () in
+  let mp, set_mp = N.word_latch b ~name:"mp" ~width ~init:0 () in
+  let acc, set_acc = N.word_latch b ~name:"acc" ~width:pw ~init:0 () in
+  let busy, set_busy = N.word_latch b ~name:"busy" ~width ~init:0 () in
+  let busy_any = N.or_list b (Array.to_list busy) in
+  (* Shifted variants. *)
+  let mc_shifted =
+    Array.init pw (fun i -> if i = 0 then N.const_signal b false else mc.(i - 1))
+  in
+  let mp_shifted =
+    Array.init width (fun i ->
+        if i = width - 1 then N.const_signal b false else mp.(i + 1))
+  in
+  let busy_shifted =
+    Array.init width (fun i ->
+        if i = width - 1 then N.const_signal b false else busy.(i + 1))
+  in
+  let sum, _ = N.word_add b acc mc in
+  let acc_step = N.word_mux b ~sel:mp.(0) ~t1:sum ~e0:acc in
+  (* Loading on start, stepping while busy. *)
+  let a_ext =
+    Array.init pw (fun i -> if i < width then a.(i) else N.const_signal b false)
+  in
+  let step sel loaded stepped held =
+    N.word_mux b ~sel:start ~t1:loaded
+      ~e0:(N.word_mux b ~sel ~t1:stepped ~e0:held)
+  in
+  set_mc (step busy_any a_ext mc_shifted mc);
+  set_mp (step busy_any m mp_shifted mp);
+  set_acc (step busy_any (N.word_const b ~width:pw 0) acc_step acc);
+  let busy_start =
+    Array.init width (fun i ->
+        if i = width - 1 then N.const_signal b true else N.const_signal b false)
+  in
+  set_busy (step busy_any busy_start busy_shifted busy);
+  Array.iteri (fun i s -> N.output b (Printf.sprintf "p%d" i) s) acc;
+  N.output b "busy" busy_any;
+  N.finalize b

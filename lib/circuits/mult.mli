@@ -1,0 +1,10 @@
+(** Serial shift-and-add multiplier — the analogue of the paper's
+    [mult16b] benchmark (width-reduced for traversal runtime): shallow
+    traversal depth, wide datapath state. *)
+
+val make : width:int -> Fsm.Netlist.t
+(** Multiplies a [width]-bit multiplicand (loaded when [start] is high)
+    by a [width]-bit multiplier, one partial product per cycle.
+    Inputs: [start], [a0 … a{width-1}] (multiplicand),
+    [m0 … m{width-1}] (multiplier).  Outputs: [p0 … p{2·width-1}]
+    (accumulated product), [busy]. *)

@@ -1,0 +1,129 @@
+module N = Fsm.Netlist
+
+type kind = Gate_swap | Drop_inverter | Stuck_input | Flip_init
+
+let kind_name = function
+  | Gate_swap -> "gate-swap"
+  | Drop_inverter -> "drop-inverter"
+  | Stuck_input -> "stuck-input"
+  | Flip_init -> "flip-init"
+
+type mutation = { kind : kind; gate_index : int; description : string }
+
+type action =
+  | Rewrite of (N.builder -> N.gate -> (N.signal -> N.signal) -> N.signal)
+  | Flip_latch_init
+
+(* Rebuild [nl] applying [action] to the gate at [target]. *)
+let copy_with nl ~target ~action =
+  let b = N.create (N.name nl ^ ".mut") in
+  let gates = N.gates nl in
+  let map = Array.make (Array.length gates) (N.const_signal b false) in
+  let latch_setters = ref [] in
+  Array.iteri
+    (fun i g ->
+       let s x = map.(N.signal_index x) in
+       let mutated = i = target in
+       map.(i) <-
+         (match g with
+          | N.Input n -> N.input b n
+          | N.Const v -> N.const_signal b v
+          | (N.Not _ | N.And _ | N.Or _ | N.Xor _) when mutated -> begin
+              match action with
+              | Rewrite f -> f b g s
+              | Flip_latch_init -> assert false
+            end
+          | N.Not a -> N.not_gate b (s a)
+          | N.And (x, y) -> N.and_gate b (s x) (s y)
+          | N.Or (x, y) -> N.or_gate b (s x) (s y)
+          | N.Xor (x, y) -> N.xor_gate b (s x) (s y)
+          | N.Latch { name; init; next } ->
+            let init =
+              if mutated then begin
+                assert (action = Flip_latch_init);
+                not init
+              end
+              else init
+            in
+            let q, set = N.latch b ~name ~init () in
+            latch_setters := (set, next) :: !latch_setters;
+            q))
+    gates;
+  List.iter (fun (set, next) -> set map.(N.signal_index next)) !latch_setters;
+  List.iter (fun (n, sg) -> N.output b n map.(N.signal_index sg)) (N.outputs nl);
+  N.finalize b
+
+(* Applicable mutations for the gate at index [i]. *)
+let candidates nl i =
+  let describe kind what = { kind; gate_index = i; description = what } in
+  match (N.gates nl).(i) with
+  | N.Input _ | N.Const _ -> []
+  | N.Not _ ->
+    [
+      ( describe Drop_inverter (Printf.sprintf "gate %d: NOT -> buffer" i),
+        Rewrite
+          (fun _b g s -> match g with N.Not a -> s a | _ -> assert false) );
+    ]
+  | N.And _ ->
+    [
+      ( describe Gate_swap (Printf.sprintf "gate %d: AND -> OR" i),
+        Rewrite
+          (fun b g s ->
+             match g with
+             | N.And (x, y) -> N.or_gate b (s x) (s y)
+             | _ -> assert false) );
+      ( describe Stuck_input (Printf.sprintf "gate %d: AND input stuck at 1" i),
+        Rewrite
+          (fun b g s ->
+             match g with
+             | N.And (_, y) -> N.and_gate b (N.const_signal b true) (s y)
+             | _ -> assert false) );
+    ]
+  | N.Or _ ->
+    [
+      ( describe Gate_swap (Printf.sprintf "gate %d: OR -> AND" i),
+        Rewrite
+          (fun b g s ->
+             match g with
+             | N.Or (x, y) -> N.and_gate b (s x) (s y)
+             | _ -> assert false) );
+      ( describe Stuck_input (Printf.sprintf "gate %d: OR input stuck at 0" i),
+        Rewrite
+          (fun b g s ->
+             match g with
+             | N.Or (_, y) -> N.or_gate b (N.const_signal b false) (s y)
+             | _ -> assert false) );
+    ]
+  | N.Xor _ ->
+    [
+      ( describe Gate_swap (Printf.sprintf "gate %d: XOR -> OR" i),
+        Rewrite
+          (fun b g s ->
+             match g with
+             | N.Xor (x, y) -> N.or_gate b (s x) (s y)
+             | _ -> assert false) );
+    ]
+  | N.Latch { name; init; _ } ->
+    [
+      ( describe Flip_init
+          (Printf.sprintf "latch %s: initial value %b -> %b" name init
+             (not init)),
+        Flip_latch_init );
+    ]
+
+let all_candidates nl =
+  let gates = N.gates nl in
+  List.concat (List.init (Array.length gates) (fun i -> candidates nl i))
+
+let mutate ~seed nl =
+  match all_candidates nl with
+  | [] -> None
+  | all ->
+    let rng = Random.State.make [| seed; List.length all |] in
+    let m, action = List.nth all (Random.State.int rng (List.length all)) in
+    Some (copy_with nl ~target:m.gate_index ~action, m)
+
+let all_single_mutations nl =
+  List.map
+    (fun (m, action) -> (copy_with nl ~target:m.gate_index ~action, m))
+    (all_candidates nl)

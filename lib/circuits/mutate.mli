@@ -1,0 +1,31 @@
+(** Fault injection: single-gate mutations of a netlist.
+
+    Used to validate the verification substrate — a mutated machine
+    should (usually) be caught by both the symbolic equivalence checker
+    and the simulation/explicit oracles, and the three must always agree.
+    Mutations model classic design faults: wrong gate type, dropped
+    inverter, stuck input, flipped reset value. *)
+
+type kind =
+  | Gate_swap  (** And↔Or, Xor→Or *)
+  | Drop_inverter  (** a Not gate becomes a buffer *)
+  | Stuck_input  (** one operand of a gate replaced by a constant *)
+  | Flip_init  (** a latch's initial value inverted *)
+
+val kind_name : kind -> string
+
+type mutation = {
+  kind : kind;
+  gate_index : int;  (** which gate was altered *)
+  description : string;
+}
+
+val mutate : seed:int -> Fsm.Netlist.t -> (Fsm.Netlist.t * mutation) option
+(** Apply one pseudo-random applicable mutation; [None] when the netlist
+    has no mutable gate (e.g. latch-free constant circuits).  The result
+    has the same interface (inputs, outputs, latch names).  Mutations are
+    deterministic in [seed]. *)
+
+val all_single_mutations : Fsm.Netlist.t -> (Fsm.Netlist.t * mutation) list
+(** Every applicable single mutation, for exhaustive fault campaigns on
+    small circuits. *)

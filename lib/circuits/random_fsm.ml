@@ -1,0 +1,40 @@
+module N = Fsm.Netlist
+
+type params = { latches : int; inputs : int; depth : int; seed : int }
+
+let make ?name p =
+  if p.latches <= 0 || p.inputs < 0 || p.depth < 0 then
+    invalid_arg "Random_fsm.make: bad parameters";
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "rnd_l%d_i%d_d%d_s%d" p.latches p.inputs p.depth p.seed
+  in
+  let rng = Random.State.make [| p.seed; p.latches; p.inputs; p.depth |] in
+  let b = N.create name in
+  let ins = Array.init p.inputs (fun i -> N.input b (Printf.sprintf "i%d" i)) in
+  let lat =
+    Array.init p.latches (fun i ->
+        N.latch b ~name:(Printf.sprintf "x%d" i)
+          ~init:(Random.State.bool rng) ())
+  in
+  let q = Array.map fst lat in
+  let leaf () =
+    let pool = Array.append q ins in
+    let s = pool.(Random.State.int rng (Array.length pool)) in
+    if Random.State.bool rng then s else N.not_gate b s
+  in
+  let rec tree depth =
+    if depth = 0 || Random.State.int rng 5 = 0 then leaf ()
+    else
+      let l = tree (depth - 1) and r = tree (depth - 1) in
+      match Random.State.int rng 3 with
+      | 0 -> N.and_gate b l r
+      | 1 -> N.or_gate b l r
+      | _ -> N.xor_gate b l r
+  in
+  Array.iter (fun (_, set) -> set (tree p.depth)) lat;
+  Array.iteri
+    (fun i _ -> N.output b (Printf.sprintf "o%d" i) (tree (max 1 (p.depth - 1))))
+    q;
+  N.finalize b

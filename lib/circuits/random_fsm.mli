@@ -1,0 +1,17 @@
+(** Seeded random sparse-logic FSMs — stand-ins for the paper's
+    ISCAS'89/MCNC controller benchmarks ([s344], [s386], [scf], [styr],
+    [tbk], …), which are not redistributable.  Each latch's next-state
+    function is a random expression tree over latches and inputs, so the
+    reachable sets are irregular and the minimization instances
+    unstructured, like synthesized control logic. *)
+
+type params = {
+  latches : int;
+  inputs : int;
+  depth : int;  (** expression-tree depth of each next-state function *)
+  seed : int;
+}
+
+val make : ?name:string -> params -> Fsm.Netlist.t
+(** Deterministic in [params] (self-seeded PRNG).  Outputs: one random
+    observation function per latch ([o0 …]). *)

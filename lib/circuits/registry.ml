@@ -1,0 +1,94 @@
+type bench = {
+  name : string;
+  paper_analog : string;
+  description : string;
+  build : unit -> Fsm.Netlist.t;
+}
+
+let rnd name analog description latches inputs depth seed =
+  {
+    name;
+    paper_analog = analog;
+    description;
+    build =
+      (fun () ->
+         Random_fsm.make ~name
+           { Random_fsm.latches; inputs; depth; seed });
+  }
+
+let all =
+  [
+    {
+      name = "counter8";
+      paper_analog = "s820 (deep traversal)";
+      description = "8-bit enabled binary counter";
+      build = (fun () -> Counter.make ~width:8 ());
+    };
+    {
+      name = "bcd2";
+      paper_analog = "s386 (small controller)";
+      description = "two cascaded mod-10 digits (one 4-bit shown)";
+      build = (fun () -> Counter.modulo ~width:4 ~modulus:10);
+    };
+    {
+      name = "gray6";
+      paper_analog = "s510 (regular sequencing)";
+      description = "6-bit Gray-code counter";
+      build = (fun () -> Gray.make ~width:6);
+    };
+    {
+      name = "johnson8";
+      paper_analog = "s641 (sparse reachable set)";
+      description = "8-bit Johnson counter (16 of 256 states reachable)";
+      build = (fun () -> Johnson.make ~width:8);
+    };
+    rnd "rnd953" "s953" "random sparse FSM, 12 latches, deep logic" 12 4 5 953;
+    {
+      name = "lfsr10";
+      paper_analog = "s1238 (larger pseudo-random)";
+      description = "10-bit maximal-length LFSR";
+      build = (fun () -> Lfsr.make ~width:10 ());
+    };
+    {
+      name = "tlc";
+      paper_analog = "tlc";
+      description = "Mead-Conway traffic-light controller, 3-bit timer";
+      build = (fun () -> Tlc.make ());
+    };
+    {
+      name = "minmax4";
+      paper_analog = "minmax5";
+      description = "4-bit running min/max tracker";
+      build = (fun () -> Minmax.make ~width:4);
+    };
+    {
+      name = "mult4b";
+      paper_analog = "mult16b";
+      description = "4-bit serial shift-and-add multiplier";
+      build = (fun () -> Mult.make ~width:4);
+    };
+    {
+      name = "cbp.6.2";
+      paper_analog = "cbp.32.4";
+      description = "6-bit carry-propagate adder, 2 pipeline stages";
+      build = (fun () -> Cbp.make ~width:6 ~stages:2);
+    };
+    {
+      name = "arbiter4";
+      paper_analog = "scf (control logic)";
+      description = "4-client round-robin arbiter";
+      build = (fun () -> Arbiter.make ~clients:4);
+    };
+    rnd "rnd344" "s344" "random sparse FSM, 9 latches" 9 4 3 344;
+    rnd "rnd1488" "s1488" "random sparse FSM, 8 latches" 8 5 3 1488;
+    rnd "rndstyr" "styr" "random sparse FSM, 7 latches" 7 5 4 977;
+    rnd "rndtbk" "tbk" "random sparse FSM, 12 latches" 12 3 4 1066;
+  ]
+
+let quick =
+  List.filter
+    (fun b -> List.mem b.name [ "bcd2"; "gray6"; "johnson8"; "tlc"; "arbiter4" ])
+    all
+
+let find name = List.find_opt (fun b -> b.name = name) all
+let names benches = List.map (fun b -> b.name) benches

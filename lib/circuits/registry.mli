@@ -1,0 +1,21 @@
+(** The benchmark suite: synthetic analogues of the paper's circuits
+    (§4.1.2 lists s344, s386, s510, s641, s820, s953, s1238, s1488, scf,
+    styr, tbk, mult16b, cbp.32.4, minmax5, tlc).  See DESIGN.md §4 for the
+    substitution rationale; widths are scaled so the full suite traverses
+    in seconds rather than hours. *)
+
+type bench = {
+  name : string;
+  paper_analog : string;  (** which paper benchmark this stands in for *)
+  description : string;
+  build : unit -> Fsm.Netlist.t;
+}
+
+val all : bench list
+(** The full experimental suite (15 machines, as in the paper). *)
+
+val quick : bench list
+(** A small sub-suite for fast tests. *)
+
+val find : string -> bench option
+val names : bench list -> string list

@@ -1,0 +1,8 @@
+(** Traffic-light controller — the analogue of the paper's [tlc]
+    benchmark (the classic Mead–Conway highway/farm-road controller):
+    a small control FSM plus a timer, sensor-driven. *)
+
+val make : ?timer_bits:int -> unit -> Fsm.Netlist.t
+(** Inputs: [car] (farm-road car sensor).  Outputs: [hl_green], [hl_yellow],
+    [hl_red], [fl_green], [fl_yellow], [fl_red].  [timer_bits] (default 3)
+    sets the long-timeout counter width. *)

@@ -1,0 +1,256 @@
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* Split BLIF text into logical lines: strip comments, join continuations,
+   drop blanks. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | line :: rest ->
+      let line = strip_comment line in
+      let line = String.trim line in
+      if line = "" then join (if pending = "" then acc else pending :: acc) "" rest
+      else if String.length line > 0 && line.[String.length line - 1] = '\\'
+      then
+        join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
+      else join ((pending ^ line) :: acc) "" rest
+  in
+  join [] "" raw
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+type raw_names = { deps : string list; out : string; rows : string list }
+
+type raw_latch = { d : string; q : string; init : bool }
+
+type raw_model = {
+  mutable model : string;
+  mutable m_inputs : string list;
+  mutable m_outputs : string list;
+  mutable names : raw_names list;
+  mutable latches : raw_latch list;
+}
+
+let parse_raw text =
+  let m =
+    { model = "blif"; m_inputs = []; m_outputs = []; names = []; latches = [] }
+  in
+  let current_cover = ref None in
+  let flush_cover () =
+    match !current_cover with
+    | Some (deps, out, rows) ->
+      m.names <- { deps; out; rows = List.rev rows } :: m.names;
+      current_cover := None
+    | None -> ()
+  in
+  let handle line =
+    match tokens line with
+    | [] -> ()
+    | cmd :: args when String.length cmd > 0 && cmd.[0] = '.' -> begin
+        flush_cover ();
+        match (cmd, args) with
+        | (".model", [ n ]) -> m.model <- n
+        | (".model", _) -> fail ".model expects one name"
+        | (".inputs", ins) -> m.m_inputs <- m.m_inputs @ ins
+        | (".outputs", outs) -> m.m_outputs <- m.m_outputs @ outs
+        | (".names", args) -> begin
+            match List.rev args with
+            | out :: rev_deps ->
+              current_cover := Some (List.rev rev_deps, out, [])
+            | [] -> fail ".names expects at least an output"
+          end
+        | (".latch", args) -> begin
+            let d, q, init =
+              match args with
+              | [ d; q ] -> (d, q, "0")
+              | [ d; q; init ] -> (d, q, init)
+              | [ d; q; _type; _clock; init ] -> (d, q, init)
+              | _ -> fail ".latch expects 2, 3 or 5 arguments"
+            in
+            let init =
+              match init with
+              | "1" -> true
+              | "0" | "2" | "3" -> false
+              | s -> fail ".latch: bad initial value %s" s
+            in
+            m.latches <- { d; q; init } :: m.latches
+          end
+        | (".end", _) -> ()
+        | (".exdc", _) | (".wire_load_slope", _) | (".clock", _) -> ()
+        | (c, _) -> fail "unsupported BLIF construct %s" c
+      end
+    | row -> begin
+        match !current_cover with
+        | Some (deps, out, rows) ->
+          let row_str = String.concat " " row in
+          current_cover := Some (deps, out, row_str :: rows)
+        | None -> fail "cover row outside .names: %s" line
+      end
+  in
+  List.iter handle (logical_lines text);
+  flush_cover ();
+  m.names <- List.rev m.names;
+  m.latches <- List.rev m.latches;
+  m
+
+(* Build the netlist: create inputs and latches first, then elaborate each
+   .names cover in dependency order. *)
+let elaborate (m : raw_model) =
+  let b = Netlist.create m.model in
+  let env : (string, Netlist.signal) Hashtbl.t = Hashtbl.create 64 in
+  let define name s =
+    if Hashtbl.mem env name then fail "signal %s defined twice" name;
+    Hashtbl.add env name s
+  in
+  List.iter (fun n -> define n (Netlist.input b n)) m.m_inputs;
+  let latch_setters =
+    List.map
+      (fun { d; q; init } ->
+         let sig_q, set = Netlist.latch b ~name:q ~init () in
+         define q sig_q;
+         (d, set))
+      m.latches
+  in
+  (* Elaborate covers in an order where dependencies are available. *)
+  let pending = ref m.names in
+  let progress = ref true in
+  let elaborate_cover { deps; out; rows } =
+    let dep_signals = List.map (Hashtbl.find env) deps in
+    let row_signal row =
+      let pattern, out_val =
+        match tokens row with
+        | [ p; v ] -> (p, v)
+        | [ v ] when deps = [] -> ("", v)
+        | _ -> fail "bad cover row %S for %s" row out
+      in
+      if out_val <> "1" then
+        fail "only ON-set covers are supported (output %s)" out;
+      if String.length pattern <> List.length deps then
+        fail "cover row %S arity mismatch for %s" row out;
+      let lit_list =
+        List.concat
+          (List.mapi
+             (fun i s ->
+                match pattern.[i] with
+                | '1' -> [ s ]
+                | '0' -> [ Netlist.not_gate b s ]
+                | '-' -> []
+                | ch -> fail "bad cover character %c" ch)
+             dep_signals)
+      in
+      Netlist.and_list b lit_list
+    in
+    let value =
+      match rows with
+      | [] -> Netlist.const_signal b false
+      | rows -> Netlist.or_list b (List.map row_signal rows)
+    in
+    define out value
+  in
+  while !progress && !pending <> [] do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun cover ->
+         if List.for_all (Hashtbl.mem env) cover.deps then begin
+           elaborate_cover cover;
+           progress := true
+         end
+         else still := cover :: !still)
+      !pending;
+    pending := List.rev !still
+  done;
+  (match !pending with
+   | [] -> ()
+   | { out; _ } :: _ ->
+     fail "combinational cycle or undefined dependency at %s" out);
+  List.iter
+    (fun (d, set) ->
+       match Hashtbl.find_opt env d with
+       | Some s -> set s
+       | None -> fail "latch input %s undefined" d)
+    latch_setters;
+  List.iter
+    (fun n ->
+       match Hashtbl.find_opt env n with
+       | Some s -> Netlist.output b n s
+       | None -> fail "output %s undefined" n)
+    m.m_outputs;
+  Netlist.finalize b
+
+let parse text =
+  match elaborate (parse_raw text) with
+  | nl -> Ok nl
+  | exception Malformed msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let parse_exn text =
+  match parse text with
+  | Ok nl -> nl
+  | Error msg -> invalid_arg ("Blif.parse_exn: " ^ msg)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+(* ----- printing ----- *)
+
+let print nl =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let gates = Netlist.gates nl in
+  let sig_name i =
+    match gates.(i) with
+    | Netlist.Input n -> n
+    | Netlist.Latch { name; _ } -> name
+    | _ -> Printf.sprintf "n%d" i
+  in
+  let name_of s = sig_name (Netlist.signal_index s) in
+  pr ".model %s\n" (Netlist.name nl);
+  pr ".inputs%s\n"
+    (String.concat "" (List.map (fun (n, _) -> " " ^ n) (Netlist.inputs nl)));
+  pr ".outputs%s\n"
+    (String.concat ""
+       (List.map (fun (n, _) -> " " ^ n) (Netlist.outputs nl)));
+  Array.iteri
+    (fun i g ->
+       match g with
+       | Netlist.Input _ -> ()
+       | Netlist.Const v ->
+         pr ".names n%d\n" i;
+         if v then pr "1\n"
+       | Netlist.Not a -> pr ".names %s n%d\n0 1\n" (name_of a) i
+       | Netlist.And (a, b) ->
+         pr ".names %s %s n%d\n11 1\n" (name_of a) (name_of b) i
+       | Netlist.Or (a, b) ->
+         pr ".names %s %s n%d\n1- 1\n-1 1\n" (name_of a) (name_of b) i
+       | Netlist.Xor (a, b) ->
+         pr ".names %s %s n%d\n10 1\n01 1\n" (name_of a) (name_of b) i
+       | Netlist.Latch { name; init; next } ->
+         pr ".latch %s %s %d\n" (name_of next) name (Bool.to_int init))
+    gates;
+  (* Primary outputs may alias internal nets; emit buffers. *)
+  List.iter
+    (fun (n, s) ->
+       if name_of s <> n then pr ".names %s %s\n1 1\n" (name_of s) n)
+    (Netlist.outputs nl);
+  pr ".end\n";
+  Buffer.contents buf
+
+let write_file path nl =
+  let oc = open_out path in
+  output_string oc (print nl);
+  close_out oc

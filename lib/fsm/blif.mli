@@ -1,0 +1,21 @@
+(** Reader and writer for a BLIF subset (Berkeley Logic Interchange
+    Format) — the exchange format the paper's benchmark circuits
+    (ISCAS'89 / MCNC) are customarily distributed in.
+
+    Supported constructs: [.model], [.inputs], [.outputs], [.names] with
+    ON-set single-output covers, [.latch] (with optional type/clock and
+    initial value), comments, line continuations, [.end].  Logic covers
+    are decomposed into the two-input gates of {!Netlist}. *)
+
+val parse : string -> (Netlist.t, string) result
+(** Parse BLIF text. *)
+
+val parse_exn : string -> Netlist.t
+(** @raise Invalid_argument on malformed input. *)
+
+val parse_file : string -> (Netlist.t, string) result
+
+val print : Netlist.t -> string
+(** Render as BLIF ([.names] per gate). *)
+
+val write_file : string -> Netlist.t -> unit

@@ -1,0 +1,22 @@
+(** BFS depth maps: for every reachable state, the first iteration at
+    which it is reached, represented as an ADD over the current-state
+    variables.  The maximum finite depth is the machine's sequential
+    diameter; the {!Bdd.Add.to_bdd} threshold abstraction recovers the
+    onion rings. *)
+
+type t = {
+  map : Bdd.Add.t;  (** depth per state; [unreachable] elsewhere *)
+  add_man : Bdd.Add.man;
+  diameter : int;  (** max finite depth *)
+  unreachable : int;  (** the sentinel value used for unreachable states *)
+}
+
+val compute : ?max_iterations:int -> Symbolic.t -> t
+(** Run BFS reachability recording first-visit depths. *)
+
+val depth_of_state : t -> bool array -> Symbolic.t -> int option
+(** Depth of one concrete state ([None] if unreachable). *)
+
+val ring : t -> Symbolic.t -> int -> Bdd.t
+(** The set of states at exactly the given depth (a BDD in the symbolic
+    machine's manager). *)

@@ -1,0 +1,84 @@
+type stats = { states : int; transitions : int; depth : int }
+
+let key_of_state bits =
+  (* latch valuations fit a string key; machines here are small *)
+  String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+
+let latch_bits nl st =
+  Array.of_list (List.map snd (Netlist.sim_latch_values nl st))
+
+let input_envs nl =
+  let inputs = List.map fst (Netlist.inputs nl) in
+  let n = List.length inputs in
+  if n > 20 then failwith "Explicit: too many inputs";
+  List.init (1 lsl n) (fun m ->
+      let table = Hashtbl.create 8 in
+      List.iteri
+        (fun i name -> Hashtbl.replace table name ((m lsr i) land 1 = 1))
+        inputs;
+      fun name -> Hashtbl.find table name)
+
+let bfs ?(max_states = 1 lsl 20) nl visit =
+  let envs = input_envs nl in
+  let seen = Hashtbl.create 1024 in
+  let transitions = ref 0 in
+  let depth = ref 0 in
+  let states = ref [] in
+  let frontier = ref [ Netlist.sim_initial nl ] in
+  let add st =
+    let bits = latch_bits nl st in
+    let key = key_of_state bits in
+    if Hashtbl.mem seen key then false
+    else begin
+      if Hashtbl.length seen >= max_states then
+        failwith "Explicit: state limit exceeded";
+      Hashtbl.add seen key ();
+      states := bits :: !states;
+      visit st bits;
+      true
+    end
+  in
+  ignore (add (Netlist.sim_initial nl));
+  let rec loop d =
+    match !frontier with
+    | [] -> d
+    | sts ->
+      frontier := [];
+      List.iter
+        (fun st ->
+           List.iter
+             (fun env ->
+                incr transitions;
+                let _, st' = Netlist.sim_step nl st env in
+                if add st' then frontier := st' :: !frontier)
+             envs)
+        sts;
+      if !frontier = [] then d else loop (d + 1)
+  in
+  depth := loop 0;
+  ( List.rev !states,
+    { states = Hashtbl.length seen; transitions = !transitions; depth = !depth } )
+
+let reachable_states ?max_states nl = bfs ?max_states nl (fun _ _ -> ())
+
+let reachable ?max_states nl = snd (reachable_states ?max_states nl)
+
+let equivalent ?max_states nl1 nl2 =
+  let prod = Equiv.product nl1 nl2 in
+  let bad = ref None in
+  let envs = input_envs prod in
+  let n1 = Netlist.num_latches nl1 in
+  let check st bits =
+    if !bad = None then
+      List.iter
+        (fun env ->
+           let outs, _ = Netlist.sim_step prod st env in
+           if List.assoc "neq" outs && !bad = None then
+             bad :=
+               Some
+                 ( Array.sub bits 0 n1,
+                   Array.sub bits n1 (Array.length bits - n1) ))
+        envs
+  in
+  let _ = bfs ?max_states prod check in
+  match !bad with None -> Ok true | Some pair -> Error pair

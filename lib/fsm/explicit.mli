@@ -1,0 +1,28 @@
+(** Explicit-state enumeration by concrete simulation — an independent
+    oracle for the symbolic engine.
+
+    Performs breadth-first search over concrete latch valuations, driving
+    the {!Netlist} simulator with every input combination.  Exponential in
+    inputs and states; intended for cross-validation on small machines and
+    for counterexample replay. *)
+
+type stats = {
+  states : int;  (** number of reachable states *)
+  transitions : int;  (** explored (state, input) edges *)
+  depth : int;  (** BFS depth at the fixed point *)
+}
+
+val reachable : ?max_states:int -> Netlist.t -> stats
+(** BFS from the initial state.  @raise Failure when [max_states]
+    (default 1 lsl 20) is exceeded or the machine has more than 20
+    inputs. *)
+
+val reachable_states : ?max_states:int -> Netlist.t -> bool array list * stats
+(** Also return the reachable latch valuations (in latch order). *)
+
+val equivalent :
+  ?max_states:int -> Netlist.t -> Netlist.t -> (bool, bool array * bool array) result
+(** Explicit product-machine equivalence over the shared inputs:
+    [Ok true] when no reachable product state distinguishes the machines,
+    [Error (s1, s2)] with the distinguishing pair otherwise.  An
+    independent oracle for {!Equiv.check}. *)

@@ -1,0 +1,90 @@
+type strategy = Monolithic | Partitioned | Range
+
+let image_monolithic (sym : Symbolic.t) s =
+  let man = sym.man in
+  let t = Symbolic.transition_relation sym in
+  let quantified = Symbolic.state_support sym @ Symbolic.input_support sym in
+  let img_next = Bdd.and_exists man quantified t s in
+  Bdd.rename man img_next (Symbolic.next_to_current sym)
+
+(* Conjoin per-latch conjuncts into the accumulated product, existentially
+   quantifying each current-state/input variable as soon as no remaining
+   conjunct mentions it. *)
+let image_partitioned (sym : Symbolic.t) s =
+  let man = sym.man in
+  let parts = Array.to_list (Symbolic.partitioned_relation sym) in
+  let to_quantify =
+    List.sort_uniq compare
+      (Symbolic.state_support sym @ Symbolic.input_support sym)
+  in
+  let rec go acc pending vars =
+    match pending with
+    | [] -> Bdd.exists man vars acc
+    | part :: rest ->
+      let rest_supports =
+        List.concat_map (fun p -> Bdd.support man p) rest
+      in
+      let dead, alive =
+        List.partition
+          (fun v -> not (List.mem v rest_supports))
+          vars
+      in
+      let acc = Bdd.and_exists man dead acc part in
+      go acc rest alive
+  in
+  let img_next = go s parts to_quantify in
+  Bdd.rename man img_next (Symbolic.next_to_current sym)
+
+(* Coudert–Madre range computation: the image of S under the function
+   vector δ is the range of the vector (δ_j constrained by S).  Recursive
+   output splitting; sound precisely because [constrain] distributes over
+   vector composition. *)
+let image_by_range ?(on_constrain = fun _ -> ()) (sym : Symbolic.t) s =
+  let man = sym.man in
+  if Bdd.is_zero s then Bdd.zero man
+  else begin
+    let constrained =
+      Array.to_list
+        (Array.map
+           (fun d ->
+              on_constrain (Minimize.Ispec.make ~f:d ~c:s);
+              Bdd.constrain man d s)
+           sym.next_fns)
+    in
+    let vars = Array.to_list sym.state_vars in
+    let rec range fns vars =
+      match (fns, vars) with
+      | ([], _) -> Bdd.one man
+      | (f :: rest, v :: vrest) ->
+        let var = Bdd.ithvar man v in
+        if Bdd.is_one f then Bdd.dand man var (range rest vrest)
+        else if Bdd.is_zero f then
+          Bdd.dand man (Bdd.compl var) (range rest vrest)
+        else begin
+          let on = List.map (fun g -> Bdd.constrain man g f) rest in
+          let off =
+            List.map (fun g -> Bdd.constrain man g (Bdd.compl f)) rest
+          in
+          Bdd.dor man
+            (Bdd.dand man var (range on vrest))
+            (Bdd.dand man (Bdd.compl var) (range off vrest))
+        end
+      | (_ :: _, []) -> assert false
+    in
+    range constrained vars
+  end
+
+let image ?(strategy = Partitioned) ?on_constrain sym s =
+  match strategy with
+  | Monolithic -> image_monolithic sym s
+  | Partitioned -> image_partitioned sym s
+  | Range -> image_by_range ?on_constrain sym s
+
+let preimage (sym : Symbolic.t) s =
+  let man = sym.man in
+  let t = Symbolic.transition_relation sym in
+  let s_next = Bdd.rename man s (Symbolic.current_to_next sym) in
+  let next_and_inputs =
+    Array.to_list sym.next_vars @ Symbolic.input_support sym
+  in
+  Bdd.and_exists man next_and_inputs t s_next

@@ -1,0 +1,39 @@
+(** Image and preimage computation.
+
+    Three implementations are provided:
+    - {!image_monolithic}: [∃x,i. T(x,i,x')·S(x)] against the monolithic
+      transition relation;
+    - {!image_partitioned}: conjoin-and-quantify over the per-latch
+      conjuncts with early quantification of dead variables;
+    - {!image_by_range}: Coudert–Madre output splitting over the
+      next-state functions constrained by the state set — the technique
+      (footnote 1 of the paper) whose correctness rests on the special
+      property of [constrain].
+
+    All three return the successor set over {e current}-state
+    variables. *)
+
+type strategy = Monolithic | Partitioned | Range
+
+val image :
+  ?strategy:strategy ->
+  ?on_constrain:(Minimize.Ispec.t -> unit) ->
+  Symbolic.t ->
+  Bdd.t ->
+  Bdd.t
+(** Successors of the given state set (default {!Partitioned}).
+    [on_constrain] observes the generalized-cofactor calls of the {!Range}
+    strategy (it is ignored by the other strategies) — these are the
+    incompletely specified functions the paper's instrumented [verify_fsm]
+    intercepts besides the frontier minimizations. *)
+
+val image_monolithic : Symbolic.t -> Bdd.t -> Bdd.t
+val image_partitioned : Symbolic.t -> Bdd.t -> Bdd.t
+
+val image_by_range :
+  ?on_constrain:(Minimize.Ispec.t -> unit) -> Symbolic.t -> Bdd.t -> Bdd.t
+(** [on_constrain] sees each [[δ_j; S]] vector-cofactor instance (one per
+    next-state function per call), before the range recursion. *)
+
+val preimage : Symbolic.t -> Bdd.t -> Bdd.t
+(** Predecessors of the given state set: [∃x',i. T(x,i,x')·S(x')]. *)

@@ -1,0 +1,25 @@
+type verdict =
+  | Holds of Reach.stats
+  | Violated of (string * bool) list list
+
+let check_states_bad ?max_iterations man sym ~bad ~final_condition =
+  let reached, stats = Reach.reachable ?max_iterations sym in
+  if Bdd.is_zero (Bdd.dand man reached bad) then Holds stats
+  else
+    match Trace.to_states ?max_iterations ?final_condition man sym ~bad with
+    | Some trace -> Violated trace
+    | None -> assert false (* the state is reachable *)
+
+let check_state ?max_iterations man (sym : Symbolic.t) ~invariant =
+  check_states_bad ?max_iterations man sym
+    ~bad:(Bdd.compl invariant)
+    ~final_condition:None
+
+let check_output_never ?max_iterations man (sym : Symbolic.t) ~output =
+  let f =
+    match List.assoc_opt output sym.output_fns with
+    | Some f -> f
+    | None -> invalid_arg ("Invariant.check_output_never: no output " ^ output)
+  in
+  let bad = Bdd.exists man (Symbolic.input_support sym) f in
+  check_states_bad ?max_iterations man sym ~bad ~final_condition:(Some f)

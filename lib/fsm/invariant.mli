@@ -1,0 +1,22 @@
+(** Safety (AG) checking: prove that a predicate holds in every reachable
+    state, or produce a concrete input trace violating it. *)
+
+type verdict =
+  | Holds of Reach.stats
+  | Violated of (string * bool) list list
+      (** input trace from reset; replaying it in the simulator reaches
+          the violation at the last step *)
+
+val check_state :
+  ?max_iterations:int -> Bdd.man -> Symbolic.t -> invariant:Bdd.t -> verdict
+(** AG [invariant], where [invariant] is a predicate over the machine's
+    current-state variables.  A violating trace drives the machine into a
+    state falsifying it (the trace's length equals the violation depth;
+    it is empty when the initial state already violates). *)
+
+val check_output_never :
+  ?max_iterations:int -> Bdd.man -> Symbolic.t -> output:string -> verdict
+(** AG ¬output: no reachable state activates the named output under any
+    input.  A violating trace ends with an input assignment that raises
+    the output in the reached state.
+    @raise Invalid_argument on unknown output names. *)

@@ -1,0 +1,258 @@
+type signal = int
+
+type gate =
+  | Input of string
+  | Const of bool
+  | Not of signal
+  | And of signal * signal
+  | Or of signal * signal
+  | Xor of signal * signal
+  | Latch of { name : string; init : bool; next : signal }
+
+(* Builder-side gate with a patchable latch next pointer. *)
+type bgate =
+  | B_fixed of gate
+  | B_latch of { name : string; init : bool; mutable next : signal option }
+
+type builder = {
+  bname : string;
+  mutable bgates : bgate array;
+  mutable count : int;
+  mutable bouts : (string * signal) list;
+  mutable anon : int;
+}
+
+type t = {
+  name : string;
+  gates : gate array;
+  outs : (string * signal) list;
+  ins : (string * signal) list;
+  lats : (string * signal) list;
+}
+
+let create name =
+  { bname = name; bgates = Array.make 64 (B_fixed (Const false)); count = 0;
+    bouts = []; anon = 0 }
+
+let push b g =
+  if b.count = Array.length b.bgates then begin
+    let bigger = Array.make (2 * b.count) (B_fixed (Const false)) in
+    Array.blit b.bgates 0 bigger 0 b.count;
+    b.bgates <- bigger
+  end;
+  b.bgates.(b.count) <- g;
+  b.count <- b.count + 1;
+  b.count - 1
+
+let input b name = push b (B_fixed (Input name))
+let const_signal b v = push b (B_fixed (Const v))
+let not_gate b a = push b (B_fixed (Not a))
+let and_gate b a c = push b (B_fixed (And (a, c)))
+let or_gate b a c = push b (B_fixed (Or (a, c)))
+let xor_gate b a c = push b (B_fixed (Xor (a, c)))
+let nand_gate b a c = not_gate b (and_gate b a c)
+let nor_gate b a c = not_gate b (or_gate b a c)
+let xnor_gate b a c = not_gate b (xor_gate b a c)
+
+let mux b ~sel ~t1 ~e0 =
+  or_gate b (and_gate b sel t1) (and_gate b (not_gate b sel) e0)
+
+let and_list b = function
+  | [] -> const_signal b true
+  | s :: rest -> List.fold_left (and_gate b) s rest
+
+let or_list b = function
+  | [] -> const_signal b false
+  | s :: rest -> List.fold_left (or_gate b) s rest
+
+let latch b ?name ~init () =
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      b.anon <- b.anon + 1;
+      Printf.sprintf "l%d" b.anon
+  in
+  let idx = push b (B_latch { name; init; next = None }) in
+  let set next =
+    match b.bgates.(idx) with
+    | B_latch l ->
+      if l.next <> None then
+        invalid_arg ("Netlist.latch: next already set for " ^ name);
+      l.next <- Some next
+    | B_fixed _ -> assert false
+  in
+  (idx, set)
+
+let output b name s = b.bouts <- (name, s) :: b.bouts
+
+let finalize b =
+  let gates =
+    Array.init b.count (fun i ->
+        match b.bgates.(i) with
+        | B_fixed g -> g
+        | B_latch { name; init; next = Some next } -> Latch { name; init; next }
+        | B_latch { name; _ } ->
+          invalid_arg ("Netlist.finalize: latch " ^ name ^ " has no next state"))
+  in
+  let collect f =
+    Array.to_list gates
+    |> List.mapi (fun i g -> (i, g))
+    |> List.filter_map (fun (i, g) -> Option.map (fun n -> (n, i)) (f g))
+  in
+  let ins = collect (function Input n -> Some n | _ -> None) in
+  let lats = collect (function Latch { name; _ } -> Some name | _ -> None) in
+  let dup l =
+    let sorted = List.sort compare (List.map fst l) in
+    let rec find = function
+      | a :: (b :: _ as rest) -> if a = b then Some a else find rest
+      | [ _ ] | [] -> None
+    in
+    find sorted
+  in
+  (match dup ins with
+   | Some n -> invalid_arg ("Netlist.finalize: duplicate input " ^ n)
+   | None -> ());
+  (match dup lats with
+   | Some n -> invalid_arg ("Netlist.finalize: duplicate latch " ^ n)
+   | None -> ());
+  (match dup b.bouts with
+   | Some n -> invalid_arg ("Netlist.finalize: duplicate output " ^ n)
+   | None -> ());
+  { name = b.bname; gates; outs = List.rev b.bouts; ins; lats }
+
+(* ----- word helpers ----- *)
+
+let word_const b ~width v =
+  Array.init width (fun i -> const_signal b ((v lsr i) land 1 = 1))
+
+let word_not b w = Array.map (not_gate b) w
+
+let word_map2 name op b x y =
+  if Array.length x <> Array.length y then
+    invalid_arg ("Netlist." ^ name ^ ": width mismatch");
+  Array.init (Array.length x) (fun i -> op b x.(i) y.(i))
+
+let word_and b = word_map2 "word_and" and_gate b
+let word_or b = word_map2 "word_or" or_gate b
+let word_xor b = word_map2 "word_xor" xor_gate b
+
+let full_adder b a c cin =
+  let s1 = xor_gate b a c in
+  let sum = xor_gate b s1 cin in
+  let carry = or_gate b (and_gate b a c) (and_gate b s1 cin) in
+  (sum, carry)
+
+let word_add b ?carry_in x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Netlist.word_add: width mismatch";
+  let cin = match carry_in with Some s -> s | None -> const_signal b false in
+  let carry = ref cin in
+  let sum =
+    Array.init (Array.length x) (fun i ->
+        let s, c = full_adder b x.(i) y.(i) !carry in
+        carry := c;
+        s)
+  in
+  (sum, !carry)
+
+let word_inc b x =
+  word_add b ~carry_in:(const_signal b true) x
+    (word_const b ~width:(Array.length x) 0)
+
+let word_eq b x y =
+  and_list b (Array.to_list (word_map2 "word_eq" xnor_gate b x y))
+
+let word_lt b x y =
+  (* x < y unsigned: borrow out of x - y *)
+  if Array.length x <> Array.length y then
+    invalid_arg "Netlist.word_lt: width mismatch";
+  let lt = ref (const_signal b false) in
+  Array.iteri
+    (fun i xi ->
+       let yi = y.(i) in
+       (* lt' = (xi < yi) or (xi = yi and lt) *)
+       let less = and_gate b (not_gate b xi) yi in
+       let eq = xnor_gate b xi yi in
+       lt := or_gate b less (and_gate b eq !lt))
+    x;
+  !lt
+
+let word_mux b ~sel ~t1 ~e0 =
+  word_map2 "word_mux" (fun b a c -> mux b ~sel ~t1:a ~e0:c) b t1 e0
+
+let word_latch b ?name ~width ~init () =
+  let base = match name with Some n -> n | None -> "r" in
+  let cells =
+    Array.init width (fun i ->
+        latch b
+          ~name:(Printf.sprintf "%s[%d]" base i)
+          ~init:((init lsr i) land 1 = 1)
+          ())
+  in
+  let q = Array.map fst cells in
+  let set next =
+    if Array.length next <> width then
+      invalid_arg "Netlist.word_latch: width mismatch";
+    Array.iteri (fun i (_, set_cell) -> set_cell next.(i)) cells
+  in
+  (q, set)
+
+(* ----- inspection ----- *)
+
+let name t = t.name
+let gates t = t.gates
+let signal_index s = s
+
+let signal_of_index t i =
+  if i < 0 || i >= Array.length t.gates then
+    invalid_arg "Netlist.signal_of_index";
+  i
+
+let inputs t = t.ins
+let latches t = t.lats
+let outputs t = t.outs
+let gate_of t s = t.gates.(s)
+let num_gates t = Array.length t.gates
+let num_latches t = List.length t.lats
+let num_inputs t = List.length t.ins
+
+let stats t =
+  Printf.sprintf "%s: %d gates, %d inputs, %d latches, %d outputs" t.name
+    (num_gates t) (num_inputs t) (num_latches t) (List.length t.outs)
+
+(* ----- simulation ----- *)
+
+type sim_state = bool array (* indexed like gates; meaningful at latches *)
+
+let sim_initial t =
+  Array.map (function Latch { init; _ } -> init | _ -> false) t.gates
+
+let eval_gates t st in_env =
+  let values = Array.make (Array.length t.gates) false in
+  Array.iteri
+    (fun i g ->
+       values.(i) <-
+         (match g with
+          | Input n -> in_env n
+          | Const v -> v
+          | Not a -> not values.(a)
+          | And (a, b) -> values.(a) && values.(b)
+          | Or (a, b) -> values.(a) || values.(b)
+          | Xor (a, b) -> values.(a) <> values.(b)
+          | Latch _ -> st.(i)))
+    t.gates;
+  values
+
+let sim_latch_values t st = List.map (fun (n, s) -> (n, st.(s))) t.lats
+
+let sim_step t st in_env =
+  let values = eval_gates t st in_env in
+  let outs = List.map (fun (n, s) -> (n, values.(s))) t.outs in
+  let st' =
+    Array.mapi
+      (fun i g ->
+         match g with Latch { next; _ } -> values.(next) | _ -> st.(i))
+      t.gates
+  in
+  (outs, st')

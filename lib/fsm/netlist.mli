@@ -1,0 +1,115 @@
+(** Gate-level sequential netlists.
+
+    A netlist is a DAG of two-input gates over primary inputs and latch
+    outputs, plus named primary outputs.  Netlists are built through the
+    {!builder} API (latches close cycles through a deferred next-state
+    connection) and consumed by {!Symbolic} for BDD encoding and by
+    {!Blif} for I/O. *)
+
+type signal
+(** A net of the circuit under construction (or of a finished netlist). *)
+
+type gate =
+  | Input of string
+  | Const of bool
+  | Not of signal
+  | And of signal * signal
+  | Or of signal * signal
+  | Xor of signal * signal
+  | Latch of { name : string; init : bool; next : signal }
+
+type t
+(** A finished netlist. *)
+
+type builder
+
+(** {1 Building} *)
+
+val create : string -> builder
+(** [create name] starts an empty netlist. *)
+
+val input : builder -> string -> signal
+val const_signal : builder -> bool -> signal
+val not_gate : builder -> signal -> signal
+val and_gate : builder -> signal -> signal -> signal
+val or_gate : builder -> signal -> signal -> signal
+val xor_gate : builder -> signal -> signal -> signal
+val nand_gate : builder -> signal -> signal -> signal
+val nor_gate : builder -> signal -> signal -> signal
+val xnor_gate : builder -> signal -> signal -> signal
+
+val mux : builder -> sel:signal -> t1:signal -> e0:signal -> signal
+(** Multiplexer: [sel ? t1 : e0]. *)
+
+val and_list : builder -> signal list -> signal
+val or_list : builder -> signal list -> signal
+
+val latch : builder -> ?name:string -> init:bool -> unit -> signal * (signal -> unit)
+(** [latch b ~init ()] returns the latch output and a one-shot setter for
+    its next-state input, to be called before {!finalize}. *)
+
+val output : builder -> string -> signal -> unit
+(** Declare a named primary output. *)
+
+val finalize : builder -> t
+(** Check that every latch got its next-state connection and freeze.
+    @raise Invalid_argument on dangling latches or duplicate names. *)
+
+(** {1 Word-level helpers}
+
+    Words are little-endian signal arrays (index 0 = LSB). *)
+
+val word_const : builder -> width:int -> int -> signal array
+val word_not : builder -> signal array -> signal array
+val word_and : builder -> signal array -> signal array -> signal array
+val word_or : builder -> signal array -> signal array -> signal array
+val word_xor : builder -> signal array -> signal array -> signal array
+
+val word_add : builder -> ?carry_in:signal -> signal array -> signal array -> signal array * signal
+(** Ripple-carry adder; returns sum and carry-out. *)
+
+val word_inc : builder -> signal array -> signal array * signal
+val word_eq : builder -> signal array -> signal array -> signal
+val word_lt : builder -> signal array -> signal array -> signal
+(** Unsigned comparison. *)
+
+val word_mux : builder -> sel:signal -> t1:signal array -> e0:signal array -> signal array
+
+val word_latch :
+  builder -> ?name:string -> width:int -> init:int -> unit ->
+  signal array * (signal array -> unit)
+(** A register: per-bit latches with a word-level next-state setter. *)
+
+(** {1 Inspection} *)
+
+val name : t -> string
+val gates : t -> gate array
+(** Topologically ordered: a gate's operands precede it, except latch
+    next-state references which may point anywhere. *)
+
+val signal_index : signal -> int
+val signal_of_index : t -> int -> signal
+
+val inputs : t -> (string * signal) list
+val latches : t -> (string * signal) list
+val outputs : t -> (string * signal) list
+val gate_of : t -> signal -> gate
+
+val num_gates : t -> int
+val num_latches : t -> int
+val num_inputs : t -> int
+
+val stats : t -> string
+
+(** {1 Simulation} *)
+
+type sim_state
+(** Concrete-valued simulator state (latch values). *)
+
+val sim_initial : t -> sim_state
+val sim_step : t -> sim_state -> (string -> bool) -> (string * bool) list * sim_state
+(** [sim_step nl st inputs] evaluates one clock cycle: returns the primary
+    output values and the next state. *)
+
+val sim_latch_values : t -> sim_state -> (string * bool) list
+(** Current latch values, in latch order. *)

@@ -1,0 +1,69 @@
+let src = Logs.Src.create "bddmin.reach" ~doc:"symbolic reachability"
+
+module Log = (val Logs.src_log src)
+
+type stats = {
+  iterations : int;
+  reached_states : float;
+  peak_frontier_nodes : int;
+  peak_reached_nodes : int;
+  minimization_calls : int;
+}
+
+type minimizer = Bdd.man -> Minimize.Ispec.t -> Bdd.t
+
+let constrain_minimizer man (s : Minimize.Ispec.t) =
+  Bdd.constrain man s.Minimize.Ispec.f s.Minimize.Ispec.c
+
+let no_minimizer _man (s : Minimize.Ispec.t) = s.Minimize.Ispec.f
+
+let reachable ?strategy ?(minimize = constrain_minimizer)
+    ?(max_iterations = max_int) ?(on_instance = fun ~iteration:_ _ -> ())
+    ?(on_image_constrain = fun ~iteration:_ _ -> ()) (sym : Symbolic.t) =
+  let man = sym.man in
+  let calls = ref 0 in
+  let peak_frontier = ref 0 in
+  let peak_reached = ref 0 in
+  let rec go iteration reached frontier =
+    if Bdd.is_zero frontier then (reached, iteration)
+    else if iteration >= max_iterations then
+      failwith "Reach.reachable: max_iterations exceeded"
+    else begin
+      peak_frontier := max !peak_frontier (Bdd.size man frontier);
+      peak_reached := max !peak_reached (Bdd.size man reached);
+      Log.debug (fun m ->
+          m "iteration %d: |U| = %d nodes, |R| = %d nodes" iteration
+            (Bdd.size man frontier) (Bdd.size man reached));
+      (* The EBM instance of the paper: f = U, c = U + ¬R. *)
+      let care = Bdd.dor man frontier (Bdd.compl reached) in
+      let inst = Minimize.Ispec.make ~f:frontier ~c:care in
+      on_instance ~iteration inst;
+      incr calls;
+      let chosen = minimize man inst in
+      (* The vector-cofactor instances [δ_j; S] that a constrain-based
+         image computation hands to [constrain] (footnote 1 of the paper);
+         emitted here so interception is independent of how the image is
+         actually computed. *)
+      Array.iter
+        (fun delta ->
+           on_image_constrain ~iteration
+             (Minimize.Ispec.make ~f:delta ~c:chosen))
+        sym.next_fns;
+      let successors = Image.image ?strategy sym chosen in
+      let frontier' = Bdd.diff man successors reached in
+      let reached' = Bdd.dor man reached successors in
+      go (iteration + 1) reached' frontier'
+    end
+  in
+  let reached, iterations = go 0 sym.init sym.init in
+  let stats =
+    {
+      iterations;
+      reached_states =
+        Bdd.sat_count man reached ~nvars:(Symbolic.num_state_vars sym);
+      peak_frontier_nodes = !peak_frontier;
+      peak_reached_nodes = !peak_reached;
+      minimization_calls = !calls;
+    }
+  in
+  (reached, stats)

@@ -1,0 +1,41 @@
+(** Breadth-first symbolic reachability with frontier minimization.
+
+    This is the application of §1 and §4: at each iteration the frontier
+    [U] may be replaced by any set [S] with [U ≤ S ≤ U + R] — an EBM
+    instance [[U; U + ¬R]] — before computing its image.  The instances
+    are exposed through [on_instance], which is how the experiment harness
+    intercepts them (the analogue of the paper's instrumented [constrain]
+    calls inside [verify_fsm]). *)
+
+type stats = {
+  iterations : int;
+  reached_states : float;  (** satisfying assignments of the final [R] *)
+  peak_frontier_nodes : int;
+  peak_reached_nodes : int;
+  minimization_calls : int;
+}
+
+type minimizer = Bdd.man -> Minimize.Ispec.t -> Bdd.t
+
+val constrain_minimizer : minimizer
+(** The default used by the paper's application: [constrain f c]. *)
+
+val no_minimizer : minimizer
+(** Uses the frontier unchanged ([f_orig]). *)
+
+val reachable :
+  ?strategy:Image.strategy ->
+  ?minimize:minimizer ->
+  ?max_iterations:int ->
+  ?on_instance:(iteration:int -> Minimize.Ispec.t -> unit) ->
+  ?on_image_constrain:(iteration:int -> Minimize.Ispec.t -> unit) ->
+  Symbolic.t ->
+  Bdd.t * stats
+(** Fixed-point reachability from the initial state.  The returned set is
+    exact (independent of the minimizer — any cover contains the frontier
+    and only adds already-reached states).  [on_image_constrain] observes
+    the vector-cofactor instances [[δ_j; S]] that a constrain-based image
+    computation hands to [constrain] (emitted for every strategy, so
+    interception does not force the exponential-prone {!Image.Range}
+    recursion).
+    @raise Failure if [max_iterations] (default unlimited) is exceeded. *)

@@ -1,0 +1,71 @@
+type counterexample = {
+  run : int;
+  step : int;
+  inputs : (string * bool) list list;
+  output : string;
+}
+
+let common_interface nl1 nl2 =
+  let names l = List.sort compare (List.map fst l) in
+  if names (Netlist.inputs nl1) <> names (Netlist.inputs nl2) then
+    invalid_arg "Simcheck: input sets differ";
+  let common =
+    List.filter
+      (fun (n, _) -> List.mem_assoc n (Netlist.outputs nl2))
+      (Netlist.outputs nl1)
+  in
+  if common = [] then invalid_arg "Simcheck: no common outputs";
+  (names (Netlist.inputs nl1), List.map fst common)
+
+let diff_outputs common outs1 outs2 =
+  List.find_opt
+    (fun n -> List.assoc n outs1 <> List.assoc n outs2)
+    common
+
+let replay nl1 nl2 stimulus =
+  let _, common = common_interface nl1 nl2 in
+  let rec go step st1 st2 = function
+    | [] -> None
+    | assignment :: rest ->
+      let env name =
+        match List.assoc_opt name assignment with
+        | Some b -> b
+        | None -> false
+      in
+      let outs1, st1' = Netlist.sim_step nl1 st1 env in
+      let outs2, st2' = Netlist.sim_step nl2 st2 env in
+      (match diff_outputs common outs1 outs2 with
+       | Some output -> Some (output, step)
+       | None -> go (step + 1) st1' st2' rest)
+  in
+  go 0 (Netlist.sim_initial nl1) (Netlist.sim_initial nl2) stimulus
+
+let compare_machines ?(runs = 32) ?(steps = 64) ?(seed = 0) nl1 nl2 =
+  let input_names, common = common_interface nl1 nl2 in
+  let rng = Random.State.make [| seed; runs; steps |] in
+  let result = ref (Ok ()) in
+  (try
+     for run = 0 to runs - 1 do
+       let st1 = ref (Netlist.sim_initial nl1) in
+       let st2 = ref (Netlist.sim_initial nl2) in
+       let history = ref [] in
+       for step = 0 to steps - 1 do
+         let assignment =
+           List.map (fun n -> (n, Random.State.bool rng)) input_names
+         in
+         history := assignment :: !history;
+         let env name = List.assoc name assignment in
+         let outs1, st1' = Netlist.sim_step nl1 !st1 env in
+         let outs2, st2' = Netlist.sim_step nl2 !st2 env in
+         (match diff_outputs common outs1 outs2 with
+          | Some output ->
+            result :=
+              Error { run; step; inputs = List.rev !history; output };
+            raise Exit
+          | None -> ());
+         st1 := st1';
+         st2 := st2'
+       done
+     done
+   with Exit -> ());
+  !result

@@ -1,0 +1,31 @@
+(** Random-simulation equivalence refutation.
+
+    Drives two machines in lock-step with pseudo-random inputs and
+    compares their common outputs — the cheap pre-check run before a full
+    symbolic proof.  Can only refute equivalence, never establish it. *)
+
+type counterexample = {
+  run : int;  (** which random run *)
+  step : int;  (** clock cycle of the first divergence *)
+  inputs : (string * bool) list list;  (** stimulus up to the divergence *)
+  output : string;  (** a differing output *)
+}
+
+val compare_machines :
+  ?runs:int ->
+  ?steps:int ->
+  ?seed:int ->
+  Netlist.t ->
+  Netlist.t ->
+  (unit, counterexample) result
+(** [Ok ()] when no divergence was observed over [runs] (default 32)
+    random stimuli of [steps] (default 64) cycles each.  The machines
+    must share input names and have at least one common output.
+    @raise Invalid_argument on mismatched interfaces. *)
+
+val replay :
+  Netlist.t -> Netlist.t -> (string * bool) list list -> (string * int) option
+(** Replay a stimulus (one input assignment per cycle) on both machines:
+    [Some (output, step)] identifies the first divergence, [None] means
+    the machines agreed throughout — so a {!counterexample}'s [inputs]
+    always replays to [Some _]. *)

@@ -1,0 +1,132 @@
+type origin = Frontier | Image_cofactor
+
+let src = Logs.Src.create "bddmin.capture" ~doc:"experiment capture"
+
+module Log = (val Logs.src_log src)
+
+type call = {
+  bench : string;
+  iteration : int;
+  origin : origin;
+  f_size : int;
+  c_onset_fraction : float;
+  sizes : (string * int) list;
+  times : (string * float) list;
+  min_size : int;
+  min_name : string;
+  low_bd : int;
+}
+
+type config = {
+  entries : Minimize.Registry.entry list;
+  lower_bound_cubes : int;
+  max_iterations : int;
+  self_product : bool;
+  flush_caches : bool;
+  image_strategy : Fsm.Image.strategy;
+  include_image_instances : bool;
+  max_calls : int;
+}
+
+let default_config =
+  {
+    entries = Minimize.Registry.all;
+    lower_bound_cubes = 1000;
+    max_iterations = 100_000;
+    self_product = true;
+    flush_caches = true;
+    image_strategy = Fsm.Image.Partitioned;
+    include_image_instances = true;
+    max_calls = 400;
+  }
+
+let minimizer_names config = Minimize.Registry.names config.entries
+
+let measure_call config man ~bench ~iteration ~origin
+    (inst : Minimize.Ispec.t) =
+  let results =
+    List.map
+      (fun (e : Minimize.Registry.entry) ->
+         if config.flush_caches then Bdd.clear_caches man;
+         let t0 = Unix.gettimeofday () in
+         let g = e.run man inst in
+         let dt = Unix.gettimeofday () -. t0 in
+         (e.name, Bdd.size man g, dt))
+      config.entries
+  in
+  let min_name, min_size =
+    List.fold_left
+      (fun (bn, bs) (n, s, _) -> if s < bs then (n, s) else (bn, bs))
+      ("", max_int) results
+  in
+  let low_bd =
+    Minimize.Lower_bound.compute man ~cube_limit:config.lower_bound_cubes inst
+  in
+  {
+    bench;
+    iteration;
+    origin;
+    f_size = Bdd.size man inst.Minimize.Ispec.f;
+    c_onset_fraction = Minimize.Ispec.c_onset_fraction man inst;
+    sizes = List.map (fun (n, s, _) -> (n, s)) results;
+    times = List.map (fun (n, _, t) -> (n, t)) results;
+    min_size;
+    min_name;
+    low_bd;
+  }
+
+let run_bench ?(config = default_config) (b : Circuits.Registry.bench) =
+  let man = Bdd.new_man () in
+  let nl = b.build () in
+  let calls = ref [] in
+  let ncalls = ref 0 in
+  let consider ~iteration ~origin inst =
+    (* §4.1.2 filter: skip cube care sets and care sets contained in f or
+       its complement (most heuristics find a minimum there). *)
+    if
+      !ncalls < config.max_calls
+      && not (Minimize.Ispec.trivial man inst)
+    then begin
+      incr ncalls;
+      let call = measure_call config man ~bench:b.name ~iteration ~origin inst in
+      Log.debug (fun m ->
+          m "%s call %d (iter %d): |f| = %d, c_onset = %.3f, min = %d (%s)"
+            b.name !ncalls iteration call.f_size call.c_onset_fraction
+            call.min_size call.min_name);
+      calls := call :: !calls
+    end
+  in
+  let on_instance ~iteration inst = consider ~iteration ~origin:Frontier inst in
+  let on_image_constrain ~iteration inst =
+    if config.include_image_instances then
+      consider ~iteration ~origin:Image_cofactor inst
+  in
+  if config.self_product then begin
+    match
+      Fsm.Equiv.check_self man ~strategy:config.image_strategy
+        ~max_iterations:config.max_iterations ~on_instance ~on_image_constrain
+        nl
+    with
+    | Fsm.Equiv.Equivalent _ -> ()
+    | Fsm.Equiv.Not_equivalent _ ->
+      failwith ("self-equivalence failed on " ^ b.name)
+  end
+  else begin
+    let sym = Fsm.Symbolic.of_netlist man nl in
+    ignore
+      (Fsm.Reach.reachable ~strategy:config.image_strategy
+         ~max_iterations:config.max_iterations ~on_instance
+         ~on_image_constrain sym)
+  end;
+  List.rev !calls
+
+let run_suite ?(config = default_config) ?(progress = fun _ -> ()) benches =
+  List.concat_map
+    (fun (b : Circuits.Registry.bench) ->
+       progress b.name;
+       let calls = run_bench ~config b in
+       progress
+         (Printf.sprintf "  %s: %d non-trivial calls" b.name
+            (List.length calls));
+       calls)
+    benches

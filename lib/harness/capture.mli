@@ -1,0 +1,63 @@
+(** Instance capture: run the FSM-equivalence application over the
+    benchmark suite, intercept every frontier-minimization call, apply
+    every catalogued minimizer to it, and record sizes and runtimes —
+    the paper's §4.1 experimental procedure.
+
+    As in the paper: the application itself proceeds with [constrain]'s
+    answer; calls where the care set is a cube or contains/excludes the
+    onset are filtered out; operation caches are flushed before timing
+    each minimizer. *)
+
+type origin =
+  | Frontier  (** a frontier minimization instance [[U; U + ¬R]] *)
+  | Image_cofactor
+  (** a generalized-cofactor instance [[δ_j; S]] from the constrain-based
+      image computation — the calls that dominate the paper's data and
+      populate its [c_onset_size < 5 %] bucket *)
+
+type call = {
+  bench : string;
+  iteration : int;
+  origin : origin;
+  f_size : int;  (** [|f|], the unminimized function *)
+  c_onset_fraction : float;  (** the paper's [c_onset_size], in [0, 1] *)
+  sizes : (string * int) list;  (** result size per minimizer *)
+  times : (string * float) list;  (** seconds per minimizer *)
+  min_size : int;  (** the paper's [min]: best size over all minimizers *)
+  min_name : string;
+  low_bd : int;  (** the Theorem 7 cube lower bound *)
+}
+
+type config = {
+  entries : Minimize.Registry.entry list;
+  lower_bound_cubes : int;
+  max_iterations : int;
+  self_product : bool;
+  (** intercept inside the product-machine self-equivalence check (the
+      paper's setup) rather than plain reachability *)
+  flush_caches : bool;
+  image_strategy : Fsm.Image.strategy;
+  include_image_instances : bool;
+  (** also intercept the image computation's cofactor calls, as the
+      paper's instrumented [constrain] does *)
+  max_calls : int;  (** per-benchmark cap on measured calls *)
+}
+
+val default_config : config
+(** All paper entries (plus the [sched] extension), 1000 lower-bound
+    cubes, product-machine interception, the partitioned image strategy
+    (the cofactor instances are emitted regardless of strategy), cache
+    flushing on, at most 400 measured calls per benchmark. *)
+
+val run_bench :
+  ?config:config -> Circuits.Registry.bench -> call list
+(** Capture all non-trivial minimization instances of one benchmark. *)
+
+val run_suite :
+  ?config:config ->
+  ?progress:(string -> unit) ->
+  Circuits.Registry.bench list ->
+  call list
+
+val minimizer_names : config -> string list
+(** The minimizer names of the configuration, in registry order. *)

@@ -1,0 +1,7 @@
+(** Experiment harness: capture EBM instances from the FSM-equivalence
+    application ({!Capture}), aggregate ({!Stats}) and render the paper's
+    exhibits ({!Tables}). *)
+
+module Capture = Capture
+module Stats = Stats
+module Tables = Tables

@@ -1,0 +1,40 @@
+(** Text renderers for the paper's tables and figure.
+
+    Each [render_*] returns the reproduction of one exhibit; CSV exports
+    are provided for external plotting. *)
+
+val render_table1 : unit -> string
+(** Table 1: properties of the matching criteria (statically known,
+    verified by the property-test suite). *)
+
+val render_table2 : unit -> string
+(** Table 2: the twelve sibling-heuristic parameter combinations and
+    which rows coincide. *)
+
+val render_table3 : names:string list -> Capture.call list -> string
+(** Table 3: cumulative sizes, % of min, runtimes and ranks, for every
+    [c_onset_size] bucket that is populated. *)
+
+val render_table4 : ?names:string list -> Capture.call list -> string
+(** Table 4: head-to-head comparison over the paper's representative
+    subset (default [f_orig const restr osm_bt tsm_td opt_lv min]). *)
+
+val render_figure3 : ?names:string list -> Capture.call list -> string
+(** Figure 3: robustness curves as an ASCII plot plus the underlying
+    series (default heuristics as in the paper: [f_orig const restr
+    tsm_td opt_lv]). *)
+
+val render_per_bench : Capture.call list -> string
+(** A per-machine summary (not in the paper, which aggregates): calls,
+    bucket split, unminimized vs. best total, reduction factor. *)
+
+val render_lower_bound_summary : names:string list -> Capture.call list -> string
+(** The §4.2 lower-bound observations: min vs. bound ratio, and the
+    percentage of calls where each heuristic meets the bound. *)
+
+val calls_to_csv : names:string list -> Capture.call list -> string
+(** One row per call: bench, iteration, [f] size, [c_onset], lower bound,
+    and each minimizer's size. *)
+
+val curve_to_csv : names:string list -> Capture.call list -> string
+(** Figure 3 series as CSV (percent, one column per heuristic). *)

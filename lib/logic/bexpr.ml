@@ -1,0 +1,229 @@
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Imply of t * t
+  | Iff of t * t
+
+(* ----- Lexer ----- *)
+
+type token =
+  | Tconst of bool
+  | Tident of string
+  | Tnot
+  | Tand
+  | Tor
+  | Txor
+  | Timply
+  | Tiff
+  | Tlparen
+  | Trparen
+  | Teof
+
+exception Syntax of string
+
+let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+let is_ident ch = is_ident_start ch || (ch >= '0' && ch <= '9')
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let rec go i =
+    if i >= n then emit Teof
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '0' -> emit (Tconst false); go (i + 1)
+      | '1' -> emit (Tconst true); go (i + 1)
+      | '!' | '~' -> emit Tnot; go (i + 1)
+      | '&' | '*' -> emit Tand; go (i + 1)
+      | '|' | '+' -> emit Tor; go (i + 1)
+      | '^' -> emit Txor; go (i + 1)
+      | '(' -> emit Tlparen; go (i + 1)
+      | ')' -> emit Trparen; go (i + 1)
+      | '=' ->
+        if i + 1 < n && s.[i + 1] = '>' then begin emit Timply; go (i + 2) end
+        else raise (Syntax (Printf.sprintf "char %d: expected => " i))
+      | '<' ->
+        if i + 2 < n && s.[i + 1] = '=' && s.[i + 2] = '>' then begin
+          emit Tiff;
+          go (i + 3)
+        end
+        else raise (Syntax (Printf.sprintf "char %d: expected <=>" i))
+      | ch when is_ident_start ch ->
+        let j = ref i in
+        while !j < n && is_ident s.[!j] do incr j done;
+        emit (Tident (String.sub s i (!j - i)));
+        go !j
+      | ch -> raise (Syntax (Printf.sprintf "char %d: unexpected '%c'" i ch))
+  in
+  go 0;
+  List.rev !toks
+
+(* ----- Recursive-descent parser ----- *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let rec p_iff st =
+  let lhs = p_imply st in
+  if peek st = Tiff then begin
+    advance st;
+    Iff (lhs, p_iff st)
+  end
+  else lhs
+
+and p_imply st =
+  let lhs = p_or st in
+  if peek st = Timply then begin
+    advance st;
+    Imply (lhs, p_imply st)
+  end
+  else lhs
+
+and p_or st =
+  let lhs = ref (p_xor st) in
+  while peek st = Tor do
+    advance st;
+    lhs := Or (!lhs, p_xor st)
+  done;
+  !lhs
+
+and p_xor st =
+  let lhs = ref (p_and st) in
+  while peek st = Txor do
+    advance st;
+    lhs := Xor (!lhs, p_and st)
+  done;
+  !lhs
+
+and p_and st =
+  let lhs = ref (p_unary st) in
+  while peek st = Tand do
+    advance st;
+    lhs := And (!lhs, p_unary st)
+  done;
+  !lhs
+
+and p_unary st =
+  match peek st with
+  | Tnot ->
+    advance st;
+    Not (p_unary st)
+  | _ -> p_atom st
+
+and p_atom st =
+  match peek st with
+  | Tconst b ->
+    advance st;
+    Const b
+  | Tident name ->
+    advance st;
+    Var name
+  | Tlparen ->
+    advance st;
+    let e = p_iff st in
+    if peek st <> Trparen then raise (Syntax "expected )");
+    advance st;
+    e
+  | _ -> raise (Syntax "expected a constant, identifier or (")
+
+let parse s =
+  match
+    let st = { toks = tokenize s } in
+    let e = p_iff st in
+    if peek st <> Teof then raise (Syntax "trailing input");
+    e
+  with
+  | e -> Ok e
+  | exception Syntax msg -> Error msg
+
+let parse_exn s =
+  match parse s with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Bexpr.parse_exn: " ^ msg)
+
+(* ----- Semantics ----- *)
+
+let vars e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        acc := v :: !acc
+      end
+    | Not a -> go a
+    | And (a, b) | Or (a, b) | Xor (a, b) | Imply (a, b) | Iff (a, b) ->
+      go a;
+      go b
+  in
+  go e;
+  List.rev !acc
+
+let rec eval e env =
+  match e with
+  | Const b -> b
+  | Var v -> env v
+  | Not a -> not (eval a env)
+  | And (a, b) -> eval a env && eval b env
+  | Or (a, b) -> eval a env || eval b env
+  | Xor (a, b) -> eval a env <> eval b env
+  | Imply (a, b) -> (not (eval a env)) || eval b env
+  | Iff (a, b) -> eval a env = eval b env
+
+let rec to_bdd man ~env e =
+  match e with
+  | Const true -> Bdd.one man
+  | Const false -> Bdd.zero man
+  | Var v -> env v
+  | Not a -> Bdd.compl (to_bdd man ~env a)
+  | And (a, b) -> Bdd.dand man (to_bdd man ~env a) (to_bdd man ~env b)
+  | Or (a, b) -> Bdd.dor man (to_bdd man ~env a) (to_bdd man ~env b)
+  | Xor (a, b) -> Bdd.dxor man (to_bdd man ~env a) (to_bdd man ~env b)
+  | Imply (a, b) -> Bdd.imply man (to_bdd man ~env a) (to_bdd man ~env b)
+  | Iff (a, b) -> Bdd.dxnor man (to_bdd man ~env a) (to_bdd man ~env b)
+
+let to_bdd_auto man e =
+  let names = vars e in
+  let base = Bdd.nvars man in
+  let mapping = List.mapi (fun i name -> (name, base + i)) names in
+  let env name = Bdd.ithvar man (List.assoc name mapping) in
+  (to_bdd man ~env e, mapping)
+
+(* ----- Printer ----- *)
+
+let prec = function
+  | Const _ | Var _ -> 7
+  | Not _ -> 6
+  | And _ -> 5
+  | Xor _ -> 4
+  | Or _ -> 3
+  | Imply _ -> 2
+  | Iff _ -> 1
+
+let rec pp_prec level ppf e =
+  let p = prec e in
+  let wrap = p < level in
+  if wrap then Format.pp_print_char ppf '(';
+  (match e with
+   | Const b -> Format.pp_print_char ppf (if b then '1' else '0')
+   | Var v -> Format.pp_print_string ppf v
+   | Not a -> Format.fprintf ppf "!%a" (pp_prec 6) a
+   | And (a, b) -> Format.fprintf ppf "%a & %a" (pp_prec 5) a (pp_prec 6) b
+   | Xor (a, b) -> Format.fprintf ppf "%a ^ %a" (pp_prec 4) a (pp_prec 5) b
+   | Or (a, b) -> Format.fprintf ppf "%a | %a" (pp_prec 3) a (pp_prec 4) b
+   | Imply (a, b) -> Format.fprintf ppf "%a => %a" (pp_prec 3) a (pp_prec 2) b
+   | Iff (a, b) -> Format.fprintf ppf "%a <=> %a" (pp_prec 2) a (pp_prec 1) b);
+  if wrap then Format.pp_print_char ppf ')'
+
+let pp ppf e = pp_prec 0 ppf e
+let to_string e = Format.asprintf "%a" pp e

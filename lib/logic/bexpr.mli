@@ -1,0 +1,49 @@
+(** Boolean expression AST with a textual syntax.
+
+    Grammar (loosest to tightest binding):
+    {v
+      expr  ::= iff
+      iff   ::= imp ( "<=>" imp )*
+      imp   ::= or  ( "=>" or )*          (right associative)
+      or    ::= xor ( ("|" | "+") xor )*
+      xor   ::= and ( "^" and )*
+      and   ::= unary ( ("&" | "*") unary )*
+      unary ::= ("!" | "~") unary | atom
+      atom  ::= "0" | "1" | ident | "(" expr ")"
+    v}
+    Identifiers are [A-Za-z_][A-Za-z0-9_]* . *)
+
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Imply of t * t
+  | Iff of t * t
+
+val parse : string -> (t, string) result
+(** Parse the textual syntax; [Error msg] carries a position-annotated
+    message. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on syntax errors. *)
+
+val vars : t -> string list
+(** Free variables in first-appearance order (depth-first, left to right). *)
+
+val eval : t -> (string -> bool) -> bool
+
+val to_bdd : Bdd.man -> env:(string -> Bdd.t) -> t -> Bdd.t
+(** Build the BDD, resolving variables through [env]. *)
+
+val to_bdd_auto : Bdd.man -> t -> Bdd.t * (string * int) list
+(** Build the BDD, assigning BDD variables to names in first-appearance
+    order starting from the manager's current variable count; returns the
+    mapping used. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print in the textual syntax with minimal parentheses. *)
+
+val to_string : t -> string

@@ -1,0 +1,7 @@
+(** Boolean-function toolkit: dense truth tables (ground truth for the
+    exact minimizer and for cross-validation) and a Boolean expression
+    language. *)
+
+module Truth_table = Truth_table
+module Bexpr = Bexpr
+module Pla = Pla

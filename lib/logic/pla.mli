@@ -1,0 +1,44 @@
+(** Espresso-style PLA files: the traditional carrier of incompletely
+    specified two-level logic (and the paper's don't-care instances in
+    their historical habitat).
+
+    Supported: [.i]/[.o] (required), [.ilb]/[.ob] labels, [.p], [.type]
+    with [f], [fd], [fr], [fdr] (default [fd]), comments, [.e]/[.end].
+    Input plane characters: [0 1 -]; output plane: [1] (row in this
+    output's ON/OFF/DC set according to its plane), [0]/[~] (no
+    statement), [-]/[2] (don't care, type [fd]/[fdr]), [4] (OFF, types
+    with an R plane). *)
+
+type plane = On | Off | Dc
+
+type row = { input : string; output : string }
+
+type t = {
+  num_inputs : int;
+  num_outputs : int;
+  input_labels : string list;  (** [x0 …] when no [.ilb] *)
+  output_labels : string list;
+  typ : string;  (** ["f"], ["fd"], ["fr"] or ["fdr"] *)
+  rows : row list;
+}
+
+val parse : string -> (t, string) result
+val parse_file : string -> (t, string) result
+
+val print : t -> string
+
+val functions : Bdd.man -> t -> (string * (Bdd.t * Bdd.t)) list
+(** Per output, the pair [(f, care)] over BDD variables [0 ..
+    num_inputs-1] (in label order): the incompletely specified function
+    the PLA describes.  For type [f] the care set is 1; for [fd] don't
+    cares come from the D-plane; for [fr] the care set is ON ∪ OFF; for
+    [fdr] all three planes are read and checked for consistency.
+    @raise Invalid_argument when ON and OFF intersect. *)
+
+val of_covers :
+  num_inputs:int ->
+  ?input_labels:string list ->
+  (string * Bdd.Cube.cube list) list ->
+  t
+(** Build a (type [fd]) PLA from per-output cube covers — e.g. the output
+    of {!Minimize.Isop}. *)

@@ -1,0 +1,128 @@
+type t = { n : int; bits : Bytes.t }
+
+let max_vars = 20
+
+let check_nvars n =
+  if n < 0 || n > max_vars then
+    invalid_arg (Printf.sprintf "Truth_table: %d variables unsupported" n)
+
+let create n f =
+  check_nvars n;
+  let size = 1 lsl n in
+  let bits = Bytes.create size in
+  for m = 0 to size - 1 do
+    Bytes.unsafe_set bits m (if f m then '\001' else '\000')
+  done;
+  { n; bits }
+
+let nvars t = t.n
+let points t = 1 lsl t.n
+let get t m = Bytes.unsafe_get t.bits m <> '\000'
+
+let const n b = create n (fun _ -> b)
+let var n v =
+  check_nvars n;
+  if v < 0 || v >= n then invalid_arg "Truth_table.var: out of range";
+  create n (fun m -> (m lsr v) land 1 = 1)
+
+let lift1 op a = create a.n (fun m -> op (get a m))
+
+let lift2 name op a b =
+  if a.n <> b.n then invalid_arg ("Truth_table." ^ name ^ ": arity mismatch");
+  create a.n (fun m -> op (get a m) (get b m))
+
+let bnot a = lift1 not a
+let band a b = lift2 "band" ( && ) a b
+let bor a b = lift2 "bor" ( || ) a b
+let bxor a b = lift2 "bxor" ( <> ) a b
+let bdiff a b = lift2 "bdiff" (fun x y -> x && not y) a b
+
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+
+let is_const a =
+  let v = get a 0 in
+  let rec all m = m >= points a || (get a m = v && all (m + 1)) in
+  if all 1 then Some v else None
+
+let leq a b =
+  if a.n <> b.n then invalid_arg "Truth_table.leq: arity mismatch";
+  let rec go m = m >= points a || ((not (get a m) || get b m) && go (m + 1)) in
+  go 0
+
+let count_ones a =
+  let c = ref 0 in
+  for m = 0 to points a - 1 do
+    if get a m then incr c
+  done;
+  !c
+
+let of_bdd man ~nvars f =
+  ignore man;
+  create nvars (fun m -> Bdd.eval f (fun v -> (m lsr v) land 1 = 1))
+
+let to_bdd man t =
+  let rec go v fixed =
+    if v = t.n then if get t fixed then Bdd.one man else Bdd.zero man
+    else
+      Bdd.ite man (Bdd.ithvar man v)
+        (go (v + 1) (fixed lor (1 lsl v)))
+        (go (v + 1) fixed)
+  in
+  go 0 0
+
+(* Leaf order of the paper's figures: leftmost leaf takes the 0-branch
+   everywhere, variable 0 is the most significant decision.  Leaf index [j]
+   therefore assigns variable [v] the bit [ (j lsr (n-1-v)) land 1 ]. *)
+let minterm_of_leaf n j =
+  let m = ref 0 in
+  for v = 0 to n - 1 do
+    if (j lsr (n - 1 - v)) land 1 = 1 then m := !m lor (1 lsl v)
+  done;
+  !m
+
+let nvars_of_length len =
+  let rec go n = if 1 lsl n >= len then n else go (n + 1) in
+  let n = go 0 in
+  if 1 lsl n <> len then
+    invalid_arg "Truth_table.of_bits: length is not a power of two";
+  n
+
+let strip s =
+  String.to_seq s |> Seq.filter (fun ch -> ch <> ' ') |> String.of_seq
+
+let of_bits s =
+  let s = strip s in
+  let n = nvars_of_length (String.length s) in
+  let a = Array.make (1 lsl n) false in
+  String.iteri
+    (fun j ch ->
+       match ch with
+       | '0' -> ()
+       | '1' -> a.(minterm_of_leaf n j) <- true
+       | _ -> invalid_arg "Truth_table.of_bits: expected 0 or 1")
+    s;
+  create n (fun m -> a.(m))
+
+let paper_instance s =
+  let s = strip s in
+  let n = nvars_of_length (String.length s) in
+  let fa = Array.make (1 lsl n) false in
+  let ca = Array.make (1 lsl n) false in
+  String.iteri
+    (fun j ch ->
+       let m = minterm_of_leaf n j in
+       match ch with
+       | '0' -> ca.(m) <- true
+       | '1' ->
+         fa.(m) <- true;
+         ca.(m) <- true
+       | 'd' -> ()
+       | _ -> invalid_arg "Truth_table.paper_instance: expected 0, 1 or d")
+    s;
+  (create n (fun m -> fa.(m)), create n (fun m -> ca.(m)))
+
+let pp ppf t =
+  for j = 0 to points t - 1 do
+    Format.pp_print_char ppf
+      (if get t (minterm_of_leaf t.n j) then '1' else '0')
+  done

@@ -1,0 +1,56 @@
+(** Dense truth tables for small variable counts.
+
+    Truth tables are the ground truth the minimization framework is tested
+    against: exact EBM enumerates covers on them, and every heuristic result
+    is checked for semantic containment through them.  Variable [v] of a
+    table is bit [v] of the minterm index, matching the BDD order (variable
+    0 topmost). *)
+
+type t
+
+val create : int -> (int -> bool) -> t
+(** [create n f] tabulates [f] over minterm indices [0 .. 2^n - 1]. *)
+
+val nvars : t -> int
+
+val points : t -> int
+(** [2^nvars]. *)
+
+val get : t -> int -> bool
+(** Value at a minterm index. *)
+
+val const : int -> bool -> t
+val var : int -> int -> t
+(** [var n v] is the projection of variable [v] over [n] variables. *)
+
+val bnot : t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val bdiff : t -> t -> t
+(** [bdiff a b = a·¬b]. *)
+
+val equal : t -> t -> bool
+val is_const : t -> bool option
+(** [Some b] when the table is constantly [b]. *)
+
+val leq : t -> t -> bool
+val count_ones : t -> int
+
+val of_bdd : Bdd.man -> nvars:int -> Bdd.t -> t
+val to_bdd : Bdd.man -> t -> Bdd.t
+
+val of_bits : string -> t
+(** [of_bits s] reads a table from a 0/1 string of length [2^n] in the
+    paper's leaf order: the leftmost character is the leaf reached by taking
+    the 0-branch of every variable, and variable 0 (topmost) is the most
+    significant decision.  E.g. ["0111"] over [x0, x1] is [x0 + x1]. *)
+
+val paper_instance : string -> t * t
+(** [paper_instance s] reads the paper's instance notation over [{0,1,d}]
+    (spaces ignored), e.g. ["d1 01"]: returns [(f, c)] where [c] is false
+    exactly on the [d] leaves and [f] is the listed value on care leaves and
+    false on don't-care leaves. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print as a 0/1 string in the paper's leaf order. *)

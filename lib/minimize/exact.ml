@@ -1,0 +1,66 @@
+type result = { cover : Bdd.t; size : int; covers_tried : int }
+
+module Tt = Logic.Truth_table
+
+let minimize man ?(max_support = 8) ?(max_dc = 16) (s : Ispec.t) =
+  let vars =
+    List.sort_uniq compare (Bdd.support man s.f @ Bdd.support man s.c)
+  in
+  let k = List.length vars in
+  if k > max_support then None
+  else begin
+    let var_arr = Array.of_list vars in
+    (* Tabulate [f] and [c] over compact variables 0..k-1 (order
+       preserved, so BDD sizes are unchanged). *)
+    let assign m v =
+      let rec idx i = if var_arr.(i) = v then i else idx (i + 1) in
+      (m lsr idx 0) land 1 = 1
+    in
+    let tt_f = Tt.create k (fun m -> Bdd.eval s.f (assign m)) in
+    let tt_c = Tt.create k (fun m -> Bdd.eval s.c (assign m)) in
+    let dc_points =
+      List.filter (fun m -> not (Tt.get tt_c m)) (List.init (1 lsl k) Fun.id)
+    in
+    let d = List.length dc_points in
+    if d > max_dc then None
+    else begin
+      let dc_arr = Array.of_list dc_points in
+      let scratch = ref (Bdd.new_man ~nvars:k ()) in
+      let onset = Array.init (1 lsl k) (fun m -> Tt.get tt_f m && Tt.get tt_c m) in
+      let best_size = ref max_int in
+      let best_mask = ref 0 in
+      for mask = 0 to (1 lsl d) - 1 do
+        (* Bound scratch-manager growth during long enumerations. *)
+        if mask land 0xfff = 0xfff then scratch := Bdd.new_man ~nvars:k ();
+        let value m =
+          if Tt.get tt_c m then onset.(m)
+          else
+            let rec idx i = if dc_arr.(i) = m then i else idx (i + 1) in
+            (mask lsr idx 0) land 1 = 1
+        in
+        let g = Tt.to_bdd !scratch (Tt.create k value) in
+        let sz = Bdd.size !scratch g in
+        if sz < !best_size then begin
+          best_size := sz;
+          best_mask := mask
+        end
+      done;
+      (* Rebuild the winning cover in the caller's manager over the
+         original variables. *)
+      let mask = !best_mask in
+      let value m =
+        if Tt.get tt_c m then onset.(m)
+        else
+          let rec idx i = if dc_arr.(i) = m then i else idx (i + 1) in
+          (mask lsr idx 0) land 1 = 1
+      in
+      let compact = Tt.to_bdd man (Tt.create k value) in
+      let cover =
+        Bdd.rename man compact (List.mapi (fun i v -> (i, v)) vars)
+      in
+      Some { cover; size = !best_size; covers_tried = 1 lsl d }
+    end
+  end
+
+let minimum_size man ?max_support ?max_dc s =
+  Option.map (fun r -> r.size) (minimize man ?max_support ?max_dc s)

@@ -1,0 +1,22 @@
+(** Exhaustive exact BDD minimization (EBM) for small instances.
+
+    Enumerates every assignment of the don't-care points on a dense truth
+    table over the instance's union support and keeps a cover of minimum
+    BDD size — the ground truth for the optimality theorems and for
+    measuring heuristic quality.  Candidate covers are built in a scratch
+    manager; only the winner is rebuilt in the caller's manager. *)
+
+type result = {
+  cover : Bdd.t;  (** a minimum-size cover, over the original variables *)
+  size : int;  (** its node count (terminal included) *)
+  covers_tried : int;
+}
+
+val minimize :
+  Bdd.man -> ?max_support:int -> ?max_dc:int -> Ispec.t -> result option
+(** [None] when the instance exceeds the exhaustive-search budget:
+    more than [max_support] (default 8) variables in the union support, or
+    more than [max_dc] (default 16) don't-care minterms. *)
+
+val minimum_size : Bdd.man -> ?max_support:int -> ?max_dc:int -> Ispec.t -> int option
+(** Size of a minimum cover, when within budget. *)

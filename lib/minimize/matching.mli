@@ -1,0 +1,39 @@
+(** The paper's three matching criteria (Definition 5, Table 1).
+
+    A criterion relates two incompletely specified functions; when it
+    holds, the pair has a common i-cover, and {!i_cover} returns the one
+    with maximal don't-care part, as prescribed in §3.1.1:
+    - [osdm] (one-sided DC match): [c1 = 0]; i-cover [[f2; c2]].
+    - [osm]  (one-sided match): [(f1 ⊕ f2)·c1 = 0] and [c1 ≤ c2];
+      i-cover [[f2; c2]].
+    - [tsm]  (two-sided match): [(f1 ⊕ f2)·c1·c2 = 0];
+      i-cover [[f1·c1 + f2·c2; c1 + c2]]. *)
+
+type criterion = Osdm | Osm | Tsm
+
+val name : criterion -> string
+val of_name : string -> criterion option
+
+val matches : Bdd.man -> criterion -> Ispec.t -> Ispec.t -> bool
+(** [matches man crit s1 s2]: does [s1] match [s2] under [crit]?  (A
+    directed question for [osdm] and [osm].) *)
+
+val i_cover : Bdd.man -> criterion -> Ispec.t -> Ispec.t -> Ispec.t option
+(** The maximal-DC common i-cover when the criterion holds, [None]
+    otherwise. *)
+
+val match_either :
+  Bdd.man -> criterion -> Ispec.t -> Ispec.t -> Ispec.t option
+(** Try the criterion in both directions (as the paper's [is_match] does
+    for [osdm] and [osm]; [tsm] is symmetric). *)
+
+val implies : criterion -> criterion -> bool
+(** Strength hierarchy: [osdm ⇒ osm ⇒ tsm]. *)
+
+(** Relation properties, as listed in Table 1. *)
+
+val reflexive : criterion -> bool
+val symmetric : criterion -> bool
+val transitive : criterion -> bool
+
+val all : criterion list

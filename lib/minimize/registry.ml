@@ -1,0 +1,88 @@
+type kind =
+  | Sibling_matching of Sibling.heuristic
+  | Level_matching
+  | Reference
+  | Scheduled
+  | Two_level
+
+type entry = {
+  name : string;
+  kind : kind;
+  run : Bdd.man -> Ispec.t -> Bdd.t;
+}
+
+let sibling_entry h =
+  {
+    name = Sibling.heuristic_name h;
+    kind = Sibling_matching h;
+    run = (fun man s -> Sibling.run_heuristic man h s);
+  }
+
+let paper =
+  List.map sibling_entry Sibling.all_heuristics
+  @ [
+      {
+        name = "opt_lv";
+        kind = Level_matching;
+        run =
+          (fun man s ->
+             (* §3.3.1 set-limit method, at the largest set size the paper
+                reports encountering; bounds the quadratic matching work on
+                instances far larger than the paper's. *)
+             let params =
+               { Level.default_params with Level.set_limit = Some 512 }
+             in
+             Level.opt_lv man ~params s);
+      };
+      { name = "f_orig"; kind = Reference; run = (fun _ s -> s.Ispec.f) };
+      {
+        name = "f_and_c";
+        kind = Reference;
+        run = (fun man s -> Ispec.onset man s);
+      };
+      {
+        name = "f_or_nc";
+        kind = Reference;
+        run = (fun man s -> Bdd.dor man s.Ispec.f (Bdd.compl s.Ispec.c));
+      };
+    ]
+
+let all =
+  paper
+  @ [
+      {
+        name = "sched";
+        kind = Scheduled;
+        run = (fun man s -> Schedule.run man s);
+      };
+    ]
+
+let extended =
+  all
+  @ [
+      {
+        name = "isop";
+        kind = Two_level;
+        run = (fun man s -> Isop.cover_only man s);
+      };
+    ]
+
+let proper = List.filter (fun e -> e.kind <> Reference) all
+
+let find name = List.find_opt (fun e -> e.name = name) extended
+let names entries = List.map (fun e -> e.name) entries
+
+let best man entries s =
+  match entries with
+  | [] -> invalid_arg "Registry.best: no entries"
+  | first :: rest ->
+    let score e =
+      let g = e.run man s in
+      (e.name, g, Bdd.size man g)
+    in
+    let keep (bn, bg, bs) e =
+      let n, g, sz = score e in
+      if sz < bs then (n, g, sz) else (bn, bg, bs)
+    in
+    let n, g, _ = List.fold_left keep (score first) rest in
+    (n, g)

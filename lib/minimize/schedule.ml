@@ -1,0 +1,49 @@
+type params = {
+  window_size : int;
+  stop_top_down : int;
+  use_level_matching : bool;
+  osm_config : Sibling.config;
+  tsm_config : Sibling.config;
+  level_params : Level.params;
+}
+
+let default_params =
+  {
+    window_size = 4;
+    stop_top_down = 6;
+    use_level_matching = false;
+    osm_config = Sibling.config_of_heuristic Sibling.Osm_bt;
+    tsm_config = Sibling.config_of_heuristic Sibling.Tsm_cp;
+    level_params = Level.default_params;
+  }
+
+let run man ?(params = default_params) (s : Ispec.t) =
+  if Bdd.is_zero s.Ispec.c then invalid_arg "Schedule.run: empty care set";
+  if params.window_size <= 0 then invalid_arg "Schedule.run: window_size";
+  let nlevels = Level.max_level man s + 1 in
+  let apply_levels lo hi spec =
+    let rec go level crit spec =
+      if level >= hi then spec
+      else
+        go (level + 1) crit
+          (Level.minimize_at_level man ~params:params.level_params crit ~level
+             spec)
+    in
+    let spec = go lo Matching.Osm spec in
+    go lo Matching.Tsm spec
+  in
+  let rec loop lo spec =
+    if Bdd.is_one spec.Ispec.c then spec.Ispec.f
+    else if nlevels - lo < params.stop_top_down || lo >= nlevels then
+      Bdd.constrain man spec.Ispec.f spec.Ispec.c
+    else begin
+      let hi = min nlevels (lo + params.window_size) in
+      let spec = Sibling.transform_window man params.osm_config ~lo ~hi spec in
+      let spec = Sibling.transform_window man params.tsm_config ~lo ~hi spec in
+      let spec =
+        if params.use_level_matching then apply_levels lo hi spec else spec
+      in
+      loop hi spec
+    end
+  in
+  loop 0 s

@@ -1,0 +1,28 @@
+(** The §3.4 windowed schedule: safer transformations first.
+
+    Levels are processed top-down in windows of [window_size] levels.
+    Within each window the schedule applies, in order: [osm] sibling
+    matching, [tsm] sibling matching, and (optionally, being expensive)
+    [osm] then [tsm] level matching.  When fewer than [stop_top_down]
+    levels remain, the residual don't cares are spent locally by a final
+    [constrain].  The theoretical justification is Theorem 12: [osm]
+    matching near the top can only lose optimality in the (small)
+    superstructure above. *)
+
+type params = {
+  window_size : int;
+  stop_top_down : int;
+  use_level_matching : bool;
+  osm_config : Sibling.config;  (** config for the sibling [osm] passes *)
+  tsm_config : Sibling.config;  (** config for the sibling [tsm] passes *)
+  level_params : Level.params;
+}
+
+val default_params : params
+(** [window_size = 4], [stop_top_down = 6], level matching off (the
+    runtime-conscious choice the paper suggests), [osm_bt] / [tsm_cp]
+    sibling configurations. *)
+
+val run : Bdd.man -> ?params:params -> Ispec.t -> Bdd.t
+(** Run the schedule; requires a non-empty care set.  Always returns a
+    cover of the instance. *)

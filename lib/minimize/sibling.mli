@@ -1,0 +1,50 @@
+(** Sibling-matching heuristics: the paper's generic top-down algorithm
+    (Figure 2) and its eight distinct named instances (Table 2).
+
+    The algorithm traverses [f] and [c] in lock-step, attempting to match
+    the two children ("siblings") of each visited node under a matching
+    criterion; on success the parent node is eliminated.  Three parameters
+    select a heuristic: the criterion, the match-complement flag (try
+    matching one sibling against the complement of the other) and the
+    no-new-vars flag (never introduce [c]'s top variable into the support
+    of an [f] that is independent of it). *)
+
+type config = {
+  criterion : Matching.criterion;
+  match_compl : bool;
+  no_new_vars : bool;
+}
+
+(** The eight distinct rows of Table 2 (rows 3, 4, 10, 12 coincide with
+    1, 2, 9, 11). *)
+type heuristic =
+  | Constrain  (** row 1: [osdm] *)
+  | Restrict  (** row 2: [osdm] + no-new-vars *)
+  | Osm_td  (** row 5: [osm] *)
+  | Osm_nv  (** row 6: [osm] + no-new-vars *)
+  | Osm_cp  (** row 7: [osm] + match-complement *)
+  | Osm_bt  (** row 8: [osm] + both flags *)
+  | Tsm_td  (** row 9: [tsm] *)
+  | Tsm_cp  (** row 11: [tsm] + match-complement *)
+
+val all_heuristics : heuristic list
+val heuristic_name : heuristic -> string
+val heuristic_of_name : string -> heuristic option
+val config_of_heuristic : heuristic -> config
+
+val run : Bdd.man -> config -> Ispec.t -> Bdd.t
+(** [run man cfg s] is the paper's [generic_td].  Requires [s.c ≠ 0].
+    The result is always a cover of [s] and never has a variable outside
+    the supports of [s.f] and [s.c]. *)
+
+val run_heuristic : Bdd.man -> heuristic -> Ispec.t -> Bdd.t
+
+val run_clamped : Bdd.man -> config -> Ispec.t -> Bdd.t
+(** [run] followed by the Proposition 6 fallback: return [s.f] itself when
+    the heuristic's answer is larger. *)
+
+val transform_window : Bdd.man -> config -> lo:int -> hi:int -> Ispec.t -> Ispec.t
+(** Sibling matching as a {e transformation}, for the §3.4 scheduler:
+    matches are only attempted at nodes whose level lies in [\[lo, hi)];
+    the subgraph below the window is left untouched.  The result is an
+    i-cover of the input (its care set only grows), not yet a cover. *)

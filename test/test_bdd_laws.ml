@@ -1,0 +1,185 @@
+(* Algebraic laws of the generalized cofactors and deeper engine stress:
+   the identities that make constrain usable for image computation
+   (footnote 1 of the paper) and the properties minimization relies on. *)
+
+module Tt = Logic.Truth_table
+
+let man = Util.man
+
+let gen_pair =
+  QCheck2.Gen.(
+    let* n = int_range 1 6 in
+    let* s1 = int_bound 0xFFFFF in
+    let* s2 = int_bound 0xFFFFF in
+    return (n, s1, s2))
+
+let build (n, s1, s2) =
+  let mk seed =
+    let st = Random.State.make [| seed; n |] in
+    Tt.to_bdd man (Tt.create n (fun _ -> Random.State.bool st))
+  in
+  (mk s1, mk s2)
+
+let nonzero c = if Bdd.is_zero c then Bdd.one man else c
+
+let constrain_agrees_on_care =
+  Util.qtest ~count:300 "constrain(f,c) · c = f · c" gen_pair
+    (fun desc ->
+       let f, c = build desc in
+       let c = nonzero c in
+       Bdd.equal
+         (Bdd.dand man (Bdd.constrain man f c) c)
+         (Bdd.dand man f c))
+
+let restrict_agrees_on_care =
+  Util.qtest ~count:300 "restrict(f,c) · c = f · c" gen_pair
+    (fun desc ->
+       let f, c = build desc in
+       let c = nonzero c in
+       Bdd.equal
+         (Bdd.dand man (Bdd.restrict man f c) c)
+         (Bdd.dand man f c))
+
+let constrain_distributes =
+  Util.qtest ~count:300
+    "constrain distributes over Boolean connectives (the vector property)"
+    QCheck2.Gen.(
+      let* p = gen_pair in
+      let* s3 = int_bound 0xFFFFF in
+      return (p, s3))
+    (fun ((n, s1, s2), s3) ->
+       let f, g = build (n, s1, s2) in
+       let c =
+         let st = Random.State.make [| s3; n |] in
+         nonzero (Tt.to_bdd man (Tt.create n (fun _ -> Random.State.bool st)))
+       in
+       let co x = Bdd.constrain man x c in
+       Bdd.equal (co (Bdd.dand man f g)) (Bdd.dand man (co f) (co g))
+       && Bdd.equal (co (Bdd.dor man f g)) (Bdd.dor man (co f) (co g))
+       && Bdd.equal (co (Bdd.compl f)) (Bdd.compl (co f))
+       && Bdd.equal (co (Bdd.dxor man f g)) (Bdd.dxor man (co f) (co g)))
+
+let constrain_idempotent =
+  Util.qtest ~count:300 "constrain(constrain(f,c), c) = constrain(f,c)"
+    gen_pair
+    (fun desc ->
+       let f, c = build desc in
+       let c = nonzero c in
+       let once = Bdd.constrain man f c in
+       Bdd.equal (Bdd.constrain man once c) once)
+
+let constrain_of_care_is_one =
+  Util.qtest ~count:300 "constrain(c,c) = 1 and constrain(!c,c) = 0" gen_pair
+    (fun desc ->
+       let _, c = build desc in
+       let c = nonzero c in
+       Bdd.is_one (Bdd.constrain man c c)
+       && Bdd.is_zero (Bdd.constrain man (Bdd.compl c) c))
+
+let restrict_sibling_of_quantification =
+  Util.qtest ~count:300
+    "restrict ignores care variables outside f's support" gen_pair
+    (fun desc ->
+       let f, c = build desc in
+       let c = nonzero c in
+       (* quantifying a variable of c \\ supp(f) away first changes nothing *)
+       let extra =
+         List.filter
+           (fun v -> not (List.mem v (Bdd.support man f)))
+           (Bdd.support man c)
+       in
+       match extra with
+       | [] -> true
+       | v :: _ ->
+         Bdd.equal
+           (Bdd.restrict man f c)
+           (Bdd.restrict man f (Bdd.exists man [ v ] c)))
+
+let cache_clear_invariance =
+  Util.qtest ~count:100 "clearing caches never changes results" gen_pair
+    (fun desc ->
+       let f, c = build desc in
+       let a = Bdd.dand man f c in
+       Bdd.clear_caches man;
+       let b = Bdd.dand man f c in
+       Bdd.equal a b
+       &&
+       (let c' = nonzero c in
+        let r1 = Bdd.restrict man f c' in
+        Bdd.clear_caches man;
+        Bdd.equal r1 (Bdd.restrict man f c')))
+
+let ite_consensus =
+  Util.qtest ~count:300 "ite laws: consensus and complementation" gen_pair
+    (fun desc ->
+       let f, g = build desc in
+       let h = Bdd.dxor man f g in
+       let open Bdd in
+       equal (ite man f g h) (compl (ite man f (compl g) (compl h)))
+       && equal (ite man (compl f) g h) (ite man f h g)
+       && leq man (dand man g h) (ite man f g h)
+       && leq man (ite man f g h) (dor man g h))
+
+let quantifier_distribution =
+  Util.qtest ~count:300 "exists distributes over or, forall over and"
+    gen_pair
+    (fun desc ->
+       let f, g = build desc in
+       let vs = [ 0; 2 ] in
+       Bdd.equal
+         (Bdd.exists man vs (Bdd.dor man f g))
+         (Bdd.dor man (Bdd.exists man vs f) (Bdd.exists man vs g))
+       && Bdd.equal
+            (Bdd.forall man vs (Bdd.dand man f g))
+            (Bdd.dand man (Bdd.forall man vs f) (Bdd.forall man vs g)))
+
+let stress_canonicity_n8 =
+  Util.qtest ~count:40 "canonicity under n = 8 random constructions"
+    QCheck2.Gen.(int_bound 0xFFFFF)
+    (fun seed ->
+       let n = 8 in
+       let st = Random.State.make [| seed; n |] in
+       let tt = Tt.create n (fun _ -> Random.State.bool st) in
+       let direct = Tt.to_bdd man tt in
+       (* rebuild through a different recursive decomposition: Shannon on
+          the last variable first *)
+       let rec build vars fixed =
+         match vars with
+         | [] ->
+           if Tt.get tt fixed then Bdd.one man else Bdd.zero man
+         | v :: rest ->
+           Bdd.ite man (Bdd.ithvar man v)
+             (build rest (fixed lor (1 lsl v)))
+             (build rest fixed)
+       in
+       let reversed = build (List.rev (List.init n Fun.id)) 0 in
+       Bdd.equal direct reversed)
+
+let sibling_heuristics_insensitive_to_caches =
+  Util.qtest ~count:80 "heuristic results do not depend on cache state"
+    Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       let r1 =
+         Minimize.Sibling.run_heuristic man Minimize.Sibling.Tsm_cp s
+       in
+       Bdd.clear_caches man;
+       let r2 =
+         Minimize.Sibling.run_heuristic man Minimize.Sibling.Tsm_cp s
+       in
+       Bdd.equal r1 r2)
+
+let suite =
+  [
+    constrain_agrees_on_care;
+    restrict_agrees_on_care;
+    constrain_distributes;
+    constrain_idempotent;
+    constrain_of_care_is_one;
+    restrict_sibling_of_quantification;
+    cache_clear_invariance;
+    ite_consensus;
+    quantifier_distribution;
+    stress_canonicity_n8;
+    sibling_heuristics_insensitive_to_caches;
+  ]

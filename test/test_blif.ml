@@ -1,0 +1,170 @@
+(* BLIF reader/writer: parsing, elaboration, diagnostics, round trips. *)
+
+let simple_blif = {|
+# a tiny sequential circuit
+.model toggle
+.inputs en
+.outputs q carry
+.latch next q 0
+.names en q next
+10 1
+01 1
+.names en q carry
+11 1
+.end
+|}
+
+let parse_simple () =
+  match Fsm.Blif.parse simple_blif with
+  | Error e -> Alcotest.fail e
+  | Ok nl ->
+    Util.checki "latches" 1 (Fsm.Netlist.num_latches nl);
+    Util.checki "inputs" 1 (Fsm.Netlist.num_inputs nl);
+    (* simulate: q toggles while en *)
+    let st = ref (Fsm.Netlist.sim_initial nl) in
+    let qs = ref [] in
+    for _ = 1 to 3 do
+      let outs, st' = Fsm.Netlist.sim_step nl !st (fun _ -> true) in
+      qs := List.assoc "q" outs :: !qs;
+      st := st'
+    done;
+    Alcotest.(check (list bool)) "toggles" [ true; false ] (List.tl !qs)
+
+let dont_care_cover () =
+  let text = {|
+.model mux
+.inputs s a b
+.outputs o
+.names s a b o
+1-1 1
+01- 1
+.end
+|} in
+  match Fsm.Blif.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok nl ->
+    (* o = s?b:a — wait: rows are s·b and ¬s·a *)
+    let eval s a b =
+      let env = function "s" -> s | "a" -> a | "b" -> b | _ -> false in
+      List.assoc "o" (fst (Fsm.Netlist.sim_step nl (Fsm.Netlist.sim_initial nl) env))
+    in
+    Util.checkb "s=1 picks b" (eval true false true);
+    Util.checkb "s=1 ignores a" (not (eval true true false));
+    Util.checkb "s=0 picks a" (eval false true false)
+
+let const_functions () =
+  let text = {|
+.model consts
+.inputs x
+.outputs t f buf
+.names t
+1
+.names f
+.names x buf
+1 1
+.end
+|} in
+  match Fsm.Blif.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok nl ->
+    let outs, _ =
+      Fsm.Netlist.sim_step nl (Fsm.Netlist.sim_initial nl) (fun _ -> true)
+    in
+    Util.checkb "const 1" (List.assoc "t" outs);
+    Util.checkb "const 0" (not (List.assoc "f" outs));
+    Util.checkb "buffer" (List.assoc "buf" outs)
+
+let out_of_order_names () =
+  (* .names blocks in reverse dependency order must still elaborate. *)
+  let text = {|
+.model ooo
+.inputs a b
+.outputs o
+.names mid a o
+11 1
+.names a b mid
+11 1
+.end
+|} in
+  Util.checkb "ok" (Result.is_ok (Fsm.Blif.parse text))
+
+let latch_five_args () =
+  let text = {|
+.model l5
+.inputs d
+.outputs q
+.latch d q re clk 1
+.end
+|} in
+  match Fsm.Blif.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok nl ->
+    let outs, _ =
+      Fsm.Netlist.sim_step nl (Fsm.Netlist.sim_initial nl) (fun _ -> false)
+    in
+    Util.checkb "init 1" (List.assoc "q" outs)
+
+let continuation_and_comments () =
+  let text =
+    ".model c\n.inputs a \\\nb\n.outputs o # trailing comment\n.names a b o\n11 1\n.end\n"
+  in
+  match Fsm.Blif.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok nl -> Util.checki "both inputs" 2 (Fsm.Netlist.num_inputs nl)
+
+let errors () =
+  let cases =
+    [
+      (".model m\n.inputs a\n.outputs o\n.names a o\n1 0\n.end", "offset cover");
+      (".model m\n.outputs o\n.end", "undefined output");
+      (".model m\n.inputs a\n.outputs o\n.names o o\n1 1\n.end", "cycle");
+      (".model m\n.inputs a\n.outputs a\n.names a a2\nrow\n.end", "bad row");
+    ]
+  in
+  List.iter
+    (fun (text, what) ->
+       Util.checkb what (Result.is_error (Fsm.Blif.parse text)))
+    cases
+
+let roundtrip_counter () =
+  (* print then reparse a generated machine; must stay equivalent. *)
+  let nl = Circuits.Counter.make ~width:3 () in
+  let printed = Fsm.Blif.print nl in
+  match Fsm.Blif.parse printed with
+  | Error e -> Alcotest.fail e
+  | Ok nl2 ->
+    let man = Bdd.new_man () in
+    (match Fsm.Equiv.check man nl nl2 with
+     | Fsm.Equiv.Equivalent _ -> ()
+     | Fsm.Equiv.Not_equivalent _ -> Alcotest.fail "round trip changed behaviour")
+
+let roundtrip_random =
+  Util.qtest ~count:20 "print/parse round trip preserves behaviour (random FSMs)"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+       let nl =
+         Circuits.Random_fsm.make
+           { Circuits.Random_fsm.latches = 4; inputs = 2; depth = 2; seed }
+       in
+       let printed = Fsm.Blif.print nl in
+       match Fsm.Blif.parse printed with
+       | Error _ -> false
+       | Ok nl2 ->
+         let man = Bdd.new_man () in
+         (match Fsm.Equiv.check man nl nl2 with
+          | Fsm.Equiv.Equivalent _ -> true
+          | Fsm.Equiv.Not_equivalent _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "parse simple machine" `Quick parse_simple;
+    Alcotest.test_case "cover with dashes" `Quick dont_care_cover;
+    Alcotest.test_case "constants and buffers" `Quick const_functions;
+    Alcotest.test_case "out-of-order .names" `Quick out_of_order_names;
+    Alcotest.test_case "5-argument .latch" `Quick latch_five_args;
+    Alcotest.test_case "continuations and comments" `Quick
+      continuation_and_comments;
+    Alcotest.test_case "malformed inputs rejected" `Quick errors;
+    Alcotest.test_case "round trip counter" `Quick roundtrip_counter;
+    roundtrip_random;
+  ]

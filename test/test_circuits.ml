@@ -1,0 +1,213 @@
+(* Benchmark circuit generators: behavioural checks via simulation and
+   known reachable-set sizes. *)
+
+module N = Fsm.Netlist
+
+let word_of outs prefix =
+  List.fold_left
+    (fun acc (n, b) ->
+       let pl = String.length prefix in
+       if b && String.length n > pl && String.sub n 0 pl = prefix then
+         match int_of_string_opt (String.sub n pl (String.length n - pl)) with
+         | Some i -> acc lor (1 lsl i)
+         | None -> acc
+       else acc)
+    0 outs
+
+let gray_code_steps () =
+  (* consecutive Gray outputs differ in exactly one bit *)
+  let nl = Circuits.Gray.make ~width:5 in
+  let st = ref (N.sim_initial nl) in
+  let prev = ref None in
+  for _ = 1 to 40 do
+    let outs, st' = N.sim_step nl !st (fun _ -> true) in
+    let g = word_of outs "g" in
+    (match !prev with
+     | Some p ->
+       let diff = p lxor g in
+       Util.checkb "one bit flips" (diff <> 0 && diff land (diff - 1) = 0)
+     | None -> ());
+    prev := Some g;
+    st := st'
+  done
+
+let lfsr_period =
+  Util.qtest ~count:6 "maximal LFSR has period 2^w - 1"
+    QCheck2.Gen.(int_range 3 8)
+    (fun width ->
+       let nl = Circuits.Lfsr.make ~width () in
+       let st = ref (N.sim_initial nl) in
+       let step () =
+         let outs, st' = N.sim_step nl !st (fun _ -> false) in
+         st := st';
+         word_of outs "q"
+       in
+       let start = step () in
+       let rec go i =
+         let v = step () in
+         if v = start then i else if i > 1 lsl width then -1 else go (i + 1)
+       in
+       start = 1 && go 1 = (1 lsl width) - 1)
+
+let multiplier_multiplies =
+  Util.qtest ~count:60 "serial multiplier computes a*m"
+    QCheck2.Gen.(
+      let* a = int_bound 15 in
+      let* m = int_bound 15 in
+      return (a, m))
+    (fun (a, m) ->
+       let nl = Circuits.Mult.make ~width:4 in
+       let st = ref (N.sim_initial nl) in
+       let env ~start name =
+         if name = "start" then start
+         else
+           let v = if name.[0] = 'a' then a else m in
+           let idx = int_of_string (String.sub name 1 (String.length name - 1)) in
+           (v lsr idx) land 1 = 1
+       in
+       (* pulse start, then run until not busy *)
+       let _, st1 = N.sim_step nl !st (env ~start:true) in
+       st := st1;
+       let rec run i =
+         let outs, st' = N.sim_step nl !st (env ~start:false) in
+         st := st';
+         if List.assoc "busy" outs && i < 20 then run (i + 1) else outs
+       in
+       let outs = run 0 in
+       word_of outs "p" = a * m)
+
+let minmax_tracks =
+  Util.qtest ~count:40 "minmax tracks running extremes"
+    QCheck2.Gen.(list_size (int_range 1 10) (int_bound 15))
+    (fun stream ->
+       let nl = Circuits.Minmax.make ~width:4 in
+       let st = ref (N.sim_initial nl) in
+       let feed d =
+         let env name =
+           if name = "clear" then false
+           else
+             let idx = int_of_string (String.sub name 1 (String.length name - 1)) in
+             (d lsr idx) land 1 = 1
+         in
+         let outs, st' = N.sim_step nl !st env in
+         st := st';
+         outs
+       in
+       let final = List.fold_left (fun _ d -> feed d) [] stream in
+       ignore final;
+       (* read registers after the whole stream via one more step *)
+       let outs = feed (List.hd stream) in
+       let mn = word_of outs "min" and mx = word_of outs "max" in
+       mn = List.fold_left min 15 stream && mx = List.fold_left max 0 stream)
+
+let tlc_safety () =
+  (* never both directions green; farm light eventually green when a car
+     waits *)
+  let nl = Circuits.Tlc.make () in
+  let st = ref (N.sim_initial nl) in
+  let farm_green = ref false in
+  for _ = 1 to 60 do
+    let outs, st' = N.sim_step nl !st (fun _ -> true) in
+    st := st';
+    let hg = List.assoc "hl_green" outs and fg = List.assoc "fl_green" outs in
+    Util.checkb "not both green" (not (hg && fg));
+    Util.checkb "red opposite green"
+      ((not hg) || List.assoc "fl_red" outs);
+    if fg then farm_green := true
+  done;
+  Util.checkb "farm served" !farm_green
+
+let arbiter_properties =
+  Util.qtest ~count:50 "arbiter: grants only requests, at most one"
+    QCheck2.Gen.(int_bound 0xFFFF)
+    (fun seed ->
+       let nl = Circuits.Arbiter.make ~clients:4 in
+       let rng = Random.State.make [| seed |] in
+       let st = ref (N.sim_initial nl) in
+       let ok = ref true in
+       for _ = 1 to 12 do
+         let reqs = Array.init 4 (fun _ -> Random.State.bool rng) in
+         let env name =
+           let idx = int_of_string (String.sub name 3 (String.length name - 3)) in
+           reqs.(idx)
+         in
+         let outs, st' = N.sim_step nl !st env in
+         st := st';
+         let grants =
+           List.filter
+             (fun (n, b) -> b && String.length n > 3 && String.sub n 0 3 = "gnt")
+             outs
+         in
+         (* at most one grant *)
+         if List.length grants > 1 then ok := false;
+         (* grants only to requesters *)
+         List.iter
+           (fun (n, _) ->
+              let idx = int_of_string (String.sub n 3 (String.length n - 3)) in
+              if not reqs.(idx) then ok := false)
+           grants;
+         (* some request implies some grant *)
+         if Array.exists Fun.id reqs && grants = [] then ok := false
+       done;
+       !ok)
+
+let cbp_adds =
+  Util.qtest ~count:60 "pipelined adder produces a+b after the fill"
+    QCheck2.Gen.(
+      let* a = int_bound 255 in
+      let* b = int_bound 255 in
+      return (a, b))
+    (fun (a, b) ->
+       let nl = Circuits.Cbp.make ~width:8 ~stages:2 in
+       let st = ref (N.sim_initial nl) in
+       let env name =
+         let v = if name.[0] = 'a' then a else b in
+         let idx = int_of_string (String.sub name 1 (String.length name - 1)) in
+         (v lsr idx) land 1 = 1
+       in
+       (* hold inputs steady for the pipeline depth *)
+       let outs = ref [] in
+       for _ = 1 to 2 do
+         let o, st' = N.sim_step nl !st env in
+         outs := o;
+         st := st'
+       done;
+       let sum = word_of !outs "s" in
+       let cout = List.assoc "cout" !outs in
+       sum = (a + b) land 255 && cout = (a + b > 255))
+
+let random_fsm_deterministic () =
+  let p = { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed = 7 } in
+  let a = Circuits.Random_fsm.make p and b = Circuits.Random_fsm.make p in
+  let man = Bdd.new_man () in
+  match Fsm.Equiv.check man a b with
+  | Fsm.Equiv.Equivalent _ -> ()
+  | Fsm.Equiv.Not_equivalent _ -> Alcotest.fail "same seed, different FSM"
+
+let registry_sane () =
+  Util.checki "fifteen benchmarks" 15 (List.length Circuits.Registry.all);
+  List.iter
+    (fun (b : Circuits.Registry.bench) ->
+       let nl = b.Circuits.Registry.build () in
+       Util.checkb (b.Circuits.Registry.name ^ " nonempty")
+         (N.num_latches nl > 0))
+    Circuits.Registry.all;
+  Util.checkb "quick subset"
+    (List.for_all
+       (fun (b : Circuits.Registry.bench) ->
+          List.memq b Circuits.Registry.all)
+       Circuits.Registry.quick)
+
+let suite =
+  [
+    Alcotest.test_case "gray code single-bit steps" `Quick gray_code_steps;
+    lfsr_period;
+    multiplier_multiplies;
+    minmax_tracks;
+    Alcotest.test_case "tlc safety and liveness" `Quick tlc_safety;
+    arbiter_properties;
+    cbp_adds;
+    Alcotest.test_case "random FSM deterministic" `Quick
+      random_fsm_deterministic;
+    Alcotest.test_case "registry sanity" `Quick registry_sane;
+  ]

@@ -1,0 +1,119 @@
+(* The exact minimizer and the Theorem 7 lower bound: sandwich
+   properties, budget guards, witness validity. *)
+
+module I = Minimize.Ispec
+module E = Minimize.Exact
+module LB = Minimize.Lower_bound
+
+let man = Util.man
+let nvars = 5
+
+let exact_is_cover_and_minimal =
+  Util.qtest ~count:100 "exact result is a cover no heuristic beats"
+    Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       match E.minimize man s with
+       | None -> true
+       | Some r ->
+         Util.tt_is_cover ~nvars s r.E.cover
+         && Bdd.size man r.E.cover = r.E.size
+         && List.for_all
+              (fun (e : Minimize.Registry.entry) ->
+                 Bdd.size man (e.run man s) >= r.E.size)
+              Minimize.Registry.all)
+
+let sandwich =
+  Util.qtest ~count:100 "low_bd <= exact <= every heuristic"
+    Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       match E.minimum_size man s with
+       | None -> true
+       | Some m ->
+         let lb = LB.compute man s in
+         lb <= m
+         && List.for_all
+              (fun (e : Minimize.Registry.entry) ->
+                 Bdd.size man (e.run man s) >= m)
+              Minimize.Registry.proper)
+
+let exact_no_dc_is_f =
+  Util.qtest ~count:100 "c = 1: the only cover is f itself"
+    Util.gen_instance
+    (fun desc ->
+       let f, _ = Util.build_instance desc in
+       let s = I.make ~f ~c:(Bdd.one man) in
+       match E.minimize man s with
+       | None -> true
+       | Some r -> Bdd.equal r.E.cover f && r.E.covers_tried = 1)
+
+let exact_all_dc_is_constant () =
+  let f = Util.random_bdd 3 in
+  let s = I.make ~f ~c:(Bdd.zero man) in
+  match E.minimize man s with
+  | Some r -> Util.checki "constant" 1 r.E.size
+  | None -> Alcotest.fail "within budget"
+
+let budget_guards () =
+  let s = Util.random_ispec_nonzero 5 in
+  Util.checkb "support guard" (E.minimize man ~max_support:2 s = None
+                               || List.length (Bdd.support man s.I.f
+                                               @ Bdd.support man s.I.c) <= 4);
+  Util.checkb "dc guard" (E.minimize man ~max_dc:0 s = None
+                          || Bdd.is_one s.I.c)
+
+let exact_figure1 () =
+  (* The quickstart instance: minimum size 2 (a single-literal cover). *)
+  let f_tt, c_tt = Logic.Truth_table.paper_instance "d1d1 01dd" in
+  let s =
+    I.make ~f:(Logic.Truth_table.to_bdd man f_tt)
+      ~c:(Logic.Truth_table.to_bdd man c_tt)
+  in
+  match E.minimize man s with
+  | Some r -> Util.checki "figure 1 minimum" 2 r.E.size
+  | None -> Alcotest.fail "within budget"
+
+let lower_bound_witness =
+  Util.qtest ~count:150 "lower-bound witness cube is a cube of c"
+    Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       let bound, cube = LB.witness man s in
+       let p = Bdd.Cube.of_cube man cube in
+       bound >= 1
+       && Bdd.leq man p s.I.c
+       && Bdd.size man (Bdd.constrain man s.I.f p) = bound)
+
+let lower_bound_monotone_in_cubes =
+  Util.qtest ~count:150 "more cubes never lower the bound" Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       LB.compute man ~cube_limit:1 ~include_short_cube:false s
+       <= LB.compute man ~cube_limit:1000 ~include_short_cube:false s)
+
+let lower_bound_full_care () =
+  (* c = 1: the bound must equal |f| (the only cover). *)
+  let f = Util.random_bdd 4 in
+  let s = I.make ~f ~c:(Bdd.one man) in
+  Util.checki "tight at c=1" (Bdd.size man f) (LB.compute man s)
+
+let lower_bound_empty_care () =
+  let s = I.make ~f:(Bdd.ithvar man 0) ~c:(Bdd.zero man) in
+  Alcotest.check_raises "empty care"
+    (Invalid_argument "Lower_bound.witness: empty care set")
+    (fun () -> ignore (LB.compute man s))
+
+let suite =
+  [
+    exact_is_cover_and_minimal;
+    sandwich;
+    exact_no_dc_is_f;
+    Alcotest.test_case "all DC -> constant" `Quick exact_all_dc_is_constant;
+    Alcotest.test_case "budget guards" `Quick budget_guards;
+    Alcotest.test_case "figure 1 exact minimum" `Quick exact_figure1;
+    lower_bound_witness;
+    lower_bound_monotone_in_cubes;
+    Alcotest.test_case "bound tight at c=1" `Quick lower_bound_full_care;
+    Alcotest.test_case "bound rejects empty care" `Quick lower_bound_empty_care;
+  ]

@@ -1,0 +1,93 @@
+(* Explicit-state oracle vs. the symbolic engine. *)
+
+let explicit_matches_symbolic =
+  Util.qtest ~count:25 "explicit and symbolic reachability agree"
+    QCheck2.Gen.(int_bound 2000)
+    (fun seed ->
+       let nl =
+         Circuits.Random_fsm.make
+           { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed }
+       in
+       let explicit = Fsm.Explicit.reachable nl in
+       let man = Bdd.new_man () in
+       let sym = Fsm.Symbolic.of_netlist man nl in
+       let _, st = Fsm.Reach.reachable sym in
+       float_of_int explicit.Fsm.Explicit.states
+       = st.Fsm.Reach.reached_states)
+
+let explicit_matches_symbolic_suite () =
+  List.iter
+    (fun (name, expected) ->
+       let b = Option.get (Circuits.Registry.find name) in
+       let st = Fsm.Explicit.reachable (b.Circuits.Registry.build ()) in
+       Util.checki name expected st.Fsm.Explicit.states)
+    [ ("bcd2", 10); ("johnson8", 16); ("tlc", 24); ("arbiter4", 4) ]
+
+let reachable_states_are_reachable () =
+  (* each enumerated state's characteristic cube is inside symbolic R *)
+  let nl = Circuits.Gray.make ~width:4 in
+  let states, st = Fsm.Explicit.reachable_states nl in
+  Util.checki "count matches list" st.Fsm.Explicit.states
+    (List.length states);
+  let man = Bdd.new_man () in
+  let sym = Fsm.Symbolic.of_netlist man nl in
+  let reached, _ = Fsm.Reach.reachable sym in
+  List.iter
+    (fun bits ->
+       let cube = Fsm.Symbolic.state_cube_of_ints sym bits in
+       Util.checkb "state in symbolic R" (Bdd.leq man cube reached))
+    states
+
+let depth_of_counter () =
+  let st = Fsm.Explicit.reachable (Circuits.Counter.make ~width:4 ()) in
+  Util.checki "16 states" 16 st.Fsm.Explicit.states;
+  Util.checki "depth 15" 15 st.Fsm.Explicit.depth
+
+let state_limit () =
+  Util.checkb "limit enforced"
+    (match
+       Fsm.Explicit.reachable ~max_states:4 (Circuits.Counter.make ~width:5 ())
+     with
+     | exception Failure _ -> true
+     | _ -> false)
+
+let equivalence_oracle =
+  Util.qtest ~count:15 "explicit equivalence agrees with symbolic"
+    QCheck2.Gen.(int_bound 2000)
+    (fun seed ->
+       let p = { Circuits.Random_fsm.latches = 4; inputs = 2; depth = 2; seed } in
+       let nl1 = Circuits.Random_fsm.make ~name:"m1" p in
+       let nl2 =
+         Circuits.Random_fsm.make ~name:"m2"
+           { p with Circuits.Random_fsm.seed = seed + 1 }
+       in
+       let man = Bdd.new_man () in
+       let symbolic_same =
+         match Fsm.Equiv.check man nl1 nl2 with
+         | Fsm.Equiv.Equivalent _ -> true
+         | Fsm.Equiv.Not_equivalent _ -> false
+       in
+       let explicit_same =
+         match Fsm.Explicit.equivalent nl1 nl2 with
+         | Ok true -> true
+         | Ok false | Error _ -> false
+       in
+       (* also sanity: a machine is explicitly equivalent to itself *)
+       let self_same =
+         match Fsm.Explicit.equivalent nl1 nl1 with
+         | Ok true -> true
+         | Ok false | Error _ -> false
+       in
+       symbolic_same = explicit_same && self_same)
+
+let suite =
+  [
+    explicit_matches_symbolic;
+    Alcotest.test_case "known machine state counts" `Quick
+      explicit_matches_symbolic_suite;
+    Alcotest.test_case "states inside symbolic R" `Quick
+      reachable_states_are_reachable;
+    Alcotest.test_case "counter depth" `Quick depth_of_counter;
+    Alcotest.test_case "state limit" `Quick state_limit;
+    equivalence_oracle;
+  ]

@@ -1,0 +1,182 @@
+(* Fault injection: the three verification engines (symbolic, explicit,
+   simulation) must agree on every injected fault, and most faults must
+   be caught. *)
+
+let interface_preserved =
+  Util.qtest ~count:30 "mutations preserve the machine interface"
+    QCheck2.Gen.(int_bound 5000)
+    (fun seed ->
+       let nl =
+         Circuits.Random_fsm.make
+           { Circuits.Random_fsm.latches = 4; inputs = 2; depth = 3; seed }
+       in
+       match Circuits.Mutate.mutate ~seed nl with
+       | None -> true
+       | Some (nl', _) ->
+         let names l = List.sort compare (List.map fst l) in
+         names (Fsm.Netlist.inputs nl) = names (Fsm.Netlist.inputs nl')
+         && names (Fsm.Netlist.outputs nl) = names (Fsm.Netlist.outputs nl')
+         && names (Fsm.Netlist.latches nl) = names (Fsm.Netlist.latches nl'))
+
+let mutate_deterministic () =
+  let nl = Circuits.Tlc.make () in
+  let d seed =
+    match Circuits.Mutate.mutate ~seed nl with
+    | Some (_, m) -> m.Circuits.Mutate.description
+    | None -> ""
+  in
+  Alcotest.(check string) "same seed same mutation" (d 5) (d 5)
+
+let engines_agree =
+  Util.qtest ~count:25 "symbolic, explicit and simulation agree on faults"
+    QCheck2.Gen.(int_bound 5000)
+    (fun seed ->
+       let nl =
+         Circuits.Random_fsm.make
+           { Circuits.Random_fsm.latches = 4; inputs = 2; depth = 2; seed }
+       in
+       match Circuits.Mutate.mutate ~seed nl with
+       | None -> true
+       | Some (nl', _) ->
+         let man = Bdd.new_man () in
+         let symbolic =
+           match Fsm.Equiv.check man nl nl' with
+           | Fsm.Equiv.Equivalent _ -> true
+           | Fsm.Equiv.Not_equivalent _ -> false
+         in
+         let explicit =
+           match Fsm.Explicit.equivalent nl nl' with
+           | Ok true -> true
+           | Ok false | Error _ -> false
+         in
+         (* simulation can only refute; when it refutes, the others must
+            agree the machines differ *)
+         let sim_refutes =
+           match Fsm.Simcheck.compare_machines ~runs:16 ~steps:32 nl nl' with
+           | Ok () -> false
+           | Error _ -> true
+         in
+         symbolic = explicit && ((not sim_refutes) || not symbolic))
+
+let counterexamples_replay =
+  Util.qtest ~count:25 "simulation counterexamples replay to a divergence"
+    QCheck2.Gen.(int_bound 5000)
+    (fun seed ->
+       let nl =
+         Circuits.Random_fsm.make
+           { Circuits.Random_fsm.latches = 4; inputs = 2; depth = 2; seed }
+       in
+       match Circuits.Mutate.mutate ~seed nl with
+       | None -> true
+       | Some (nl', _) -> (
+           match Fsm.Simcheck.compare_machines ~runs:16 ~steps:32 nl nl' with
+           | Ok () -> true
+           | Error cex -> (
+               match Fsm.Simcheck.replay nl nl' cex.Fsm.Simcheck.inputs with
+               | Some (output, step) ->
+                 output = cex.Fsm.Simcheck.output
+                 && step = cex.Fsm.Simcheck.step
+               | None -> false)))
+
+let fault_campaign () =
+  (* Exhaustive single faults on the BCD counter: the engines agree on
+     every one, and a healthy majority is detected. *)
+  let nl = Circuits.Counter.modulo ~width:4 ~modulus:10 in
+  let faults = Circuits.Mutate.all_single_mutations nl in
+  Util.checkb "enough faults" (List.length faults > 50);
+  let detected = ref 0 in
+  List.iter
+    (fun (nl', m) ->
+       let man = Bdd.new_man () in
+       let symbolic =
+         match Fsm.Equiv.check man nl nl' with
+         | Fsm.Equiv.Equivalent _ -> true
+         | Fsm.Equiv.Not_equivalent _ -> false
+       in
+       let explicit =
+         match Fsm.Explicit.equivalent nl nl' with
+         | Ok true -> true
+         | Ok false | Error _ -> false
+       in
+       if symbolic <> explicit then
+         Alcotest.failf "engines disagree on %s" m.Circuits.Mutate.description;
+       if not symbolic then incr detected)
+    faults;
+  let rate = float_of_int !detected /. float_of_int (List.length faults) in
+  Util.checkb
+    (Printf.sprintf "detection rate %.0f%% above 50%%" (100. *. rate))
+    (rate > 0.5)
+
+let self_comparison_clean =
+  Util.qtest ~count:15 "simulation never refutes a machine against itself"
+    QCheck2.Gen.(int_bound 5000)
+    (fun seed ->
+       let nl =
+         Circuits.Random_fsm.make
+           { Circuits.Random_fsm.latches = 4; inputs = 2; depth = 3; seed }
+       in
+       Fsm.Simcheck.compare_machines ~runs:8 ~steps:32 nl nl = Ok ())
+
+let traces_replay =
+  Util.qtest ~count:20 "counterexample traces replay to a real divergence"
+    QCheck2.Gen.(int_bound 5000)
+    (fun seed ->
+       let nl =
+         Circuits.Random_fsm.make
+           { Circuits.Random_fsm.latches = 4; inputs = 2; depth = 2; seed }
+       in
+       match Circuits.Mutate.mutate ~seed nl with
+       | None -> true
+       | Some (nl', _) ->
+         let man = Bdd.new_man () in
+         let differ =
+           match Fsm.Equiv.check man nl nl' with
+           | Fsm.Equiv.Equivalent _ -> false
+           | Fsm.Equiv.Not_equivalent _ -> true
+         in
+         (match Fsm.Equiv.counterexample_trace man nl nl' with
+          | None -> not differ
+          | Some trace ->
+            differ
+            && (match Fsm.Simcheck.replay nl nl' trace with
+                | Some (_, step) -> step = List.length trace - 1
+                | None -> false)))
+
+let trace_on_known_fault () =
+  (* counters differing in initial value diverge at cycle 0 *)
+  let mk init =
+    let b = Fsm.Netlist.create "c" in
+    let en = Fsm.Netlist.input b "en" in
+    let q, set = Fsm.Netlist.word_latch b ~name:"q" ~width:2 ~init () in
+    let inc, _ = Fsm.Netlist.word_inc b q in
+    set (Fsm.Netlist.word_mux b ~sel:en ~t1:inc ~e0:q);
+    Array.iteri (fun i qi -> Fsm.Netlist.output b (Printf.sprintf "q%d" i) qi) q;
+    Fsm.Netlist.finalize b
+  in
+  let man = Bdd.new_man () in
+  match Fsm.Equiv.counterexample_trace man (mk 0) (mk 1) with
+  | Some trace ->
+    Util.checki "length 1" 1 (List.length trace);
+    (match Fsm.Simcheck.replay (mk 0) (mk 1) trace with
+     | Some (_, 0) -> ()
+     | _ -> Alcotest.fail "replay did not diverge at cycle 0")
+  | None -> Alcotest.fail "expected a trace"
+
+let no_trace_for_equivalent () =
+  let nl = Circuits.Tlc.make () in
+  let man = Bdd.new_man () in
+  Util.checkb "no trace" (Fsm.Equiv.counterexample_trace man nl nl = None)
+
+let suite =
+  [
+    interface_preserved;
+    Alcotest.test_case "mutations deterministic" `Quick mutate_deterministic;
+    engines_agree;
+    counterexamples_replay;
+    Alcotest.test_case "exhaustive fault campaign (bcd2)" `Quick fault_campaign;
+    self_comparison_clean;
+    traces_replay;
+    Alcotest.test_case "trace on a known fault" `Quick trace_on_known_fault;
+    Alcotest.test_case "no trace for equivalent machines" `Quick
+      no_trace_for_equivalent;
+  ]

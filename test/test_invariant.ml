@@ -1,0 +1,142 @@
+(* Safety checking with trace generation. *)
+
+module N = Fsm.Netlist
+module Sym = Fsm.Symbolic
+module Inv = Fsm.Invariant
+
+let counter_inv () =
+  (* AG (q < 12) on a 4-bit counter is violated at depth 12. *)
+  let man = Bdd.new_man () in
+  let sym = Sym.of_netlist man (Circuits.Counter.make ~width:4 ()) in
+  let q_lt_12 =
+    (* states with value < 12 over the 4 interleaved state vars *)
+    let states =
+      List.filter_map
+        (fun k ->
+           if k < 12 then
+             Some
+               (Sym.state_cube_of_ints sym
+                  (Array.init 4 (fun i -> (k lsr i) land 1 = 1)))
+           else None)
+        (List.init 16 Fun.id)
+    in
+    Bdd.disj man states
+  in
+  match Inv.check_state man sym ~invariant:q_lt_12 with
+  | Inv.Violated trace ->
+    Util.checki "depth 12" 12 (List.length trace);
+    (* replay: after the trace, the counter reads 12 *)
+    let nl = Circuits.Counter.make ~width:4 () in
+    let st = ref (N.sim_initial nl) in
+    List.iter
+      (fun assignment ->
+         let env name = List.assoc name assignment in
+         let _, st' = N.sim_step nl !st env in
+         st := st')
+      trace;
+    let value =
+      List.fold_left
+        (fun acc (n, b) ->
+           if b then
+             acc
+             lor (1 lsl int_of_string (String.sub n 2 (String.length n - 3)))
+           else acc)
+        0
+        (N.sim_latch_values nl !st)
+    in
+    Util.checki "counter reads 12" 12 value
+  | Inv.Holds _ -> Alcotest.fail "expected a violation"
+
+let counter_inv_holds () =
+  (* AG (q <= 15) trivially holds. *)
+  let man = Bdd.new_man () in
+  let sym = Sym.of_netlist man (Circuits.Counter.make ~width:4 ()) in
+  match Inv.check_state man sym ~invariant:(Bdd.one man) with
+  | Inv.Holds st -> Util.checki "16 iterations" 16 st.Fsm.Reach.iterations
+  | Inv.Violated _ -> Alcotest.fail "tautology violated"
+
+let tlc_safety () =
+  (* the traffic-light controller never shows green both ways:
+     AG ¬(hl_green ∧ fl_green) over the symbolic outputs *)
+  let nl = Circuits.Tlc.make () in
+  let man = Bdd.new_man () in
+  let sym = Sym.of_netlist man nl in
+  let hg = List.assoc "hl_green" sym.Sym.output_fns in
+  let fg = List.assoc "fl_green" sym.Sym.output_fns in
+  (* build the monitor condition directly over the symbolic outputs *)
+  let both = Bdd.dand man hg fg in
+  let bad = Bdd.exists man (Sym.input_support sym) both in
+  let reached, _ = Fsm.Reach.reachable sym in
+  Util.checkb "never both green" (Bdd.is_zero (Bdd.dand man reached bad))
+
+let johnson_one_hot_violation () =
+  (* "exactly one bit set" is false for a Johnson counter (e.g. at reset
+     all bits are 0): expect a violation at depth 0. *)
+  let man = Bdd.new_man () in
+  let nl = Circuits.Johnson.make ~width:4 in
+  let sym = Sym.of_netlist man nl in
+  let one_hot =
+    Bdd.disj man
+      (List.init 4 (fun j ->
+           Sym.state_cube_of_ints sym (Array.init 4 (fun i -> i = j))))
+  in
+  match Inv.check_state man sym ~invariant:one_hot with
+  | Inv.Violated trace -> Util.checki "violated at reset" 0 (List.length trace)
+  | Inv.Holds _ -> Alcotest.fail "expected a violation"
+
+let output_never =
+  Util.qtest ~count:12 "check_output_never agrees with reach + replay"
+    QCheck2.Gen.(int_bound 3000)
+    (fun seed ->
+       let nl =
+         Circuits.Random_fsm.make
+           { Circuits.Random_fsm.latches = 4; inputs = 2; depth = 2; seed }
+       in
+       let man = Bdd.new_man () in
+       let sym = Sym.of_netlist man nl in
+       match Inv.check_output_never man sym ~output:"o0" with
+       | Inv.Holds _ ->
+         (* the output must indeed never fire in simulation *)
+         let st = ref (N.sim_initial nl) in
+         let rng = Random.State.make [| seed; 3 |] in
+         let fired = ref false in
+         for _ = 1 to 64 do
+           let inputs =
+             List.map (fun (n, _) -> (n, Random.State.bool rng)) (N.inputs nl)
+           in
+           let outs, st' = N.sim_step nl !st (fun n -> List.assoc n inputs) in
+           if List.assoc "o0" outs then fired := true;
+           st := st'
+         done;
+         not !fired
+       | Inv.Violated trace ->
+         (* replay the trace; the last step must raise o0 *)
+         let st = ref (N.sim_initial nl) in
+         let last = ref false in
+         List.iter
+           (fun assignment ->
+              let env name = List.assoc name assignment in
+              let outs, st' = N.sim_step nl !st env in
+              last := List.assoc "o0" outs;
+              st := st')
+           trace;
+         !last)
+
+let unknown_output () =
+  let man = Bdd.new_man () in
+  let sym = Sym.of_netlist man (Circuits.Tlc.make ()) in
+  Util.checkb "raises"
+    (match Inv.check_output_never man sym ~output:"nope" with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "counter bound violated at depth 12" `Quick counter_inv;
+    Alcotest.test_case "tautology holds" `Quick counter_inv_holds;
+    Alcotest.test_case "tlc never both green" `Quick tlc_safety;
+    Alcotest.test_case "johnson not one-hot at reset" `Quick
+      johnson_one_hot_violation;
+    output_never;
+    Alcotest.test_case "unknown output rejected" `Quick unknown_output;
+  ]

@@ -1,0 +1,188 @@
+(* Truth tables and the Boolean expression language. *)
+
+module Tt = Logic.Truth_table
+module Bx = Logic.Bexpr
+
+let man = Util.man
+
+let tt_basics () =
+  let t = Tt.var 3 1 in
+  Util.checki "nvars" 3 (Tt.nvars t);
+  Util.checki "points" 8 (Tt.points t);
+  Util.checki "ones" 4 (Tt.count_ones t);
+  Util.checkb "get" (Tt.get t 2);
+  Util.checkb "get" (not (Tt.get t 1));
+  Util.checkb "const" (Tt.is_const (Tt.const 3 true) = Some true);
+  Util.checkb "not const" (Tt.is_const t = None)
+
+let tt_ops =
+  Util.qtest ~count:200 "truth table ops are pointwise"
+    QCheck2.Gen.(
+      let* n = int_range 0 6 in
+      let* s = int_bound 0xFFFF in
+      return (n, s))
+    (fun (n, s) ->
+       let st = Random.State.make [| s |] in
+       let a = Tt.create n (fun _ -> Random.State.bool st) in
+       let b = Tt.create n (fun _ -> Random.State.bool st) in
+       let ok op top =
+         let r = top a b in
+         List.for_all
+           (fun m -> Tt.get r m = op (Tt.get a m) (Tt.get b m))
+           (List.init (Tt.points a) Fun.id)
+       in
+       ok ( && ) Tt.band && ok ( || ) Tt.bor && ok ( <> ) Tt.bxor
+       && ok (fun x y -> x && not y) Tt.bdiff
+       && Tt.equal (Tt.bnot (Tt.bnot a)) a)
+
+let tt_bdd_roundtrip =
+  Util.qtest ~count:200 "truth table <-> BDD round trip"
+    QCheck2.Gen.(
+      let* n = int_range 0 6 in
+      let* s = int_bound 0xFFFF in
+      return (n, s))
+    (fun (n, s) ->
+       let st = Random.State.make [| s; n |] in
+       let t = Tt.create n (fun _ -> Random.State.bool st) in
+       Tt.equal t (Tt.of_bdd man ~nvars:n (Tt.to_bdd man t)))
+
+let paper_leaf_order () =
+  (* "0111" over two variables is x0 + x1 (leftmost leaf = both 0). *)
+  let t = Tt.of_bits "0111" in
+  let expected = Tt.bor (Tt.var 2 0) (Tt.var 2 1) in
+  Util.checkb "x0+x1" (Tt.equal t expected);
+  Alcotest.(check string) "pp round trip" "0111" (Format.asprintf "%a" Tt.pp t)
+
+let paper_instance_parse () =
+  let f, c = Tt.paper_instance "d1 01" in
+  Util.checkb "care" (Tt.equal c (Tt.of_bits "0111"));
+  Util.checkb "onset" (Tt.equal (Tt.band f c) (Tt.of_bits "0101"))
+
+let bad_inputs () =
+  Alcotest.check_raises "length" (Invalid_argument
+    "Truth_table.of_bits: length is not a power of two")
+    (fun () -> ignore (Tt.of_bits "011"));
+  Alcotest.check_raises "chars" (Invalid_argument
+    "Truth_table.of_bits: expected 0 or 1")
+    (fun () -> ignore (Tt.of_bits "01d1"))
+
+let parse_ok s expected () =
+  match Bx.parse s with
+  | Ok e -> Alcotest.(check string) s expected (Bx.to_string e)
+  | Error m -> Alcotest.fail m
+
+let parse_error () =
+  Util.checkb "unbalanced" (Result.is_error (Bx.parse "(a & b"));
+  Util.checkb "bad char" (Result.is_error (Bx.parse "a @ b"));
+  Util.checkb "trailing" (Result.is_error (Bx.parse "a b"));
+  Util.checkb "empty" (Result.is_error (Bx.parse ""))
+
+let precedence () =
+  let e = Bx.parse_exn "a | b & c ^ d" in
+  (* & tighter than ^ tighter than | *)
+  Alcotest.(check string) "prec" "a | b & c ^ d" (Bx.to_string e);
+  match e with
+  | Bx.Or (Bx.Var "a", Bx.Xor (Bx.And (Bx.Var "b", Bx.Var "c"), Bx.Var "d")) ->
+    ()
+  | _ -> Alcotest.fail "wrong parse tree"
+
+let eval_vs_bdd =
+  Util.qtest ~count:100 "expression eval agrees with its BDD"
+    QCheck2.Gen.(int_bound 0xFFFF)
+    (fun seed ->
+       let st = Random.State.make [| seed |] in
+       (* random expression over a,b,c *)
+       let rec gen d =
+         if d = 0 then
+           match Random.State.int st 4 with
+           | 0 -> Bx.Var "a"
+           | 1 -> Bx.Var "b"
+           | 2 -> Bx.Var "c"
+           | _ -> Bx.Const (Random.State.bool st)
+         else
+           match Random.State.int st 6 with
+           | 0 -> Bx.Not (gen (d - 1))
+           | 1 -> Bx.And (gen (d - 1), gen (d - 1))
+           | 2 -> Bx.Or (gen (d - 1), gen (d - 1))
+           | 3 -> Bx.Xor (gen (d - 1), gen (d - 1))
+           | 4 -> Bx.Imply (gen (d - 1), gen (d - 1))
+           | _ -> Bx.Iff (gen (d - 1), gen (d - 1))
+       in
+       let e = gen 4 in
+       let local = Bdd.new_man () in
+       let names = [ "a"; "b"; "c" ] in
+       let env name =
+         let rec idx i = function
+           | [] -> assert false
+           | n :: rest -> if n = name then i else idx (i + 1) rest
+         in
+         Bdd.ithvar local (idx 0 names)
+       in
+       let g = Bx.to_bdd local ~env e in
+       List.for_all
+         (fun m ->
+            let assign name =
+              let rec idx i = function
+                | [] -> assert false
+                | n :: rest -> if n = name then i else idx (i + 1) rest
+              in
+              (m lsr idx 0 names) land 1 = 1
+            in
+            Bx.eval e assign = Bdd.eval g (fun v -> (m lsr v) land 1 = 1))
+         (List.init 8 Fun.id))
+
+let pp_parse_roundtrip =
+  Util.qtest ~count:100 "printer output reparses to the same tree"
+    QCheck2.Gen.(int_bound 0xFFFF)
+    (fun seed ->
+       let st = Random.State.make [| seed; 77 |] in
+       let rec gen d =
+         if d = 0 then
+           match Random.State.int st 3 with
+           | 0 -> Bx.Var "x"
+           | 1 -> Bx.Var "y"
+           | _ -> Bx.Const true
+         else
+           match Random.State.int st 6 with
+           | 0 -> Bx.Not (gen (d - 1))
+           | 1 -> Bx.And (gen (d - 1), gen (d - 1))
+           | 2 -> Bx.Or (gen (d - 1), gen (d - 1))
+           | 3 -> Bx.Xor (gen (d - 1), gen (d - 1))
+           | 4 -> Bx.Imply (gen (d - 1), gen (d - 1))
+           | _ -> Bx.Iff (gen (d - 1), gen (d - 1))
+       in
+       let e = gen 5 in
+       Bx.parse_exn (Bx.to_string e) = e)
+
+let vars_order () =
+  let e = Bx.parse_exn "b & (a | b) ^ c" in
+  Alcotest.(check (list string)) "first appearance" [ "b"; "a"; "c" ]
+    (Bx.vars e)
+
+let to_bdd_auto_mapping () =
+  let e = Bx.parse_exn "p => q" in
+  let local = Bdd.new_man () in
+  let g, mapping = Bx.to_bdd_auto local e in
+  Alcotest.(check (list (pair string int))) "mapping" [ ("p", 0); ("q", 1) ]
+    mapping;
+  Util.checkb "implication" (Bdd.equal g
+    (Bdd.imply local (Bdd.ithvar local 0) (Bdd.ithvar local 1)))
+
+let suite =
+  [
+    Alcotest.test_case "truth table basics" `Quick tt_basics;
+    tt_ops;
+    tt_bdd_roundtrip;
+    Alcotest.test_case "paper leaf order" `Quick paper_leaf_order;
+    Alcotest.test_case "paper instance" `Quick paper_instance_parse;
+    Alcotest.test_case "of_bits errors" `Quick bad_inputs;
+    Alcotest.test_case "parse imply" `Quick
+      (parse_ok "a=>b | c" "a => b | c");
+    Alcotest.test_case "parse not" `Quick (parse_ok "!(a&b)" "!(a & b)");
+    Alcotest.test_case "parse errors" `Quick parse_error;
+    Alcotest.test_case "precedence" `Quick precedence;
+    eval_vs_bdd;
+    pp_parse_roundtrip;
+    Alcotest.test_case "vars order" `Quick vars_order;
+    Alcotest.test_case "to_bdd_auto" `Quick to_bdd_auto_mapping;
+  ]

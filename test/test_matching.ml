@@ -1,0 +1,175 @@
+(* Matching criteria (Definition 5) and their Table 1 properties. *)
+
+module M = Minimize.Matching
+module I = Minimize.Ispec
+
+let man = Util.man
+
+let gen_two =
+  QCheck2.Gen.(
+    let* a = Util.gen_instance in
+    let* b = Util.gen_instance in
+    return (a, b))
+
+let build (a, b) =
+  let n (x, _, _) = x in
+  (* Use the same variable count for both so supports overlap. *)
+  let nmax = max (n a) (n b) in
+  let fix (_, f, c) = (nmax, f, c) in
+  (Util.build_ispec_nonzero (fix a), Util.build_ispec_nonzero (fix b))
+
+let definitions =
+  Util.qtest ~count:400 "criteria match their logical definitions" gen_two
+    (fun pair ->
+       let s1, s2 = build pair in
+       let xor_care c = Bdd.dand man (Bdd.dxor man s1.I.f s2.I.f) c in
+       M.matches man M.Osdm s1 s2 = Bdd.is_zero s1.I.c
+       && M.matches man M.Osm s1 s2
+          = (Bdd.leq man s1.I.c s2.I.c && Bdd.is_zero (xor_care s1.I.c))
+       && M.matches man M.Tsm s1 s2
+          = Bdd.is_zero (xor_care (Bdd.dand man s1.I.c s2.I.c)))
+
+let hierarchy =
+  Util.qtest ~count:400 "osdm => osm => tsm (Definition 5 hierarchy)" gen_two
+    (fun pair ->
+       let s1, s2 = build pair in
+       let implies a b = (not a) || b in
+       implies (M.matches man M.Osdm s1 s2) (M.matches man M.Osm s1 s2)
+       && implies (M.matches man M.Osm s1 s2) (M.matches man M.Tsm s1 s2))
+
+let i_cover_is_common =
+  Util.qtest ~count:400 "i_cover yields a common i-cover" gen_two
+    (fun pair ->
+       let s1, s2 = build pair in
+       List.for_all
+         (fun crit ->
+            match M.i_cover man crit s1 s2 with
+            | None -> true
+            | Some cover ->
+              I.is_i_cover man cover s1 && I.is_i_cover man cover s2)
+         M.all)
+
+let i_cover_maximal_dc =
+  Util.qtest ~count:400 "i-cover care set is minimal (maximal DC)" gen_two
+    (fun pair ->
+       let s1, s2 = build pair in
+       (* The common i-cover's care set must not exceed c1 + c2. *)
+       List.for_all
+         (fun crit ->
+            match M.i_cover man crit s1 s2 with
+            | None -> true
+            | Some cover ->
+              Bdd.leq man cover.I.c (Bdd.dor man s1.I.c s2.I.c))
+         M.all)
+
+(* Table 1: check each property against randomized instances; reflexivity
+   and symmetry must hold/fail exactly as the table says.  For the negative
+   entries we exhibit a concrete counterexample. *)
+
+let table1_reflexive =
+  Util.qtest ~count:400 "reflexive criteria match themselves"
+    Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       List.for_all
+         (fun crit ->
+            (not (M.reflexive crit)) || M.matches man crit s s)
+         M.all)
+
+let table1_reflexive_negative () =
+  (* osdm is not reflexive: any instance with c <> 0. *)
+  let v = Bdd.ithvar man 0 in
+  let s = I.make ~f:v ~c:v in
+  Util.checkb "osdm not reflexive" (not (M.matches man M.Osdm s s))
+
+let table1_symmetric =
+  Util.qtest ~count:400 "tsm is symmetric" gen_two
+    (fun pair ->
+       let s1, s2 = build pair in
+       M.matches man M.Tsm s1 s2 = M.matches man M.Tsm s2 s1)
+
+let table1_symmetric_negative () =
+  (* osm is not symmetric: [f; 0] osm [f; 1] but not conversely. *)
+  let v = Bdd.ithvar man 0 in
+  let s1 = I.make ~f:v ~c:(Bdd.zero man) in
+  let s2 = I.make ~f:v ~c:(Bdd.one man) in
+  Util.checkb "osm forward" (M.matches man M.Osm s1 s2);
+  Util.checkb "osm not backward" (not (M.matches man M.Osm s2 s1));
+  Util.checkb "osdm forward" (M.matches man M.Osdm s1 s2);
+  Util.checkb "osdm not backward" (not (M.matches man M.Osdm s2 s1))
+
+let table1_transitive =
+  Util.qtest ~count:300 "osdm and osm are transitive"
+    QCheck2.Gen.(
+      let* a = Util.gen_instance in
+      let* b = Util.gen_instance in
+      let* c = Util.gen_instance in
+      return (a, b, c))
+    (fun (a, b, c) ->
+       let n (x, _, _) = x in
+       let nmax = max (n a) (max (n b) (n c)) in
+       let fix (_, f, s) = (nmax, f, s) in
+       let s1 = Util.build_ispec_nonzero (fix a)
+       and s2 = Util.build_ispec_nonzero (fix b)
+       and s3 = Util.build_ispec_nonzero (fix c) in
+       List.for_all
+         (fun crit ->
+            (not (M.transitive crit))
+            || (not (M.matches man crit s1 s2))
+            || (not (M.matches man crit s2 s3))
+            || M.matches man crit s1 s3)
+         M.all)
+
+let table1_transitive_negative () =
+  (* tsm is not transitive: x tsm [?; 0] tsm !x but x does not tsm !x. *)
+  let v = Bdd.ithvar man 0 in
+  let s1 = I.make ~f:v ~c:(Bdd.one man) in
+  let s2 = I.make ~f:v ~c:(Bdd.zero man) in
+  let s3 = I.make ~f:(Bdd.compl v) ~c:(Bdd.one man) in
+  Util.checkb "1 tsm 2" (M.matches man M.Tsm s1 s2);
+  Util.checkb "2 tsm 3" (M.matches man M.Tsm s2 s3);
+  Util.checkb "1 not tsm 3" (not (M.matches man M.Tsm s1 s3))
+
+let table1_static () =
+  (* The table itself. *)
+  let expect crit r s t =
+    Util.checkb (M.name crit ^ " reflexive") (M.reflexive crit = r);
+    Util.checkb (M.name crit ^ " symmetric") (M.symmetric crit = s);
+    Util.checkb (M.name crit ^ " transitive") (M.transitive crit = t)
+  in
+  expect M.Osdm false false true;
+  expect M.Osm true false true;
+  expect M.Tsm true true false
+
+let match_either_directions () =
+  let v = Bdd.ithvar man 0 in
+  let s1 = I.make ~f:v ~c:(Bdd.zero man) in
+  let s2 = I.make ~f:(Bdd.compl v) ~c:(Bdd.one man) in
+  (* Only the s1 -> s2 direction matches under osdm; match_either finds it
+     regardless of argument order. *)
+  Util.checkb "forward" (M.match_either man M.Osdm s1 s2 <> None);
+  Util.checkb "backward" (M.match_either man M.Osdm s2 s1 <> None)
+
+let names () =
+  List.iter
+    (fun crit ->
+       Util.checkb "name round trip" (M.of_name (M.name crit) = Some crit))
+    M.all;
+  Util.checkb "unknown" (M.of_name "bogus" = None)
+
+let suite =
+  [
+    definitions;
+    hierarchy;
+    i_cover_is_common;
+    i_cover_maximal_dc;
+    table1_reflexive;
+    Alcotest.test_case "osdm not reflexive" `Quick table1_reflexive_negative;
+    table1_symmetric;
+    Alcotest.test_case "osm/osdm not symmetric" `Quick table1_symmetric_negative;
+    table1_transitive;
+    Alcotest.test_case "tsm not transitive" `Quick table1_transitive_negative;
+    Alcotest.test_case "Table 1 values" `Quick table1_static;
+    Alcotest.test_case "match_either tries both ways" `Quick match_either_directions;
+    Alcotest.test_case "criterion names" `Quick names;
+  ]

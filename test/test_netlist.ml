@@ -1,0 +1,150 @@
+(* Netlists: builder integrity, word-level arithmetic against integer
+   oracles, simulation. *)
+
+module N = Fsm.Netlist
+
+let word_width = 6
+let mask = (1 lsl word_width) - 1
+
+(* Build a purely combinational netlist computing a word function of two
+   inputs, and check against an integer oracle via simulation. *)
+let check_word_op name build oracle =
+  Util.qtest ~count:150 name
+    QCheck2.Gen.(
+      let* a = int_bound mask in
+      let* b = int_bound mask in
+      return (a, b))
+    (fun (a, b) ->
+       let bld = N.create "t" in
+       let ain =
+         Array.init word_width (fun i -> N.input bld (Printf.sprintf "a%d" i))
+       in
+       let bin =
+         Array.init word_width (fun i -> N.input bld (Printf.sprintf "b%d" i))
+       in
+       let result = build bld ain bin in
+       Array.iteri
+         (fun i s -> N.output bld (Printf.sprintf "r%d" i) s)
+         result;
+       let nl = N.finalize bld in
+       let env name =
+         let v = if name.[0] = 'a' then a else b in
+         let idx = int_of_string (String.sub name 1 (String.length name - 1)) in
+         (v lsr idx) land 1 = 1
+       in
+       let outs, _ = N.sim_step nl (N.sim_initial nl) env in
+       let got =
+         List.fold_left
+           (fun acc (n, bit) ->
+              if bit then
+                acc
+                lor (1 lsl int_of_string (String.sub n 1 (String.length n - 1)))
+              else acc)
+           0 outs
+       in
+       got = oracle a b)
+
+let add = check_word_op "word_add = integer addition"
+    (fun b x y -> fst (N.word_add b x y))
+    (fun a b -> (a + b) land mask)
+
+let inc = check_word_op "word_inc = +1"
+    (fun b x _ -> fst (N.word_inc b x))
+    (fun a _ -> (a + 1) land mask)
+
+let band = check_word_op "word_and" N.word_and (fun a b -> a land b)
+let bor = check_word_op "word_or" N.word_or (fun a b -> a lor b)
+let bxor = check_word_op "word_xor" N.word_xor (fun a b -> a lxor b)
+
+let bnot = check_word_op "word_not"
+    (fun b x _ -> N.word_not b x)
+    (fun a _ -> lnot a land mask)
+
+let eq = check_word_op "word_eq"
+    (fun b x y -> [| N.word_eq b x y |])
+    (fun a b -> if a = b then 1 else 0)
+
+let lt = check_word_op "word_lt (unsigned)"
+    (fun b x y -> [| N.word_lt b x y |])
+    (fun a b -> if a < b then 1 else 0)
+
+let muxes = check_word_op "word_mux by a=0"
+    (fun b x y ->
+       let sel = N.word_eq b x (N.word_const b ~width:word_width 0) in
+       N.word_mux b ~sel ~t1:y ~e0:x)
+    (fun a b -> if a = 0 then b else a)
+
+let carry_out () =
+  let b = N.create "t" in
+  let x = N.word_const b ~width:3 7 in
+  let y = N.word_const b ~width:3 1 in
+  let _, carry = N.word_add b x y in
+  N.output b "c" carry;
+  let nl = N.finalize b in
+  let outs, _ = N.sim_step nl (N.sim_initial nl) (fun _ -> false) in
+  Util.checkb "carry out of 7+1" (List.assoc "c" outs)
+
+let dangling_latch () =
+  let b = N.create "t" in
+  let _q, _set = N.latch b ~name:"l" ~init:false () in
+  Alcotest.check_raises "dangling"
+    (Invalid_argument "Netlist.finalize: latch l has no next state")
+    (fun () -> ignore (N.finalize b))
+
+let double_set () =
+  let b = N.create "t" in
+  let q, set = N.latch b ~name:"l" ~init:false () in
+  set q;
+  Alcotest.check_raises "double set"
+    (Invalid_argument "Netlist.latch: next already set for l")
+    (fun () -> set q)
+
+let duplicate_names () =
+  let b = N.create "t" in
+  let i1 = N.input b "x" in
+  let _ = N.input b "x" in
+  N.output b "o" i1;
+  Alcotest.check_raises "dup input"
+    (Invalid_argument "Netlist.finalize: duplicate input x")
+    (fun () -> ignore (N.finalize b))
+
+let latch_holds_state () =
+  (* A latch fed by its own complement alternates. *)
+  let b = N.create "t" in
+  let q, set = N.latch b ~name:"l" ~init:false () in
+  set (N.not_gate b q);
+  N.output b "q" q;
+  let nl = N.finalize b in
+  let st = ref (N.sim_initial nl) in
+  let seen = ref [] in
+  for _ = 1 to 4 do
+    let outs, st' = N.sim_step nl !st (fun _ -> false) in
+    seen := List.assoc "q" outs :: !seen;
+    st := st'
+  done;
+  Alcotest.(check (list bool)) "toggle" [ true; false; true; false ] !seen
+
+let stats_inspection () =
+  let nl = Circuits.Counter.make ~width:3 () in
+  Util.checki "latches" 3 (N.num_latches nl);
+  Util.checki "inputs" 1 (N.num_inputs nl);
+  Util.checkb "stats mentions name" (Util.contains (N.stats nl) "counter3")
+
+let suite =
+  [
+    add;
+    inc;
+    band;
+    bor;
+    bxor;
+    bnot;
+    eq;
+    lt;
+    muxes;
+    Alcotest.test_case "carry out" `Quick carry_out;
+    Alcotest.test_case "dangling latch rejected" `Quick dangling_latch;
+    Alcotest.test_case "double next rejected" `Quick double_set;
+    Alcotest.test_case "duplicate input rejected" `Quick duplicate_names;
+    Alcotest.test_case "latch alternates" `Quick latch_holds_state;
+    Alcotest.test_case "stats and inspection" `Quick stats_inspection;
+  ]

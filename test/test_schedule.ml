@@ -1,0 +1,107 @@
+(* The §3.4 windowed schedule and the minimizer registry. *)
+
+module I = Minimize.Ispec
+module Sch = Minimize.Schedule
+module R = Minimize.Registry
+
+let man = Util.man
+let nvars = 5
+
+let schedule_covers =
+  Util.qtest ~count:250 "schedule returns a cover (default parameters)"
+    Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       Util.tt_is_cover ~nvars s (Sch.run man s))
+
+let schedule_param_space =
+  Util.qtest ~count:100 "schedule returns covers across parameter space"
+    QCheck2.Gen.(
+      let* desc = Util.gen_instance in
+      let* window = int_range 1 6 in
+      let* stop = int_range 0 8 in
+      let* levels = bool in
+      return (desc, window, stop, levels))
+    (fun (desc, window, stop, levels) ->
+       let s = Util.build_ispec_nonzero desc in
+       let params =
+         {
+           Sch.default_params with
+           Sch.window_size = window;
+           stop_top_down = stop;
+           use_level_matching = levels;
+         }
+       in
+       Util.tt_is_cover ~nvars s (Sch.run man ~params s))
+
+let schedule_rejects_bad_params () =
+  let s = Util.random_ispec_nonzero 3 in
+  Alcotest.check_raises "window_size 0"
+    (Invalid_argument "Schedule.run: window_size")
+    (fun () ->
+       ignore
+         (Sch.run man
+            ~params:{ Sch.default_params with Sch.window_size = 0 }
+            s));
+  let s0 = I.make ~f:(Bdd.ithvar man 0) ~c:(Bdd.zero man) in
+  Alcotest.check_raises "empty care"
+    (Invalid_argument "Schedule.run: empty care set")
+    (fun () -> ignore (Sch.run man s0))
+
+let registry_complete () =
+  let names = R.names R.paper in
+  Alcotest.(check (list string)) "paper entries"
+    [ "const"; "restr"; "osm_td"; "osm_nv"; "osm_cp"; "osm_bt"; "tsm_td";
+      "tsm_cp"; "opt_lv"; "f_orig"; "f_and_c"; "f_or_nc" ]
+    names;
+  Util.checki "all = paper + sched" (List.length R.paper + 1)
+    (List.length R.all);
+  Util.checkb "find" (R.find "osm_bt" <> None);
+  Util.checkb "find unknown" (R.find "nope" = None);
+  Util.checkb "proper excludes references"
+    (List.for_all
+       (fun (e : R.entry) -> e.R.kind <> R.Reference)
+       R.proper)
+
+let registry_runs_cover =
+  Util.qtest ~count:150 "every registry entry returns a cover"
+    Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       List.for_all
+         (fun (e : R.entry) -> Util.tt_is_cover ~nvars s (e.run man s))
+         R.all)
+
+let best_is_minimal =
+  Util.qtest ~count:150 "Registry.best returns the smallest entry"
+    Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       let _, g = R.best man R.all s in
+       let sz = Bdd.size man g in
+       List.for_all
+         (fun (e : R.entry) -> Bdd.size man (e.run man s) >= sz)
+         R.all)
+
+let reference_entries () =
+  let f = Util.random_bdd 4 and c = Util.random_bdd 4 in
+  let s = I.make ~f ~c in
+  let run name =
+    (Option.get (R.find name)).R.run man s
+  in
+  Util.checkb "f_orig" (Bdd.equal (run "f_orig") f);
+  Util.checkb "f_and_c" (Bdd.equal (run "f_and_c") (Bdd.dand man f c));
+  Util.checkb "f_or_nc"
+    (Bdd.equal (run "f_or_nc") (Bdd.dor man f (Bdd.compl c)))
+
+let suite =
+  [
+    schedule_covers;
+    schedule_param_space;
+    Alcotest.test_case "schedule parameter validation" `Quick
+      schedule_rejects_bad_params;
+    Alcotest.test_case "registry completeness" `Quick registry_complete;
+    registry_runs_cover;
+    best_is_minimal;
+    Alcotest.test_case "reference entries" `Quick reference_entries;
+  ]

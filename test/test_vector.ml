@@ -1,0 +1,140 @@
+(* Joint (vector) minimization via output encoding. *)
+
+module I = Minimize.Ispec
+module V = Minimize.Vector
+
+let man = Util.man
+let nvars = 5
+
+let gen_vector =
+  QCheck2.Gen.(
+    let* k = int_range 1 5 in
+    let* seeds = list_size (return k) (int_bound 0xFFFFF) in
+    return seeds)
+
+let build_vector seeds =
+  List.map
+    (fun seed ->
+       let st = Random.State.make [| seed; 99 |] in
+       let f =
+         Logic.Truth_table.create nvars (fun _ -> Random.State.bool st)
+       in
+       let c =
+         Logic.Truth_table.create nvars (fun _ -> Random.State.int st 4 > 0)
+       in
+       let c_bdd = Logic.Truth_table.to_bdd man c in
+       let c_bdd = if Bdd.is_zero c_bdd then Bdd.one man else c_bdd in
+       I.make ~f:(Logic.Truth_table.to_bdd man f) ~c:c_bdd)
+    seeds
+
+let minimizers =
+  [
+    ("constrain", fun man (s : I.t) -> Bdd.constrain man s.I.f s.I.c);
+    ("osm_bt", fun man s ->
+       Minimize.Sibling.run_heuristic man Minimize.Sibling.Osm_bt s);
+    ("tsm_cp", fun man s ->
+       Minimize.Sibling.run_heuristic man Minimize.Sibling.Tsm_cp s);
+  ]
+
+let covers_everything =
+  Util.qtest ~count:150 "every recovered cover covers its instance"
+    gen_vector
+    (fun seeds ->
+       let instances = build_vector seeds in
+       List.for_all
+         (fun (_, m) ->
+            let r = V.minimize_renamed man ~minimizer:m instances in
+            List.length r.V.covers = List.length instances
+            && List.for_all2
+                 (fun s g -> Util.tt_is_cover ~nvars s g)
+                 instances r.V.covers)
+         minimizers)
+
+let shared_counts_consistent =
+  Util.qtest ~count:150 "shared node counts measure the actual DAGs"
+    gen_vector
+    (fun seeds ->
+       let instances = build_vector seeds in
+       let r =
+         V.minimize_renamed man
+           ~minimizer:(fun man (s : I.t) -> Bdd.constrain man s.I.f s.I.c)
+           instances
+       in
+       r.V.shared_before
+       = Bdd.shared_size man (List.map (fun (s : I.t) -> s.I.f) instances)
+       && r.V.shared_after = Bdd.shared_size man r.V.covers)
+
+let singleton_matches_scalar =
+  Util.qtest ~count:100 "a 1-vector degenerates to the scalar minimizer"
+    Util.gen_instance
+    (fun desc ->
+       let s = Util.build_ispec_nonzero desc in
+       let m man (i : I.t) = Bdd.constrain man i.I.f i.I.c in
+       let r = V.minimize man ~minimizer:m [ s ] in
+       match r.V.covers with
+       | [ g ] -> Bdd.equal g (Bdd.constrain man s.I.f s.I.c)
+       | _ -> false)
+
+let equal_instances_share () =
+  (* A vector of identical instances should collapse to one shared cover
+     under a matching heuristic. *)
+  let s = Util.random_ispec_nonzero 4 in
+  let shifted = V.minimize_renamed man
+      ~minimizer:(fun man i ->
+          Minimize.Sibling.run_heuristic man Minimize.Sibling.Tsm_cp i)
+      [ s; s; s; s ] in
+  match shifted.V.covers with
+  | g :: rest ->
+    Util.checkb "identical covers" (List.for_all (Bdd.equal g) rest);
+    Util.checkb "fully shared"
+      (shifted.V.shared_after = Bdd.size man g)
+  | [] -> Alcotest.fail "no covers"
+
+let unshifted_guard () =
+  (* instances over variable 0 cannot host selector variables *)
+  let v0 = Bdd.ithvar man 0 in
+  let s = I.make ~f:v0 ~c:(Bdd.one man) in
+  Util.checkb "guard raises"
+    (match
+       V.minimize man
+         ~minimizer:(fun man (i : I.t) -> Bdd.constrain man i.I.f i.I.c)
+         [ s; s ]
+     with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let empty_vector_rejected () =
+  Util.checkb "empty rejected"
+    (match
+       V.minimize man
+         ~minimizer:(fun man (i : I.t) -> Bdd.constrain man i.I.f i.I.c)
+         []
+     with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let joint_beats_or_ties_separate =
+  (* Joint minimization with a matching heuristic should not lose much
+     sharing versus minimizing separately; check it never produces
+     non-covers and report sharing (soundness-oriented; optimality of
+     sharing is heuristic). *)
+  Util.qtest ~count:80 "joint minimization keeps shared size finite and sound"
+    gen_vector
+    (fun seeds ->
+       let instances = build_vector seeds in
+       let m man i =
+         Minimize.Sibling.run_heuristic man Minimize.Sibling.Osm_bt i
+       in
+       let r = V.minimize_renamed man ~minimizer:m instances in
+       r.V.shared_after >= 1 && r.V.shared_after <= 1 + (32 * List.length instances))
+
+let suite =
+  [
+    covers_everything;
+    shared_counts_consistent;
+    singleton_matches_scalar;
+    Alcotest.test_case "identical instances share" `Quick equal_instances_share;
+    Alcotest.test_case "selector-room guard" `Quick unshifted_guard;
+    Alcotest.test_case "empty vector rejected" `Quick empty_vector_rejected;
+    joint_beats_or_ties_separate;
+  ]

@@ -1,0 +1,156 @@
+(* ZDDs validated against a sets-of-sets oracle. *)
+
+module Z = Bdd.Zdd
+
+(* Oracle: canonical sorted list of sorted lists. *)
+module Oracle = struct
+  type t = int list list
+
+  let norm family =
+    List.sort_uniq compare (List.map (List.sort_uniq compare) family)
+
+  let union a b = norm (a @ b)
+  let inter a b = norm (List.filter (fun s -> List.mem s b) a)
+  let diff a b = norm (List.filter (fun s -> not (List.mem s b)) a)
+
+  let join a b =
+    norm
+      (List.concat_map
+         (fun s -> List.map (fun t -> List.sort_uniq compare (s @ t)) b)
+         a)
+
+  let change f v =
+    norm
+      (List.map
+         (fun s ->
+            if List.mem v s then List.filter (( <> ) v) s
+            else List.sort compare (v :: s))
+         f)
+
+  let subset1 f v =
+    norm
+      (List.filter_map
+         (fun s -> if List.mem v s then Some (List.filter (( <> ) v) s) else None)
+         f)
+
+  let subset0 f v = norm (List.filter (fun s -> not (List.mem v s)) f)
+end
+
+let gen_family =
+  QCheck2.Gen.(
+    let* nsets = int_range 0 8 in
+    let* sets =
+      list_size (return nsets) (list_size (int_range 0 4) (int_range 0 5))
+    in
+    return (Oracle.norm sets))
+
+let man = Z.new_man ()
+
+let build family = Z.of_list man family
+
+(* to_list returns DFS order; compare as canonical families *)
+let agree z family = List.sort compare (Z.to_list man z) = family
+
+let roundtrip =
+  Util.qtest ~count:300 "of_list / to_list round trip (canonical order)"
+    gen_family
+    (fun family -> agree (build family) family)
+
+let set_ops =
+  Util.qtest ~count:300 "union/inter/diff match the oracle"
+    QCheck2.Gen.(
+      let* a = gen_family in
+      let* b = gen_family in
+      return (a, b))
+    (fun (a, b) ->
+       let za = build a and zb = build b in
+       agree (Z.union man za zb) (Oracle.union a b)
+       && agree (Z.inter man za zb) (Oracle.inter a b)
+       && agree (Z.diff man za zb) (Oracle.diff a b))
+
+let join_op =
+  Util.qtest ~count:200 "join matches the oracle"
+    QCheck2.Gen.(
+      let* a = gen_family in
+      let* b = gen_family in
+      return (a, b))
+    (fun (a, b) ->
+       agree (Z.join man (build a) (build b)) (Oracle.join a b))
+
+let unary_ops =
+  Util.qtest ~count:300 "change/subset0/subset1 match the oracle"
+    QCheck2.Gen.(
+      let* a = gen_family in
+      let* v = int_range 0 5 in
+      return (a, v))
+    (fun (a, v) ->
+       let za = build a in
+       agree (Z.change man za v) (Oracle.change a v)
+       && agree (Z.subset1 man za v) (Oracle.subset1 a v)
+       && agree (Z.subset0 man za v) (Oracle.subset0 a v))
+
+let canonicity =
+  Util.qtest ~count:300 "equal families have identical handles"
+    QCheck2.Gen.(
+      let* a = gen_family in
+      let* b = gen_family in
+      return (a, b))
+    (fun (a, b) ->
+       Z.equal (build a) (build b) = (a = b))
+
+let counts =
+  Util.qtest ~count:300 "count and mem match the oracle" gen_family
+    (fun family ->
+       let z = build family in
+       Z.count man z = List.length family
+       && List.for_all (fun s -> Z.mem man z s) family
+       && not (Z.mem man z [ 0; 1; 2; 3; 4; 5 ] && not (List.mem [0;1;2;3;4;5] family)))
+
+let terminals () =
+  Util.checkb "empty" (Z.is_empty (Z.empty man));
+  Util.checkb "base" (Z.is_base (Z.base man));
+  Util.checki "count empty" 0 (Z.count man (Z.empty man));
+  Util.checki "count base" 1 (Z.count man (Z.base man));
+  Util.checkb "base holds the empty set" (Z.mem man (Z.base man) []);
+  Util.checkb "empty holds nothing" (not (Z.mem man (Z.empty man) []));
+  Util.checki "no nodes" 0 (Z.node_count man (Z.base man))
+
+let algebraic_laws =
+  Util.qtest ~count:200 "distributivity of join over union"
+    QCheck2.Gen.(
+      let* a = gen_family in
+      let* b = gen_family in
+      let* c = gen_family in
+      return (a, b, c))
+    (fun (a, b, c) ->
+       let za = build a and zb = build b and zc = build c in
+       Z.equal
+         (Z.join man za (Z.union man zb zc))
+         (Z.union man (Z.join man za zb) (Z.join man za zc)))
+
+let zero_suppression_compactness () =
+  (* the family of all singletons over 0..k-1 has exactly k nodes *)
+  let k = 10 in
+  let z = Z.of_list man (List.init k (fun v -> [ v ])) in
+  Util.checki "linear size" k (Z.node_count man z);
+  Util.checki "k sets" k (Z.count man z)
+
+let pp_smoke () =
+  let z = Z.of_list man [ [ 0; 2 ]; [ 1 ] ] in
+  Alcotest.(check string) "printed" "{ {0,2}, {1} }"
+    (Format.asprintf "%a" (Z.pp man) z)
+
+let suite =
+  [
+    roundtrip;
+    set_ops;
+    join_op;
+    unary_ops;
+    canonicity;
+    counts;
+    Alcotest.test_case "terminals" `Quick terminals;
+    algebraic_laws;
+    Alcotest.test_case "zero-suppression compactness" `Quick
+      zero_suppression_compactness;
+    Alcotest.test_case "pretty printing" `Quick pp_smoke;
+  ]
