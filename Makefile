@@ -1,0 +1,21 @@
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	dune build @all
+
+test: build
+	dune runtest
+
+# A ~10 second end-to-end benchmark run: quick suite, capped calls, no
+# Bechamel microbenchmarks.  Exercises capture, every minimizer, the
+# table renderers and the engine statistics/GC path.
+bench-smoke: build
+	BDDMIN_BENCH_QUICK=1 BDDMIN_BENCH_SKIP_MICRO=1 BDDMIN_BENCH_CALLS=30 \
+		dune exec bench/main.exe
+
+check: build test bench-smoke
+
+clean:
+	dune clean

@@ -249,6 +249,49 @@ let reach_cmd =
     (Cmd.info "reach" ~doc:"Symbolic reachability statistics")
     Term.(const (fun () a -> run a) $ logs_term $ spec)
 
+(* ----- stats ----- *)
+
+let stats_cmd =
+  let run spec cache_bits =
+    match load_netlist spec with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok nl ->
+      let man = Bdd.new_man ?cache_bits () in
+      let sym = Fsm.Symbolic.of_netlist man nl in
+      let reached, st = Fsm.Reach.reachable sym in
+      Printf.printf "%s\n" (Fsm.Netlist.stats nl);
+      Printf.printf
+        "reachability: %.0f states in %d iterations, |R| = %d nodes\n\n"
+        st.Fsm.Reach.reached_states st.Fsm.Reach.iterations
+        (Bdd.size man reached);
+      print_endline "engine statistics after reachability:";
+      Format.printf "%a@.@." Bdd.Stats.pp (Bdd.snapshot man);
+      (* Collect everything except the reached set to show how much of
+         the table the fixed point no longer needs. *)
+      let reclaimed = Bdd.gc ~roots:[ reached ] man in
+      let s = Bdd.snapshot man in
+      Printf.printf
+        "gc (rooting only the reached set): reclaimed %d dead nodes, %d live\n"
+        reclaimed s.Bdd.Stats.live_nodes;
+      0
+  in
+  let spec =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MACHINE" ~doc:"Benchmark name or BLIF file.")
+  in
+  let cache_bits =
+    Arg.(value & opt (some int) None
+         & info [ "cache-bits" ] ~docv:"N"
+             ~doc:"log2 of the initial computed-cache size (default 15).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Engine statistics (cache, GC, recursion counters) for a \
+             reachability run")
+    Term.(const (fun () a b -> run a b) $ logs_term $ spec $ cache_bits)
+
 (* ----- tables ----- *)
 
 let tables_cmd =
@@ -479,7 +522,7 @@ let main =
   Cmd.group
     (Cmd.info "bddmin" ~version:"1.0.0"
        ~doc:"Heuristic minimization of BDDs using don't cares (DAC'94)")
-    [ minimize_cmd; lower_bound_cmd; equiv_cmd; reach_cmd; tables_cmd;
-      optimize_cmd; pla_cmd; benches_cmd; dot_cmd ]
+    [ minimize_cmd; lower_bound_cmd; equiv_cmd; reach_cmd; stats_cmd;
+      tables_cmd; optimize_cmd; pla_cmd; benches_cmd; dot_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -4,45 +4,133 @@
    - a node's variable level is strictly smaller than its children's;
    - no node has [n_hi == n_lo];
    hence two edges denote the same function iff node pointers and complement
-   bits coincide. *)
+   bits coincide.
+
+   Storage layer (CUDD-style):
+   - the unique table is a custom open-addressed (linear-probing) array of
+     nodes, grown at 75% load and garbage-collected by mark-and-sweep from
+     the external roots registered through [ref_]/[deref]/[with_root] (plus
+     the projection functions, which are permanent);
+   - the computed cache is a fixed-size, power-of-two, direct-mapped lossy
+     cache keyed by packed integers: a probe allocates nothing, a store
+     simply overwrites (evictions are counted), and the cache adaptively
+     doubles up to a byte budget when conflict evictions are heavy.
+
+   Garbage collection removes dead nodes from the unique table so the OCaml
+   GC can reclaim them.  Edges still held by un-rooted OCaml values remain
+   structurally valid after a collection — operations on them stay
+   semantically correct — but they may lose canonicity (an equal function
+   rebuilt later gets a fresh node), so code that keeps edges across
+   operations and wants physical equality must root them. *)
 
 type node = {
   id : int;
   var : int;                    (* level; [max_int] for the terminal *)
   n_hi : t;                     (* invariant: regular *)
   n_lo : t;
+  mutable mark : bool;          (* mark-and-sweep bit; clear outside GC *)
 }
 
 and t = { neg : bool; node : node }
 
 type man = {
   mutable vars : int;
-  unique : (int * int * int, node) Hashtbl.t;     (* (var, hi id, lo uid) *)
-  cache : (int * int * int * int, t) Hashtbl.t;   (* (op tag, a, b, c) *)
+  (* unique table: open-addressed, [terminal] is the empty-slot sentinel *)
+  mutable uslots : node array;
+  mutable umask : int;                            (* capacity - 1 *)
+  mutable ucount : int;                           (* live nodes, terminal excluded *)
+  (* computed cache: direct-mapped, parallel arrays, [min_int] = empty key *)
+  mutable ck0 : int array;                        (* packed (op tag, uid a) *)
+  mutable ck1 : int array;
+  mutable ck2 : int array;
+  mutable cres : t array;
+  mutable cmask : int;
+  mutable centries : int;
+  cache_max_entries : int;
+  mutable evict_since_resize : int;
   mutable next_id : int;
   terminal : node;
+  top : t;                                        (* the [one] edge *)
   mutable made : int;                             (* nodes ever interned *)
+  (* external roots *)
+  mutable var_edges : t option array;             (* projection functions *)
+  refs : (int, node * int ref) Hashtbl.t;         (* node id -> refcount *)
+  mutable auto_gc : bool;
+  mutable gc_wanted : bool;
+  (* statistics *)
+  mutable n_ite : int;
+  mutable n_constrain : int;
+  mutable n_restrict : int;
+  mutable n_quantify : int;
+  mutable c_lookups : int;
+  mutable c_hits : int;
+  mutable c_stores : int;
+  mutable c_evicts : int;
+  mutable gc_runs : int;
+  mutable gc_nodes : int;
+  mutable peak_live : int;
 }
 
 let const_var = max_int
 
-let new_man ?(nvars = 0) () =
+let min_unique_capacity = 4096
+let default_cache_bits = 15
+let default_cache_budget = 32 * 1024 * 1024
+let bytes_per_cache_entry = 32                    (* 3 boxed-free ints + 1 pointer *)
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let new_man ?(nvars = 0) ?(cache_bits = default_cache_bits)
+    ?(cache_budget = default_cache_budget) ?(auto_gc = true) () =
   let rec terminal =
-    { id = 0; var = const_var; n_hi = self; n_lo = self }
+    { id = 0; var = const_var; n_hi = self; n_lo = self; mark = false }
   and self = { neg = false; node = terminal } in
+  let cache_bits = max 1 (min 24 cache_bits) in
+  let ccap = 1 lsl cache_bits in
+  (* byte budget, rounded down to a power of two of entries, but never
+     below the initial size *)
+  let cache_max_entries =
+    let budget_entries = max 1 (cache_budget / bytes_per_cache_entry) in
+    let rec down k = if k * 2 <= budget_entries then down (k * 2) else k in
+    max ccap (down 1)
+  in
   {
     vars = nvars;
-    unique = Hashtbl.create 4096;
-    cache = Hashtbl.create 4096;
+    uslots = Array.make min_unique_capacity terminal;
+    umask = min_unique_capacity - 1;
+    ucount = 0;
+    ck0 = Array.make ccap min_int;
+    ck1 = Array.make ccap 0;
+    ck2 = Array.make ccap 0;
+    cres = Array.make ccap self;
+    cmask = ccap - 1;
+    centries = 0;
+    cache_max_entries;
+    evict_since_resize = 0;
     next_id = 1;
     terminal;
+    top = self;
     made = 0;
+    var_edges = Array.make (max 16 nvars) None;
+    refs = Hashtbl.create 64;
+    auto_gc;
+    gc_wanted = false;
+    n_ite = 0;
+    n_constrain = 0;
+    n_restrict = 0;
+    n_quantify = 0;
+    c_lookups = 0;
+    c_hits = 0;
+    c_stores = 0;
+    c_evicts = 0;
+    gc_runs = 0;
+    gc_nodes = 0;
+    peak_live = 0;
   }
 
 let nvars man = man.vars
-let clear_caches man = Hashtbl.reset man.cache
 
-let one man = { neg = false; node = man.terminal }
+let one man = man.top
 let zero man = { neg = true; node = man.terminal }
 
 let is_const e = e.node.var = const_var
@@ -70,18 +158,122 @@ let branches e v =
   assert (topvar e >= v);
   if topvar e = v then (hi e, lo e) else (e, e)
 
+(* ----- computed cache ----- *)
+
+let c_slot man k0 k1 k2 =
+  let h = (k0 * 0x9e3779b1) lxor (k1 * 0x85ebca6b) lxor (k2 * 0xc2b2ae35) in
+  let h = h lxor (h lsr 17) in
+  h land man.cmask
+
+let cache_find man k0 k1 k2 =
+  man.c_lookups <- man.c_lookups + 1;
+  let i = c_slot man k0 k1 k2 in
+  if man.ck0.(i) = k0 && man.ck1.(i) = k1 && man.ck2.(i) = k2 then begin
+    man.c_hits <- man.c_hits + 1;
+    Some man.cres.(i)
+  end
+  else None
+
+let cache_grow man =
+  let ok0 = man.ck0 and ok1 = man.ck1 and ok2 = man.ck2 and ores = man.cres in
+  let ncap = (man.cmask + 1) * 2 in
+  man.ck0 <- Array.make ncap min_int;
+  man.ck1 <- Array.make ncap 0;
+  man.ck2 <- Array.make ncap 0;
+  man.cres <- Array.make ncap man.top;
+  man.cmask <- ncap - 1;
+  man.centries <- 0;
+  man.evict_since_resize <- 0;
+  Array.iteri
+    (fun j k ->
+       if k <> min_int then begin
+         let i = c_slot man k ok1.(j) ok2.(j) in
+         if man.ck0.(i) = min_int then man.centries <- man.centries + 1;
+         man.ck0.(i) <- k;
+         man.ck1.(i) <- ok1.(j);
+         man.ck2.(i) <- ok2.(j);
+         man.cres.(i) <- ores.(j)
+       end)
+    ok0
+
+let cache_store man k0 k1 k2 r =
+  man.c_stores <- man.c_stores + 1;
+  if
+    man.evict_since_resize > man.cmask + 1
+    && man.cmask + 1 < man.cache_max_entries
+  then cache_grow man;
+  let i = c_slot man k0 k1 k2 in
+  if man.ck0.(i) = min_int then man.centries <- man.centries + 1
+  else if
+    not (man.ck0.(i) = k0 && man.ck1.(i) = k1 && man.ck2.(i) = k2)
+  then begin
+    man.c_evicts <- man.c_evicts + 1;
+    man.evict_since_resize <- man.evict_since_resize + 1
+  end;
+  man.ck0.(i) <- k0;
+  man.ck1.(i) <- k1;
+  man.ck2.(i) <- k2;
+  man.cres.(i) <- r
+
+let cache_reset man =
+  Array.fill man.ck0 0 (Array.length man.ck0) min_int;
+  (* release result edges so the OCaml GC can reclaim swept nodes *)
+  Array.fill man.cres 0 (Array.length man.cres) man.top;
+  man.centries <- 0;
+  man.evict_since_resize <- 0
+
+let clear_caches man = cache_reset man
+
+(* ----- unique table ----- *)
+
+let u_hash var hid luid =
+  let h = (var * 0x9e3779b1) lxor (hid * 0x85ebca6b) lxor (luid * 0xc2b2ae35) in
+  (h lxor (h lsr 15)) land max_int
+
+(* Insert a node known to be absent (used on growth and GC rebuild). *)
+let u_insert_fresh man n =
+  let mask = man.umask in
+  let i = ref (u_hash n.var n.n_hi.node.id (uid n.n_lo) land mask) in
+  while man.uslots.(!i) != man.terminal do
+    i := (!i + 1) land mask
+  done;
+  man.uslots.(!i) <- n
+
+let u_rebuild man newcap keep =
+  let old = man.uslots in
+  man.uslots <- Array.make newcap man.terminal;
+  man.umask <- newcap - 1;
+  Array.iter
+    (fun n -> if n != man.terminal && keep n then u_insert_fresh man n)
+    old
+
 (* Intern a node whose then-edge is already regular. *)
 let intern man var ~hi:h ~lo:l =
   assert (not h.neg);
-  let key = (var, h.node.id, uid l) in
-  match Hashtbl.find_opt man.unique key with
-  | Some n -> { neg = false; node = n }
-  | None ->
-    let n = { id = man.next_id; var; n_hi = h; n_lo = l } in
-    man.next_id <- man.next_id + 1;
-    man.made <- man.made + 1;
-    Hashtbl.add man.unique key n;
-    { neg = false; node = n }
+  if (man.ucount + 1) * 4 > (man.umask + 1) * 3 then begin
+    u_rebuild man ((man.umask + 1) * 2) (fun _ -> true);
+    (* A growing table is the GC trigger: if external roots are in use,
+       request a collection at the next operation boundary. *)
+    if man.auto_gc && Hashtbl.length man.refs > 0 then man.gc_wanted <- true
+  end;
+  let hid = h.node.id and luid = uid l in
+  let mask = man.umask in
+  let rec probe i =
+    let n = man.uslots.(i) in
+    if n == man.terminal then begin
+      let n = { id = man.next_id; var; n_hi = h; n_lo = l; mark = false } in
+      man.next_id <- man.next_id + 1;
+      man.made <- man.made + 1;
+      man.ucount <- man.ucount + 1;
+      if man.ucount > man.peak_live then man.peak_live <- man.ucount;
+      man.uslots.(i) <- n;
+      { neg = false; node = n }
+    end
+    else if n.var = var && n.n_hi.node.id = hid && uid n.n_lo = luid then
+      { neg = false; node = n }
+    else probe ((i + 1) land mask)
+  in
+  probe (u_hash var hid luid land mask)
 
 let mk man var ~hi:h ~lo:l =
   assert (var < topvar h && var < topvar l);
@@ -92,13 +284,102 @@ let mk man var ~hi:h ~lo:l =
 let ithvar man i =
   if i < 0 then invalid_arg "Core_dd.ithvar: negative variable";
   if i >= man.vars then man.vars <- i + 1;
-  mk man i ~hi:(one man) ~lo:(zero man)
+  if i >= Array.length man.var_edges then begin
+    let bigger = Array.make (next_pow2 (i + 1) 16) None in
+    Array.blit man.var_edges 0 bigger 0 (Array.length man.var_edges);
+    man.var_edges <- bigger
+  end;
+  match man.var_edges.(i) with
+  | Some e -> e
+  | None ->
+    let e = mk man i ~hi:(one man) ~lo:(zero man) in
+    man.var_edges.(i) <- Some e;
+    e
+
+(* ----- external references and garbage collection ----- *)
+
+let ref_ man e =
+  let n = e.node in
+  if n.var <> const_var then
+    match Hashtbl.find_opt man.refs n.id with
+    | Some (_, c) -> incr c
+    | None -> Hashtbl.add man.refs n.id (n, ref 1)
+
+let deref man e =
+  let n = e.node in
+  if n.var <> const_var then
+    match Hashtbl.find_opt man.refs n.id with
+    | Some (_, c) ->
+      decr c;
+      if !c <= 0 then Hashtbl.remove man.refs n.id
+    | None -> ()
+
+let with_root man e k =
+  ref_ man e;
+  Fun.protect ~finally:(fun () -> deref man e) (fun () -> k e)
+
+let rec gc_mark n =
+  if n.var <> const_var && not n.mark then begin
+    n.mark <- true;
+    gc_mark n.n_hi.node;
+    gc_mark n.n_lo.node
+  end
+
+let gc_internal man roots =
+  Hashtbl.iter (fun _ (n, _) -> gc_mark n) man.refs;
+  Array.iter
+    (function Some e -> gc_mark e.node | None -> ())
+    man.var_edges;
+  List.iter (fun e -> gc_mark e.node) roots;
+  let before = man.ucount in
+  let live =
+    Array.fold_left
+      (fun acc n -> if n != man.terminal && n.mark then acc + 1 else acc)
+      0 man.uslots
+  in
+  (* Rebuild at most the old capacity (growth is [intern]'s business);
+     shrink when the survivors rattle around in it. *)
+  let wanted = next_pow2 (max min_unique_capacity (live * 2)) min_unique_capacity in
+  let newcap = min (man.umask + 1) wanted in
+  u_rebuild man newcap
+    (fun n ->
+       if n.mark then begin
+         n.mark <- false;
+         true
+       end
+       else false);
+  man.ucount <- live;
+  (* cached results may point at swept nodes; drop them all *)
+  cache_reset man;
+  let reclaimed = before - live in
+  man.gc_runs <- man.gc_runs + 1;
+  man.gc_nodes <- man.gc_nodes + reclaimed;
+  reclaimed
+
+let gc ?(roots = []) man =
+  man.gc_wanted <- false;
+  gc_internal man roots
+
+let set_auto_gc man b = man.auto_gc <- b
+
+(* Collection only ever runs at operation boundaries: recursions in flight
+   hold un-rooted intermediate edges on the OCaml stack, and sweeping them
+   would cost canonicity (never correctness, but still). *)
+let maybe_gc man =
+  if man.gc_wanted then begin
+    man.gc_wanted <- false;
+    ignore (gc_internal man [])
+  end
 
 (* ----- ITE with standard-triple normalization ----- *)
 
 let tag_ite = 0
+let tag_constrain = 1
+let tag_restrict = 2
 
-let rec ite man f g h =
+let pack_tag tag u = (u lsl 2) lor tag
+
+let rec ite_norm man f g h =
   if is_one f then g
   else if is_zero f then h
   else if equal g h then g
@@ -127,17 +408,22 @@ let rec ite man f g h =
   end
 
 and ite_aux man f g h =
-  let key = (tag_ite, uid f, uid g, uid h) in
-  match Hashtbl.find_opt man.cache key with
+  let k0 = pack_tag tag_ite (uid f) and k1 = uid g and k2 = uid h in
+  match cache_find man k0 k1 k2 with
   | Some r -> r
   | None ->
+    man.n_ite <- man.n_ite + 1;
     let v = min (topvar f) (min (topvar g) (topvar h)) in
     let ft, fe = branches f v and gt, ge = branches g v and ht, he = branches h v in
-    let t = ite man ft gt ht in
-    let e = ite man fe ge he in
+    let t = ite_norm man ft gt ht in
+    let e = ite_norm man fe ge he in
     let r = mk man v ~hi:t ~lo:e in
-    Hashtbl.add man.cache key r;
+    cache_store man k0 k1 k2 r;
     r
+
+let ite man f g h =
+  maybe_gc man;
+  ite_norm man f g h
 
 let dand man f g = ite man f g (zero man)
 let dor man f g = ite man f (one man) g
@@ -156,6 +442,7 @@ let leq man f g = is_zero (diff man f g)
 (* ----- Cofactor with respect to an arbitrary variable ----- *)
 
 let cofactor man f ~var phase =
+  maybe_gc man;
   let memo = Hashtbl.create 64 in
   let rec go f =
     if topvar f > var then f
@@ -172,66 +459,72 @@ let cofactor man f ~var phase =
 
 (* ----- Quantification ----- *)
 
+(* The variable list becomes a sorted array and the recursion carries an
+   index into it, so the memo key is an O(1) integer pair instead of the
+   former [List.length vars] recount on every probe. *)
 let quantify man combine vars f =
-  let vars = List.sort_uniq compare vars in
+  maybe_gc man;
+  let vars = Array.of_list (List.sort_uniq compare vars) in
+  let nv = Array.length vars in
   let memo = Hashtbl.create 64 in
-  let rec go vars f =
-    match vars with
-    | [] -> f
-    | v :: rest ->
-      if is_const f then f
-      else if topvar f > v then go rest f
-      else
-        let key = (uid f, List.length vars) in
-        match Hashtbl.find_opt memo key with
-        | Some r -> r
-        | None ->
-          let vars' = if topvar f = v then rest else vars in
-          let t = go vars' (hi f) and e = go vars' (lo f) in
-          let r =
-            if topvar f = v then combine t e
-            else mk man (topvar f) ~hi:t ~lo:e
-          in
-          Hashtbl.add memo key r;
-          r
+  let rec go i f =
+    if i >= nv then f
+    else if is_const f then f
+    else if topvar f > vars.(i) then go (i + 1) f
+    else
+      let key = (uid f, i) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        man.n_quantify <- man.n_quantify + 1;
+        let i' = if topvar f = vars.(i) then i + 1 else i in
+        let t = go i' (hi f) and e = go i' (lo f) in
+        let r =
+          if topvar f = vars.(i) then combine t e
+          else mk man (topvar f) ~hi:t ~lo:e
+        in
+        Hashtbl.add memo key r;
+        r
   in
-  go vars f
+  go 0 f
 
 let exists man vars f = quantify man (dor man) vars f
 let forall man vars f = quantify man (dand man) vars f
 
 let and_exists man vars f g =
-  let vars = List.sort_uniq compare vars in
+  maybe_gc man;
+  let vars = Array.of_list (List.sort_uniq compare vars) in
+  let nv = Array.length vars in
   let memo = Hashtbl.create 256 in
-  let rec go vars f g =
+  let rec go i f g =
     if is_zero f || is_zero g then zero man
     else if is_one f && is_one g then one man
+    else if i >= nv then dand man f g
     else
-      match vars with
-      | [] -> dand man f g
-      | v :: rest ->
-        let tf = topvar f and tg = topvar g in
-        let top = min tf tg in
-        if top > v then go rest f g
-        else
-          let key = (uid f, uid g, List.length vars) in
-          (match Hashtbl.find_opt memo key with
-           | Some r -> r
-           | None ->
-             let ft, fe = branches f top and gt, ge = branches g top in
-             let vars' = if top = v then rest else vars in
-             let r =
-               if top = v then dor man (go vars' ft gt) (go vars' fe ge)
-               else mk man top ~hi:(go vars' ft gt) ~lo:(go vars' fe ge)
-             in
-             Hashtbl.add memo key r;
-             r)
+      let tf = topvar f and tg = topvar g in
+      let top = min tf tg in
+      if top > vars.(i) then go (i + 1) f g
+      else
+        let key = (uid f, uid g, i) in
+        match Hashtbl.find_opt memo key with
+        | Some r -> r
+        | None ->
+          man.n_quantify <- man.n_quantify + 1;
+          let ft, fe = branches f top and gt, ge = branches g top in
+          let i' = if top = vars.(i) then i + 1 else i in
+          let r =
+            if top = vars.(i) then dor man (go i' ft gt) (go i' fe ge)
+            else mk man top ~hi:(go i' ft gt) ~lo:(go i' fe ge)
+          in
+          Hashtbl.add memo key r;
+          r
   in
-  go vars f g
+  go 0 f g
 
 (* ----- Composition ----- *)
 
 let compose man f ~var g =
+  maybe_gc man;
   let memo = Hashtbl.create 64 in
   let rec go f =
     if topvar f > var then f
@@ -240,10 +533,10 @@ let compose man f ~var g =
       | Some r -> r
       | None ->
         let r =
-          if topvar f = var then ite man g (hi f) (lo f)
+          if topvar f = var then ite_norm man g (hi f) (lo f)
           else
             (* [g] may reach above this level, so rebuild with ITE. *)
-            ite man (ithvar man (topvar f)) (go (hi f)) (go (lo f))
+            ite_norm man (ithvar man (topvar f)) (go (hi f)) (go (lo f))
         in
         Hashtbl.add memo (uid f) r;
         r
@@ -254,6 +547,7 @@ let vector_compose man f subs =
   match subs with
   | [] -> f
   | _ ->
+    maybe_gc man;
     let table = Hashtbl.create 16 in
     List.iter (fun (v, g) -> Hashtbl.replace table v g) subs;
     let last = List.fold_left (fun acc (v, _) -> max acc v) 0 subs in
@@ -270,7 +564,7 @@ let vector_compose man f subs =
             | Some g -> g
             | None -> ithvar man v
           in
-          let r = ite man test (go (hi f)) (go (lo f)) in
+          let r = ite_norm man test (go (hi f)) (go (lo f)) in
           Hashtbl.add memo (uid f) r;
           r
     in
@@ -281,16 +575,14 @@ let rename man f pairs =
 
 (* ----- Generalized cofactors ----- *)
 
-let tag_constrain = 1
-let tag_restrict = 2
-
 let rec constrain_rec man f c =
   if is_one c || is_const f then f
   else
-    let key = (tag_constrain, uid f, uid c, 0) in
-    match Hashtbl.find_opt man.cache key with
+    let k0 = pack_tag tag_constrain (uid f) and k1 = uid c in
+    match cache_find man k0 k1 0 with
     | Some r -> r
     | None ->
+      man.n_constrain <- man.n_constrain + 1;
       let v = min (topvar f) (topvar c) in
       let ft, fe = branches f v and ct, ce = branches c v in
       let r =
@@ -299,20 +591,22 @@ let rec constrain_rec man f c =
         else
           mk man v ~hi:(constrain_rec man ft ct) ~lo:(constrain_rec man fe ce)
       in
-      Hashtbl.add man.cache key r;
+      cache_store man k0 k1 0 r;
       r
 
 let constrain man f c =
   if is_zero c then invalid_arg "Core_dd.constrain: empty care set";
+  maybe_gc man;
   constrain_rec man f c
 
 let rec restrict_rec man f c =
   if is_one c || is_const f then f
   else
-    let key = (tag_restrict, uid f, uid c, 0) in
-    match Hashtbl.find_opt man.cache key with
+    let k0 = pack_tag tag_restrict (uid f) and k1 = uid c in
+    match cache_find man k0 k1 0 with
     | Some r -> r
     | None ->
+      man.n_restrict <- man.n_restrict + 1;
       let fv = topvar f and cv = topvar c in
       let r =
         if cv < fv then restrict_rec man f (dor man (hi c) (lo c))
@@ -323,11 +617,12 @@ let rec restrict_rec man f c =
           else
             mk man fv ~hi:(restrict_rec man ft ct) ~lo:(restrict_rec man fe ce)
       in
-      Hashtbl.add man.cache key r;
+      cache_store man k0 k1 0 r;
       r
 
 let restrict man f c =
   if is_zero c then invalid_arg "Core_dd.restrict: empty care set";
+  maybe_gc man;
   restrict_rec man f c
 
 (* ----- Inspection ----- *)
@@ -382,7 +677,17 @@ let eval f assign =
 
 let sat_count man f ~nvars =
   (* Density of the onset under the uniform measure; independent of which
-     variables actually occur, so a per-function memo is sound. *)
+     variables actually occur, so a per-function memo is sound — provided
+     the target space has at least as many dimensions as the support.
+     With fewer, the scaled density is a fractional undercount, so that
+     case is an error rather than a silently wrong answer. *)
+  let support_size = List.length (support man f) in
+  if nvars < support_size then
+    invalid_arg
+      (Printf.sprintf
+         "Core_dd.sat_count: nvars = %d but the function depends on %d \
+          variables"
+         nvars support_size);
   let memo = Hashtbl.create 64 in
   let rec density e =
     if is_one e then 1.0
@@ -395,7 +700,6 @@ let sat_count man f ~nvars =
         Hashtbl.add memo (uid e) d;
         d
   in
-  ignore man;
   density f *. (2.0 ** float_of_int nvars)
 
 let nodes_at_level man f level =
@@ -408,8 +712,82 @@ let count_below man f level =
   iter_nodes man f (fun _ v -> if v > level then incr n);
   !n
 
+(* ----- Statistics ----- *)
+
+module Stats = struct
+  type t = {
+    vars : int;
+    live_nodes : int;
+    peak_live_nodes : int;
+    interned_total : int;
+    unique_capacity : int;
+    external_refs : int;
+    cache_entries : int;
+    cache_capacity : int;
+    cache_lookups : int;
+    cache_hits : int;
+    cache_stores : int;
+    cache_evictions : int;
+    ite_recursions : int;
+    constrain_recursions : int;
+    restrict_recursions : int;
+    quantify_recursions : int;
+    gc_runs : int;
+    gc_reclaimed : int;
+  }
+
+  let hit_rate s =
+    if s.cache_lookups = 0 then 0.0
+    else float_of_int s.cache_hits /. float_of_int s.cache_lookups
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "@[<v>vars            : %d@,\
+       live nodes      : %d (peak %d, interned total %d)@,\
+       unique capacity : %d slots@,\
+       external refs   : %d@,\
+       computed cache  : %d/%d entries@,\
+       cache traffic   : %d lookups, %d hits (%.1f%%), %d stores, %d evictions@,\
+       recursions      : ite %d, constrain %d, restrict %d, quantify %d@,\
+       garbage collect : %d runs, %d nodes reclaimed@]"
+      s.vars s.live_nodes s.peak_live_nodes s.interned_total s.unique_capacity
+      s.external_refs s.cache_entries s.cache_capacity s.cache_lookups
+      s.cache_hits
+      (100.0 *. hit_rate s)
+      s.cache_stores s.cache_evictions s.ite_recursions s.constrain_recursions
+      s.restrict_recursions s.quantify_recursions s.gc_runs s.gc_reclaimed
+
+  let to_string s = Format.asprintf "%a" pp s
+end
+
+let snapshot man : Stats.t =
+  {
+    Stats.vars = man.vars;
+    live_nodes = man.ucount + 1;
+    peak_live_nodes = man.peak_live + 1;
+    interned_total = man.made;
+    unique_capacity = man.umask + 1;
+    external_refs = Hashtbl.length man.refs;
+    cache_entries = man.centries;
+    cache_capacity = man.cmask + 1;
+    cache_lookups = man.c_lookups;
+    cache_hits = man.c_hits;
+    cache_stores = man.c_stores;
+    cache_evictions = man.c_evicts;
+    ite_recursions = man.n_ite;
+    constrain_recursions = man.n_constrain;
+    restrict_recursions = man.n_restrict;
+    quantify_recursions = man.n_quantify;
+    gc_runs = man.gc_runs;
+    gc_reclaimed = man.gc_nodes;
+  }
+
 let stats man =
-  Printf.sprintf "vars=%d live_nodes=%d interned=%d cache=%d" man.vars
-    (Hashtbl.length man.unique + 1)
-    man.made
-    (Hashtbl.length man.cache)
+  let s = snapshot man in
+  Printf.sprintf
+    "vars=%d live=%d peak=%d interned=%d cache=%d/%d hits=%.1f%% gc_runs=%d \
+     reclaimed=%d"
+    s.Stats.vars s.Stats.live_nodes s.Stats.peak_live_nodes
+    s.Stats.interned_total s.Stats.cache_entries s.Stats.cache_capacity
+    (100.0 *. Stats.hit_rate s)
+    s.Stats.gc_runs s.Stats.gc_reclaimed

@@ -19,9 +19,27 @@ type t
 (** An edge (a possibly complemented pointer to a node).  Two edges of the
     same manager represent the same function iff they are [equal]. *)
 
-val new_man : ?nvars:int -> unit -> man
+val new_man :
+  ?nvars:int ->
+  ?cache_bits:int ->
+  ?cache_budget:int ->
+  ?auto_gc:bool ->
+  unit ->
+  man
 (** [new_man ()] creates a fresh manager.  [nvars] merely preallocates the
-    variable count; variables are created on demand by {!ithvar}. *)
+    variable count; variables are created on demand by {!ithvar}.
+
+    [cache_bits] is the log2 of the initial computed-cache capacity
+    (default 15, i.e. 32768 entries; clamped to [1, 24]).  The cache is
+    direct-mapped and lossy: a colliding store simply overwrites (an
+    {e eviction}).  When conflict evictions since the last resize exceed
+    the capacity, the cache doubles, up to [cache_budget] bytes
+    (default 32 MiB at 32 bytes per entry).
+
+    [auto_gc] (default [true]) lets the manager run {!gc} on its own at
+    operation boundaries once the unique table has grown — but only when
+    at least one external reference is registered (see {!ref_}), since
+    otherwise every node would be swept. *)
 
 val nvars : man -> int
 (** Number of variables created so far. *)
@@ -30,8 +48,77 @@ val clear_caches : man -> unit
 (** Flush all operation caches (the unique table is kept).  Used to time
     heuristics fairly, as in §4.1.1 of the paper. *)
 
+(** {1 External references and garbage collection}
+
+    The unique table is garbage-collected by mark-and-sweep.  Roots are
+    the projection functions (always), the edges registered through
+    {!ref_}, and any [roots] passed to {!gc} explicitly.  Edges held by
+    plain OCaml values across a collection remain structurally valid and
+    all operations on them stay {e semantically} correct, but they can
+    lose {e canonicity}: a semantically equal function rebuilt afterwards
+    may get a fresh node, so [equal] no longer implies physical identity
+    between pre- and post-GC results.  Root anything you keep. *)
+
+val ref_ : man -> t -> unit
+(** Register an external reference: the edge's cone survives {!gc}.
+    References count, so [ref_] twice needs {!deref} twice. *)
+
+val deref : man -> t -> unit
+(** Drop one external reference ([deref] without a matching {!ref_} is
+    ignored). *)
+
+val with_root : man -> t -> (t -> 'a) -> 'a
+(** [with_root man e k] runs [k e] with [e] rooted, dereferencing on exit
+    (also on exceptions). *)
+
+val gc : ?roots:t list -> man -> int
+(** Mark-and-sweep collection: sweep every node not reachable from the
+    registered references, the projection functions, or [roots]; flush
+    the computed cache (its entries may mention swept nodes).  Returns
+    the number of nodes reclaimed. *)
+
+val set_auto_gc : man -> bool -> unit
+(** Enable or disable the automatic collection trigger (see {!new_man}). *)
+
+(** {1 Statistics} *)
+
+(** Engine counters, all cumulative since manager creation except the
+    occupancy figures. *)
+module Stats : sig
+  type t = {
+    vars : int;
+    live_nodes : int;  (** currently interned nodes, terminal included *)
+    peak_live_nodes : int;
+    interned_total : int;  (** nodes ever interned *)
+    unique_capacity : int;
+    external_refs : int;
+    cache_entries : int;  (** occupied computed-cache slots *)
+    cache_capacity : int;
+    cache_lookups : int;
+    cache_hits : int;
+    cache_stores : int;
+    cache_evictions : int;  (** overwrites of a different live entry *)
+    ite_recursions : int;  (** cache-missing ITE steps *)
+    constrain_recursions : int;
+    restrict_recursions : int;
+    quantify_recursions : int;
+    gc_runs : int;
+    gc_reclaimed : int;  (** nodes swept over all runs *)
+  }
+
+  val hit_rate : t -> float
+  (** Computed-cache hits per lookup, in [0, 1]. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+val snapshot : man -> Stats.t
+(** Current engine statistics. *)
+
 val stats : man -> string
-(** One-line human-readable manager statistics. *)
+(** One-line human-readable manager statistics (a condensed
+    {!snapshot}). *)
 
 (** {1 Constants, variables and structure} *)
 
@@ -156,7 +243,11 @@ val eval : t -> (int -> bool) -> bool
 (** Evaluate under an assignment given as a predicate on variables. *)
 
 val sat_count : man -> t -> nvars:int -> float
-(** Number of satisfying assignments over a space of [nvars] variables. *)
+(** Number of satisfying assignments over a space of [nvars] variables.
+    [nvars] must be at least the number of variables in the function's
+    support (the count, not the highest index — supports need not be
+    contiguous); otherwise the scaled density would be a silent
+    undercount, so @raise Invalid_argument instead. *)
 
 val iter_nodes : man -> t -> (int -> int -> unit) -> unit
 (** [iter_nodes man f k] calls [k node_id var] once per reachable node,

@@ -16,10 +16,14 @@ let check_placement placement vars =
 
 (* Rebuild each function in [target] with variable [v] living at level
    [placement.(v)].  The target manager's ITE performs the actual
-   reordering work; memoized per source edge. *)
+   reordering work; memoized per source edge.  Every memoized result is
+   rooted in [target] while the rebuild runs (and the final results stay
+   rooted), so a garbage collection of the target manager — automatic or
+   explicit — cannot sweep the intermediate cones out from under us. *)
 let rebuild_into target man ~placement fs =
   check_placement placement (union_support man fs);
   let memo = Hashtbl.create 1024 in
+  let rooted = ref [] in
   let rec go e =
     if Core_dd.is_one e then Core_dd.one target
     else if Core_dd.is_zero e then Core_dd.zero target
@@ -30,10 +34,15 @@ let rebuild_into target man ~placement fs =
         let v = Core_dd.topvar e in
         let t = go (Core_dd.hi e) and l = go (Core_dd.lo e) in
         let r = Core_dd.ite target (Core_dd.ithvar target placement.(v)) t l in
+        Core_dd.ref_ target r;
+        rooted := r :: !rooted;
         Hashtbl.add memo (Core_dd.uid e) r;
         r
   in
-  List.map go fs
+  let out = List.map go fs in
+  List.iter (Core_dd.ref_ target) out;
+  List.iter (Core_dd.deref target) !rooted;
+  out
 
 let rebuild man ~placement fs =
   let target = Core_dd.new_man () in
@@ -58,9 +67,18 @@ let sift ?(max_rounds = 2) man fs =
   | _ ->
     let n = List.fold_left max 0 vars + 1 in
     (* Variables not in the support keep identity positions; only the
-       support participates in the order being permuted. *)
+       support participates in the order being permuted.  Each distinct
+       order is measured (one full rebuild) at most once. *)
+    let size_cache = Hashtbl.create 64 in
     let size_of order =
-      shared_size_under man ~placement:(placement_of_order n order) fs
+      match Hashtbl.find_opt size_cache order with
+      | Some s -> s
+      | None ->
+        let s =
+          shared_size_under man ~placement:(placement_of_order n order) fs
+        in
+        Hashtbl.add size_cache order s;
+        s
     in
     (* level population, to process the most populous variables first *)
     let population = Hashtbl.create 16 in
@@ -88,8 +106,11 @@ let sift ?(max_rounds = 2) man fs =
       incr round;
       List.iter
         (fun v ->
-           let rest = List.filter (( <> ) v) !best_order in
-           (* try inserting v at every position of the current order *)
+           let base = !best_order in
+           let rest = List.filter (( <> ) v) base in
+           (* try inserting v at every position of the current order;
+              re-inserting it where it already sits reproduces [base],
+              whose size is known — skip that rebuild *)
            let m = List.length rest in
            for pos = 0 to m do
              let candidate =
@@ -100,11 +121,13 @@ let sift ?(max_rounds = 2) man fs =
                    List.filteri (fun i _ -> i >= pos) rest;
                  ]
              in
-             let sz = size_of candidate in
-             if sz < !best_size then begin
-               best_size := sz;
-               best_order := candidate;
-               improved := true
+             if candidate <> base then begin
+               let sz = size_of candidate in
+               if sz < !best_size then begin
+                 best_size := sz;
+                 best_order := candidate;
+                 improved := true
+               end
              end
            done)
         by_population

@@ -16,7 +16,10 @@ val rebuild :
   Core_dd.man * Core_dd.t list
 (** Rebuild the functions into a fresh manager under the placement.
     [placement] must be injective on the union support (checked).  The
-    originals are untouched. *)
+    originals are untouched.  The rebuilt results are left rooted in the
+    target manager (see {!Core_dd.ref_}), and intermediate results are
+    rooted for the duration of the rebuild, so target-manager garbage
+    collections are safe throughout. *)
 
 val shared_size_under :
   Core_dd.man -> placement:int array -> Core_dd.t list -> int
@@ -31,9 +34,11 @@ val sift :
 (** Greedy sifting: repeatedly take each variable (most populous level
     first) and move it to the position in the current order that
     minimizes the shared node count, until a round yields no improvement
-    or [max_rounds] (default 2) rounds are done.  Returns the best
-    placement found (never worse than the identity) and its shared
-    size. *)
+    or [max_rounds] (default 2) rounds are done.  Candidate orders are
+    memoized, and the no-op insertion (putting a variable back where it
+    is) is skipped, so each distinct order costs at most one rebuild.
+    Returns the best placement found (never worse than the identity) and
+    its shared size. *)
 
 val sift_apply :
   ?max_rounds:int ->

@@ -12,6 +12,7 @@ type call = {
   c_onset_fraction : float;
   sizes : (string * int) list;
   times : (string * float) list;
+  hit_rates : (string * float) list;
   min_size : int;
   min_name : string;
   low_bd : int;
@@ -48,15 +49,25 @@ let measure_call config man ~bench ~iteration ~origin
     List.map
       (fun (e : Minimize.Registry.entry) ->
          if config.flush_caches then Bdd.clear_caches man;
+         let s0 = Bdd.snapshot man in
          let t0 = Unix.gettimeofday () in
          let g = e.run man inst in
          let dt = Unix.gettimeofday () -. t0 in
-         (e.name, Bdd.size man g, dt))
+         let s1 = Bdd.snapshot man in
+         let lookups =
+           s1.Bdd.Stats.cache_lookups - s0.Bdd.Stats.cache_lookups
+         in
+         let hits = s1.Bdd.Stats.cache_hits - s0.Bdd.Stats.cache_hits in
+         let hit_rate =
+           if lookups = 0 then 0.0
+           else float_of_int hits /. float_of_int lookups
+         in
+         (e.name, Bdd.size man g, dt, hit_rate))
       config.entries
   in
   let min_name, min_size =
     List.fold_left
-      (fun (bn, bs) (n, s, _) -> if s < bs then (n, s) else (bn, bs))
+      (fun (bn, bs) (n, s, _, _) -> if s < bs then (n, s) else (bn, bs))
       ("", max_int) results
   in
   let low_bd =
@@ -68,14 +79,15 @@ let measure_call config man ~bench ~iteration ~origin
     origin;
     f_size = Bdd.size man inst.Minimize.Ispec.f;
     c_onset_fraction = Minimize.Ispec.c_onset_fraction man inst;
-    sizes = List.map (fun (n, s, _) -> (n, s)) results;
-    times = List.map (fun (n, _, t) -> (n, t)) results;
+    sizes = List.map (fun (n, s, _, _) -> (n, s)) results;
+    times = List.map (fun (n, _, t, _) -> (n, t)) results;
+    hit_rates = List.map (fun (n, _, _, h) -> (n, h)) results;
     min_size;
     min_name;
     low_bd;
   }
 
-let run_bench ?(config = default_config) (b : Circuits.Registry.bench) =
+let run_bench_stats ?(config = default_config) (b : Circuits.Registry.bench) =
   let man = Bdd.new_man () in
   let nl = b.build () in
   let calls = ref [] in
@@ -118,15 +130,29 @@ let run_bench ?(config = default_config) (b : Circuits.Registry.bench) =
          ~max_iterations:config.max_iterations ~on_instance
          ~on_image_constrain sym)
   end;
-  List.rev !calls
+  (* The run is over and nothing is retained, so a collection from the
+     permanent roots alone shows how much of the table was dead. *)
+  let reclaimed = Bdd.gc man in
+  (List.rev !calls, Bdd.snapshot man, reclaimed)
+
+let run_bench ?config b =
+  let calls, _, _ = run_bench_stats ?config b in
+  calls
 
 let run_suite ?(config = default_config) ?(progress = fun _ -> ()) benches =
   List.concat_map
     (fun (b : Circuits.Registry.bench) ->
        progress b.name;
-       let calls = run_bench ~config b in
+       let calls, stats, reclaimed = run_bench_stats ~config b in
        progress
          (Printf.sprintf "  %s: %d non-trivial calls" b.name
             (List.length calls));
+       progress
+         (Printf.sprintf
+            "  engine: %d peak nodes, cache hit rate %.1f%%, final gc \
+             reclaimed %d dead nodes"
+            stats.Bdd.Stats.peak_live_nodes
+            (100.0 *. Bdd.Stats.hit_rate stats)
+            reclaimed);
        calls)
     benches

@@ -23,6 +23,10 @@ type call = {
   c_onset_fraction : float;  (** the paper's [c_onset_size], in [0, 1] *)
   sizes : (string * int) list;  (** result size per minimizer *)
   times : (string * float) list;  (** seconds per minimizer *)
+  hit_rates : (string * float) list;
+  (** computed-cache hit rate ([0, 1]) observed while each minimizer ran
+      (caches are flushed before each run when [flush_caches] is set, so
+      this measures the heuristic's own locality) *)
   min_size : int;  (** the paper's [min]: best size over all minimizers *)
   min_name : string;
   low_bd : int;  (** the Theorem 7 cube lower bound *)
@@ -52,6 +56,14 @@ val default_config : config
 val run_bench :
   ?config:config -> Circuits.Registry.bench -> call list
 (** Capture all non-trivial minimization instances of one benchmark. *)
+
+val run_bench_stats :
+  ?config:config ->
+  Circuits.Registry.bench ->
+  call list * Bdd.Stats.t * int
+(** Like {!run_bench}, but also return the engine statistics of the
+    benchmark's manager and the node count reclaimed by a final garbage
+    collection (everything the run interned is dead once it finishes). *)
 
 val run_suite :
   ?config:config ->

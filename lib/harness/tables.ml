@@ -211,14 +211,21 @@ let render_lower_bound_summary ~names calls =
 
 let calls_to_csv ~names calls =
   let buf = Buffer.create 4096 in
-  bprintf buf "bench,iteration,f_size,c_onset_fraction,low_bd,min%s\n"
+  bprintf buf "bench,iteration,f_size,c_onset_fraction,low_bd,min%s,avg_hit_rate\n"
     (String.concat "" (List.map (fun n -> "," ^ n) names));
   List.iter
     (fun (c : Capture.call) ->
        bprintf buf "%s,%d,%d,%.6f,%d,%d" c.bench c.iteration c.f_size
          c.c_onset_fraction c.low_bd c.min_size;
        List.iter (fun n -> bprintf buf ",%d" (Stats.size_of c n)) names;
-       bprintf buf "\n")
+       let avg_hit_rate =
+         match c.hit_rates with
+         | [] -> 0.0
+         | hs ->
+           List.fold_left (fun acc (_, h) -> acc +. h) 0.0 hs
+           /. float_of_int (List.length hs)
+       in
+       bprintf buf ",%.4f\n" avg_hit_rate)
     calls;
   Buffer.contents buf
 

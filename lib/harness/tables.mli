@@ -34,7 +34,8 @@ val render_lower_bound_summary : names:string list -> Capture.call list -> strin
 
 val calls_to_csv : names:string list -> Capture.call list -> string
 (** One row per call: bench, iteration, [f] size, [c_onset], lower bound,
-    and each minimizer's size. *)
+    each minimizer's size, and the mean computed-cache hit rate observed
+    across the minimizers on that call. *)
 
 val curve_to_csv : names:string list -> Capture.call list -> string
 (** Figure 3 series as CSV (percent, one column per heuristic). *)

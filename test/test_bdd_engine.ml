@@ -1,0 +1,265 @@
+(* Engine storage-layer tests: the lossy computed cache, unique-table
+   garbage collection, the external-reference API, and the statistics
+   counters.  The differential properties compare a stressed manager
+   (tiny forced-eviction cache, forced GC cycles) against a fresh default
+   manager through truth tables, which is exactly the guarantee the
+   engine makes: evictions and collections may cost recomputation or
+   canonicity of stale edges, never correctness. *)
+
+module Tt = Logic.Truth_table
+
+let nvars = 4
+
+(* Deterministic function family from a seed. *)
+let tt_of_seed n seed =
+  let st = Random.State.make [| seed; n; 0xcafe |] in
+  Tt.create n (fun _ -> Random.State.bool st)
+
+let gen_seeds =
+  QCheck2.Gen.(
+    let* a = int_bound 0xFFFFF in
+    let* b = int_bound 0xFFFFF in
+    return (a, b))
+
+(* Run every binary/unary operator of interest on (f, c) and return the
+   results as truth tables, so they can be compared across managers. *)
+let op_results man f c =
+  let c_nz = if Bdd.is_zero c then Bdd.one man else c in
+  let results =
+    [
+      Bdd.dand man f c;
+      Bdd.dor man f c;
+      Bdd.dxor man f c;
+      Bdd.ite man f c (Bdd.compl c);
+      Bdd.constrain man f c_nz;
+      Bdd.restrict man f c_nz;
+      Bdd.exists man [ 0; 2 ] f;
+      Bdd.forall man [ 1 ] c;
+      Bdd.and_exists man [ 0; 1 ] f c;
+      Bdd.compose man f ~var:1 c;
+    ]
+  in
+  List.map (fun g -> Tt.of_bdd man ~nvars g) results
+
+let tiny_cache_differential =
+  Util.qtest ~count:150 "4-entry lossy cache computes the same functions"
+    gen_seeds
+    (fun (s1, s2) ->
+       (* cache_bits = 2 and a budget that forbids growth: every probe
+          conflicts constantly, so most lookups are forced evictions. *)
+       let small = Bdd.new_man ~cache_bits:2 ~cache_budget:0 () in
+       let big = Bdd.new_man () in
+       let ft = tt_of_seed nvars s1 and ct = tt_of_seed nvars s2 in
+       let r_small =
+         op_results small (Tt.to_bdd small ft) (Tt.to_bdd small ct)
+       in
+       let r_big = op_results big (Tt.to_bdd big ft) (Tt.to_bdd big ct) in
+       List.for_all2 Tt.equal r_small r_big)
+
+let forced_gc_differential =
+  Util.qtest ~count:150 "forced GC cycles never change operator results"
+    gen_seeds
+    (fun (s1, s2) ->
+       let man = Bdd.new_man () in
+       let big = Bdd.new_man () in
+       let ft = tt_of_seed nvars s1 and ct = tt_of_seed nvars s2 in
+       let f = Tt.to_bdd man ft and c = Tt.to_bdd man ct in
+       (* Root the inputs, then interleave operator runs with full
+          collections: results computed before a GC become stale garbage,
+          and recomputing them afterwards must give the same functions. *)
+       Bdd.ref_ man f;
+       Bdd.ref_ man c;
+       let r1 = op_results man f c in
+       ignore (Bdd.gc man);
+       let r2 = op_results man f c in
+       ignore (Bdd.gc man);
+       ignore (Bdd.gc man);
+       let r3 = op_results man f c in
+       let r_big = op_results big (Tt.to_bdd big ft) (Tt.to_bdd big ct) in
+       List.for_all2 Tt.equal r1 r_big
+       && List.for_all2 Tt.equal r2 r_big
+       && List.for_all2 Tt.equal r3 r_big)
+
+let canonicity_after_gc_churn =
+  Util.qtest ~count:100 "equal iff same uid holds after GC under churn"
+    gen_seeds
+    (fun (s1, s2) ->
+       let man = Bdd.new_man () in
+       let f = Tt.to_bdd man (tt_of_seed nvars s1) in
+       let c = Tt.to_bdd man (tt_of_seed nvars s2) in
+       Bdd.ref_ man f;
+       Bdd.ref_ man c;
+       let ok = ref true in
+       for round = 0 to 4 do
+         (* churn: build and abandon garbage, then collect it *)
+         ignore (Bdd.dxor man f (Bdd.ithvar man (round mod nvars)));
+         ignore (Bdd.restrict man (Bdd.dor man f c) c);
+         ignore (Bdd.gc man);
+         (* the same function built two ways from rooted inputs must be
+            one edge (same uid), and a different function must not *)
+         let a = Bdd.dand man f c in
+         let b = Bdd.compl (Bdd.dor man (Bdd.compl f) (Bdd.compl c)) in
+         let d = Bdd.dor man f c in
+         ok :=
+           !ok && Bdd.equal a b
+           && Bdd.uid a = Bdd.uid b
+           && (Bdd.equal a d = (Bdd.uid a = Bdd.uid d))
+       done;
+       !ok)
+
+let gc_reclaims_and_roots_survive () =
+  let man = Bdd.new_man () in
+  let x i = Bdd.ithvar man i in
+  let kept = Bdd.dand man (x 0) (Bdd.dor man (x 1) (x 2)) in
+  Bdd.ref_ man kept;
+  let kept_uid = Bdd.uid kept in
+  (* garbage: a sizable parity cone nothing roots *)
+  let parity =
+    List.fold_left (fun acc i -> Bdd.dxor man acc (x i)) (x 3)
+      [ 4; 5; 6; 7; 8 ]
+  in
+  let live_before = (Bdd.snapshot man).Bdd.Stats.live_nodes in
+  Util.checkb "garbage is live before gc" (Bdd.size man parity > 2);
+  let reclaimed = Bdd.gc man in
+  let s = Bdd.snapshot man in
+  Util.checkb "something was reclaimed" (reclaimed > 0);
+  Util.checki "live accounting" (live_before - reclaimed) s.Bdd.Stats.live_nodes;
+  Util.checki "gc runs counted" 1 s.Bdd.Stats.gc_runs;
+  Util.checki "reclaimed total counted" reclaimed s.Bdd.Stats.gc_reclaimed;
+  (* the rooted cone still canonical: rebuilding it finds the same node *)
+  let again = Bdd.dand man (x 0) (Bdd.dor man (x 1) (x 2)) in
+  Util.checkb "rooted edge kept its identity" (Bdd.uid again = kept_uid);
+  (* deref, and the cone becomes collectable *)
+  Bdd.deref man kept;
+  let reclaimed2 = Bdd.gc man in
+  Util.checkb "deref makes the cone dead" (reclaimed2 > 0);
+  Util.checki "only projection vars remain"
+    (9 + 1)
+    (Bdd.snapshot man).Bdd.Stats.live_nodes
+
+let with_root_protects () =
+  let man = Bdd.new_man () in
+  let x i = Bdd.ithvar man i in
+  let f = Bdd.dand man (x 0) (x 1) in
+  let uid_inside =
+    Bdd.with_root man f (fun f ->
+        ignore (Bdd.gc man);
+        (* still canonical inside the scope *)
+        Bdd.uid (Bdd.dand man (x 0) (x 1)) = Bdd.uid f)
+  in
+  Util.checkb "rooted within with_root" uid_inside;
+  Util.checki "root released on exit" 0
+    (Bdd.snapshot man).Bdd.Stats.external_refs
+
+let eviction_counters () =
+  let man = Bdd.new_man ~cache_bits:1 ~cache_budget:0 () in
+  let x i = Bdd.ithvar man i in
+  (* enough distinct operations to overflow a 2-entry cache many times *)
+  let acc = ref (Bdd.zero man) in
+  for i = 0 to 7 do
+    acc := Bdd.dor man !acc (Bdd.dand man (x i) (x (i + 8)))
+  done;
+  let s = Bdd.snapshot man in
+  Util.checkb "lookups counted" (s.Bdd.Stats.cache_lookups > 0);
+  Util.checkb "stores counted" (s.Bdd.Stats.cache_stores > 0);
+  Util.checkb "evictions happen in a 2-entry cache"
+    (s.Bdd.Stats.cache_evictions > 0);
+  Util.checkb "cache stayed within its budget"
+    (s.Bdd.Stats.cache_capacity = 2);
+  Util.checkb "ite recursions counted" (s.Bdd.Stats.ite_recursions > 0)
+
+let cache_growth_bounded () =
+  (* 4-entry start, budget for exactly 64 entries: growth must stop there *)
+  let man = Bdd.new_man ~cache_bits:2 ~cache_budget:(64 * 32) () in
+  let x i = Bdd.ithvar man i in
+  let acc = ref (Bdd.zero man) in
+  for i = 0 to 11 do
+    acc := Bdd.dxor man !acc (Bdd.dand man (x i) (x (i + 12)))
+  done;
+  let s = Bdd.snapshot man in
+  Util.checkb "cache grew" (s.Bdd.Stats.cache_capacity > 4);
+  Util.checkb "cache bounded by the byte budget"
+    (s.Bdd.Stats.cache_capacity <= 64)
+
+let auto_gc_triggers () =
+  (* With a rooted edge and lots of garbage, the automatic trigger must
+     eventually fire a collection on its own. *)
+  let man = Bdd.new_man () in
+  let x i = Bdd.ithvar man i in
+  let kept = Bdd.dand man (x 0) (x 1) in
+  Bdd.ref_ man kept;
+  let st = Random.State.make [| 0xabcd |] in
+  for _ = 0 to 60 do
+    ignore
+      (Tt.to_bdd man (Tt.create 12 (fun _ -> Random.State.bool st)))
+  done;
+  let s = Bdd.snapshot man in
+  Util.checkb "auto gc ran" (s.Bdd.Stats.gc_runs > 0);
+  Util.checkb "auto gc reclaimed nodes" (s.Bdd.Stats.gc_reclaimed > 0);
+  Util.checkb "rooted edge survived"
+    (Bdd.uid (Bdd.dand man (x 0) (x 1)) = Bdd.uid kept)
+
+let stats_labels_honest () =
+  let man = Bdd.new_man () in
+  let x i = Bdd.ithvar man i in
+  let f = Bdd.dand man (x 0) (x 1) in
+  ignore (Bdd.dor man f (x 2));
+  let s = Bdd.snapshot man in
+  (* live and interned agree before any gc (plus the terminal) *)
+  Util.checki "live = interned + terminal before gc"
+    (s.Bdd.Stats.interned_total + 1) s.Bdd.Stats.live_nodes;
+  ignore (Bdd.gc man);
+  let s' = Bdd.snapshot man in
+  Util.checkb "gc separates live from interned"
+    (s'.Bdd.Stats.live_nodes < s'.Bdd.Stats.interned_total + 1);
+  Util.checkb "peak is sticky"
+    (s'.Bdd.Stats.peak_live_nodes >= s.Bdd.Stats.live_nodes);
+  Util.checkb "one-line stats mentions live and gc"
+    (Util.contains (Bdd.stats man) "live="
+     && Util.contains (Bdd.stats man) "gc_runs=1")
+
+let sat_count_undersized_space () =
+  let man = Util.man in
+  let x i = Bdd.ithvar man i in
+  let f = Bdd.dand man (x 0) (Bdd.dand man (x 1) (x 2)) in
+  Util.checkb "raises on nvars < support size"
+    (match Bdd.sat_count man f ~nvars:2 with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Util.checkb "exact support size is fine"
+    (Bdd.sat_count man f ~nvars:3 = 1.0);
+  (* non-contiguous support: 2 variables with a large top index is legal
+     over any 2-dimensional space *)
+  let g = Bdd.dand man (x 0) (x 9) in
+  Util.checkb "sparse support counts by dimension"
+    (Bdd.sat_count man g ~nvars:2 = 1.0)
+
+let clear_caches_keeps_nodes () =
+  let man = Bdd.new_man () in
+  let x i = Bdd.ithvar man i in
+  let f = Bdd.dand man (x 0) (x 1) in
+  let live = (Bdd.snapshot man).Bdd.Stats.live_nodes in
+  Bdd.clear_caches man;
+  let s = Bdd.snapshot man in
+  Util.checki "unique table untouched" live s.Bdd.Stats.live_nodes;
+  Util.checki "cache emptied" 0 s.Bdd.Stats.cache_entries;
+  Util.checkb "canonicity kept"
+    (Bdd.uid (Bdd.dand man (x 0) (x 1)) = Bdd.uid f)
+
+let suite =
+  [
+    tiny_cache_differential;
+    forced_gc_differential;
+    canonicity_after_gc_churn;
+    Alcotest.test_case "gc reclaims, roots survive" `Quick
+      gc_reclaims_and_roots_survive;
+    Alcotest.test_case "with_root protects" `Quick with_root_protects;
+    Alcotest.test_case "eviction counters" `Quick eviction_counters;
+    Alcotest.test_case "cache growth bounded" `Quick cache_growth_bounded;
+    Alcotest.test_case "auto gc triggers" `Quick auto_gc_triggers;
+    Alcotest.test_case "stats labels honest" `Quick stats_labels_honest;
+    Alcotest.test_case "sat_count rejects undersized space" `Quick
+      sat_count_undersized_space;
+    Alcotest.test_case "clear_caches keeps nodes" `Quick
+      clear_caches_keeps_nodes;
+  ]

@@ -5,6 +5,7 @@ let () =
     [
       ("bdd", Test_bdd.suite);
       ("bdd-laws", Test_bdd_laws.suite);
+      ("bdd-engine", Test_bdd_engine.suite);
       ("logic", Test_logic.suite);
       ("pla", Test_pla.suite);
       ("reorder", Test_reorder.suite);
