@@ -7,6 +7,8 @@
      BDDMIN_BENCH_CALLS=N   per-benchmark cap on measured calls (default 250)
      BDDMIN_BENCH_SKIP_MICRO=1  skip the Bechamel microbenchmarks *)
 
+let () = Obs.Logging.setup ~default:Logs.Info ()
+
 let quick = Sys.getenv_opt "BDDMIN_BENCH_QUICK" = Some "1"
 let skip_micro = Sys.getenv_opt "BDDMIN_BENCH_SKIP_MICRO" = Some "1"
 
@@ -28,14 +30,11 @@ let calls =
   Printf.printf
     "== Capturing EBM instances from FSM self-equivalence (%d machines, <=%d calls each) ==\n%!"
     (List.length benches) max_calls;
-  let t0 = Unix.gettimeofday () in
-  let calls =
-    Harness.Capture.run_suite ~config
-      ~progress:(fun m -> Printf.printf "   %s\n%!" m)
-      benches
+  (* progress goes through the default Logs route of [run_suite] *)
+  let calls, dt =
+    Obs.Clock.timed (fun () -> Harness.Capture.run_suite ~config benches)
   in
-  Printf.printf "   captured %d calls in %.1fs\n\n%!" (List.length calls)
-    (Unix.gettimeofday () -. t0);
+  Printf.printf "   captured %d calls in %.1fs\n\n%!" (List.length calls) dt;
   calls
 
 (* ----- a standard instance pool for the microbenchmarks ----- *)
@@ -301,6 +300,23 @@ let ablations () =
       bench_image Fsm.Image.Range "reach_range";
     ]
 
+(* ----- Per-phase time breakdown ----- *)
+
+(* A separate, small traced run: tracing adds per-window size traversals,
+   so the main capture above stays untraced and its timings honest. *)
+let phase_breakdown () =
+  print_endline "== Per-phase time breakdown (traced capture of tlc) ==\n";
+  let b = Option.get (Circuits.Registry.find "tlc") in
+  let sink = Obs.Trace.memory () in
+  let config =
+    { Harness.Capture.default_config with max_calls = min max_calls 50 }
+  in
+  ignore
+    (Obs.Trace.with_sink sink (fun () -> Harness.Capture.run_bench ~config b));
+  Format.printf "%a@." Obs.Report.pp
+    (Obs.Report.of_events (Obs.Trace.events sink));
+  Format.printf "@.%a@." Obs.Probe.pp ()
+
 (* ----- Engine statistics of the shared pool manager ----- *)
 
 let engine_stats () =
@@ -324,5 +340,6 @@ let () =
   table4 ();
   figure3 ();
   ablations ();
+  phase_breakdown ();
   engine_stats ();
   print_endline "done."

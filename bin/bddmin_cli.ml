@@ -67,6 +67,65 @@ let load_netlist spec =
            (String.concat ", "
               (Circuits.Registry.names Circuits.Registry.all)))
 
+(* Like [load_netlist], but keep the bench record (the capture harness
+   wants a name and a build thunk); BLIF files get a synthetic record. *)
+let load_bench spec =
+  match Circuits.Registry.find spec with
+  | Some b -> Ok b
+  | None -> (
+      match load_netlist spec with
+      | Error e -> Error e
+      | Ok nl ->
+        Ok
+          {
+            Circuits.Registry.name = Filename.basename spec;
+            paper_analog = "-";
+            description = "BLIF file " ^ spec;
+            build = (fun () -> nl);
+          })
+
+(* ----- tracing (--trace FILE) ----- *)
+
+let trace_term =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file of the run; load it \
+                 in Perfetto or chrome://tracing.")
+
+let with_trace file k =
+  match file with
+  | None -> k ()
+  | Some path ->
+    let oc = open_out path in
+    let sink = Obs.Trace.chrome_channel oc in
+    Obs.Trace.set_sink sink;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_sink Obs.Trace.null;
+        Obs.Trace.close sink;
+        close_out oc)
+      k
+
+(* ----- frontier-minimizer selection (--minimize NAME) ----- *)
+
+let minimizer_term =
+  Arg.(value & opt (some string) None
+       & info [ "minimize" ] ~docv:"NAME"
+           ~doc:"Minimize each reachability frontier with this registry \
+                 heuristic (e.g. $(b,const), $(b,restr), $(b,sched), \
+                 $(b,opt_lv)) instead of plain constrain.")
+
+let resolve_minimizer = function
+  | None -> None
+  | Some name -> (
+      match Minimize.Registry.find name with
+      | Some e -> Some (fun man s -> e.Minimize.Registry.run man s)
+      | None ->
+        Printf.eprintf "unknown heuristic %s (known: %s)\n" name
+          (String.concat ", "
+             (Minimize.Registry.names Minimize.Registry.extended));
+        exit 1)
+
 (* ----- minimize ----- *)
 
 let minimize_cmd =
@@ -168,7 +227,7 @@ let lower_bound_cmd =
 (* ----- equiv ----- *)
 
 let equiv_cmd =
-  let run spec1 spec2 strategy =
+  let run spec1 spec2 strategy minimizer trace =
     let strategy =
       match strategy with
       | "range" -> Fsm.Image.Range
@@ -178,6 +237,7 @@ let equiv_cmd =
         Printf.eprintf "unknown strategy %s\n" s;
         exit 1
     in
+    let minimize = resolve_minimizer minimizer in
     match
       let* nl1 = load_netlist spec1 in
       let* nl2 =
@@ -190,7 +250,8 @@ let equiv_cmd =
       1
     | Ok (nl1, nl2) ->
       let man = Bdd.new_man () in
-      (match Fsm.Equiv.check ~strategy man nl1 nl2 with
+      with_trace trace @@ fun () ->
+      (match Fsm.Equiv.check ~strategy ?minimize man nl1 nl2 with
        | Fsm.Equiv.Equivalent st ->
          Printf.printf
            "EQUIVALENT  (%d iterations, %.0f product states, %d minimization calls)\n"
@@ -219,20 +280,25 @@ let equiv_cmd =
   in
   Cmd.v
     (Cmd.info "equiv" ~doc:"Check product-machine equivalence")
-    Term.(const (fun () a b c -> run a b c) $ logs_term $ spec1 $ spec2 $ strategy)
+    Term.(
+      const (fun () a b c d e -> run a b c d e)
+      $ logs_term $ spec1 $ spec2 $ strategy $ minimizer_term $ trace_term)
 
 (* ----- reach ----- *)
 
 let reach_cmd =
-  let run spec =
+  let run spec minimizer trace =
     match load_netlist spec with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       1
     | Ok nl ->
+      let minimize = resolve_minimizer minimizer in
       let man = Bdd.new_man () in
       let sym = Fsm.Symbolic.of_netlist man nl in
-      let reached, st = Fsm.Reach.reachable sym in
+      let reached, st =
+        with_trace trace @@ fun () -> Fsm.Reach.reachable ?minimize sym
+      in
       Printf.printf "%s\n" (Fsm.Netlist.stats nl);
       Printf.printf
         "reachable states: %.0f of %.0f   iterations: %d   |R| = %d nodes\n"
@@ -247,12 +313,14 @@ let reach_cmd =
   in
   Cmd.v
     (Cmd.info "reach" ~doc:"Symbolic reachability statistics")
-    Term.(const (fun () a -> run a) $ logs_term $ spec)
+    Term.(
+      const (fun () a b c -> run a b c)
+      $ logs_term $ spec $ minimizer_term $ trace_term)
 
 (* ----- stats ----- *)
 
 let stats_cmd =
-  let run spec cache_bits =
+  let run spec cache_bits trace =
     match load_netlist spec with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -260,7 +328,9 @@ let stats_cmd =
     | Ok nl ->
       let man = Bdd.new_man ?cache_bits () in
       let sym = Fsm.Symbolic.of_netlist man nl in
-      let reached, st = Fsm.Reach.reachable sym in
+      let reached, st =
+        with_trace trace @@ fun () -> Fsm.Reach.reachable sym
+      in
       Printf.printf "%s\n" (Fsm.Netlist.stats nl);
       Printf.printf
         "reachability: %.0f states in %d iterations, |R| = %d nodes\n\n"
@@ -290,17 +360,20 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Engine statistics (cache, GC, recursion counters) for a \
              reachability run")
-    Term.(const (fun () a b -> run a b) $ logs_term $ spec $ cache_bits)
+    Term.(
+      const (fun () a b c -> run a b c)
+      $ logs_term $ spec $ cache_bits $ trace_term)
 
 (* ----- tables ----- *)
 
 let tables_cmd =
-  let run quick out_dir max_calls =
+  let run quick out_dir max_calls trace =
     let benches =
       if quick then Circuits.Registry.quick else Circuits.Registry.all
     in
     let config = { Harness.Capture.default_config with max_calls } in
     let calls =
+      with_trace trace @@ fun () ->
       Harness.Capture.run_suite ~config
         ~progress:(fun m -> Printf.eprintf "%s\n%!" m)
         benches
@@ -344,7 +417,72 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Reproduce the paper's tables and figure")
-    Term.(const (fun () a b c -> run a b c) $ logs_term $ quick $ out_dir $ max_calls)
+    Term.(
+      const (fun () a b c d -> run a b c d)
+      $ logs_term $ quick $ out_dir $ max_calls $ trace_term)
+
+(* ----- profile ----- *)
+
+let profile_cmd =
+  let run spec max_calls self_product =
+    match load_bench spec with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok b ->
+      (* Capture into a memory ring sized for a full bench run, then fold
+         the span stream into a self/total-time table. *)
+      let sink = Obs.Trace.memory ~capacity:2_000_000 () in
+      Obs.Probe.reset ();
+      let config =
+        { Harness.Capture.default_config with max_calls; self_product }
+      in
+      let calls =
+        Obs.Trace.with_sink sink @@ fun () ->
+        Harness.Capture.run_bench ~config b
+      in
+      Printf.printf "%s: %d measured minimization calls (max %d)\n\n"
+        b.Circuits.Registry.name (List.length calls) max_calls;
+      Format.printf "%a@." Obs.Report.pp
+        (Obs.Report.of_events (Obs.Trace.events sink));
+      if Obs.Trace.dropped sink > 0 then
+        Printf.printf
+          "(ring dropped %d early events; earliest spans are partial)\n"
+          (Obs.Trace.dropped sink);
+      Format.printf "@.%a" Obs.Probe.pp ();
+      0
+  in
+  let spec =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"MACHINE" ~doc:"Benchmark name or BLIF file.")
+  in
+  let max_calls =
+    Arg.(value & opt int 50
+         & info [ "max-calls" ] ~docv:"N"
+             ~doc:"Per-benchmark cap on measured calls.")
+  in
+  let self_product =
+    Arg.(value & opt bool true
+         & info [ "self-product" ] ~docv:"BOOL"
+             ~doc:"Profile the product-machine self-equivalence run \
+                   (default); $(b,false) profiles plain reachability.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-phase self/total-time profile of a capture run"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the capture harness over one machine with an in-memory \
+              trace sink and prints where the time went, per span name \
+              (schedule windows, sibling and level passes, reachability \
+              iterations, each registry minimizer), followed by the \
+              engine probes (counters and histograms).";
+         ])
+    Term.(
+      const (fun () a b c -> run a b c)
+      $ logs_term $ spec $ max_calls $ self_product)
 
 (* ----- optimize: the paper's second application as a flow ----- *)
 
@@ -523,6 +661,6 @@ let main =
     (Cmd.info "bddmin" ~version:"1.0.0"
        ~doc:"Heuristic minimization of BDDs using don't cares (DAC'94)")
     [ minimize_cmd; lower_bound_cmd; equiv_cmd; reach_cmd; stats_cmd;
-      tables_cmd; optimize_cmd; pla_cmd; benches_cmd; dot_cmd ]
+      tables_cmd; profile_cmd; optimize_cmd; pla_cmd; benches_cmd; dot_cmd ]
 
 let () = exit (Cmd.eval' main)

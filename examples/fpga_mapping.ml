@@ -26,6 +26,7 @@ let segments =
 let mux_count man g = Bdd.size man g - 1
 
 let () =
+  Obs.Logging.setup ();
   let man = Bdd.new_man () in
   let care_tt =
     Logic.Truth_table.create 4 (fun m -> m < 10) (* BCD: 10..15 impossible *)

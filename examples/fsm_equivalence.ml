@@ -69,6 +69,7 @@ let report name verdict =
       name stats.Fsm.Reach.iterations Bdd.Cube.pp distinguishing_state
 
 let () =
+  Obs.Logging.setup ();
   let reference = Circuits.Counter.make ~width:4 () in
 
   let man = Bdd.new_man () in

@@ -5,6 +5,7 @@
    write Graphviz renderings of the inputs and one optimal cover. *)
 
 let () =
+  Obs.Logging.setup ();
   let man = Bdd.new_man () in
   (* Figure 1's instance has three variables; we use the leaf notation of
      the paper (§3.2): '1'/'0' are care values, 'd' is a don't care.  The

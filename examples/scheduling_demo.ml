@@ -31,17 +31,17 @@ let capture_pool () =
     [ "tlc"; "gray6"; "minmax4"; "rnd344"; "rndstyr" ]
 
 let () =
+  Obs.Logging.setup ();
   let pool = capture_pool () in
   Format.printf "Captured %d non-trivial instances.@.@." (List.length pool);
   let total name run =
-    let t0 = Unix.gettimeofday () in
-    let sum =
-      List.fold_left
-        (fun acc (man, inst) -> acc + Bdd.size man (run man inst))
-        0 pool
+    let sum, dt =
+      Obs.Clock.timed (fun () ->
+          List.fold_left
+            (fun acc (man, inst) -> acc + Bdd.size man (run man inst))
+            0 pool)
     in
-    Format.printf "  %-34s total size %6d   (%.2fs)@." name sum
-      (Unix.gettimeofday () -. t0)
+    Format.printf "  %-34s total size %6d   (%.2fs)@." name sum dt
   in
   Format.printf "Baselines:@.";
   total "f_orig" (fun _ (i : Minimize.Ispec.t) -> i.Minimize.Ispec.f);

@@ -24,6 +24,7 @@ let pla_row nvars cube =
       | None -> '-')
 
 let () =
+  Obs.Logging.setup ();
   let man = Bdd.new_man () in
   let zman = Bdd.Zdd.new_man () in
   let care =

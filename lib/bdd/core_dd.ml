@@ -33,6 +33,10 @@ type node = {
 
 and t = { neg : bool; node : node }
 
+type engine_event =
+  | Gc_run of { reclaimed : int; live_nodes : int }
+  | Cache_grown of { old_capacity : int; new_capacity : int }
+
 type man = {
   mutable vars : int;
   (* unique table: open-addressed, [terminal] is the empty-slot sentinel *)
@@ -69,6 +73,8 @@ type man = {
   mutable gc_runs : int;
   mutable gc_nodes : int;
   mutable peak_live : int;
+  (* observability: engine-event listeners (GC runs, cache growth) *)
+  mutable listeners : (engine_event -> unit) list;
 }
 
 let const_var = max_int
@@ -126,7 +132,32 @@ let new_man ?(nvars = 0) ?(cache_bits = default_cache_bits)
     gc_runs = 0;
     gc_nodes = 0;
     peak_live = 0;
+    listeners = [];
   }
+
+let on_event man f = man.listeners <- f :: man.listeners
+
+(* Events also show up as instant events in the current trace, so a GC
+   run or a cache resize is visible amid the spans it interrupts. *)
+let emit_event man ev =
+  if Obs.Trace.enabled () then begin
+    match ev with
+    | Gc_run { reclaimed; live_nodes } ->
+      Obs.Trace.instant "bdd.gc"
+        ~attrs:
+          [
+            ("reclaimed", Obs.Trace.Int reclaimed);
+            ("live_nodes", Obs.Trace.Int live_nodes);
+          ]
+    | Cache_grown { old_capacity; new_capacity } ->
+      Obs.Trace.instant "bdd.cache_grow"
+        ~attrs:
+          [
+            ("old_capacity", Obs.Trace.Int old_capacity);
+            ("new_capacity", Obs.Trace.Int new_capacity);
+          ]
+  end;
+  List.iter (fun f -> f ev) man.listeners
 
 let nvars man = man.vars
 
@@ -176,6 +207,7 @@ let cache_find man k0 k1 k2 =
 
 let cache_grow man =
   let ok0 = man.ck0 and ok1 = man.ck1 and ok2 = man.ck2 and ores = man.cres in
+  let ocap = man.cmask + 1 in
   let ncap = (man.cmask + 1) * 2 in
   man.ck0 <- Array.make ncap min_int;
   man.ck1 <- Array.make ncap 0;
@@ -194,7 +226,8 @@ let cache_grow man =
          man.ck2.(i) <- ok2.(j);
          man.cres.(i) <- ores.(j)
        end)
-    ok0
+    ok0;
+  emit_event man (Cache_grown { old_capacity = ocap; new_capacity = ncap })
 
 let cache_store man k0 k1 k2 r =
   man.c_stores <- man.c_stores + 1;
@@ -354,6 +387,7 @@ let gc_internal man roots =
   let reclaimed = before - live in
   man.gc_runs <- man.gc_runs + 1;
   man.gc_nodes <- man.gc_nodes + reclaimed;
+  emit_event man (Gc_run { reclaimed; live_nodes = live + 1 });
   reclaimed
 
 let gc ?(roots = []) man =

@@ -80,6 +80,25 @@ val gc : ?roots:t list -> man -> int
 val set_auto_gc : man -> bool -> unit
 (** Enable or disable the automatic collection trigger (see {!new_man}). *)
 
+(** {1 Engine events}
+
+    Rare structural events — garbage collections and computed-cache
+    growth — are published both to registered listeners and, when
+    tracing is enabled, as [bdd.gc] / [bdd.cache_grow] instant events
+    on the current {!Obs.Trace} sink, so they appear amid the spans of
+    whatever operation triggered them. *)
+
+type engine_event =
+  | Gc_run of { reclaimed : int; live_nodes : int }
+  (** A mark-and-sweep collection finished ([live_nodes] includes the
+      terminal, matching {!Stats.t.live_nodes}). *)
+  | Cache_grown of { old_capacity : int; new_capacity : int }
+  (** The computed cache doubled (entry counts). *)
+
+val on_event : man -> (engine_event -> unit) -> unit
+(** Register a listener, called after each event for the lifetime of
+    the manager (listeners cannot be removed). *)
+
 (** {1 Statistics} *)
 
 (** Engine counters, all cumulative since manager creation except the

@@ -1,5 +1,10 @@
 type strategy = Monolithic | Partitioned | Range
 
+let strategy_name = function
+  | Monolithic -> "monolithic"
+  | Partitioned -> "partitioned"
+  | Range -> "range"
+
 let image_monolithic (sym : Symbolic.t) s =
   let man = sym.man in
   let t = Symbolic.transition_relation sym in
@@ -75,10 +80,22 @@ let image_by_range ?(on_constrain = fun _ -> ()) (sym : Symbolic.t) s =
   end
 
 let image ?(strategy = Partitioned) ?on_constrain sym s =
-  match strategy with
-  | Monolithic -> image_monolithic sym s
-  | Partitioned -> image_partitioned sym s
-  | Range -> image_by_range ?on_constrain sym s
+  Obs.Trace.with_span "fsm.image"
+    ~attrs:[ ("strategy", Obs.Trace.Str (strategy_name strategy)) ]
+  @@ fun sp ->
+  let r =
+    match strategy with
+    | Monolithic -> image_monolithic sym s
+    | Partitioned -> image_partitioned sym s
+    | Range -> image_by_range ?on_constrain sym s
+  in
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.add sp "source_nodes"
+      (Obs.Trace.Int (Bdd.size sym.Symbolic.man s));
+    Obs.Trace.add sp "image_nodes"
+      (Obs.Trace.Int (Bdd.size sym.Symbolic.man r))
+  end;
+  r
 
 let preimage (sym : Symbolic.t) s =
   let man = sym.man in

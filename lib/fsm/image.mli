@@ -15,6 +15,10 @@
 
 type strategy = Monolithic | Partitioned | Range
 
+val strategy_name : strategy -> string
+(** ["monolithic"], ["partitioned"] or ["range"] (CLI and trace
+    labels). *)
+
 val image :
   ?strategy:strategy ->
   ?on_constrain:(Minimize.Ispec.t -> unit) ->

@@ -21,6 +21,7 @@ let reachable ?strategy ?(minimize = constrain_minimizer)
     ?(max_iterations = max_int) ?(on_instance = fun ~iteration:_ _ -> ())
     ?(on_image_constrain = fun ~iteration:_ _ -> ()) (sym : Symbolic.t) =
   let man = sym.man in
+  Obs.Trace.with_span "fsm.reach" @@ fun reach_sp ->
   let calls = ref 0 in
   let peak_frontier = ref 0 in
   let peak_reached = ref 0 in
@@ -29,33 +30,56 @@ let reachable ?strategy ?(minimize = constrain_minimizer)
     else if iteration >= max_iterations then
       failwith "Reach.reachable: max_iterations exceeded"
     else begin
-      peak_frontier := max !peak_frontier (Bdd.size man frontier);
-      peak_reached := max !peak_reached (Bdd.size man reached);
+      let frontier_nodes = Bdd.size man frontier in
+      let reached_nodes = Bdd.size man reached in
+      peak_frontier := max !peak_frontier frontier_nodes;
+      peak_reached := max !peak_reached reached_nodes;
       Log.debug (fun m ->
           m "iteration %d: |U| = %d nodes, |R| = %d nodes" iteration
-            (Bdd.size man frontier) (Bdd.size man reached));
-      (* The EBM instance of the paper: f = U, c = U + ¬R. *)
-      let care = Bdd.dor man frontier (Bdd.compl reached) in
-      let inst = Minimize.Ispec.make ~f:frontier ~c:care in
-      on_instance ~iteration inst;
-      incr calls;
-      let chosen = minimize man inst in
-      (* The vector-cofactor instances [δ_j; S] that a constrain-based
-         image computation hands to [constrain] (footnote 1 of the paper);
-         emitted here so interception is independent of how the image is
-         actually computed. *)
-      Array.iter
-        (fun delta ->
-           on_image_constrain ~iteration
-             (Minimize.Ispec.make ~f:delta ~c:chosen))
-        sym.next_fns;
-      let successors = Image.image ?strategy sym chosen in
-      let frontier' = Bdd.diff man successors reached in
-      let reached' = Bdd.dor man reached successors in
+            frontier_nodes reached_nodes);
+      let reached', frontier' =
+        Obs.Trace.with_span "reach.iteration"
+          ~attrs:
+            [
+              ("iteration", Obs.Trace.Int iteration);
+              ("frontier_nodes", Obs.Trace.Int frontier_nodes);
+              ("reached_nodes", Obs.Trace.Int reached_nodes);
+            ]
+        @@ fun sp ->
+        (* The EBM instance of the paper: f = U, c = U + ¬R. *)
+        let care = Bdd.dor man frontier (Bdd.compl reached) in
+        let inst = Minimize.Ispec.make ~f:frontier ~c:care in
+        on_instance ~iteration inst;
+        incr calls;
+        let chosen = minimize man inst in
+        (* The vector-cofactor instances [δ_j; S] that a constrain-based
+           image computation hands to [constrain] (footnote 1 of the
+           paper); emitted here so interception is independent of how the
+           image is actually computed. *)
+        Array.iter
+          (fun delta ->
+             on_image_constrain ~iteration
+               (Minimize.Ispec.make ~f:delta ~c:chosen))
+          sym.next_fns;
+        let successors = Image.image ?strategy sym chosen in
+        let frontier' = Bdd.diff man successors reached in
+        let reached' = Bdd.dor man reached successors in
+        if Obs.Trace.enabled () then begin
+          Obs.Trace.add sp "minimized_nodes"
+            (Obs.Trace.Int (Bdd.size man chosen));
+          Obs.Trace.add sp "new_frontier_nodes"
+            (Obs.Trace.Int (Bdd.size man frontier'))
+        end;
+        (reached', frontier')
+      in
       go (iteration + 1) reached' frontier'
     end
   in
   let reached, iterations = go 0 sym.init sym.init in
+  Obs.Trace.add reach_sp "iterations" (Obs.Trace.Int iterations);
+  Obs.Trace.add reach_sp "peak_frontier_nodes" (Obs.Trace.Int !peak_frontier);
+  Obs.Trace.add reach_sp "peak_reached_nodes" (Obs.Trace.Int !peak_reached);
+  Obs.Probe.observe "reach.iterations" iterations;
   let stats =
     {
       iterations;

@@ -43,17 +43,46 @@ let default_config =
 
 let minimizer_names config = Minimize.Registry.names config.entries
 
+let origin_name = function
+  | Frontier -> "frontier"
+  | Image_cofactor -> "image_cofactor"
+
 let measure_call config man ~bench ~iteration ~origin
     (inst : Minimize.Ispec.t) =
+  Obs.Trace.with_span "capture.call"
+    ~attrs:
+      [
+        ("bench", Obs.Trace.Str bench);
+        ("iteration", Obs.Trace.Int iteration);
+        ("origin", Obs.Trace.Str (origin_name origin));
+      ]
+  @@ fun _call_sp ->
   let results =
     List.map
       (fun (e : Minimize.Registry.entry) ->
          if config.flush_caches then Bdd.clear_caches man;
          let s0 = Bdd.snapshot man in
-         let t0 = Unix.gettimeofday () in
-         let g = e.run man inst in
-         let dt = Unix.gettimeofday () -. t0 in
-         let s1 = Bdd.snapshot man in
+         let (g, dt), s1 =
+           Obs.Trace.with_span ("min:" ^ e.name) @@ fun sp ->
+           let r = Obs.Clock.timed (fun () -> e.run man inst) in
+           let s1 = Bdd.snapshot man in
+           if Obs.Trace.enabled () then begin
+             let d get = get s1 - get s0 in
+             Obs.Trace.add sp "result_nodes"
+               (Obs.Trace.Int (Bdd.size man (fst r)));
+             Obs.Trace.add sp "cache_lookups"
+               (Obs.Trace.Int (d (fun s -> s.Bdd.Stats.cache_lookups)));
+             Obs.Trace.add sp "cache_hits"
+               (Obs.Trace.Int (d (fun s -> s.Bdd.Stats.cache_hits)));
+             Obs.Trace.add sp "interned_nodes"
+               (Obs.Trace.Int (d (fun s -> s.Bdd.Stats.interned_total)));
+             Obs.Trace.add sp "gc_runs"
+               (Obs.Trace.Int (d (fun s -> s.Bdd.Stats.gc_runs)));
+             Obs.Trace.add sp "cache_evictions"
+               (Obs.Trace.Int (d (fun s -> s.Bdd.Stats.cache_evictions)))
+           end;
+           (r, s1)
+         in
          let lookups =
            s1.Bdd.Stats.cache_lookups - s0.Bdd.Stats.cache_lookups
          in
@@ -139,7 +168,9 @@ let run_bench ?config b =
   let calls, _, _ = run_bench_stats ?config b in
   calls
 
-let run_suite ?(config = default_config) ?(progress = fun _ -> ()) benches =
+let default_progress msg = Log.info (fun m -> m "%s" msg)
+
+let run_suite ?(config = default_config) ?(progress = default_progress) benches =
   List.concat_map
     (fun (b : Circuits.Registry.bench) ->
        progress b.name;

@@ -70,6 +70,11 @@ val run_suite :
   ?progress:(string -> unit) ->
   Circuits.Registry.bench list ->
   call list
+(** [progress] defaults to logging each message at [info] level on the
+    ["bddmin.capture"] source. *)
+
+val origin_name : origin -> string
+(** ["frontier"] or ["image_cofactor"] (table and trace labels). *)
 
 val minimizer_names : config -> string list
 (** The minimizer names of the configuration, in registry order. *)

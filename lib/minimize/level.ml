@@ -61,9 +61,26 @@ let chunk k xs =
   in
   go [] [] 0 xs
 
+(* Matching-graph statistics accumulated across the chunks of one
+   level pass, for the "level.pass" trace span and the probes.  The
+   edge counters wrap the criterion closures handed to [Graph]:
+   [clique_cover] materializes the whole adjacency matrix, so for the
+   UMG (tsm) the probed count is the exact edge-slot count; the DMG
+   sink-assignment evaluates edges lazily, so for osm/osdm the counts
+   cover only the edges actually examined. *)
+type graph_stats = {
+  mutable vertices : int;  (** graph vertices (deduplicated groups) *)
+  mutable edges_probed : int;
+  mutable edges_matched : int;
+  mutable cliques : int;
+}
+
+let fresh_graph_stats () =
+  { vertices = 0; edges_probed = 0; edges_matched = 0; cliques = 0 }
+
 (* Solve FMM on one chunk of gathered pairs and record the replacements in
    [subst] (keyed by the (f, c) edge uids of each original pair). *)
-let solve_chunk man crit params ~level subst pairs =
+let solve_chunk man crit params ~level ~gstats subst pairs =
   (* Semantic deduplication: the matching graphs are defined over distinct
      incompletely specified functions, and BDD pairs differing only on
      don't-care values of [f] denote the same function (keeping duplicates
@@ -102,16 +119,23 @@ let solve_chunk man crit params ~level subst pairs =
     if Matching.reflexive crit || Bdd.is_zero (rep i).Ispec.c then
       List.iter (fun sp -> add_subst sp target) (members i)
   in
+  gstats.vertices <- gstats.vertices + m;
+  let probe j k =
+    gstats.edges_probed <- gstats.edges_probed + 1;
+    let r = Matching.matches man crit (rep j) (rep k) in
+    if r then gstats.edges_matched <- gstats.edges_matched + 1;
+    r
+  in
   if m > 1 then
     match crit with
     | Matching.Osdm | Matching.Osm ->
-      let edge j k = j <> k && Matching.matches man crit (rep j) (rep k) in
+      let edge j k = j <> k && probe j k in
       let assignment = Graph.dag_assignment ~n:m ~edge in
       for i = 0 to m - 1 do
         merge_group i (rep assignment.(i))
       done
     | Matching.Tsm ->
-      let adjacent j k = Matching.matches man crit (rep j) (rep k) in
+      let adjacent = probe in
       let edge_weight =
         if params.use_distance_weights then
           Some (fun j k -> distance ~level (rep_path j) (rep_path k))
@@ -121,9 +145,11 @@ let solve_chunk man crit params ~level subst pairs =
         Graph.clique_cover ~n:m ~adjacent
           ~order_by_degree:params.order_by_degree ?edge_weight ()
       in
+      gstats.cliques <- gstats.cliques + List.length cliques;
       let solve_clique = function
         | [ i ] -> merge_group i (rep i)
         | clique ->
+          Obs.Probe.observe "level.clique_size" (List.length clique);
           (* Maximal-DC common i-cover of the whole clique (Lemma 14). *)
           let cover =
             List.fold_left
@@ -164,9 +190,22 @@ let rebuild man ~level subst (s : Ispec.t) =
   Ispec.make ~f ~c
 
 let minimize_at_level man ?(params = default_params) crit ~level (s : Ispec.t) =
+  Obs.Trace.with_span "level.pass"
+    ~attrs:
+      [
+        ("level", Obs.Trace.Int level);
+        ("criterion", Obs.Trace.Str (Matching.name crit));
+        (* the matching graph of §3.3: directed (DMG) for the one-sided
+           criteria, undirected (UMG) for tsm *)
+        ( "graph",
+          Obs.Trace.Str (match crit with Matching.Tsm -> "umg" | _ -> "dmg")
+        );
+      ]
+  @@ fun sp ->
   let gathered =
     gather man ~level ~only_rooted_at_next:params.only_rooted_at_next s
   in
+  Obs.Trace.add sp "pairs_gathered" (Obs.Trace.Int (List.length gathered));
   match gathered with
   | [] | [ _ ] -> s
   | _ ->
@@ -175,8 +214,19 @@ let minimize_at_level man ?(params = default_params) crit ~level (s : Ispec.t) =
       | None -> [ gathered ]
       | Some k -> chunk k gathered
     in
+    let gstats = fresh_graph_stats () in
     let subst = Hashtbl.create 64 in
-    List.iter (fun ch -> solve_chunk man crit params ~level subst ch) chunks;
+    List.iter
+      (fun ch -> solve_chunk man crit params ~level ~gstats subst ch)
+      chunks;
+    Obs.Trace.add sp "graph_vertices" (Obs.Trace.Int gstats.vertices);
+    Obs.Trace.add sp "edges_probed" (Obs.Trace.Int gstats.edges_probed);
+    Obs.Trace.add sp "edges_matched" (Obs.Trace.Int gstats.edges_matched);
+    if gstats.cliques > 0 then
+      Obs.Trace.add sp "cliques" (Obs.Trace.Int gstats.cliques);
+    Obs.Trace.add sp "replacements" (Obs.Trace.Int (Hashtbl.length subst));
+    Obs.Probe.observe "level.graph_vertices" gstats.vertices;
+    Obs.Probe.count "level.edges_probed" gstats.edges_probed;
     if Hashtbl.length subst = 0 then s else rebuild man ~level subst s
 
 let max_level man (s : Ispec.t) =

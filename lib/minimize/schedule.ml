@@ -21,6 +21,16 @@ let run man ?(params = default_params) (s : Ispec.t) =
   if Bdd.is_zero s.Ispec.c then invalid_arg "Schedule.run: empty care set";
   if params.window_size <= 0 then invalid_arg "Schedule.run: window_size";
   let nlevels = Level.max_level man s + 1 in
+  Obs.Trace.with_span "minimize.schedule"
+    ~attrs:
+      [
+        ("nlevels", Obs.Trace.Int nlevels);
+        ("window_size", Obs.Trace.Int params.window_size);
+        ("stop_top_down", Obs.Trace.Int params.stop_top_down);
+        ("level_matching", Obs.Trace.Bool params.use_level_matching);
+      ]
+  @@ fun sched_sp ->
+  let windows = ref 0 in
   let apply_levels lo hi spec =
     let rec go level crit spec =
       if level >= hi then spec
@@ -32,18 +42,38 @@ let run man ?(params = default_params) (s : Ispec.t) =
     let spec = go lo Matching.Osm spec in
     go lo Matching.Tsm spec
   in
+  let window lo hi spec =
+    incr windows;
+    Obs.Probe.incr "schedule.windows";
+    Obs.Trace.with_span "schedule.window"
+      ~attrs:[ ("lo", Obs.Trace.Int lo); ("hi", Obs.Trace.Int hi) ]
+    @@ fun sp ->
+    (* the sizes are only worth their traversals when someone records
+       them *)
+    let traced = Obs.Trace.enabled () in
+    let before = if traced then Bdd.size man spec.Ispec.f else 0 in
+    let spec = Sibling.transform_window man params.osm_config ~lo ~hi spec in
+    let spec = Sibling.transform_window man params.tsm_config ~lo ~hi spec in
+    let spec =
+      if params.use_level_matching then apply_levels lo hi spec else spec
+    in
+    if traced then begin
+      let after = Bdd.size man spec.Ispec.f in
+      Obs.Trace.add sp "f_nodes_before" (Obs.Trace.Int before);
+      Obs.Trace.add sp "f_nodes_after" (Obs.Trace.Int after);
+      Obs.Trace.add sp "nodes_removed" (Obs.Trace.Int (before - after))
+    end;
+    spec
+  in
   let rec loop lo spec =
     if Bdd.is_one spec.Ispec.c then spec.Ispec.f
     else if nlevels - lo < params.stop_top_down || lo >= nlevels then
       Bdd.constrain man spec.Ispec.f spec.Ispec.c
     else begin
       let hi = min nlevels (lo + params.window_size) in
-      let spec = Sibling.transform_window man params.osm_config ~lo ~hi spec in
-      let spec = Sibling.transform_window man params.tsm_config ~lo ~hi spec in
-      let spec =
-        if params.use_level_matching then apply_levels lo hi spec else spec
-      in
-      loop hi spec
+      loop hi (window lo hi spec)
     end
   in
-  loop 0 s
+  let r = loop 0 s in
+  Obs.Trace.add sched_sp "windows" (Obs.Trace.Int !windows);
+  r

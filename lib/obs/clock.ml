@@ -1,0 +1,13 @@
+let now_ns () = Monotonic_clock.now ()
+
+let epoch_ns = now_ns ()
+
+let since_start_ns () = Int64.sub (now_ns ()) epoch_ns
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+let ns_to_us ns = Int64.to_float ns /. 1e3
+
+let timed f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, ns_to_s (Int64.sub (now_ns ()) t0))

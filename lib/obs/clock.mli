@@ -1,0 +1,20 @@
+(** Monotonic time.
+
+    All of [Obs] stamps with [CLOCK_MONOTONIC] (via bechamel's clock
+    stub), never with the wall clock: NTP steps and leap seconds must not
+    corrupt span durations or the experiment harness's runtime columns. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock; the epoch is unspecified (only
+    differences are meaningful). *)
+
+val since_start_ns : unit -> int64
+(** Nanoseconds elapsed since this module was initialized (roughly,
+    process start).  Trace timestamps use this base. *)
+
+val ns_to_s : int64 -> float
+val ns_to_us : int64 -> float
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f ()] and also returns its monotonic duration in
+    seconds. *)

@@ -1,0 +1,12 @@
+let setup ?(default = Logs.Warning) () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  let level =
+    match Sys.getenv_opt "BDDMIN_LOG" with
+    | Some ("quiet" | "none") -> None
+    | Some s -> (
+        match Logs.level_of_string s with
+        | Ok l -> l
+        | Error _ -> Some default)
+    | None -> Some default
+  in
+  Logs.set_level level

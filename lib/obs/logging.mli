@@ -1,0 +1,12 @@
+(** One-call [Logs] setup for executables outside the CLI (which has
+    its own [Logs_cli] handling): installs the [Fmt] reporter and sets
+    the level, so the library sources ([bddmin.reach],
+    [bddmin.capture], …) are visible from the benches and examples.
+
+    The [BDDMIN_LOG] environment variable overrides the level:
+    ["debug"], ["info"], ["warning"], ["error"], ["app"], or ["quiet"]
+    to disable reporting entirely. *)
+
+val setup : ?default:Logs.level -> unit -> unit
+(** Install the reporter; level from [BDDMIN_LOG], else [default]
+    (itself defaulting to [Logs.Warning]). *)

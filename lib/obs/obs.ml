@@ -1,0 +1,14 @@
+(** Observability: monotonic timing ({!Clock}), span tracing with
+    pluggable sinks ({!Trace}), named counters and histograms
+    ({!Probe}), self/total-time profiles ({!Report}) and [Logs] wiring
+    ({!Logging}).
+
+    The package is dependency-light (no BDD knowledge) so every layer —
+    engine, minimizers, FSM traversal, harness, CLI, benches — can emit
+    into the same trace. *)
+
+module Clock = Clock
+module Trace = Trace
+module Probe = Probe
+module Report = Report
+module Logging = Logging

@@ -1,0 +1,74 @@
+let nbuckets = 32
+
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let hists_tbl : (string, int array) Hashtbl.t = Hashtbl.create 64
+
+let count name n =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add counters_tbl name (ref n)
+
+let incr name = count name 1
+
+(* Bucket 0: v <= 1; bucket i >= 1: 2^i <= v < 2^(i+1). *)
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let rec go v i = if v <= 1 then i else go (v lsr 1) (i + 1) in
+    min (nbuckets - 1) (go v 0)
+  end
+
+let observe name v =
+  let h =
+    match Hashtbl.find_opt hists_tbl name with
+    | Some h -> h
+    | None ->
+      let h = Array.make nbuckets 0 in
+      Hashtbl.add hists_tbl name h;
+      h
+  in
+  let i = bucket_of v in
+  h.(i) <- h.(i) + 1
+
+let counter_value name =
+  match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters () = sorted_bindings counters_tbl ( ! )
+let histograms () = sorted_bindings hists_tbl (fun h -> Array.copy h)
+
+let bucket_label i =
+  if i = 0 then "0-1"
+  else if i = nbuckets - 1 then Printf.sprintf "%d+" (1 lsl i)
+  else Printf.sprintf "%d-%d" (1 lsl i) ((1 lsl (i + 1)) - 1)
+
+let reset () =
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset hists_tbl
+
+let pp ppf () =
+  let counters = counters () in
+  if counters <> [] then begin
+    Format.fprintf ppf "@[<v>counters:@,";
+    List.iter
+      (fun (n, v) -> Format.fprintf ppf "  %-40s %d@," n v)
+      counters;
+    Format.fprintf ppf "@]"
+  end;
+  let hists = histograms () in
+  if hists <> [] then begin
+    Format.fprintf ppf "@[<v>histograms (log2 buckets):@,";
+    List.iter
+      (fun (n, h) ->
+         Format.fprintf ppf "  %s:@," n;
+         Array.iteri
+           (fun i c ->
+              if c > 0 then
+                Format.fprintf ppf "    %-12s %d@," (bucket_label i) c)
+           h)
+      hists;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,35 @@
+(** Lightweight named metrics: monotone counters and log2-bucketed
+    histograms.
+
+    Probes are process-global (like {!Trace}'s sink) and always on —
+    each observation is one hashtable lookup and an integer bump, cheap
+    enough for the per-pass and per-iteration call sites that use them.
+    Typical series: matching-graph sizes, clique-cover degrees, sibling
+    recursion depths. *)
+
+val incr : string -> unit
+val count : string -> int -> unit
+(** Bump a named counter (by 1 / by [n]). *)
+
+val observe : string -> int -> unit
+(** Record a sample in the named histogram.  Bucket 0 holds samples
+    [<= 1]; bucket [i >= 1] holds samples in [[2{^i}, 2{^i+1})]. *)
+
+val counter_value : string -> int
+(** Current value of a counter (0 if never bumped). *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val histograms : unit -> (string * int array) list
+(** All histograms (bucket counts, index = log2 bucket), sorted by
+    name. *)
+
+val bucket_label : int -> string
+(** Human-readable value range of a bucket index, e.g. ["8-15"]. *)
+
+val reset : unit -> unit
+(** Drop all counters and histograms (tests, repeated CLI runs). *)
+
+val pp : Format.formatter -> unit -> unit
+(** Render every counter and histogram. *)

@@ -1,0 +1,62 @@
+type row = {
+  name : string;
+  count : int;
+  total_ns : int64;
+  self_ns : int64;
+}
+
+let of_events events =
+  let rows : (string, row ref) Hashtbl.t = Hashtbl.create 32 in
+  let record name total self =
+    match Hashtbl.find_opt rows name with
+    | Some r ->
+      r :=
+        {
+          !r with
+          count = !r.count + 1;
+          total_ns = Int64.add !r.total_ns total;
+          self_ns = Int64.add !r.self_ns self;
+        }
+    | None ->
+      Hashtbl.add rows name (ref { name; count = 1; total_ns = total; self_ns = self })
+  in
+  (* stack of open spans: (name, begin ts, children's total) *)
+  let stack : (string * int64 * int64 ref) Stack.t = Stack.create () in
+  List.iter
+    (fun (ev : Trace.event) ->
+       match ev.Trace.phase with
+       | Trace.Begin -> Stack.push (ev.name, ev.ts_ns, ref 0L) stack
+       | Trace.Instant -> record ev.name 0L 0L
+       | Trace.End ->
+         (match Stack.pop_opt stack with
+          | None -> () (* begin lost to ring truncation *)
+          | Some (name, t0, children) ->
+            let total = Int64.sub ev.ts_ns t0 in
+            let self = Int64.sub total !children in
+            record name total self;
+            (match Stack.top_opt stack with
+             | Some (_, _, parent_children) ->
+               parent_children := Int64.add !parent_children total
+             | None -> ())))
+    events;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) rows []
+  |> List.sort (fun a b -> compare b.total_ns a.total_ns)
+
+let pp ppf rows =
+  let grand_self =
+    List.fold_left (fun acc r -> Int64.add acc r.self_ns) 0L rows
+  in
+  let pct self =
+    if Int64.equal grand_self 0L then 0.0
+    else 100.0 *. Int64.to_float self /. Int64.to_float grand_self
+  in
+  Format.fprintf ppf "@[<v>%-28s %8s %12s %12s %7s@,"
+    "phase" "count" "total(s)" "self(s)" "self%";
+  List.iter
+    (fun r ->
+       Format.fprintf ppf "%-28s %8d %12.4f %12.4f %6.1f%%@," r.name r.count
+         (Clock.ns_to_s r.total_ns)
+         (Clock.ns_to_s r.self_ns)
+         (pct r.self_ns))
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,21 @@
+(** Self/total-time profile from a memory sink's event stream.
+
+    Replays the single-threaded span stream with a stack: a span's
+    {e total} time is its [Begin]→[End] interval; its {e self} time is
+    the total minus the totals of its direct children.  Instants
+    contribute occurrence counts only.  Streams truncated by the ring
+    buffer degrade gracefully: an [End] with no open span is dropped,
+    and spans left open at the end of the stream are ignored. *)
+
+type row = {
+  name : string;
+  count : int;  (** completed spans (or instants) of this name *)
+  total_ns : int64;
+  self_ns : int64;
+}
+
+val of_events : Trace.event list -> row list
+(** Aggregate per span name, sorted by decreasing total time. *)
+
+val pp : Format.formatter -> row list -> unit
+(** Render as a table: phase, count, total s, self s, self %%. *)

@@ -1,0 +1,175 @@
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type attrs = (string * attr) list
+
+type phase = Begin | End | Instant
+
+type event = {
+  name : string;
+  phase : phase;
+  ts_ns : int64;
+  attrs : attrs;
+}
+
+type memory_state = {
+  capacity : int;
+  q : event Queue.t;
+  mutable mem_dropped : int;
+}
+
+type chrome_state = {
+  write : string -> unit;
+  mutable first : bool;
+  mutable closed : bool;
+}
+
+type sink =
+  | Null
+  | Memory of memory_state
+  | Chrome of chrome_state
+
+let null = Null
+
+let memory ?(capacity = 262_144) () =
+  if capacity <= 0 then invalid_arg "Obs.Trace.memory: capacity";
+  Memory { capacity; q = Queue.create (); mem_dropped = 0 }
+
+(* ----- chrome trace-event JSON ----- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let attr_json = function
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Bool b -> if b then "true" else "false"
+
+let chrome_writer write =
+  write "[";
+  Chrome { write; first = true; closed = false }
+
+let chrome_channel oc = chrome_writer (output_string oc)
+
+let phase_str = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let chrome_emit c ev =
+  if not c.closed then begin
+    let b = Buffer.create 160 in
+    if c.first then begin
+      c.first <- false;
+      Buffer.add_string b "\n "
+    end
+    else Buffer.add_string b ",\n ";
+    Buffer.add_string b "{\"name\":\"";
+    Buffer.add_string b (escape ev.name);
+    Buffer.add_string b "\",\"ph\":\"";
+    Buffer.add_string b (phase_str ev.phase);
+    Buffer.add_string b "\",\"ts\":";
+    Buffer.add_string b (Printf.sprintf "%.3f" (Clock.ns_to_us ev.ts_ns));
+    Buffer.add_string b ",\"pid\":1,\"tid\":1";
+    if ev.phase = Instant then Buffer.add_string b ",\"s\":\"t\"";
+    (match ev.attrs with
+     | [] -> ()
+     | attrs ->
+       Buffer.add_string b ",\"args\":{";
+       List.iteri
+         (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\":";
+            Buffer.add_string b (attr_json v))
+         attrs;
+       Buffer.add_char b '}');
+    Buffer.add_char b '}';
+    c.write (Buffer.contents b)
+  end
+
+let close = function
+  | Chrome c when not c.closed ->
+    c.closed <- true;
+    c.write "\n]\n"
+  | Chrome _ | Null | Memory _ -> ()
+
+(* ----- the process-wide tracer ----- *)
+
+let current = ref Null
+
+let set_sink s = current := s
+let sink () = !current
+let enabled () = !current != Null
+
+let with_sink s f =
+  let prev = !current in
+  current := s;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+let emit ev =
+  match !current with
+  | Null -> ()
+  | Memory m ->
+    if Queue.length m.q >= m.capacity then begin
+      ignore (Queue.pop m.q);
+      m.mem_dropped <- m.mem_dropped + 1
+    end;
+    Queue.push ev m.q
+  | Chrome c -> chrome_emit c ev
+
+type span = { mutable extra : attrs; live : bool }
+
+let inert = { extra = []; live = false }
+
+let add sp k v = if sp.live then sp.extra <- (k, v) :: sp.extra
+
+let with_span ?(attrs = []) name f =
+  if not (enabled ()) then f inert
+  else begin
+    emit { name; phase = Begin; ts_ns = Clock.since_start_ns (); attrs };
+    let sp = { extra = []; live = true } in
+    match f sp with
+    | r ->
+      emit
+        {
+          name;
+          phase = End;
+          ts_ns = Clock.since_start_ns ();
+          attrs = List.rev sp.extra;
+        };
+      r
+    | exception e ->
+      emit
+        {
+          name;
+          phase = End;
+          ts_ns = Clock.since_start_ns ();
+          attrs = ("unwound", Bool true) :: List.rev sp.extra;
+        };
+      raise e
+  end
+
+let instant ?(attrs = []) name =
+  if enabled () then
+    emit { name; phase = Instant; ts_ns = Clock.since_start_ns (); attrs }
+
+let events = function
+  | Memory m -> List.of_seq (Queue.to_seq m.q)
+  | Null | Chrome _ -> []
+
+let dropped = function
+  | Memory m -> m.mem_dropped
+  | Null | Chrome _ -> 0

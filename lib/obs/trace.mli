@@ -1,0 +1,95 @@
+(** Span-based tracing.
+
+    A {e span} is a named, nested interval of monotonic time with
+    key/value attributes; an {e instant} is a point event.  Events flow
+    to the process-wide current {e sink}:
+
+    - {!null} — the default; everything compiles down to one branch on
+      {!enabled} and no allocation, so instrumented hot paths cost
+      nothing when tracing is off;
+    - {!memory} — a bounded ring buffer of decoded events (oldest
+      dropped first), the substrate of {!Report} and of tests;
+    - {!chrome_writer} / {!chrome_channel} — streaming Chrome
+      trace-event JSON ("B"/"E"/"i" phases), loadable in Perfetto or
+      chrome://tracing.
+
+    The tracer is process-global and single-threaded, matching the
+    engine; [with_sink] scopes a sink to a call and restores the
+    previous one on exit or exception. *)
+
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type attrs = (string * attr) list
+
+type phase = Begin | End | Instant
+
+type event = {
+  name : string;
+  phase : phase;
+  ts_ns : int64;  (** monotonic, relative to process start *)
+  attrs : attrs;
+}
+
+(** {1 Sinks} *)
+
+type sink
+
+val null : sink
+
+val memory : ?capacity:int -> unit -> sink
+(** A ring buffer holding the most recent [capacity] events (default
+    262144); older events are dropped oldest-first and counted. *)
+
+val chrome_writer : (string -> unit) -> sink
+(** Stream Chrome trace-event JSON through the given writer.  The
+    opening ["["] is written immediately; {!close} writes the closing
+    ["]"] (without it the file is still loadable by Chrome but is not
+    well-formed JSON). *)
+
+val chrome_channel : out_channel -> sink
+(** [chrome_writer] over an [out_channel] (the caller closes the
+    channel after {!close}). *)
+
+val close : sink -> unit
+(** Finish a chrome sink's JSON document; a no-op on other sinks and on
+    second calls. *)
+
+val set_sink : sink -> unit
+val sink : unit -> sink
+
+val enabled : unit -> bool
+(** [true] iff the current sink is not {!null}. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** Install the sink for the duration of the call, restoring the
+    previous sink afterwards (also on exceptions). *)
+
+(** {1 Recording} *)
+
+type span
+(** A handle to an open span, used to attach attributes discovered
+    before the span closes (result sizes, match counts, …).  Inert when
+    tracing is disabled. *)
+
+val with_span : ?attrs:attrs -> string -> (span -> 'a) -> 'a
+(** [with_span name f] emits a [Begin] event carrying [attrs], runs
+    [f], and emits the balancing [End] event carrying the attributes
+    added through {!add} — also when [f] raises, with an extra
+    [("unwound", Bool true)] attribute, so B/E events always balance. *)
+
+val add : span -> string -> attr -> unit
+(** Attach an attribute to the span's [End] event.  Cheap, but callers
+    computing expensive attribute {e values} (e.g. BDD sizes) should
+    guard on {!enabled}. *)
+
+val instant : ?attrs:attrs -> string -> unit
+(** Emit a point event. *)
+
+(** {1 Memory-sink access} *)
+
+val events : sink -> event list
+(** Retained events of a memory sink, oldest first; [[]] on other
+    sinks. *)
+
+val dropped : sink -> int
+(** Events dropped by a memory sink's ring; [0] on other sinks. *)

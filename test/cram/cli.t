@@ -145,3 +145,38 @@ The full experiment pipeline runs end to end (tiny budget):
   
   Table 2: Heuristics based on matching siblings.
   
+
+Tracing writes a Chrome trace-event JSON file: one array, balanced B/E
+span events, the expected span names when the schedule minimizer drives
+the frontier:
+
+  $ bddmin equiv tlc --minimize sched --trace t.json
+  EQUIVALENT  (20 iterations, 24 product states, 20 minimization calls)
+  $ head -1 t.json
+  [
+  $ tail -1 t.json
+  ]
+  $ for s in fsm.reach reach.iteration fsm.image minimize.schedule schedule.window sibling.pass; do
+  >   grep -q "\"name\":\"$s\"" t.json && echo "$s"
+  > done
+  fsm.reach
+  reach.iteration
+  fsm.image
+  minimize.schedule
+  schedule.window
+  sibling.pass
+  $ [ $(grep -c '"ph":"B"' t.json) -eq $(grep -c '"ph":"E"' t.json) ] && echo balanced
+  balanced
+
+The profiler prints a per-phase self/total-time table followed by the
+probes (timings vary, so check the row labels only):
+
+  $ bddmin profile tlc --max-calls 2 2>/dev/null | awk '{print $1}' \
+  >   | grep -Ex 'phase|fsm.reach|capture.call|schedule.window|min:const|min:sched|counters:' | sort -u
+  capture.call
+  counters:
+  fsm.reach
+  min:const
+  min:sched
+  phase
+  schedule.window

@@ -31,4 +31,5 @@ let () =
       ("invariant", Test_invariant.suite);
       ("circuits", Test_circuits.suite);
       ("harness", Test_harness.suite);
+      ("obs", Test_obs.suite);
     ]
