@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke check clean
+.PHONY: all build test bench-smoke bench-json check clean
 
 all: build
 
@@ -14,6 +14,12 @@ test: build
 bench-smoke: build
 	BDDMIN_BENCH_QUICK=1 BDDMIN_BENCH_SKIP_MICRO=1 BDDMIN_BENCH_CALLS=30 \
 		dune exec bench/main.exe
+
+# Regenerate the committed perf baseline (schema bddmin-bench-engine/1;
+# see Harness.Bench_json).  Deterministic apart from the wall-time
+# fields, at any -j.
+bench-json: build
+	dune exec -- bddmin bench -o BENCH_engine.json
 
 check: build test bench-smoke
 

@@ -2,10 +2,18 @@
    (§4: Tables 1-4 and Figure 3) and times the building blocks with
    Bechamel (one Test.make group per exhibit, plus ablations).
 
+   Command line:
+     -j N / --jobs N        run the capture suite on N worker domains
+                            (default 1; the result tables are
+                            byte-identical at any N)
+
    Environment knobs:
      BDDMIN_BENCH_QUICK=1   use the small benchmark sub-suite
      BDDMIN_BENCH_CALLS=N   per-benchmark cap on measured calls (default 250)
-     BDDMIN_BENCH_SKIP_MICRO=1  skip the Bechamel microbenchmarks *)
+     BDDMIN_BENCH_SKIP_MICRO=1  skip the Bechamel microbenchmarks
+     BDDMIN_BENCH_JOBS=N    like -j N
+     BDDMIN_BENCH_JSON=PATH where to write the machine-readable baseline
+                            (default BENCH_engine.json in the cwd) *)
 
 let () = Obs.Logging.setup ~default:Logs.Info ()
 
@@ -17,25 +25,59 @@ let max_calls =
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 250)
   | None -> 250
 
+let jobs =
+  let from_env =
+    match Sys.getenv_opt "BDDMIN_BENCH_JOBS" with
+    | Some s -> int_of_string_opt s
+    | None -> None
+  in
+  let rec from_argv = function
+    | ("-j" | "--jobs") :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> from_argv rest
+    | [] -> None
+  in
+  match from_argv (Array.to_list Sys.argv) with
+  | Some n when n >= 1 -> n
+  | _ -> ( match from_env with Some n when n >= 1 -> n | _ -> 1)
+
+let json_path =
+  Option.value
+    (Sys.getenv_opt "BDDMIN_BENCH_JSON")
+    ~default:"BENCH_engine.json"
+
+(* Per-phase wall times, in execution order, for the JSON baseline. *)
+let phase_times : (string * float) list ref = ref []
+
+let timed_phase name f =
+  let r, dt = Obs.Clock.timed f in
+  phase_times := !phase_times @ [ (name, dt) ];
+  r
+
 (* ----- the experiment: capture all minimization calls ----- *)
 
 let config = { Harness.Capture.default_config with max_calls }
 
 let names = Harness.Capture.minimizer_names config
 
-let calls =
-  let benches =
-    if quick then Circuits.Registry.quick else Circuits.Registry.all
-  in
+let benches =
+  if quick then Circuits.Registry.quick else Circuits.Registry.all
+
+let capture_seconds = ref 0.0
+
+let calls, suite_stats =
   Printf.printf
-    "== Capturing EBM instances from FSM self-equivalence (%d machines, <=%d calls each) ==\n%!"
-    (List.length benches) max_calls;
-  (* progress goes through the default Logs route of [run_suite] *)
-  let calls, dt =
-    Obs.Clock.timed (fun () -> Harness.Capture.run_suite ~config benches)
+    "== Capturing EBM instances from FSM self-equivalence (%d machines, <=%d calls each, %d job%s) ==\n%!"
+    (List.length benches) max_calls jobs
+    (if jobs = 1 then "" else "s");
+  (* progress goes through the default Logs route of [run_suite_stats] *)
+  let (calls, stats), dt =
+    Obs.Clock.timed (fun () ->
+        Harness.Capture.run_suite_stats ~config ~jobs benches)
   in
   Printf.printf "   captured %d calls in %.1fs\n\n%!" (List.length calls) dt;
-  calls
+  capture_seconds := dt;
+  phase_times := !phase_times @ [ ("capture", dt) ];
+  (calls, stats)
 
 (* ----- a standard instance pool for the microbenchmarks ----- *)
 
@@ -130,7 +172,12 @@ let table2 () =
       (staged (fun () ->
            List.iter
              (fun s ->
+                (* §4.1.1 fairness: flush the computed cache AND sweep
+                   the unique table down to the rooted instances, so no
+                   heuristic inherits warm caches or interned
+                   intermediates from the one timed before it. *)
                 Bdd.clear_caches man;
+                ignore (Bdd.gc man);
                 ignore (Minimize.Sibling.run_heuristic man h s))
              instances))
   in
@@ -149,7 +196,10 @@ let table3 () =
       (staged (fun () ->
            List.iter
              (fun s ->
+                (* §4.1.1 fairness, as in table 2: cold caches and a
+                   swept unique table for every timed heuristic. *)
                 Bdd.clear_caches man;
+                ignore (Bdd.gc man);
                 ignore (e.run man s))
              instances))
   in
@@ -330,16 +380,31 @@ let engine_stats () =
      instances)\n\n"
     reclaimed s.Bdd.Stats.live_nodes s.Bdd.Stats.external_refs
 
+(* ----- machine-readable baseline: BENCH_engine.json -----
+
+   Schema and field meanings are documented in [Harness.Bench_json]; the
+   [engine] section sums the capture suite's per-benchmark manager
+   statistics.  Committed snapshots of this file are the perf
+   trajectory: every PR regenerates it (make bench-json) and diffs
+   against the predecessor. *)
+
+let emit_bench_json path =
+  Harness.Bench_json.write ~path ~jobs ~quick ~max_calls
+    ~benches:(List.length benches) ~capture_seconds:!capture_seconds
+    ~phases:!phase_times ~names ~engine:suite_stats calls;
+  Printf.printf "wrote %s\n" path
+
 let () =
   Printf.printf
     "bddmin benchmark harness — reproduction of Shiple et al., DAC 1994\n\
      ===================================================================\n\n";
-  table1 ();
-  table2 ();
-  table3 ();
-  table4 ();
-  figure3 ();
-  ablations ();
-  phase_breakdown ();
-  engine_stats ();
+  timed_phase "table1" table1;
+  timed_phase "table2" table2;
+  timed_phase "table3" table3;
+  timed_phase "table4" table4;
+  timed_phase "figure3" figure3;
+  timed_phase "ablations" ablations;
+  timed_phase "phase_breakdown" phase_breakdown;
+  timed_phase "engine_stats" engine_stats;
+  emit_bench_json json_path;
   print_endline "done."

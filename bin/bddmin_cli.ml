@@ -106,6 +106,16 @@ let with_trace file k =
         close_out oc)
       k
 
+(* ----- worker-domain count (-j N) ----- *)
+
+let jobs_term =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Run on $(docv) worker domains (default 1).  Results are \
+                 byte-identical at any $(docv): each worker uses a \
+                 private BDD manager and outputs are collected in \
+                 submission order.")
+
 (* ----- frontier-minimizer selection (--minimize NAME) ----- *)
 
 let minimizer_term =
@@ -320,36 +330,62 @@ let reach_cmd =
 (* ----- stats ----- *)
 
 let stats_cmd =
-  let run spec cache_bits trace =
-    match load_netlist spec with
+  let analyze cache_bits nl =
+    let buf = Buffer.create 1024 in
+    let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let man = Bdd.new_man ?cache_bits () in
+    let sym = Fsm.Symbolic.of_netlist man nl in
+    let reached, st = Fsm.Reach.reachable sym in
+    out "%s\n" (Fsm.Netlist.stats nl);
+    out "reachability: %.0f states in %d iterations, |R| = %d nodes\n\n"
+      st.Fsm.Reach.reached_states st.Fsm.Reach.iterations
+      (Bdd.size man reached);
+    out "engine statistics after reachability:\n";
+    out "%s" (Format.asprintf "%a@.@." Bdd.Stats.pp (Bdd.snapshot man));
+    (* Collect everything except the reached set to show how much of
+       the table the fixed point no longer needs. *)
+    let reclaimed = Bdd.gc ~roots:[ reached ] man in
+    let s = Bdd.snapshot man in
+    out
+      "gc (rooting only the reached set): reclaimed %d dead nodes, %d live\n"
+      reclaimed s.Bdd.Stats.live_nodes;
+    Buffer.contents buf
+  in
+  let run specs cache_bits jobs trace =
+    let loaded =
+      List.fold_right
+        (fun spec acc ->
+           let* rest = acc in
+           let* nl = load_netlist spec in
+           Ok ((spec, nl) :: rest))
+        specs (Ok [])
+    in
+    match loaded with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       1
-    | Ok nl ->
-      let man = Bdd.new_man ?cache_bits () in
-      let sym = Fsm.Symbolic.of_netlist man nl in
-      let reached, st =
-        with_trace trace @@ fun () -> Fsm.Reach.reachable sym
+    | Ok machines ->
+      with_trace trace @@ fun () ->
+      (* Each machine's run is independent (private manager), so with
+         [-j N] they proceed on a worker pool; the reports come back in
+         argument order and the single-machine output is unchanged. *)
+      let reports =
+        Exec.map ~jobs (fun (_, nl) -> analyze cache_bits nl) machines
       in
-      Printf.printf "%s\n" (Fsm.Netlist.stats nl);
-      Printf.printf
-        "reachability: %.0f states in %d iterations, |R| = %d nodes\n\n"
-        st.Fsm.Reach.reached_states st.Fsm.Reach.iterations
-        (Bdd.size man reached);
-      print_endline "engine statistics after reachability:";
-      Format.printf "%a@.@." Bdd.Stats.pp (Bdd.snapshot man);
-      (* Collect everything except the reached set to show how much of
-         the table the fixed point no longer needs. *)
-      let reclaimed = Bdd.gc ~roots:[ reached ] man in
-      let s = Bdd.snapshot man in
-      Printf.printf
-        "gc (rooting only the reached set): reclaimed %d dead nodes, %d live\n"
-        reclaimed s.Bdd.Stats.live_nodes;
+      (match reports with
+       | [ one ] -> print_string one
+       | many ->
+         List.iteri
+           (fun i ((spec, _), report) ->
+              if i > 0 then print_newline ();
+              Printf.printf "== %s ==\n%s" spec report)
+           (List.combine machines many));
       0
   in
-  let spec =
-    Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"MACHINE" ~doc:"Benchmark name or BLIF file.")
+  let specs =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"MACHINE"
+             ~doc:"Benchmark names or BLIF files (one report each).")
   in
   let cache_bits =
     Arg.(value & opt (some int) None
@@ -361,13 +397,13 @@ let stats_cmd =
        ~doc:"Engine statistics (cache, GC, recursion counters) for a \
              reachability run")
     Term.(
-      const (fun () a b c -> run a b c)
-      $ logs_term $ spec $ cache_bits $ trace_term)
+      const (fun () a b c d -> run a b c d)
+      $ logs_term $ specs $ cache_bits $ jobs_term $ trace_term)
 
 (* ----- tables ----- *)
 
 let tables_cmd =
-  let run quick out_dir max_calls trace =
+  let run quick out_dir max_calls jobs trace =
     let benches =
       if quick then Circuits.Registry.quick else Circuits.Registry.all
     in
@@ -376,7 +412,7 @@ let tables_cmd =
       with_trace trace @@ fun () ->
       Harness.Capture.run_suite ~config
         ~progress:(fun m -> Printf.eprintf "%s\n%!" m)
-        benches
+        ~jobs benches
     in
     let names = Harness.Capture.minimizer_names config in
     print_endline (Harness.Tables.render_table1 ());
@@ -418,8 +454,66 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables" ~doc:"Reproduce the paper's tables and figure")
     Term.(
-      const (fun () a b c d -> run a b c d)
-      $ logs_term $ quick $ out_dir $ max_calls $ trace_term)
+      const (fun () a b c d e -> run a b c d e)
+      $ logs_term $ quick $ out_dir $ max_calls $ jobs_term $ trace_term)
+
+(* ----- bench: capture suite + machine-readable baseline ----- *)
+
+let bench_cmd =
+  let run quick max_calls jobs out trace =
+    let benches =
+      if quick then Circuits.Registry.quick else Circuits.Registry.all
+    in
+    let config = { Harness.Capture.default_config with max_calls } in
+    Printf.eprintf "capturing %d machines (<=%d calls each, %d job%s)\n%!"
+      (List.length benches) max_calls jobs (if jobs = 1 then "" else "s");
+    let (calls, stats), dt =
+      with_trace trace @@ fun () ->
+      Obs.Clock.timed @@ fun () ->
+      Harness.Capture.run_suite_stats ~config
+        ~progress:(fun m -> Printf.eprintf "%s\n%!" m)
+        ~jobs benches
+    in
+    Harness.Bench_json.write ~path:out ~jobs ~quick ~max_calls
+      ~benches:(List.length benches) ~capture_seconds:dt
+      ~phases:[ ("capture", dt) ]
+      ~names:(Harness.Capture.minimizer_names config)
+      ~engine:stats calls;
+    Printf.printf "captured %d calls in %.1fs\nwrote %s\n"
+      (List.length calls) dt out;
+    0
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use the small sub-suite.")
+  in
+  let max_calls =
+    Arg.(value & opt int 400
+         & info [ "max-calls" ] ~docv:"N"
+             ~doc:"Per-benchmark cap on measured calls.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_engine.json"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON baseline.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the capture suite and write the BENCH_engine.json baseline"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the paper's capture experiment over the benchmark \
+              machines (optionally on several worker domains; the \
+              result data is byte-identical at any $(b,-j)) and writes \
+              a machine-readable JSON baseline: schema \
+              $(b,bddmin-bench-engine/1) with per-minimizer size/time \
+              totals, capture wall time, and the summed engine \
+              counters of every benchmark manager.";
+         ])
+    Term.(
+      const (fun () a b c d e -> run a b c d e)
+      $ logs_term $ quick $ max_calls $ jobs_term $ out $ trace_term)
 
 (* ----- profile ----- *)
 
@@ -661,6 +755,7 @@ let main =
     (Cmd.info "bddmin" ~version:"1.0.0"
        ~doc:"Heuristic minimization of BDDs using don't cares (DAC'94)")
     [ minimize_cmd; lower_bound_cmd; equiv_cmd; reach_cmd; stats_cmd;
-      tables_cmd; profile_cmd; optimize_cmd; pla_cmd; benches_cmd; dot_cmd ]
+      tables_cmd; bench_cmd; profile_cmd; optimize_cmd; pla_cmd; benches_cmd;
+      dot_cmd ]
 
 let () = exit (Cmd.eval' main)

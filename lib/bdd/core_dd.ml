@@ -63,6 +63,8 @@ type man = {
   mutable gc_wanted : bool;
   (* statistics *)
   mutable n_ite : int;
+  mutable n_and : int;
+  mutable n_xor : int;
   mutable n_constrain : int;
   mutable n_restrict : int;
   mutable n_quantify : int;
@@ -122,6 +124,8 @@ let new_man ?(nvars = 0) ?(cache_bits = default_cache_bits)
     auto_gc;
     gc_wanted = false;
     n_ite = 0;
+    n_and = 0;
+    n_xor = 0;
     n_constrain = 0;
     n_restrict = 0;
     n_quantify = 0;
@@ -405,35 +409,102 @@ let maybe_gc man =
     ignore (gc_internal man [])
   end
 
-(* ----- ITE with standard-triple normalization ----- *)
+(* ----- Boolean operation kernels ----- *)
 
 let tag_ite = 0
 let tag_constrain = 1
 let tag_restrict = 2
+let tag_and = 3
+let tag_xor = 4
 
-let pack_tag tag u = (u lsl 2) lor tag
+let pack_tag tag u = (u lsl 3) lor tag
+
+(* Specialized binary kernels.  AND and XOR recurse directly with their
+   own terminal rules and a tagged two-operand cache key instead of
+   routing through the 3-operand ITE standard-triple normalization: the
+   apply hot path drops one edge comparison cascade per step, packs a
+   denser cache (k2 is always 0), and both operands canonicalize by a
+   single commutativity swap.  The remaining two-operand connectives are
+   complements of these (De Morgan), so every [dand]/[dor]/... call
+   shares one AND cache and one XOR cache. *)
+
+let rec and_rec man f g =
+  if equal f g then f
+  else if is_compl_pair f g then zero man
+  else if is_one f then g
+  else if is_one g then f
+  else if is_zero f || is_zero g then zero man
+  else begin
+    (* AND is commutative: canonical operand order for the cache. *)
+    let f, g = if uid f <= uid g then (f, g) else (g, f) in
+    let k0 = pack_tag tag_and (uid f) and k1 = uid g in
+    match cache_find man k0 k1 0 with
+    | Some r -> r
+    | None ->
+      man.n_and <- man.n_and + 1;
+      let v = min (topvar f) (topvar g) in
+      let ft, fe = branches f v and gt, ge = branches g v in
+      let t = and_rec man ft gt in
+      let e = and_rec man fe ge in
+      let r = mk man v ~hi:t ~lo:e in
+      cache_store man k0 k1 0 r;
+      r
+  end
+
+let or_rec man f g = compl (and_rec man (compl f) (compl g))
+
+let rec xor_rec man f g =
+  if equal f g then zero man
+  else if is_compl_pair f g then one man
+  else if is_one f then compl g
+  else if is_zero f then g
+  else if is_one g then compl f
+  else if is_zero g then f
+  else begin
+    (* XOR ignores operand complements up to a sign: strip both bits,
+       order the regular edges, and re-apply the sign to the result, so
+       all four complement combinations of (f, g) share one entry. *)
+    let sign = f.neg <> g.neg in
+    let f = { f with neg = false } and g = { g with neg = false } in
+    let f, g = if f.node.id <= g.node.id then (f, g) else (g, f) in
+    let k0 = pack_tag tag_xor (uid f) and k1 = uid g in
+    let r =
+      match cache_find man k0 k1 0 with
+      | Some r -> r
+      | None ->
+        man.n_xor <- man.n_xor + 1;
+        let v = min (topvar f) (topvar g) in
+        let ft, fe = branches f v and gt, ge = branches g v in
+        let t = xor_rec man ft gt in
+        let e = xor_rec man fe ge in
+        let r = mk man v ~hi:t ~lo:e in
+        cache_store man k0 k1 0 r;
+        r
+    in
+    if sign then compl r else r
+  end
+
+(* ----- ITE with standard-triple normalization ----- *)
 
 let rec ite_norm man f g h =
   if is_one f then g
   else if is_zero f then h
   else if equal g h then g
-  else if is_one g && is_zero h then f
-  else if is_zero g && is_one h then compl f
   else begin
     (* Collapse arguments equal (or complementary) to the test. *)
     let g = if equal f g then one man else if is_compl_pair f g then zero man else g in
     let h = if equal f h then zero man else if is_compl_pair f h then one man else h in
+    (* Constant arms mean the ITE is really a binary connective; hand it
+       to the specialized kernels (this also subsumes the old canonical
+       argument-order normalization of the commutative cases). *)
     if is_one g && is_zero h then f
+    else if is_zero g && is_one h then compl f
+    else if is_zero h then and_rec man f g
+    else if is_one g then or_rec man f h
+    else if is_zero g then and_rec man (compl f) h
+    else if is_one h then or_rec man (compl f) g
+    else if is_compl_pair g h then xor_rec man f h
     else begin
-      (* Canonical argument order for the commutative cases. *)
-      let f, g, h =
-        if is_one g && uid f > uid h then (h, g, f)
-        else if is_zero h && uid f > uid g then (g, f, h)
-        else if is_zero g && uid f > uid h then (compl h, g, compl f)
-        else if is_one h && uid f > uid g then (compl g, compl f, h)
-        else if is_compl_pair g h && uid f > uid g then (g, f, compl f)
-        else (f, g, h)
-      in
       (* Regular test edge, then regular then-edge. *)
       let f, g, h = if f.neg then (compl f, h, g) else (f, g, h) in
       if g.neg then compl (ite_aux man f (compl g) (compl h))
@@ -459,14 +530,26 @@ let ite man f g h =
   maybe_gc man;
   ite_norm man f g h
 
-let dand man f g = ite man f g (zero man)
-let dor man f g = ite man f (one man) g
-let dxor man f g = ite man f (compl g) g
-let dxnor man f g = ite man f g (compl g)
-let dnand man f g = compl (dand man f g)
-let dnor man f g = compl (dor man f g)
-let imply man f g = ite man f g (one man)
-let diff man f g = dand man f (compl g)
+let and_ man f g =
+  maybe_gc man;
+  and_rec man f g
+
+let or_ man f g =
+  maybe_gc man;
+  or_rec man f g
+
+let xor man f g =
+  maybe_gc man;
+  xor_rec man f g
+
+let dand = and_
+let dor = or_
+let dxor = xor
+let dxnor man f g = compl (xor man f g)
+let dnand man f g = compl (and_ man f g)
+let dnor man f g = compl (or_ man f g)
+let imply man f g = or_ man (compl f) g
+let diff man f g = and_ man f (compl g)
 
 let conj man fs = List.fold_left (dand man) (one man) fs
 let disj man fs = List.fold_left (dor man) (zero man) fs
@@ -763,6 +846,8 @@ module Stats = struct
     cache_stores : int;
     cache_evictions : int;
     ite_recursions : int;
+    and_recursions : int;
+    xor_recursions : int;
     constrain_recursions : int;
     restrict_recursions : int;
     quantify_recursions : int;
@@ -782,13 +867,15 @@ module Stats = struct
        external refs   : %d@,\
        computed cache  : %d/%d entries@,\
        cache traffic   : %d lookups, %d hits (%.1f%%), %d stores, %d evictions@,\
-       recursions      : ite %d, constrain %d, restrict %d, quantify %d@,\
+       recursions      : ite %d, and %d, xor %d, constrain %d, restrict %d, \
+       quantify %d@,\
        garbage collect : %d runs, %d nodes reclaimed@]"
       s.vars s.live_nodes s.peak_live_nodes s.interned_total s.unique_capacity
       s.external_refs s.cache_entries s.cache_capacity s.cache_lookups
       s.cache_hits
       (100.0 *. hit_rate s)
-      s.cache_stores s.cache_evictions s.ite_recursions s.constrain_recursions
+      s.cache_stores s.cache_evictions s.ite_recursions s.and_recursions
+      s.xor_recursions s.constrain_recursions
       s.restrict_recursions s.quantify_recursions s.gc_runs s.gc_reclaimed
 
   let to_string s = Format.asprintf "%a" pp s
@@ -809,6 +896,8 @@ let snapshot man : Stats.t =
     cache_stores = man.c_stores;
     cache_evictions = man.c_evicts;
     ite_recursions = man.n_ite;
+    and_recursions = man.n_and;
+    xor_recursions = man.n_xor;
     constrain_recursions = man.n_constrain;
     restrict_recursions = man.n_restrict;
     quantify_recursions = man.n_quantify;

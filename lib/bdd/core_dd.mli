@@ -13,7 +13,13 @@
 
 type man
 (** A BDD manager: owns the unique table and the operation caches.  All
-    edges combined by an operation must belong to the same manager. *)
+    edges combined by an operation must belong to the same manager.
+
+    Managers are {e domain-local by design}: there is no internal
+    locking, so a manager (and every edge it owns) must stay confined
+    to the domain that created it.  Parallel workloads give each worker
+    its own manager — the experiment matrix is embarrassingly parallel
+    across managers (see [Exec] and [Harness.Capture.run_suite]). *)
 
 type t
 (** An edge (a possibly complemented pointer to a node).  Two edges of the
@@ -117,7 +123,9 @@ module Stats : sig
     cache_hits : int;
     cache_stores : int;
     cache_evictions : int;  (** overwrites of a different live entry *)
-    ite_recursions : int;  (** cache-missing ITE steps *)
+    ite_recursions : int;  (** cache-missing 3-operand ITE steps *)
+    and_recursions : int;  (** cache-missing AND-kernel steps *)
+    xor_recursions : int;  (** cache-missing XOR-kernel steps *)
     constrain_recursions : int;
     restrict_recursions : int;
     quantify_recursions : int;
@@ -190,10 +198,31 @@ val node_id : t -> int
 (** {1 Boolean operations} *)
 
 val ite : man -> t -> t -> t -> t
-(** If-then-else: [ite man f g h = f·g + ¬f·h]. *)
+(** If-then-else: [ite man f g h = f·g + ¬f·h].  Calls whose arms make
+    it a binary connective (a constant [g] or [h], or [h = ¬g]) are
+    dispatched to the specialized kernels below, after the standard
+    collapses. *)
+
+val and_ : man -> t -> t -> t
+(** Conjunction, by a specialized two-operand kernel: direct recursion
+    with its own terminal rules and a tagged two-operand computed-cache
+    opcode, rather than 3-operand ITE normalization. *)
+
+val or_ : man -> t -> t -> t
+(** Disjunction; De Morgan over {!and_}, so both share one cache. *)
+
+val xor : man -> t -> t -> t
+(** Exclusive or, likewise specialized; operand complement bits are
+    factored into a result sign, so all four complement combinations
+    of the operands share one cache entry. *)
+
+(** [dand]/[dor]/[dxor] are aliases of {!and_}/{!or_}/{!xor} (the
+    historical names). *)
 
 val dand : man -> t -> t -> t
+
 val dor : man -> t -> t -> t
+
 val dxor : man -> t -> t -> t
 val dxnor : man -> t -> t -> t
 val dnand : man -> t -> t -> t

@@ -1,0 +1,59 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a t = {
+  lock : Mutex.t;
+  filled : Condition.t;
+  mutable state : 'a state;
+}
+
+let create () =
+  { lock = Mutex.create (); filled = Condition.create (); state = Pending }
+
+let resolve fut state =
+  Mutex.lock fut.lock;
+  (match fut.state with
+   | Pending ->
+     fut.state <- state;
+     Condition.broadcast fut.filled
+   | Done _ | Failed _ ->
+     Mutex.unlock fut.lock;
+     invalid_arg "Exec.Future: already resolved");
+  Mutex.unlock fut.lock
+
+let fill fut v = resolve fut (Done v)
+let fail fut e bt = resolve fut (Failed (e, bt))
+
+let await fut =
+  Mutex.lock fut.lock;
+  while fut.state = Pending do
+    Condition.wait fut.filled fut.lock
+  done;
+  let state = fut.state in
+  Mutex.unlock fut.lock;
+  match state with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let peek fut =
+  Mutex.lock fut.lock;
+  let state = fut.state in
+  Mutex.unlock fut.lock;
+  match state with Done v -> Some v | Pending | Failed _ -> None
+
+let is_resolved fut =
+  Mutex.lock fut.lock;
+  let state = fut.state in
+  Mutex.unlock fut.lock;
+  state <> Pending
+
+let spawn pool f =
+  let fut = create () in
+  Pool.submit pool (fun () ->
+      match f () with
+      | v -> fill fut v
+      | exception e -> fail fut e (Printexc.get_raw_backtrace ()));
+  fut

@@ -1,0 +1,29 @@
+(** Single-assignment results bridging a pool worker back to the
+    submitting domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh pending future. *)
+
+val fill : 'a t -> 'a -> unit
+(** Resolve with a value, waking all waiters.
+    @raise Invalid_argument if already resolved. *)
+
+val fail : 'a t -> exn -> Printexc.raw_backtrace -> unit
+(** Resolve with an exception; {!await} re-raises it (original
+    backtrace preserved) in the awaiting domain. *)
+
+val await : 'a t -> 'a
+(** Block until resolved; return the value or re-raise the job's
+    exception. *)
+
+val peek : 'a t -> 'a option
+(** [Some v] iff already resolved with a value (never blocks). *)
+
+val is_resolved : 'a t -> bool
+
+val spawn : Pool.t -> (unit -> 'a) -> 'a t
+(** [spawn pool f] submits [f] and returns the future of its outcome.
+    An exception raised by [f] is captured, not lost: it surfaces at
+    {!await}. *)

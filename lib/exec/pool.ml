@@ -1,0 +1,77 @@
+(* A fixed-size pool of worker domains draining one FIFO work queue.
+
+   The queue is guarded by a single mutex; workers sleep on a condition
+   variable that is signaled once per submitted job and broadcast on
+   shutdown.  Jobs are opaque thunks: the pool runs them and swallows
+   anything they raise (the [Future] layer converts a job's outcome —
+   value or exception — into a state the submitter awaits, so a raising
+   job can never take a worker down with it, let alone wedge the pool). *)
+
+type job = unit -> unit
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  q : job Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+let size pool = pool.size
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.q && not pool.closed do
+    Condition.wait pool.nonempty pool.lock
+  done;
+  if Queue.is_empty pool.q then
+    (* closed and drained: exit *)
+    Mutex.unlock pool.lock
+  else begin
+    let job = Queue.pop pool.q in
+    Mutex.unlock pool.lock;
+    (try job () with _ -> ());
+    worker_loop pool
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Exec.Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      q = Queue.create ();
+      closed = false;
+      workers = [];
+      size = jobs;
+    }
+  in
+  pool.workers <-
+    List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let submit pool job =
+  Mutex.lock pool.lock;
+  if pool.closed then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Exec.Pool.submit: pool is shut down"
+  end;
+  Queue.push job pool.q;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let was_closed = pool.closed in
+  pool.closed <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  if not was_closed then begin
+    List.iter Domain.join pool.workers;
+    pool.workers <- []
+  end
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

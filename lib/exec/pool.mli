@@ -1,0 +1,33 @@
+(** A fixed-size pool of worker domains over one FIFO work queue.
+
+    Workers are real [Domain]s (OCaml 5 parallelism), so jobs run truly
+    concurrently — which also means a job must not touch domain-unsafe
+    shared state.  In this codebase that chiefly means {e BDD managers
+    are domain-local}: a [Core_dd.man] has no internal locking, so each
+    job must build (and keep to) its own manager.  The [Obs] layer is
+    safe to use from jobs (see its thread-safety contracts).
+
+    Jobs are opaque thunks; whatever they raise is swallowed by the
+    worker, so a failing job can never wedge or shrink the pool.  Use
+    {!Future.spawn} to get results and exceptions back. *)
+
+type t
+
+type job = unit -> unit
+
+val create : jobs:int -> t
+(** Spawn [jobs] worker domains ([jobs >= 1]). *)
+
+val size : t -> int
+(** The number of worker domains. *)
+
+val submit : t -> job -> unit
+(** Enqueue a job.  @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop accepting jobs, let the workers drain everything already
+    queued, and join them.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] over a fresh pool and shuts it down on
+    exit (also on exceptions — queued jobs still drain first). *)

@@ -1,0 +1,101 @@
+(* Machine-readable benchmark baseline (BENCH_engine.json). *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+let render ~jobs ~quick ~max_calls ~benches ~capture_seconds ~phases ~names
+    ~(engine : Bdd.Stats.t) (calls : Capture.call list) =
+  let minimizer_rows =
+    List.map
+      (fun name ->
+         let pick sel = List.assoc_opt name (sel : (string * _) list) in
+         let total_size =
+           List.fold_left
+             (fun acc (c : Capture.call) ->
+                acc + Option.value (pick c.sizes) ~default:0)
+             0 calls
+         and total_seconds =
+           List.fold_left
+             (fun acc (c : Capture.call) ->
+                acc +. Option.value (pick c.times) ~default:0.0)
+             0.0 calls
+         and hit_rates =
+           List.filter_map (fun (c : Capture.call) -> pick c.hit_rates) calls
+         in
+         let mean_hit_rate =
+           match hit_rates with
+           | [] -> 0.0
+           | hs -> List.fold_left ( +. ) 0.0 hs /. float_of_int (List.length hs)
+         in
+         Printf.sprintf
+           "{\"name\":\"%s\",\"total_size\":%d,\"total_seconds\":%s,\
+            \"mean_hit_rate\":%s}"
+           (escape name) total_size (num total_seconds) (num mean_hit_rate))
+      names
+  in
+  let phase_rows =
+    List.map
+      (fun (name, dt) ->
+         Printf.sprintf "{\"name\":\"%s\",\"seconds\":%s}" (escape name)
+           (num dt))
+      phases
+  in
+  let s = engine in
+  let engine_row =
+    Printf.sprintf
+      "{\"live_nodes\":%d,\"peak_live_nodes\":%d,\"interned_total\":%d,\
+       \"unique_capacity\":%d,\"cache_entries\":%d,\"cache_capacity\":%d,\
+       \"cache_lookups\":%d,\"cache_hits\":%d,\"cache_hit_rate\":%s,\
+       \"cache_stores\":%d,\"cache_evictions\":%d,\"ite_recursions\":%d,\
+       \"and_recursions\":%d,\"xor_recursions\":%d,\
+       \"constrain_recursions\":%d,\"restrict_recursions\":%d,\
+       \"quantify_recursions\":%d,\"gc_runs\":%d,\"gc_reclaimed\":%d}"
+      s.Bdd.Stats.live_nodes s.Bdd.Stats.peak_live_nodes
+      s.Bdd.Stats.interned_total s.Bdd.Stats.unique_capacity
+      s.Bdd.Stats.cache_entries s.Bdd.Stats.cache_capacity
+      s.Bdd.Stats.cache_lookups s.Bdd.Stats.cache_hits
+      (num (Bdd.Stats.hit_rate s))
+      s.Bdd.Stats.cache_stores s.Bdd.Stats.cache_evictions
+      s.Bdd.Stats.ite_recursions s.Bdd.Stats.and_recursions
+      s.Bdd.Stats.xor_recursions s.Bdd.Stats.constrain_recursions
+      s.Bdd.Stats.restrict_recursions s.Bdd.Stats.quantify_recursions
+      s.Bdd.Stats.gc_runs s.Bdd.Stats.gc_reclaimed
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"schema\": \"bddmin-bench-engine/1\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"quick\": %b,\n\
+    \  \"max_calls\": %d,\n\
+    \  \"suite\": {\"benches\": %d, \"calls\": %d, \"capture_seconds\": %s},\n\
+    \  \"phases\": [%s],\n\
+    \  \"minimizers\": [%s],\n\
+    \  \"engine\": %s\n\
+     }\n"
+    jobs quick max_calls benches (List.length calls) (num capture_seconds)
+    (String.concat ", " phase_rows)
+    (String.concat ", " minimizer_rows)
+    engine_row
+
+let write ~path ~jobs ~quick ~max_calls ~benches ~capture_seconds ~phases
+    ~names ~engine calls =
+  let doc =
+    render ~jobs ~quick ~max_calls ~benches ~capture_seconds ~phases ~names
+      ~engine calls
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc

@@ -1,0 +1,48 @@
+(** The machine-readable benchmark baseline ([BENCH_engine.json]).
+
+    One JSON document per benchmark run, schema ["bddmin-bench-engine/1"],
+    with every key always present:
+
+    {v
+    schema       string  "bddmin-bench-engine/1"
+    jobs         int     worker domains used for the capture suite
+    quick        bool    small sub-suite?
+    max_calls    int     per-benchmark cap on measured calls
+    suite        { benches, calls, capture_seconds }
+    phases       [ { name, seconds } ]   wall time, execution order
+    minimizers   [ { name, total_size, total_seconds, mean_hit_rate } ]
+    engine       Bdd.Stats.t counters (summed over the suite's managers)
+    v}
+
+    Committed snapshots of this file are the perf trajectory: every
+    change regenerates it ([make bench-json] or [bddmin bench]) and
+    diffs against the predecessor. *)
+
+val render :
+  jobs:int ->
+  quick:bool ->
+  max_calls:int ->
+  benches:int ->
+  capture_seconds:float ->
+  phases:(string * float) list ->
+  names:string list ->
+  engine:Bdd.Stats.t ->
+  Capture.call list ->
+  string
+(** Render the document.  [names] selects and orders the [minimizers]
+    rows; [engine] is typically {!Capture.run_suite_stats}'s summed
+    statistics.  Non-finite floats render as JSON [null]. *)
+
+val write :
+  path:string ->
+  jobs:int ->
+  quick:bool ->
+  max_calls:int ->
+  benches:int ->
+  capture_seconds:float ->
+  phases:(string * float) list ->
+  names:string list ->
+  engine:Bdd.Stats.t ->
+  Capture.call list ->
+  unit
+(** {!render} to a file (truncating). *)

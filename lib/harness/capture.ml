@@ -170,20 +170,104 @@ let run_bench ?config b =
 
 let default_progress msg = Log.info (fun m -> m "%s" msg)
 
-let run_suite ?(config = default_config) ?(progress = default_progress) benches =
-  List.concat_map
-    (fun (b : Circuits.Registry.bench) ->
-       progress b.name;
-       let calls, stats, reclaimed = run_bench_stats ~config b in
-       progress
-         (Printf.sprintf "  %s: %d non-trivial calls" b.name
-            (List.length calls));
-       progress
-         (Printf.sprintf
-            "  engine: %d peak nodes, cache hit rate %.1f%%, final gc \
-             reclaimed %d dead nodes"
-            stats.Bdd.Stats.peak_live_nodes
-            (100.0 *. Bdd.Stats.hit_rate stats)
-            reclaimed);
-       calls)
-    benches
+let summary_messages (b : Circuits.Registry.bench) calls stats reclaimed =
+  [
+    Printf.sprintf "  %s: %d non-trivial calls" b.name (List.length calls);
+    Printf.sprintf
+      "  engine: %d peak nodes, cache hit rate %.1f%%, final gc reclaimed \
+       %d dead nodes"
+      stats.Bdd.Stats.peak_live_nodes
+      (100.0 *. Bdd.Stats.hit_rate stats)
+      reclaimed;
+  ]
+
+(* Field-wise sum of per-benchmark manager statistics: a totals view of
+   the whole suite (occupancy figures add up because the managers are
+   disjoint). *)
+let add_stats (a : Bdd.Stats.t) (b : Bdd.Stats.t) : Bdd.Stats.t =
+  {
+    vars = a.vars + b.vars;
+    live_nodes = a.live_nodes + b.live_nodes;
+    peak_live_nodes = a.peak_live_nodes + b.peak_live_nodes;
+    interned_total = a.interned_total + b.interned_total;
+    unique_capacity = a.unique_capacity + b.unique_capacity;
+    external_refs = a.external_refs + b.external_refs;
+    cache_entries = a.cache_entries + b.cache_entries;
+    cache_capacity = a.cache_capacity + b.cache_capacity;
+    cache_lookups = a.cache_lookups + b.cache_lookups;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_stores = a.cache_stores + b.cache_stores;
+    cache_evictions = a.cache_evictions + b.cache_evictions;
+    ite_recursions = a.ite_recursions + b.ite_recursions;
+    and_recursions = a.and_recursions + b.and_recursions;
+    xor_recursions = a.xor_recursions + b.xor_recursions;
+    constrain_recursions = a.constrain_recursions + b.constrain_recursions;
+    restrict_recursions = a.restrict_recursions + b.restrict_recursions;
+    quantify_recursions = a.quantify_recursions + b.quantify_recursions;
+    gc_runs = a.gc_runs + b.gc_runs;
+    gc_reclaimed = a.gc_reclaimed + b.gc_reclaimed;
+  }
+
+let zero_stats : Bdd.Stats.t =
+  {
+    vars = 0;
+    live_nodes = 0;
+    peak_live_nodes = 0;
+    interned_total = 0;
+    unique_capacity = 0;
+    external_refs = 0;
+    cache_entries = 0;
+    cache_capacity = 0;
+    cache_lookups = 0;
+    cache_hits = 0;
+    cache_stores = 0;
+    cache_evictions = 0;
+    ite_recursions = 0;
+    and_recursions = 0;
+    xor_recursions = 0;
+    constrain_recursions = 0;
+    restrict_recursions = 0;
+    quantify_recursions = 0;
+    gc_runs = 0;
+    gc_reclaimed = 0;
+  }
+
+let run_suite_stats ?(config = default_config) ?(progress = default_progress)
+    ?(jobs = 1) benches =
+  let report (b : Circuits.Registry.bench) (calls, stats, reclaimed) =
+    progress b.name;
+    List.iter progress (summary_messages b calls stats reclaimed)
+  in
+  let results =
+    if jobs <= 1 then
+      List.map
+        (fun (b : Circuits.Registry.bench) ->
+           progress b.name;
+           let ((calls, stats, reclaimed) as r) = run_bench_stats ~config b in
+           List.iter progress (summary_messages b calls stats reclaimed);
+           r)
+        benches
+    else begin
+      (* One pool job per benchmark.  Every job builds its own manager
+         (in [run_bench_stats]); nothing manager-related crosses domains,
+         so the captured calls are element-wise identical to the
+         sequential run's.  [Exec.map] returns in submission order and
+         merges the workers' trace buffers in that same order, and
+         progress messages are replayed here, also in submission order —
+         the observable output is byte-identical to [jobs:1] (timings
+         aside). *)
+      let results =
+        Exec.map ~jobs (fun b -> run_bench_stats ~config b) benches
+      in
+      List.iter2 report benches results;
+      results
+    end
+  in
+  let calls = List.concat_map (fun (calls, _, _) -> calls) results in
+  let stats =
+    List.fold_left (fun acc (_, s, _) -> add_stats acc s) zero_stats results
+  in
+  (calls, stats)
+
+let run_suite ?config ?progress ?jobs benches =
+  fst (run_suite_stats ?config ?progress ?jobs benches)

@@ -65,13 +65,34 @@ val run_bench_stats :
     benchmark's manager and the node count reclaimed by a final garbage
     collection (everything the run interned is dead once it finishes). *)
 
+val run_suite_stats :
+  ?config:config ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  Circuits.Registry.bench list ->
+  call list * Bdd.Stats.t
+(** Like {!run_suite}, but also return the field-wise {e sum} of every
+    benchmark manager's final statistics — a totals view of the engine
+    work the whole suite did (managers are disjoint, so occupancy
+    figures add up too).  This is what the bench baseline's [engine]
+    section records. *)
+
 val run_suite :
   ?config:config ->
   ?progress:(string -> unit) ->
+  ?jobs:int ->
   Circuits.Registry.bench list ->
   call list
 (** [progress] defaults to logging each message at [info] level on the
-    ["bddmin.capture"] source. *)
+    ["bddmin.capture"] source.
+
+    [jobs] (default 1) is the number of worker domains: with [jobs > 1]
+    the benchmarks run concurrently on an [Exec.Pool], one private BDD
+    manager per job, and the results are collected in submission order —
+    the returned calls, the [progress] message stream and any merged
+    trace are identical to the sequential run's (wall-clock readings in
+    [times] aside).  Per-job trace buffers are forwarded to the calling
+    domain's sink with worker domain ids as trace thread ids. *)
 
 val origin_name : origin -> string
 (** ["frontier"] or ["image_cofactor"] (table and trace labels). *)

@@ -1,9 +1,20 @@
 let nbuckets = 32
 
+(* Probes are process-global and may be bumped from several domains at
+   once (parallel capture jobs).  One mutex over both tables keeps every
+   operation atomic; the sites are far too coarse-grained (per pass, per
+   window) for the lock to be contended. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
 let hists_tbl : (string, int array) Hashtbl.t = Hashtbl.create 64
 
 let count name n =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters_tbl name with
   | Some r -> r := !r + n
   | None -> Hashtbl.add counters_tbl name (ref n)
@@ -19,6 +30,7 @@ let bucket_of v =
   end
 
 let observe name v =
+  locked @@ fun () ->
   let h =
     match Hashtbl.find_opt hists_tbl name with
     | Some h -> h
@@ -31,14 +43,17 @@ let observe name v =
   h.(i) <- h.(i) + 1
 
 let counter_value name =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
 
 let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let counters () = sorted_bindings counters_tbl ( ! )
-let histograms () = sorted_bindings hists_tbl (fun h -> Array.copy h)
+let counters () = locked @@ fun () -> sorted_bindings counters_tbl ( ! )
+
+let histograms () =
+  locked @@ fun () -> sorted_bindings hists_tbl (fun h -> Array.copy h)
 
 let bucket_label i =
   if i = 0 then "0-1"
@@ -46,6 +61,7 @@ let bucket_label i =
   else Printf.sprintf "%d-%d" (1 lsl i) ((1 lsl (i + 1)) - 1)
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.reset counters_tbl;
   Hashtbl.reset hists_tbl
 

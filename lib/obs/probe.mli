@@ -1,11 +1,20 @@
 (** Lightweight named metrics: monotone counters and log2-bucketed
     histograms.
 
-    Probes are process-global (like {!Trace}'s sink) and always on —
-    each observation is one hashtable lookup and an integer bump, cheap
-    enough for the per-pass and per-iteration call sites that use them.
-    Typical series: matching-graph sizes, clique-cover degrees, sibling
-    recursion depths. *)
+    Probes are process-global and always on — each observation is one
+    hashtable lookup and an integer bump, cheap enough for the per-pass
+    and per-iteration call sites that use them.  Typical series:
+    matching-graph sizes, clique-cover degrees, sibling recursion
+    depths.
+
+    {b Thread-safety contract.}  Unlike {!Trace}'s domain-local sink,
+    the probe tables are shared by every domain: all operations
+    (including {!counters} / {!histograms} snapshots and {!reset}) take
+    one process-wide mutex, so concurrent bumps from parallel capture
+    jobs merge losslessly into the same counters.  The call sites are
+    coarse-grained (per pass, per window), so contention is nil; callers
+    needing per-job attribution should snapshot {!counters} before and
+    after a {e sequential} run instead. *)
 
 val incr : string -> unit
 val count : string -> int -> unit

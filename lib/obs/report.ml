@@ -20,10 +20,23 @@ let of_events events =
     | None ->
       Hashtbl.add rows name (ref { name; count = 1; total_ns = total; self_ns = self })
   in
-  (* stack of open spans: (name, begin ts, children's total) *)
-  let stack : (string * int64 * int64 ref) Stack.t = Stack.create () in
+  (* per-domain stacks of open spans: (name, begin ts, children's total).
+     Merged multi-domain streams interleave B/E pairs from different
+     domains, so pairing must follow the event's [tid]. *)
+  let stacks : (int, (string * int64 * int64 ref) Stack.t) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = Stack.create () in
+      Hashtbl.add stacks tid s;
+      s
+  in
   List.iter
     (fun (ev : Trace.event) ->
+       let stack = stack_of ev.Trace.tid in
        match ev.Trace.phase with
        | Trace.Begin -> Stack.push (ev.name, ev.ts_ns, ref 0L) stack
        | Trace.Instant -> record ev.name 0L 0L

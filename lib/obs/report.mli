@@ -1,11 +1,13 @@
 (** Self/total-time profile from a memory sink's event stream.
 
-    Replays the single-threaded span stream with a stack: a span's
-    {e total} time is its [Begin]→[End] interval; its {e self} time is
-    the total minus the totals of its direct children.  Instants
-    contribute occurrence counts only.  Streams truncated by the ring
-    buffer degrade gracefully: an [End] with no open span is dropped,
-    and spans left open at the end of the stream are ignored. *)
+    Replays the span stream with one stack {e per emitting domain}
+    (events carry the domain id, so streams merged from parallel
+    workers pair correctly): a span's {e total} time is its
+    [Begin]→[End] interval; its {e self} time is the total minus the
+    totals of its direct children.  Instants contribute occurrence
+    counts only.  Streams truncated by the ring buffer degrade
+    gracefully: an [End] with no open span is dropped, and spans left
+    open at the end of the stream are ignored. *)
 
 type row = {
   name : string;

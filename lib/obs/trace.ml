@@ -8,19 +8,27 @@ type event = {
   name : string;
   phase : phase;
   ts_ns : int64;
+  tid : int;
   attrs : attrs;
 }
+
+(* Events are stamped with the emitting domain's id, so a trace merged
+   from several domains keeps its spans apart (one Chrome "thread" per
+   domain). *)
+let self_tid () = (Domain.self () :> int)
 
 type memory_state = {
   capacity : int;
   q : event Queue.t;
   mutable mem_dropped : int;
+  mem_lock : Mutex.t;
 }
 
 type chrome_state = {
   write : string -> unit;
   mutable first : bool;
   mutable closed : bool;
+  chrome_lock : Mutex.t;
 }
 
 type sink =
@@ -32,7 +40,17 @@ let null = Null
 
 let memory ?(capacity = 262_144) () =
   if capacity <= 0 then invalid_arg "Obs.Trace.memory: capacity";
-  Memory { capacity; q = Queue.create (); mem_dropped = 0 }
+  Memory
+    {
+      capacity;
+      q = Queue.create ();
+      mem_dropped = 0;
+      mem_lock = Mutex.create ();
+    }
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 (* ----- chrome trace-event JSON ----- *)
 
@@ -61,13 +79,14 @@ let attr_json = function
 
 let chrome_writer write =
   write "[";
-  Chrome { write; first = true; closed = false }
+  Chrome { write; first = true; closed = false; chrome_lock = Mutex.create () }
 
 let chrome_channel oc = chrome_writer (output_string oc)
 
 let phase_str = function Begin -> "B" | End -> "E" | Instant -> "i"
 
 let chrome_emit c ev =
+  locked c.chrome_lock @@ fun () ->
   if not c.closed then begin
     let b = Buffer.create 160 in
     if c.first then begin
@@ -81,7 +100,8 @@ let chrome_emit c ev =
     Buffer.add_string b (phase_str ev.phase);
     Buffer.add_string b "\",\"ts\":";
     Buffer.add_string b (Printf.sprintf "%.3f" (Clock.ns_to_us ev.ts_ns));
-    Buffer.add_string b ",\"pid\":1,\"tid\":1";
+    Buffer.add_string b ",\"pid\":1,\"tid\":";
+    Buffer.add_string b (string_of_int ev.tid);
     if ev.phase = Instant then Buffer.add_string b ",\"s\":\"t\"";
     (match ev.attrs with
      | [] -> ()
@@ -101,34 +121,47 @@ let chrome_emit c ev =
   end
 
 let close = function
-  | Chrome c when not c.closed ->
-    c.closed <- true;
-    c.write "\n]\n"
-  | Chrome _ | Null | Memory _ -> ()
+  | Chrome c ->
+    locked c.chrome_lock (fun () ->
+        if not c.closed then begin
+          c.closed <- true;
+          c.write "\n]\n"
+        end)
+  | Null | Memory _ -> ()
 
-(* ----- the process-wide tracer ----- *)
+(* ----- the current tracer -----
 
-let current = ref Null
+   The current sink is domain-local: a freshly spawned domain starts at
+   [Null] and is never implicitly affected by the parent's sink, so a
+   worker traces only when its job explicitly installs a sink (see
+   [Exec.map], which records into a per-domain memory buffer and lets
+   the submitting domain merge).  A sink value itself may be shared by
+   several domains; [Memory] and [Chrome] sinks serialize internally. *)
 
-let set_sink s = current := s
-let sink () = !current
-let enabled () = !current != Null
+let current = Domain.DLS.new_key (fun () -> Null)
+
+let set_sink s = Domain.DLS.set current s
+let sink () = Domain.DLS.get current
+let enabled () = Domain.DLS.get current != Null
 
 let with_sink s f =
-  let prev = !current in
-  current := s;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current s;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
 
-let emit ev =
-  match !current with
+let forward ev =
+  match Domain.DLS.get current with
   | Null -> ()
   | Memory m ->
-    if Queue.length m.q >= m.capacity then begin
-      ignore (Queue.pop m.q);
-      m.mem_dropped <- m.mem_dropped + 1
-    end;
-    Queue.push ev m.q
+    locked m.mem_lock (fun () ->
+        if Queue.length m.q >= m.capacity then begin
+          ignore (Queue.pop m.q);
+          m.mem_dropped <- m.mem_dropped + 1
+        end;
+        Queue.push ev m.q)
   | Chrome c -> chrome_emit c ev
+
+let emit ev = forward ev
 
 type span = { mutable extra : attrs; live : bool }
 
@@ -139,7 +172,8 @@ let add sp k v = if sp.live then sp.extra <- (k, v) :: sp.extra
 let with_span ?(attrs = []) name f =
   if not (enabled ()) then f inert
   else begin
-    emit { name; phase = Begin; ts_ns = Clock.since_start_ns (); attrs };
+    let tid = self_tid () in
+    emit { name; phase = Begin; ts_ns = Clock.since_start_ns (); tid; attrs };
     let sp = { extra = []; live = true } in
     match f sp with
     | r ->
@@ -148,6 +182,7 @@ let with_span ?(attrs = []) name f =
           name;
           phase = End;
           ts_ns = Clock.since_start_ns ();
+          tid;
           attrs = List.rev sp.extra;
         };
       r
@@ -157,6 +192,7 @@ let with_span ?(attrs = []) name f =
           name;
           phase = End;
           ts_ns = Clock.since_start_ns ();
+          tid;
           attrs = ("unwound", Bool true) :: List.rev sp.extra;
         };
       raise e
@@ -164,12 +200,19 @@ let with_span ?(attrs = []) name f =
 
 let instant ?(attrs = []) name =
   if enabled () then
-    emit { name; phase = Instant; ts_ns = Clock.since_start_ns (); attrs }
+    emit
+      {
+        name;
+        phase = Instant;
+        ts_ns = Clock.since_start_ns ();
+        tid = self_tid ();
+        attrs;
+      }
 
 let events = function
-  | Memory m -> List.of_seq (Queue.to_seq m.q)
+  | Memory m -> locked m.mem_lock (fun () -> List.of_seq (Queue.to_seq m.q))
   | Null | Chrome _ -> []
 
 let dropped = function
-  | Memory m -> m.mem_dropped
+  | Memory m -> locked m.mem_lock (fun () -> m.mem_dropped)
   | Null | Chrome _ -> 0

@@ -2,7 +2,7 @@
 
     A {e span} is a named, nested interval of monotonic time with
     key/value attributes; an {e instant} is a point event.  Events flow
-    to the process-wide current {e sink}:
+    to the current {e sink}:
 
     - {!null} — the default; everything compiles down to one branch on
       {!enabled} and no allocation, so instrumented hot paths cost
@@ -13,9 +13,21 @@
       trace-event JSON ("B"/"E"/"i" phases), loadable in Perfetto or
       chrome://tracing.
 
-    The tracer is process-global and single-threaded, matching the
-    engine; [with_sink] scopes a sink to a call and restores the
-    previous one on exit or exception. *)
+    {b Thread-safety contract.}  The current sink is {e domain-local}
+    ([Domain.DLS]): a newly spawned domain starts with {!null} and
+    installing a sink in one domain never affects another, so parallel
+    workers are untraced unless their job installs a sink of its own
+    (the [Exec] layer records each job into a per-domain {!memory}
+    buffer and merges into the submitter's sink afterwards, via
+    {!forward}).  Sink {e values} may nevertheless be shared across
+    domains — {!memory} and chrome sinks serialize all mutation behind
+    an internal mutex, so concurrent emission is safe, merely
+    interleaved.  Every event is stamped with the id of the emitting
+    domain ([tid]); the chrome writer maps it to the trace "thread",
+    and {!Report} keeps a separate span stack per [tid].
+
+    [with_sink] scopes a sink to a call and restores the previous one
+    on exit or exception. *)
 
 type attr = Int of int | Float of float | Str of string | Bool of bool
 
@@ -27,6 +39,7 @@ type event = {
   name : string;
   phase : phase;
   ts_ns : int64;  (** monotonic, relative to process start *)
+  tid : int;  (** id of the emitting domain *)
   attrs : attrs;
 }
 
@@ -44,7 +57,8 @@ val chrome_writer : (string -> unit) -> sink
 (** Stream Chrome trace-event JSON through the given writer.  The
     opening ["["] is written immediately; {!close} writes the closing
     ["]"] (without it the file is still loadable by Chrome but is not
-    well-formed JSON). *)
+    well-formed JSON).  The writer is only ever called with the sink's
+    mutex held, so it need not be thread-safe itself. *)
 
 val chrome_channel : out_channel -> sink
 (** [chrome_writer] over an [out_channel] (the caller closes the
@@ -55,14 +69,18 @@ val close : sink -> unit
     second calls. *)
 
 val set_sink : sink -> unit
+(** Install the sink for the calling domain. *)
+
 val sink : unit -> sink
+(** The calling domain's current sink. *)
 
 val enabled : unit -> bool
-(** [true] iff the current sink is not {!null}. *)
+(** [true] iff the calling domain's current sink is not {!null}. *)
 
 val with_sink : sink -> (unit -> 'a) -> 'a
 (** Install the sink for the duration of the call, restoring the
-    previous sink afterwards (also on exceptions). *)
+    previous sink afterwards (also on exceptions).  Domain-local, like
+    {!set_sink}. *)
 
 (** {1 Recording} *)
 
@@ -84,6 +102,14 @@ val add : span -> string -> attr -> unit
 
 val instant : ?attrs:attrs -> string -> unit
 (** Emit a point event. *)
+
+val forward : event -> unit
+(** Re-emit an already-recorded event into the calling domain's current
+    sink, preserving its timestamp and [tid] — the merge primitive for
+    per-domain buffers collected by a parallel run. *)
+
+val self_tid : unit -> int
+(** The calling domain's id, as stamped into events. *)
 
 (** {1 Memory-sink access} *)
 

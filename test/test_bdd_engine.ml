@@ -80,6 +80,56 @@ let forced_gc_differential =
        && List.for_all2 Tt.equal r2 r_big
        && List.for_all2 Tt.equal r3 r_big)
 
+let kernel_vs_ite_differential =
+  Util.qtest ~count:200 "specialized and/or/xor kernels agree with raw ite"
+    gen_seeds
+    (fun (s1, s2) ->
+       let man = Bdd.new_man () in
+       let f = Tt.to_bdd man (tt_of_seed nvars s1) in
+       let g = Tt.to_bdd man (tt_of_seed nvars s2) in
+       (* The 3-operand encodings the kernels replace.  [ite] itself
+          dispatches binary shapes to the kernels, so the reference here
+          is the Shannon expansion built from cofactors — an independent
+          path through the engine. *)
+       let ite_ref a b c =
+         (* a·b + ¬a·c computed pointwise on truth tables *)
+         let tt x = Tt.of_bdd man ~nvars x in
+         Tt.to_bdd man
+           (Tt.bor (Tt.band (tt a) (tt b)) (Tt.band (Tt.bnot (tt a)) (tt c)))
+       in
+       let cases =
+         [
+           (Bdd.and_ man f g, ite_ref f g (Bdd.zero man));
+           (Bdd.or_ man f g, ite_ref f (Bdd.one man) g);
+           (Bdd.xor man f g, ite_ref f (Bdd.compl g) g);
+           (* complemented operands exercise the XOR sign factoring and
+              the AND uid-ordering *)
+           (Bdd.and_ man (Bdd.compl f) g, ite_ref (Bdd.compl f) g (Bdd.zero man));
+           (Bdd.xor man (Bdd.compl f) (Bdd.compl g),
+            ite_ref (Bdd.compl f) g (Bdd.compl g));
+           (Bdd.xor man f (Bdd.compl g), ite_ref f g (Bdd.compl g));
+         ]
+       in
+       List.for_all (fun (a, b) -> Bdd.equal a b) cases)
+
+let kernel_counters () =
+  let man = Bdd.new_man () in
+  let x i = Bdd.ithvar man i in
+  ignore (Bdd.and_ man (x 0) (x 1));
+  ignore (Bdd.xor man (x 2) (x 3));
+  let s = Bdd.snapshot man in
+  Util.checkb "and kernel counted" (s.Bdd.Stats.and_recursions > 0);
+  Util.checkb "xor kernel counted" (s.Bdd.Stats.xor_recursions > 0);
+  (* De Morgan: or_ must reuse the and_ cache, not a separate opcode *)
+  Bdd.clear_caches man;
+  let f = Bdd.and_ man (x 0) (x 1) in
+  let s1 = Bdd.snapshot man in
+  let g = Bdd.or_ man (Bdd.compl (x 0)) (Bdd.compl (x 1)) in
+  Util.checkb "De Morgan result" (Bdd.equal g (Bdd.compl f));
+  let s2 = Bdd.snapshot man in
+  Util.checkb "or_ hits the and_ cache"
+    (s2.Bdd.Stats.cache_hits > s1.Bdd.Stats.cache_hits)
+
 let canonicity_after_gc_churn =
   Util.qtest ~count:100 "equal iff same uid holds after GC under churn"
     gen_seeds
@@ -166,7 +216,7 @@ let eviction_counters () =
     (s.Bdd.Stats.cache_evictions > 0);
   Util.checkb "cache stayed within its budget"
     (s.Bdd.Stats.cache_capacity = 2);
-  Util.checkb "ite recursions counted" (s.Bdd.Stats.ite_recursions > 0)
+  Util.checkb "apply recursions counted" (s.Bdd.Stats.and_recursions > 0)
 
 let cache_growth_bounded () =
   (* 4-entry start, budget for exactly 64 entries: growth must stop there *)
@@ -250,7 +300,10 @@ let suite =
   [
     tiny_cache_differential;
     forced_gc_differential;
+    kernel_vs_ite_differential;
     canonicity_after_gc_churn;
+    Alcotest.test_case "kernel counters and cache sharing" `Quick
+      kernel_counters;
     Alcotest.test_case "gc reclaims, roots survive" `Quick
       gc_reclaims_and_roots_survive;
     Alcotest.test_case "with_root protects" `Quick with_root_protects;

@@ -1,0 +1,114 @@
+(* Execution-layer tests: the domain pool, futures, the ordered parallel
+   map, and the determinism contract of the parallel capture suite — the
+   same benchmarks run at [jobs:4] and [jobs:1] must produce identical
+   result tables (wall-clock readings are the only permitted delta, and
+   the CSV export carries none). *)
+
+let pool_runs_jobs () =
+  Exec.Pool.with_pool ~jobs:3 @@ fun pool ->
+  let futures =
+    List.init 20 (fun i -> Exec.Future.spawn pool (fun () -> i * i))
+  in
+  let results = List.map Exec.Future.await futures in
+  Util.checkb "all jobs ran in order"
+    (results = List.init 20 (fun i -> i * i))
+
+let pool_survives_exceptions () =
+  (* Raising jobs must neither wedge the pool nor poison later jobs; the
+     exception resurfaces at await time, with its original payload. *)
+  Exec.Pool.with_pool ~jobs:2 @@ fun pool ->
+  let boom = List.init 8 (fun i ->
+      Exec.Future.spawn pool (fun () ->
+          if i mod 2 = 0 then failwith (Printf.sprintf "boom %d" i) else i))
+  in
+  let after = List.init 8 (fun i -> Exec.Future.spawn pool (fun () -> 10 * i)) in
+  let outcomes =
+    List.map
+      (fun fut ->
+         match Exec.Future.await fut with
+         | v -> Ok v
+         | exception Failure msg -> Error msg)
+      boom
+  in
+  List.iteri
+    (fun i outcome ->
+       if i mod 2 = 0 then
+         Util.checkb "failure propagated"
+           (outcome = Error (Printf.sprintf "boom %d" i))
+       else Util.checkb "interleaved successes unaffected" (outcome = Ok i))
+    outcomes;
+  Util.checkb "pool still serves jobs after failures"
+    (List.map Exec.Future.await after = List.init 8 (fun i -> 10 * i))
+
+let submit_after_shutdown () =
+  let pool = Exec.Pool.create ~jobs:1 in
+  let fut = Exec.Future.spawn pool (fun () -> 41 + 1) in
+  Exec.Pool.shutdown pool;
+  Util.checki "queued job drained before shutdown" 42 (Exec.Future.await fut);
+  Util.checkb "submit after shutdown is refused"
+    (match Exec.Pool.submit pool (fun () -> ()) with
+     | exception Invalid_argument _ -> true
+     | () -> false);
+  (* idempotent *)
+  Exec.Pool.shutdown pool
+
+let map_matches_sequential =
+  Util.qtest ~count:30 "Exec.map ~jobs is List.map"
+    QCheck2.Gen.(list_size (int_bound 40) (int_bound 1000))
+    (fun xs ->
+       let f x = (x * 7919) mod 1003 in
+       Exec.map ~jobs:4 f xs = List.map f xs)
+
+let future_states () =
+  let fut = Exec.Future.create () in
+  Util.checkb "pending" (not (Exec.Future.is_resolved fut));
+  Util.checkb "peek pending" (Exec.Future.peek fut = None);
+  Exec.Future.fill fut 7;
+  Util.checki "filled" 7 (Exec.Future.await fut);
+  Util.checkb "double fill refused"
+    (match Exec.Future.fill fut 8 with
+     | exception Invalid_argument _ -> true
+     | () -> false)
+
+(* The tentpole's determinism guarantee, end to end: parallel capture of
+   the quick suite must be indistinguishable from sequential capture in
+   every recorded field except wall time.  [calls_to_csv] contains sizes,
+   onset fractions, minimizer winners and lower bounds — no times — so
+   string equality is the right oracle. *)
+let suite_differential () =
+  let config =
+    {
+      Harness.Capture.default_config with
+      Harness.Capture.max_calls = 6;
+      lower_bound_cubes = 50;
+    }
+  in
+  let benches = Circuits.Registry.quick in
+  let names = Harness.Capture.minimizer_names config in
+  let progress_log = ref [] in
+  let run jobs =
+    progress_log := [];
+    let calls =
+      Harness.Capture.run_suite ~config
+        ~progress:(fun m -> progress_log := m :: !progress_log)
+        ~jobs benches
+    in
+    (Harness.Tables.calls_to_csv ~names calls, List.rev !progress_log)
+  in
+  let csv1, log1 = run 1 in
+  let csv4, log4 = run 4 in
+  Util.checkb "captured something" (String.length csv1 > 0);
+  Util.check Alcotest.string "CSV identical at jobs:4" csv1 csv4;
+  Util.checkb "progress stream identical" (log1 = log4)
+
+let suite =
+  [
+    Alcotest.test_case "pool runs jobs" `Quick pool_runs_jobs;
+    Alcotest.test_case "pool survives exceptions" `Quick
+      pool_survives_exceptions;
+    Alcotest.test_case "submit after shutdown" `Quick submit_after_shutdown;
+    map_matches_sequential;
+    Alcotest.test_case "future states" `Quick future_states;
+    Alcotest.test_case "parallel capture is deterministic" `Quick
+      suite_differential;
+  ]

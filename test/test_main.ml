@@ -32,4 +32,5 @@ let () =
       ("circuits", Test_circuits.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("exec", Test_exec.suite);
     ]

@@ -360,11 +360,12 @@ let memory_ring_truncates () =
 
 (* ----- report arithmetic ----- *)
 
-let ev name phase ts_us =
+let ev ?(tid = 0) name phase ts_us =
   {
     T.name;
     phase;
     ts_ns = Int64.mul (Int64.of_int ts_us) 1000L;
+    tid;
     attrs = [];
   }
 
