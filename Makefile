@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke bench-json check clean
+.PHONY: all build test bench-smoke bench-json bench-diff check clean
 
 all: build
 
@@ -15,11 +15,19 @@ bench-smoke: build
 	BDDMIN_BENCH_QUICK=1 BDDMIN_BENCH_SKIP_MICRO=1 BDDMIN_BENCH_CALLS=30 \
 		dune exec bench/main.exe
 
-# Regenerate the committed perf baseline (schema bddmin-bench-engine/1;
+# Regenerate the committed perf baseline (schema bddmin-bench-engine/2;
 # see Harness.Bench_json).  Deterministic apart from the wall-time
 # fields, at any -j.
 bench-json: build
 	dune exec -- bddmin bench -o BENCH_engine.json
+
+# Fresh full capture into _build, diffed against the committed baseline
+# (percentage thresholds on phase seconds and the engine work counters;
+# see scripts/bench_diff.py).  Non-fatal by default; STRICT=1 gates.
+bench-diff: build
+	dune exec -- bddmin bench -o _build/BENCH_fresh.json
+	python3 scripts/bench_diff.py BENCH_engine.json _build/BENCH_fresh.json \
+		$(if $(STRICT),--strict)
 
 check: build test bench-smoke
 

@@ -6,12 +6,19 @@
      -j N / --jobs N        run the capture suite on N worker domains
                             (default 1; the result tables are
                             byte-identical at any N)
+     --image S              image strategy for the capture suite:
+                            monolithic, partitioned, clustered or range
+                            (default partitioned; images are exact, so
+                            the tables are identical under any strategy)
+     --cluster-bound N      node bound for the clustered schedule
 
    Environment knobs:
      BDDMIN_BENCH_QUICK=1   use the small benchmark sub-suite
      BDDMIN_BENCH_CALLS=N   per-benchmark cap on measured calls (default 250)
      BDDMIN_BENCH_SKIP_MICRO=1  skip the Bechamel microbenchmarks
      BDDMIN_BENCH_JOBS=N    like -j N
+     BDDMIN_BENCH_IMAGE=S   like --image S
+     BDDMIN_BENCH_CLUSTER_BOUND=N  like --cluster-bound N
      BDDMIN_BENCH_JSON=PATH where to write the machine-readable baseline
                             (default BENCH_engine.json in the cwd) *)
 
@@ -40,6 +47,45 @@ let jobs =
   | Some n when n >= 1 -> n
   | _ -> ( match from_env with Some n when n >= 1 -> n | _ -> 1)
 
+let image_strategy =
+  let from_env = Sys.getenv_opt "BDDMIN_BENCH_IMAGE" in
+  let rec from_argv = function
+    | "--image" :: s :: _ -> Some s
+    | _ :: rest -> from_argv rest
+    | [] -> None
+  in
+  let name =
+    match from_argv (Array.to_list Sys.argv) with
+    | Some s -> Some s
+    | None -> from_env
+  in
+  match name with
+  | None -> Fsm.Image.Partitioned
+  | Some s -> (
+      match Fsm.Image.strategy_of_name s with
+      | Some strategy -> strategy
+      | None ->
+        Printf.eprintf
+          "unknown image strategy %s (expected monolithic, partitioned, \
+           clustered or range)\n"
+          s;
+        exit 2)
+
+let cluster_bound =
+  let from_env =
+    match Sys.getenv_opt "BDDMIN_BENCH_CLUSTER_BOUND" with
+    | Some s -> int_of_string_opt s
+    | None -> None
+  in
+  let rec from_argv = function
+    | "--cluster-bound" :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> from_argv rest
+    | [] -> None
+  in
+  match from_argv (Array.to_list Sys.argv) with
+  | Some n when n >= 1 -> Some n
+  | _ -> ( match from_env with Some n when n >= 1 -> Some n | _ -> None)
+
 let json_path =
   Option.value
     (Sys.getenv_opt "BDDMIN_BENCH_JSON")
@@ -55,7 +101,13 @@ let timed_phase name f =
 
 (* ----- the experiment: capture all minimization calls ----- *)
 
-let config = { Harness.Capture.default_config with max_calls }
+let config =
+  {
+    Harness.Capture.default_config with
+    max_calls;
+    image_strategy;
+    cluster_bound;
+  }
 
 let names = Harness.Capture.minimizer_names config
 
@@ -347,6 +399,7 @@ let ablations () =
     [
       bench_image Fsm.Image.Monolithic "reach_monolithic";
       bench_image Fsm.Image.Partitioned "reach_partitioned";
+      bench_image Fsm.Image.Clustered "reach_clustered";
       bench_image Fsm.Image.Range "reach_range";
     ]
 
@@ -390,6 +443,7 @@ let engine_stats () =
 
 let emit_bench_json path =
   Harness.Bench_json.write ~path ~jobs ~quick ~max_calls
+    ~image:(Fsm.Image.strategy_name image_strategy)
     ~benches:(List.length benches) ~capture_seconds:!capture_seconds
     ~phases:!phase_times ~names ~engine:suite_stats calls;
   Printf.printf "wrote %s\n" path

@@ -136,6 +136,30 @@ let resolve_minimizer = function
              (Minimize.Registry.names Minimize.Registry.extended));
         exit 1)
 
+(* ----- image-strategy selection (--image S, --cluster-bound N) ----- *)
+
+let image_term ?(names = [ "image" ]) default =
+  Arg.(value & opt string default
+       & info names ~docv:"S"
+           ~doc:"Image strategy: $(b,monolithic), $(b,partitioned), \
+                 $(b,clustered) or $(b,range).")
+
+let cluster_bound_term =
+  Arg.(value & opt (some int) None
+       & info [ "cluster-bound" ] ~docv:"N"
+           ~doc:"Node bound for the clustered image schedule (default \
+                 2000; only the $(b,clustered) strategy reads it).")
+
+let resolve_image_strategy s =
+  match Fsm.Image.strategy_of_name s with
+  | Some strategy -> strategy
+  | None ->
+    Printf.eprintf
+      "unknown image strategy %s (expected monolithic, partitioned, \
+       clustered or range)\n"
+      s;
+    exit 1
+
 (* ----- minimize ----- *)
 
 let minimize_cmd =
@@ -237,16 +261,8 @@ let lower_bound_cmd =
 (* ----- equiv ----- *)
 
 let equiv_cmd =
-  let run spec1 spec2 strategy minimizer trace =
-    let strategy =
-      match strategy with
-      | "range" -> Fsm.Image.Range
-      | "partitioned" -> Fsm.Image.Partitioned
-      | "monolithic" -> Fsm.Image.Monolithic
-      | s ->
-        Printf.eprintf "unknown strategy %s\n" s;
-        exit 1
-    in
+  let run spec1 spec2 strategy cluster_bound minimizer trace =
+    let strategy = resolve_image_strategy strategy in
     let minimize = resolve_minimizer minimizer in
     match
       let* nl1 = load_netlist spec1 in
@@ -261,7 +277,9 @@ let equiv_cmd =
     | Ok (nl1, nl2) ->
       let man = Bdd.new_man () in
       with_trace trace @@ fun () ->
-      (match Fsm.Equiv.check ~strategy ?minimize man nl1 nl2 with
+      (match
+         Fsm.Equiv.check ~strategy ?cluster_bound ?minimize man nl1 nl2
+       with
        | Fsm.Equiv.Equivalent st ->
          Printf.printf
            "EQUIVALENT  (%d iterations, %.0f product states, %d minimization calls)\n"
@@ -283,31 +301,30 @@ let equiv_cmd =
          & info [] ~docv:"MACHINE2"
              ~doc:"Second machine (default: MACHINE1 against itself).")
   in
-  let strategy =
-    Arg.(value & opt string "range"
-         & info [ "strategy" ] ~docv:"S"
-             ~doc:"Image strategy: range, partitioned or monolithic.")
-  in
+  let strategy = image_term ~names:[ "strategy"; "image" ] "range" in
   Cmd.v
     (Cmd.info "equiv" ~doc:"Check product-machine equivalence")
     Term.(
-      const (fun () a b c d e -> run a b c d e)
-      $ logs_term $ spec1 $ spec2 $ strategy $ minimizer_term $ trace_term)
+      const (fun () a b c d e f -> run a b c d e f)
+      $ logs_term $ spec1 $ spec2 $ strategy $ cluster_bound_term
+      $ minimizer_term $ trace_term)
 
 (* ----- reach ----- *)
 
 let reach_cmd =
-  let run spec minimizer trace =
+  let run spec image cluster_bound minimizer trace =
     match load_netlist spec with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       1
     | Ok nl ->
+      let strategy = resolve_image_strategy image in
       let minimize = resolve_minimizer minimizer in
       let man = Bdd.new_man () in
       let sym = Fsm.Symbolic.of_netlist man nl in
       let reached, st =
-        with_trace trace @@ fun () -> Fsm.Reach.reachable ?minimize sym
+        with_trace trace @@ fun () ->
+        Fsm.Reach.reachable ~strategy ?cluster_bound ?minimize sym
       in
       Printf.printf "%s\n" (Fsm.Netlist.stats nl);
       Printf.printf
@@ -324,18 +341,19 @@ let reach_cmd =
   Cmd.v
     (Cmd.info "reach" ~doc:"Symbolic reachability statistics")
     Term.(
-      const (fun () a b c -> run a b c)
-      $ logs_term $ spec $ minimizer_term $ trace_term)
+      const (fun () a b c d e -> run a b c d e)
+      $ logs_term $ spec $ image_term "partitioned" $ cluster_bound_term
+      $ minimizer_term $ trace_term)
 
 (* ----- stats ----- *)
 
 let stats_cmd =
-  let analyze cache_bits nl =
+  let analyze cache_bits strategy cluster_bound nl =
     let buf = Buffer.create 1024 in
     let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     let man = Bdd.new_man ?cache_bits () in
     let sym = Fsm.Symbolic.of_netlist man nl in
-    let reached, st = Fsm.Reach.reachable sym in
+    let reached, st = Fsm.Reach.reachable ~strategy ?cluster_bound sym in
     out "%s\n" (Fsm.Netlist.stats nl);
     out "reachability: %.0f states in %d iterations, |R| = %d nodes\n\n"
       st.Fsm.Reach.reached_states st.Fsm.Reach.iterations
@@ -351,7 +369,8 @@ let stats_cmd =
       reclaimed s.Bdd.Stats.live_nodes;
     Buffer.contents buf
   in
-  let run specs cache_bits jobs trace =
+  let run specs cache_bits image cluster_bound jobs trace =
+    let strategy = resolve_image_strategy image in
     let loaded =
       List.fold_right
         (fun spec acc ->
@@ -370,7 +389,9 @@ let stats_cmd =
          [-j N] they proceed on a worker pool; the reports come back in
          argument order and the single-machine output is unchanged. *)
       let reports =
-        Exec.map ~jobs (fun (_, nl) -> analyze cache_bits nl) machines
+        Exec.map ~jobs
+          (fun (_, nl) -> analyze cache_bits strategy cluster_bound nl)
+          machines
       in
       (match reports with
        | [ one ] -> print_string one
@@ -397,17 +418,25 @@ let stats_cmd =
        ~doc:"Engine statistics (cache, GC, recursion counters) for a \
              reachability run")
     Term.(
-      const (fun () a b c d -> run a b c d)
-      $ logs_term $ specs $ cache_bits $ jobs_term $ trace_term)
+      const (fun () a b c d e f -> run a b c d e f)
+      $ logs_term $ specs $ cache_bits $ image_term "partitioned"
+      $ cluster_bound_term $ jobs_term $ trace_term)
 
 (* ----- tables ----- *)
 
 let tables_cmd =
-  let run quick out_dir max_calls jobs trace =
+  let run quick out_dir max_calls image cluster_bound jobs trace =
     let benches =
       if quick then Circuits.Registry.quick else Circuits.Registry.all
     in
-    let config = { Harness.Capture.default_config with max_calls } in
+    let image_strategy = resolve_image_strategy image in
+    let config =
+      { Harness.Capture.default_config with
+        max_calls;
+        image_strategy;
+        cluster_bound;
+      }
+    in
     let calls =
       with_trace trace @@ fun () ->
       Harness.Capture.run_suite ~config
@@ -454,17 +483,25 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables" ~doc:"Reproduce the paper's tables and figure")
     Term.(
-      const (fun () a b c d e -> run a b c d e)
-      $ logs_term $ quick $ out_dir $ max_calls $ jobs_term $ trace_term)
+      const (fun () a b c d e f g -> run a b c d e f g)
+      $ logs_term $ quick $ out_dir $ max_calls $ image_term "partitioned"
+      $ cluster_bound_term $ jobs_term $ trace_term)
 
 (* ----- bench: capture suite + machine-readable baseline ----- *)
 
 let bench_cmd =
-  let run quick max_calls jobs out trace =
+  let run quick max_calls image cluster_bound jobs out trace =
     let benches =
       if quick then Circuits.Registry.quick else Circuits.Registry.all
     in
-    let config = { Harness.Capture.default_config with max_calls } in
+    let image_strategy = resolve_image_strategy image in
+    let config =
+      { Harness.Capture.default_config with
+        max_calls;
+        image_strategy;
+        cluster_bound;
+      }
+    in
     Printf.eprintf "capturing %d machines (<=%d calls each, %d job%s)\n%!"
       (List.length benches) max_calls jobs (if jobs = 1 then "" else "s");
     let (calls, stats), dt =
@@ -475,6 +512,7 @@ let bench_cmd =
         ~jobs benches
     in
     Harness.Bench_json.write ~path:out ~jobs ~quick ~max_calls
+      ~image:(Fsm.Image.strategy_name image_strategy)
       ~benches:(List.length benches) ~capture_seconds:dt
       ~phases:[ ("capture", dt) ]
       ~names:(Harness.Capture.minimizer_names config)
@@ -507,13 +545,14 @@ let bench_cmd =
               machines (optionally on several worker domains; the \
               result data is byte-identical at any $(b,-j)) and writes \
               a machine-readable JSON baseline: schema \
-              $(b,bddmin-bench-engine/1) with per-minimizer size/time \
-              totals, capture wall time, and the summed engine \
-              counters of every benchmark manager.";
+              $(b,bddmin-bench-engine/2) with per-minimizer size/time \
+              totals, capture wall time, the image strategy, and the \
+              summed engine counters of every benchmark manager.";
          ])
     Term.(
-      const (fun () a b c d e -> run a b c d e)
-      $ logs_term $ quick $ max_calls $ jobs_term $ out $ trace_term)
+      const (fun () a b c d e f g -> run a b c d e f g)
+      $ logs_term $ quick $ max_calls $ image_term "partitioned"
+      $ cluster_bound_term $ jobs_term $ out $ trace_term)
 
 (* ----- profile ----- *)
 

@@ -56,6 +56,12 @@ type man = {
   terminal : node;
   top : t;                                        (* the [one] edge *)
   mutable made : int;                             (* nodes ever interned *)
+  (* interned integer arrays: sorted variable sets ("cubes") and
+     substitution signatures get a stable small id, so quantification and
+     composition can use the packed computed cache across calls *)
+  iarr_ids : (int array, int) Hashtbl.t;
+  mutable next_iarr : int;
+  cube_suffixes : (int, int array) Hashtbl.t;     (* cube id -> suffix ids *)
   (* external roots *)
   mutable var_edges : t option array;             (* projection functions *)
   refs : (int, node * int ref) Hashtbl.t;         (* node id -> refcount *)
@@ -68,6 +74,7 @@ type man = {
   mutable n_constrain : int;
   mutable n_restrict : int;
   mutable n_quantify : int;
+  mutable n_and_exists : int;
   mutable c_lookups : int;
   mutable c_hits : int;
   mutable c_stores : int;
@@ -119,6 +126,12 @@ let new_man ?(nvars = 0) ?(cache_bits = default_cache_bits)
     terminal;
     top = self;
     made = 0;
+    iarr_ids =
+      (let t = Hashtbl.create 64 in
+       Hashtbl.add t [||] 0;
+       t);
+    next_iarr = 1;
+    cube_suffixes = Hashtbl.create 64;
     var_edges = Array.make (max 16 nvars) None;
     refs = Hashtbl.create 64;
     auto_gc;
@@ -129,6 +142,7 @@ let new_man ?(nvars = 0) ?(cache_bits = default_cache_bits)
     n_constrain = 0;
     n_restrict = 0;
     n_quantify = 0;
+    n_and_exists = 0;
     c_lookups = 0;
     c_hits = 0;
     c_stores = 0;
@@ -400,6 +414,17 @@ let gc ?(roots = []) man =
 
 let set_auto_gc man b = man.auto_gc <- b
 
+(* Long fixpoint computations (symbolic traversal) hold their evolving
+   working set only on un-rooted OCaml edges; an automatic collection
+   armed by some long-lived root would sweep it every time the table
+   grows — costing canonicity of every in-flight set and flushing the
+   computed cache over and over.  Such loops suspend the trigger and
+   collect (or let the pending trigger fire) when they are done. *)
+let without_auto_gc man k =
+  let prev = man.auto_gc in
+  man.auto_gc <- false;
+  Fun.protect ~finally:(fun () -> man.auto_gc <- prev) k
+
 (* Collection only ever runs at operation boundaries: recursions in flight
    hold un-rooted intermediate edges on the OCaml stack, and sweeping them
    would cost canonicity (never correctness, but still). *)
@@ -416,8 +441,12 @@ let tag_constrain = 1
 let tag_restrict = 2
 let tag_and = 3
 let tag_xor = 4
+let tag_exists = 5
+let tag_forall = 6
+let tag_and_exists = 7
+let tag_compose = 8
 
-let pack_tag tag u = (u lsl 3) lor tag
+let pack_tag tag u = (u lsl 4) lor tag
 
 (* Specialized binary kernels.  AND and XOR recurse directly with their
    own terminal rules and a tagged two-operand cache key instead of
@@ -574,92 +603,132 @@ let cofactor man f ~var phase =
   in
   go f
 
+(* ----- Interned integer arrays (variable sets, substitution keys) ----- *)
+
+(* Sorted int arrays get a stable small id.  Quantification and
+   composition key the packed computed cache on these ids, so their
+   results survive across calls — a reachability run asks for the same
+   variable sets hundreds of times.  Ids are never reused; the table is
+   tiny (one entry per distinct set, not per BDD node). *)
+let intern_iarr man a =
+  match Hashtbl.find_opt man.iarr_ids a with
+  | Some id -> id
+  | None ->
+    let id = man.next_iarr in
+    man.next_iarr <- id + 1;
+    Hashtbl.add man.iarr_ids (Array.copy a) id;
+    id
+
+(* A quantification cube is the sorted deduplicated variable set plus the
+   ids of all its suffixes: the recursion over [vars.(i..)] memoizes under
+   the id of exactly the suffix it still has to quantify, so partial
+   results are shared with any later call whose cube has the same tail. *)
+let cube_of_list man vars =
+  let vars = Array.of_list (List.sort_uniq compare vars) in
+  let id = intern_iarr man vars in
+  let suffix =
+    match Hashtbl.find_opt man.cube_suffixes id with
+    | Some s -> s
+    | None ->
+      let n = Array.length vars in
+      let s = Array.make (n + 1) 0 in
+      for i = n - 1 downto 0 do
+        s.(i) <- intern_iarr man (Array.sub vars i (n - i))
+      done;
+      Hashtbl.add man.cube_suffixes id s;
+      s
+  in
+  (vars, suffix)
+
+let cube_id man vars =
+  let _, suffix = cube_of_list man vars in
+  suffix.(0)
+
+let interned_sets man = man.next_iarr
+
 (* ----- Quantification ----- *)
 
-(* The variable list becomes a sorted array and the recursion carries an
-   index into it, so the memo key is an O(1) integer pair instead of the
-   former [List.length vars] recount on every probe. *)
-let quantify man combine vars f =
-  maybe_gc man;
-  let vars = Array.of_list (List.sort_uniq compare vars) in
+(* The recursion carries an index into the sorted variable array; the
+   cache key is (tag, uid f, id of the unquantified suffix), all packed
+   ints, stored in the manager's bounded computed cache so results
+   persist across calls.  [combine] must be the recursion-level kernel
+   ([or_rec]/[and_rec]), not the public entry points: those run
+   [maybe_gc], and a collection mid-recursion would sweep un-rooted
+   intermediates. *)
+let quantify_rec man tag combine vars suffix i0 f0 =
   let nv = Array.length vars in
-  let memo = Hashtbl.create 64 in
   let rec go i f =
     if i >= nv then f
     else if is_const f then f
     else if topvar f > vars.(i) then go (i + 1) f
     else
-      let key = (uid f, i) in
-      match Hashtbl.find_opt memo key with
+      let k0 = pack_tag tag (uid f) and k1 = suffix.(i) in
+      match cache_find man k0 k1 0 with
       | Some r -> r
       | None ->
         man.n_quantify <- man.n_quantify + 1;
         let i' = if topvar f = vars.(i) then i + 1 else i in
         let t = go i' (hi f) and e = go i' (lo f) in
         let r =
-          if topvar f = vars.(i) then combine t e
+          if topvar f = vars.(i) then combine man t e
           else mk man (topvar f) ~hi:t ~lo:e
         in
-        Hashtbl.add memo key r;
+        cache_store man k0 k1 0 r;
         r
   in
-  go 0 f
+  go i0 f0
 
-let exists man vars f = quantify man (dor man) vars f
-let forall man vars f = quantify man (dand man) vars f
+let exists man vars f =
+  maybe_gc man;
+  let vars, suffix = cube_of_list man vars in
+  quantify_rec man tag_exists or_rec vars suffix 0 f
+
+let forall man vars f =
+  maybe_gc man;
+  let vars, suffix = cube_of_list man vars in
+  quantify_rec man tag_forall and_rec vars suffix 0 f
 
 let and_exists man vars f g =
   maybe_gc man;
-  let vars = Array.of_list (List.sort_uniq compare vars) in
+  let vars, suffix = cube_of_list man vars in
   let nv = Array.length vars in
-  let memo = Hashtbl.create 256 in
   let rec go i f g =
     if is_zero f || is_zero g then zero man
     else if is_one f && is_one g then one man
-    else if i >= nv then dand man f g
+    else if i >= nv then and_rec man f g
+    else if is_one f then quantify_rec man tag_exists or_rec vars suffix i g
+    else if is_one g then quantify_rec man tag_exists or_rec vars suffix i f
     else
-      let tf = topvar f and tg = topvar g in
-      let top = min tf tg in
+      let top = min (topvar f) (topvar g) in
       if top > vars.(i) then go (i + 1) f g
-      else
-        let key = (uid f, uid g, i) in
-        match Hashtbl.find_opt memo key with
+      else begin
+        (* conjunction is commutative: canonical operand order *)
+        let f, g = if uid f <= uid g then (f, g) else (g, f) in
+        let k0 = pack_tag tag_and_exists (uid f)
+        and k1 = uid g
+        and k2 = suffix.(i) in
+        match cache_find man k0 k1 k2 with
         | Some r -> r
         | None ->
-          man.n_quantify <- man.n_quantify + 1;
+          man.n_and_exists <- man.n_and_exists + 1;
           let ft, fe = branches f top and gt, ge = branches g top in
           let i' = if top = vars.(i) then i + 1 else i in
           let r =
-            if top = vars.(i) then dor man (go i' ft gt) (go i' fe ge)
+            if top = vars.(i) then or_rec man (go i' ft gt) (go i' fe ge)
             else mk man top ~hi:(go i' ft gt) ~lo:(go i' fe ge)
           in
-          Hashtbl.add memo key r;
+          cache_store man k0 k1 k2 r;
           r
+      end
   in
   go 0 f g
 
 (* ----- Composition ----- *)
 
-let compose man f ~var g =
-  maybe_gc man;
-  let memo = Hashtbl.create 64 in
-  let rec go f =
-    if topvar f > var then f
-    else
-      match Hashtbl.find_opt memo (uid f) with
-      | Some r -> r
-      | None ->
-        let r =
-          if topvar f = var then ite_norm man g (hi f) (lo f)
-          else
-            (* [g] may reach above this level, so rebuild with ITE. *)
-            ite_norm man (ithvar man (topvar f)) (go (hi f)) (go (lo f))
-        in
-        Hashtbl.add memo (uid f) r;
-        r
-  in
-  go f
-
+(* One cache for every substitution shape: the (variable, uid of
+   replacement) pairs flatten to a sorted signature interned like a cube,
+   and the key is (tag, uid f, signature id).  Later duplicate bindings
+   for a variable win, as documented. *)
 let vector_compose man f subs =
   match subs with
   | [] -> f
@@ -667,12 +736,24 @@ let vector_compose man f subs =
     maybe_gc man;
     let table = Hashtbl.create 16 in
     List.iter (fun (v, g) -> Hashtbl.replace table v g) subs;
-    let last = List.fold_left (fun acc (v, _) -> max acc v) 0 subs in
-    let memo = Hashtbl.create 64 in
+    let bindings =
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold (fun v g acc -> (v, g) :: acc) table [])
+    in
+    let sig_arr = Array.make (2 * List.length bindings) 0 in
+    List.iteri
+      (fun k (v, g) ->
+         sig_arr.(2 * k) <- v;
+         sig_arr.((2 * k) + 1) <- uid g)
+      bindings;
+    let sid = intern_iarr man sig_arr in
+    let last = List.fold_left (fun acc (v, _) -> max acc v) 0 bindings in
     let rec go f =
       if topvar f > last then f
       else
-        match Hashtbl.find_opt memo (uid f) with
+        let k0 = pack_tag tag_compose (uid f) in
+        match cache_find man k0 sid 0 with
         | Some r -> r
         | None ->
           let v = topvar f in
@@ -682,10 +763,12 @@ let vector_compose man f subs =
             | None -> ithvar man v
           in
           let r = ite_norm man test (go (hi f)) (go (lo f)) in
-          Hashtbl.add memo (uid f) r;
+          cache_store man k0 sid 0 r;
           r
     in
     go f
+
+let compose man f ~var g = vector_compose man f [ (var, g) ]
 
 let rename man f pairs =
   vector_compose man f (List.map (fun (a, b) -> (a, ithvar man b)) pairs)
@@ -798,13 +881,18 @@ let sat_count man f ~nvars =
      the target space has at least as many dimensions as the support.
      With fewer, the scaled density is a fractional undercount, so that
      case is an error rather than a silently wrong answer. *)
-  let support_size = List.length (support man f) in
-  if nvars < support_size then
-    invalid_arg
-      (Printf.sprintf
-         "Core_dd.sat_count: nvars = %d but the function depends on %d \
-          variables"
-         nvars support_size);
+  (* The support is a subset of the manager's variables, so when [nvars]
+     covers them all the arity check is vacuous and the support walk —
+     a full traversal of [f] — can be skipped. *)
+  if nvars < man.vars then begin
+    let support_size = List.length (support man f) in
+    if nvars < support_size then
+      invalid_arg
+        (Printf.sprintf
+           "Core_dd.sat_count: nvars = %d but the function depends on %d \
+            variables"
+           nvars support_size)
+  end;
   let memo = Hashtbl.create 64 in
   let rec density e =
     if is_one e then 1.0
@@ -851,6 +939,8 @@ module Stats = struct
     constrain_recursions : int;
     restrict_recursions : int;
     quantify_recursions : int;
+    and_exists_recursions : int;
+    interned_cubes : int;
     gc_runs : int;
     gc_reclaimed : int;
   }
@@ -868,7 +958,8 @@ module Stats = struct
        computed cache  : %d/%d entries@,\
        cache traffic   : %d lookups, %d hits (%.1f%%), %d stores, %d evictions@,\
        recursions      : ite %d, and %d, xor %d, constrain %d, restrict %d, \
-       quantify %d@,\
+       quantify %d, and-exists %d@,\
+       interned cubes  : %d@,\
        garbage collect : %d runs, %d nodes reclaimed@]"
       s.vars s.live_nodes s.peak_live_nodes s.interned_total s.unique_capacity
       s.external_refs s.cache_entries s.cache_capacity s.cache_lookups
@@ -876,7 +967,8 @@ module Stats = struct
       (100.0 *. hit_rate s)
       s.cache_stores s.cache_evictions s.ite_recursions s.and_recursions
       s.xor_recursions s.constrain_recursions
-      s.restrict_recursions s.quantify_recursions s.gc_runs s.gc_reclaimed
+      s.restrict_recursions s.quantify_recursions s.and_exists_recursions
+      s.interned_cubes s.gc_runs s.gc_reclaimed
 
   let to_string s = Format.asprintf "%a" pp s
 end
@@ -901,6 +993,8 @@ let snapshot man : Stats.t =
     constrain_recursions = man.n_constrain;
     restrict_recursions = man.n_restrict;
     quantify_recursions = man.n_quantify;
+    and_exists_recursions = man.n_and_exists;
+    interned_cubes = man.next_iarr;
     gc_runs = man.gc_runs;
     gc_reclaimed = man.gc_nodes;
   }

@@ -86,6 +86,13 @@ val gc : ?roots:t list -> man -> int
 val set_auto_gc : man -> bool -> unit
 (** Enable or disable the automatic collection trigger (see {!new_man}). *)
 
+val without_auto_gc : man -> (unit -> 'a) -> 'a
+(** Run with the automatic trigger suspended, restoring it on exit (also
+    on exceptions).  For long fixpoint loops whose working set lives on
+    un-rooted edges: an automatic collection would sweep the in-flight
+    sets (costing canonicity and the computed cache) every time the
+    table grows past a long-lived root. *)
+
 (** {1 Engine events}
 
     Rare structural events — garbage collections and computed-cache
@@ -128,7 +135,12 @@ module Stats : sig
     xor_recursions : int;  (** cache-missing XOR-kernel steps *)
     constrain_recursions : int;
     restrict_recursions : int;
-    quantify_recursions : int;
+    quantify_recursions : int;  (** cache-missing exists/forall steps *)
+    and_exists_recursions : int;
+    (** cache-missing fused conjoin-and-quantify steps *)
+    interned_cubes : int;
+    (** interned variable sets and substitution signatures (see
+        {!cube_id}); the empty set is always present *)
     gc_runs : int;
     gc_reclaimed : int;  (** nodes swept over all runs *)
   }
@@ -241,15 +253,32 @@ val cofactor : man -> t -> var:int -> bool -> t
 (** Shannon cofactor of [f] with respect to variable [var] set to the given
     phase (works for any position of [var] in the order). *)
 
+val cube_id : man -> int list -> int
+(** Stable identifier of the sorted, deduplicated variable set, interned
+    in the manager's cube table.  Two lists denoting the same set get the
+    same id; quantification keys its computed-cache entries on these ids,
+    so results persist across calls that quantify the same set.  Mostly
+    useful for tests and diagnostics. *)
+
+val interned_sets : man -> int
+(** Number of interned variable sets / substitution signatures, the empty
+    set included (equals {!Stats.t.interned_cubes}). *)
+
 val exists : man -> int list -> t -> t
-(** Existential quantification over the listed variables. *)
+(** Existential quantification over the listed variables.  Results are
+    memoized in the manager's computed cache keyed by the interned
+    variable-set suffix still to quantify, so repeated quantifications of
+    the same set (reachability images) hit across calls. *)
 
 val forall : man -> int list -> t -> t
-(** Universal quantification over the listed variables. *)
+(** Universal quantification over the listed variables (memoized like
+    {!exists}). *)
 
 val and_exists : man -> int list -> t -> t -> t
 (** [and_exists man vars f g = ∃ vars. f·g], computed without building the
-    full conjunction first (the image-computation workhorse). *)
+    full conjunction first (the image-computation workhorse).  Operands
+    are canonicalized by commutativity and results persist in the
+    computed cache like {!exists}. *)
 
 val compose : man -> t -> var:int -> t -> t
 (** [compose man f ~var g] substitutes function [g] for variable [var]
@@ -257,7 +286,11 @@ val compose : man -> t -> var:int -> t -> t
 
 val vector_compose : man -> t -> (int * t) list -> t
 (** Simultaneous substitution of several variables (the substituted
-    functions see the original variable values). *)
+    functions see the original variable values).  When a variable is
+    bound more than once, the last binding wins.  The substitution is
+    interned as a signature so results persist in the computed cache
+    across calls — renaming with the same pairs every image is a cache
+    hit. *)
 
 val rename : man -> t -> (int * int) list -> t
 (** [rename man f pairs] renames variable [a] to [b] for each [(a, b)];

@@ -72,13 +72,13 @@ let product nl1 nl2 =
   Netlist.output b "neq" (Netlist.or_list b diffs);
   Netlist.finalize b
 
-let check ?strategy ?minimize ?max_iterations ?on_instance
+let check ?strategy ?cluster_bound ?minimize ?max_iterations ?on_instance
     ?on_image_constrain man nl1 nl2 =
   let prod = product nl1 nl2 in
   let sym = Symbolic.of_netlist man prod in
   let reached, stats =
-    Reach.reachable ?strategy ?minimize ?max_iterations ?on_instance
-      ?on_image_constrain sym
+    Reach.reachable ?strategy ?cluster_bound ?minimize ?max_iterations
+      ?on_instance ?on_image_constrain sym
   in
   let neq = List.assoc "neq" sym.output_fns in
   let bad_states = Bdd.exists man (Symbolic.input_support sym) neq in
@@ -89,10 +89,10 @@ let check ?strategy ?minimize ?max_iterations ?on_instance
     | Some cube -> Not_equivalent { stats; distinguishing_state = cube }
     | None -> assert false
 
-let check_self ?strategy ?minimize ?max_iterations ?on_instance
+let check_self ?strategy ?cluster_bound ?minimize ?max_iterations ?on_instance
     ?on_image_constrain man nl =
-  check ?strategy ?minimize ?max_iterations ?on_instance ?on_image_constrain
-    man nl nl
+  check ?strategy ?cluster_bound ?minimize ?max_iterations ?on_instance
+    ?on_image_constrain man nl nl
 
 (* ----- counterexample traces ----- *)
 

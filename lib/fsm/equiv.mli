@@ -21,6 +21,7 @@ val product : Netlist.t -> Netlist.t -> Netlist.t
 
 val check :
   ?strategy:Image.strategy ->
+  ?cluster_bound:int ->
   ?minimize:Reach.minimizer ->
   ?max_iterations:int ->
   ?on_instance:(iteration:int -> Minimize.Ispec.t -> unit) ->
@@ -49,6 +50,7 @@ val counterexample_trace :
 
 val check_self :
   ?strategy:Image.strategy ->
+  ?cluster_bound:int ->
   ?minimize:Reach.minimizer ->
   ?max_iterations:int ->
   ?on_instance:(iteration:int -> Minimize.Ispec.t -> unit) ->

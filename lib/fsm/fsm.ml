@@ -5,6 +5,7 @@
 module Netlist = Netlist
 module Blif = Blif
 module Symbolic = Symbolic
+module Qsched = Qsched
 module Image = Image
 module Reach = Reach
 module Equiv = Equiv

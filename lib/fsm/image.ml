@@ -1,9 +1,17 @@
-type strategy = Monolithic | Partitioned | Range
+type strategy = Monolithic | Partitioned | Clustered | Range
 
 let strategy_name = function
   | Monolithic -> "monolithic"
   | Partitioned -> "partitioned"
+  | Clustered -> "clustered"
   | Range -> "range"
+
+let strategy_of_name = function
+  | "monolithic" -> Some Monolithic
+  | "partitioned" -> Some Partitioned
+  | "clustered" -> Some Clustered
+  | "range" -> Some Range
+  | _ -> None
 
 let image_monolithic (sym : Symbolic.t) s =
   let man = sym.man in
@@ -12,33 +20,31 @@ let image_monolithic (sym : Symbolic.t) s =
   let img_next = Bdd.and_exists man quantified t s in
   Bdd.rename man img_next (Symbolic.next_to_current sym)
 
-(* Conjoin per-latch conjuncts into the accumulated product, existentially
-   quantifying each current-state/input variable as soon as no remaining
-   conjunct mentions it. *)
-let image_partitioned (sym : Symbolic.t) s =
+(* Conjoin clusters into the accumulated product in schedule order,
+   existentially quantifying each current-state/input variable at its
+   last occurrence via the fused [and_exists] kernel.  The schedule —
+   clusters, supports, per-cluster quantification lists — is memoized in
+   the machine, so a call does no support recomputation at all. *)
+let image_scheduled ?cluster_bound (sym : Symbolic.t) s =
   let man = sym.man in
-  let parts = Array.to_list (Symbolic.partitioned_relation sym) in
-  let to_quantify =
-    List.sort_uniq compare
-      (Symbolic.state_support sym @ Symbolic.input_support sym)
+  let sched = Symbolic.schedule ?cluster_bound sym in
+  let acc =
+    match sched.Qsched.pre_quantify with
+    | [] -> s
+    | vars -> Bdd.exists man vars s
   in
-  let rec go acc pending vars =
-    match pending with
-    | [] -> Bdd.exists man vars acc
-    | part :: rest ->
-      let rest_supports =
-        List.concat_map (fun p -> Bdd.support man p) rest
-      in
-      let dead, alive =
-        List.partition
-          (fun v -> not (List.mem v rest_supports))
-          vars
-      in
-      let acc = Bdd.and_exists man dead acc part in
-      go acc rest alive
+  let img_next =
+    Array.fold_left
+      (fun acc (c : Qsched.cluster) ->
+         Bdd.and_exists man c.Qsched.quantify acc c.Qsched.rel)
+      acc sched.Qsched.clusters
   in
-  let img_next = go s parts to_quantify in
   Bdd.rename man img_next (Symbolic.next_to_current sym)
+
+(* A cluster bound of 1 keeps every per-latch conjunct separate: the
+   historical partitioned strategy, now driven by the same schedule. *)
+let image_partitioned sym s = image_scheduled ~cluster_bound:1 sym s
+let image_clustered ?cluster_bound sym s = image_scheduled ?cluster_bound sym s
 
 (* Coudert–Madre range computation: the image of S under the function
    vector δ is the range of the vector (δ_j constrained by S).  Recursive
@@ -79,7 +85,7 @@ let image_by_range ?(on_constrain = fun _ -> ()) (sym : Symbolic.t) s =
     range constrained vars
   end
 
-let image ?(strategy = Partitioned) ?on_constrain sym s =
+let image ?(strategy = Partitioned) ?cluster_bound ?on_constrain sym s =
   Obs.Trace.with_span "fsm.image"
     ~attrs:[ ("strategy", Obs.Trace.Str (strategy_name strategy)) ]
   @@ fun sp ->
@@ -87,6 +93,7 @@ let image ?(strategy = Partitioned) ?on_constrain sym s =
     match strategy with
     | Monolithic -> image_monolithic sym s
     | Partitioned -> image_partitioned sym s
+    | Clustered -> image_clustered ?cluster_bound sym s
     | Range -> image_by_range ?on_constrain sym s
   in
   if Obs.Trace.enabled () then begin

@@ -1,0 +1,44 @@
+(** Quantification scheduling for partitioned image computation.
+
+    Following the IWLS95 technique of Ranjan et al., the per-latch
+    conjuncts of a partitioned transition relation are merged into
+    {e clusters} under a node-count bound and ordered so that
+    current-state and input variables can be existentially quantified as
+    early as possible during the conjoin-and-quantify image walk — each
+    variable at the cluster of its last occurrence, which is the earliest
+    exact point.  A schedule depends only on the machine (never on the
+    state set being imaged), so [Symbolic.t] computes it once and
+    memoizes it. *)
+
+type cluster = {
+  rel : Bdd.t;  (** conjunction of the merged per-latch conjuncts *)
+  support : int list;  (** [Bdd.support] of [rel], increasing *)
+  quantify : int list;
+  (** quantifiable variables whose last occurrence is this cluster:
+      abstracted by the fused [and_exists] that conjoins [rel] *)
+}
+
+type t = {
+  clusters : cluster array;  (** in execution order *)
+  pre_quantify : int list;
+  (** quantifiable variables no cluster mentions — abstracted from the
+      state set before the walk *)
+  cluster_bound : int;  (** the bound the schedule was built under *)
+  vars_early : int;
+  (** variables quantified strictly before the last cluster,
+      [pre_quantify] included — the benefit the ordering bought *)
+}
+
+val default_cluster_bound : int
+(** Node-count bound used when callers don't specify one (2000). *)
+
+val build :
+  Bdd.man -> parts:Bdd.t array -> quantified:int list -> cluster_bound:int -> t
+(** Cluster [parts] (in order, merging neighbours while the product stays
+    within [cluster_bound] nodes; a bound [<= 1] keeps every conjunct
+    separate, which is exactly the partitioned strategy), then order the
+    clusters greedily: highest [2·dead − fresh] first, where [dead] counts
+    quantifiable variables occurring in no other remaining cluster and
+    [fresh] counts variables new to the accumulated product.  Ties break
+    on the lowest original index, so the schedule is deterministic.
+    Emits an [fsm.qsched] trace span and [qsched.*] probes. *)

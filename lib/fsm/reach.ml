@@ -17,7 +17,8 @@ let constrain_minimizer man (s : Minimize.Ispec.t) =
 
 let no_minimizer _man (s : Minimize.Ispec.t) = s.Minimize.Ispec.f
 
-let reachable ?strategy ?(minimize = constrain_minimizer)
+let reachable ?strategy ?cluster_bound ?(node_stats = false)
+    ?(minimize = constrain_minimizer)
     ?(max_iterations = max_int) ?(on_instance = fun ~iteration:_ _ -> ())
     ?(on_image_constrain = fun ~iteration:_ _ -> ()) (sym : Symbolic.t) =
   let man = sym.man in
@@ -25,13 +26,20 @@ let reachable ?strategy ?(minimize = constrain_minimizer)
   let calls = ref 0 in
   let peak_frontier = ref 0 in
   let peak_reached = ref 0 in
+  let debug_on =
+    match Logs.Src.level src with Some Logs.Debug -> true | _ -> false
+  in
   let rec go iteration reached frontier =
     if Bdd.is_zero frontier then (reached, iteration)
     else if iteration >= max_iterations then
       failwith "Reach.reachable: max_iterations exceeded"
     else begin
-      let frontier_nodes = Bdd.size man frontier in
-      let reached_nodes = Bdd.size man reached in
+      (* Node counts cost a full traversal of both sets every iteration;
+         only pay for them when someone is looking (opt-in peak stats,
+         tracing, or debug logging). *)
+      let want_sizes = node_stats || debug_on || Obs.Trace.enabled () in
+      let frontier_nodes = if want_sizes then Bdd.size man frontier else 0 in
+      let reached_nodes = if want_sizes then Bdd.size man reached else 0 in
       peak_frontier := max !peak_frontier frontier_nodes;
       peak_reached := max !peak_reached reached_nodes;
       Log.debug (fun m ->
@@ -61,7 +69,7 @@ let reachable ?strategy ?(minimize = constrain_minimizer)
              on_image_constrain ~iteration
                (Minimize.Ispec.make ~f:delta ~c:chosen))
           sym.next_fns;
-        let successors = Image.image ?strategy sym chosen in
+        let successors = Image.image ?strategy ?cluster_bound sym chosen in
         let frontier' = Bdd.diff man successors reached in
         let reached' = Bdd.dor man reached successors in
         if Obs.Trace.enabled () then begin
@@ -75,7 +83,14 @@ let reachable ?strategy ?(minimize = constrain_minimizer)
       go (iteration + 1) reached' frontier'
     end
   in
-  let reached, iterations = go 0 sym.init sym.init in
+  (* The evolving reached/frontier sets live on un-rooted edges, while
+     the machine's memoized relations hold long-lived roots; suspend the
+     automatic GC trigger for the fixpoint or every unique-table growth
+     would sweep the working set (and the now-persistent quantification
+     cache entries with it). *)
+  let reached, iterations =
+    Bdd.without_auto_gc man @@ fun () -> go 0 sym.init sym.init
+  in
   Obs.Trace.add reach_sp "iterations" (Obs.Trace.Int iterations);
   Obs.Trace.add reach_sp "peak_frontier_nodes" (Obs.Trace.Int !peak_frontier);
   Obs.Trace.add reach_sp "peak_reached_nodes" (Obs.Trace.Int !peak_reached);

@@ -11,7 +11,9 @@ type stats = {
   iterations : int;
   reached_states : float;  (** satisfying assignments of the final [R] *)
   peak_frontier_nodes : int;
-  peak_reached_nodes : int;
+  (** 0 unless node statistics were collected — pass [~node_stats:true],
+      enable tracing, or set the [bddmin.reach] log source to debug *)
+  peak_reached_nodes : int;  (** likewise *)
   minimization_calls : int;
 }
 
@@ -25,6 +27,8 @@ val no_minimizer : minimizer
 
 val reachable :
   ?strategy:Image.strategy ->
+  ?cluster_bound:int ->
+  ?node_stats:bool ->
   ?minimize:minimizer ->
   ?max_iterations:int ->
   ?on_instance:(iteration:int -> Minimize.Ispec.t -> unit) ->
@@ -33,9 +37,13 @@ val reachable :
   Bdd.t * stats
 (** Fixed-point reachability from the initial state.  The returned set is
     exact (independent of the minimizer — any cover contains the frontier
-    and only adds already-reached states).  [on_image_constrain] observes
-    the vector-cofactor instances [[δ_j; S]] that a constrain-based image
-    computation hands to [constrain] (emitted for every strategy, so
-    interception does not force the exponential-prone {!Image.Range}
-    recursion).
+    and only adds already-reached states).  [cluster_bound] tunes the
+    {!Image.Clustered} strategy.  [node_stats] (default [false]) opts in
+    to the per-iteration frontier/reached node counts behind the peak
+    statistics — a full traversal of both sets per iteration, otherwise
+    skipped unless tracing or debug logging already wants them.
+    [on_image_constrain] observes the vector-cofactor instances
+    [[δ_j; S]] that a constrain-based image computation hands to
+    [constrain] (emitted for every strategy, so interception does not
+    force the exponential-prone {!Image.Range} recursion).
     @raise Failure if [max_iterations] (default unlimited) is exceeded. *)

@@ -9,6 +9,10 @@ type t = {
   next_fns : Bdd.t array;
   output_fns : (string * Bdd.t) list;
   init : Bdd.t;
+  (* memoized derived structures, rooted against GC on first use *)
+  mutable rel_parts : Bdd.t array option;
+  mutable rel_mono : Bdd.t option;
+  mutable qsched : (int * Qsched.t) option;     (* (cluster bound, schedule) *)
 }
 
 (* First-visit order of latches in a DFS through the next-state logic:
@@ -132,19 +136,62 @@ let of_netlist ?(ordering = Interleaved) man nl =
       (List.mapi (fun j l -> (j, l)) lats)
   in
   { man; netlist = nl; state_vars; next_vars; input_vars; next_fns;
-    output_fns; init }
+    output_fns; init; rel_parts = None; rel_mono = None; qsched = None }
 
 let state_support t = Array.to_list t.state_vars
 let input_support t = List.map snd t.input_vars
 
+(* The derived relation structures are machine constants, but image
+   computation used to rebuild them on every call.  They are built on
+   first use, rooted (auto-GC would otherwise sweep them between
+   images), and cached in the record. *)
 let partitioned_relation t =
-  Array.mapi
-    (fun j delta ->
-       Bdd.dxnor t.man (Bdd.ithvar t.man t.next_vars.(j)) delta)
-    t.next_fns
+  match t.rel_parts with
+  | Some parts -> parts
+  | None ->
+    let parts =
+      Array.mapi
+        (fun j delta ->
+           Bdd.dxnor t.man (Bdd.ithvar t.man t.next_vars.(j)) delta)
+        t.next_fns
+    in
+    Array.iter (Bdd.ref_ t.man) parts;
+    t.rel_parts <- Some parts;
+    parts
 
 let transition_relation t =
-  Array.fold_left (Bdd.dand t.man) (Bdd.one t.man) (partitioned_relation t)
+  match t.rel_mono with
+  | Some rel -> rel
+  | None ->
+    let rel =
+      Array.fold_left (Bdd.dand t.man) (Bdd.one t.man)
+        (partitioned_relation t)
+    in
+    Bdd.ref_ t.man rel;
+    t.rel_mono <- Some rel;
+    rel
+
+let schedule ?(cluster_bound = Qsched.default_cluster_bound) t =
+  match t.qsched with
+  | Some (bound, sched) when bound = cluster_bound -> sched
+  | prev ->
+    let sched =
+      Qsched.build t.man
+        ~parts:(partitioned_relation t)
+        ~quantified:(state_support t @ input_support t)
+        ~cluster_bound
+    in
+    Array.iter
+      (fun (c : Qsched.cluster) -> Bdd.ref_ t.man c.Qsched.rel)
+      sched.Qsched.clusters;
+    (match prev with
+     | Some (_, old) ->
+       Array.iter
+         (fun (c : Qsched.cluster) -> Bdd.deref t.man c.Qsched.rel)
+         old.Qsched.clusters
+     | None -> ());
+    t.qsched <- Some (cluster_bound, sched);
+    sched
 
 let next_to_current t =
   Array.to_list (Array.mapi (fun j y -> (y, t.state_vars.(j))) t.next_vars)
@@ -163,6 +210,10 @@ let restrict_to_care_states t ~care ~minimize =
     t with
     next_fns = Array.map shrink t.next_fns;
     output_fns = List.map (fun (n, g) -> (n, shrink g)) t.output_fns;
+    (* the memoized relations describe the old next-state functions *)
+    rel_parts = None;
+    rel_mono = None;
+    qsched = None;
   }
 
 let shared_node_count t =

@@ -27,6 +27,13 @@ type t = {
   next_fns : Bdd.t array;  (** [δ_j (x, i)] *)
   output_fns : (string * Bdd.t) list;  (** [λ (x, i)] *)
   init : Bdd.t;  (** characteristic function of the initial state *)
+  mutable rel_parts : Bdd.t array option;
+  (** memoized {!partitioned_relation} (rooted); don't touch directly *)
+  mutable rel_mono : Bdd.t option;
+  (** memoized {!transition_relation} (rooted); don't touch directly *)
+  mutable qsched : (int * Qsched.t) option;
+  (** memoized {!schedule} with the cluster bound it was built under;
+      don't touch directly *)
 }
 
 val of_netlist : ?ordering:ordering -> Bdd.man -> Netlist.t -> t
@@ -40,10 +47,19 @@ val state_support : t -> int list
 val input_support : t -> int list
 
 val transition_relation : t -> Bdd.t
-(** Monolithic [T(x, i, x') = ∏_j (x'_j ⟺ δ_j(x, i))]. *)
+(** Monolithic [T(x, i, x') = ∏_j (x'_j ⟺ δ_j(x, i))].  Built on first
+    use, rooted against GC and memoized in the record — repeated calls
+    (one per image, formerly) are free. *)
 
 val partitioned_relation : t -> Bdd.t array
-(** The per-latch conjuncts of {!transition_relation}. *)
+(** The per-latch conjuncts of {!transition_relation}; memoized and
+    rooted like it.  Callers must not mutate the returned array. *)
+
+val schedule : ?cluster_bound:int -> t -> Qsched.t
+(** The machine's quantification schedule (see {!Qsched}), built once
+    per cluster bound (default {!Qsched.default_cluster_bound}) and
+    memoized; asking for a different bound rebuilds and replaces the
+    memo. *)
 
 val next_to_current : t -> (int * int) list
 (** Renaming pairs [x'_j → x_j]. *)

@@ -16,8 +16,8 @@ let escape s =
 
 let num f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
 
-let render ~jobs ~quick ~max_calls ~benches ~capture_seconds ~phases ~names
-    ~(engine : Bdd.Stats.t) (calls : Capture.call list) =
+let render ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds ~phases
+    ~names ~(engine : Bdd.Stats.t) (calls : Capture.call list) =
   let minimizer_rows =
     List.map
       (fun name ->
@@ -62,7 +62,8 @@ let render ~jobs ~quick ~max_calls ~benches ~capture_seconds ~phases ~names
        \"cache_stores\":%d,\"cache_evictions\":%d,\"ite_recursions\":%d,\
        \"and_recursions\":%d,\"xor_recursions\":%d,\
        \"constrain_recursions\":%d,\"restrict_recursions\":%d,\
-       \"quantify_recursions\":%d,\"gc_runs\":%d,\"gc_reclaimed\":%d}"
+       \"quantify_recursions\":%d,\"and_exists_recursions\":%d,\
+       \"interned_cubes\":%d,\"gc_runs\":%d,\"gc_reclaimed\":%d}"
       s.Bdd.Stats.live_nodes s.Bdd.Stats.peak_live_nodes
       s.Bdd.Stats.interned_total s.Bdd.Stats.unique_capacity
       s.Bdd.Stats.cache_entries s.Bdd.Stats.cache_capacity
@@ -72,29 +73,32 @@ let render ~jobs ~quick ~max_calls ~benches ~capture_seconds ~phases ~names
       s.Bdd.Stats.ite_recursions s.Bdd.Stats.and_recursions
       s.Bdd.Stats.xor_recursions s.Bdd.Stats.constrain_recursions
       s.Bdd.Stats.restrict_recursions s.Bdd.Stats.quantify_recursions
+      s.Bdd.Stats.and_exists_recursions s.Bdd.Stats.interned_cubes
       s.Bdd.Stats.gc_runs s.Bdd.Stats.gc_reclaimed
   in
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"bddmin-bench-engine/1\",\n\
+    \  \"schema\": \"bddmin-bench-engine/2\",\n\
     \  \"jobs\": %d,\n\
     \  \"quick\": %b,\n\
     \  \"max_calls\": %d,\n\
+    \  \"image\": \"%s\",\n\
     \  \"suite\": {\"benches\": %d, \"calls\": %d, \"capture_seconds\": %s},\n\
     \  \"phases\": [%s],\n\
     \  \"minimizers\": [%s],\n\
     \  \"engine\": %s\n\
      }\n"
-    jobs quick max_calls benches (List.length calls) (num capture_seconds)
+    jobs quick max_calls (escape image) benches (List.length calls)
+    (num capture_seconds)
     (String.concat ", " phase_rows)
     (String.concat ", " minimizer_rows)
     engine_row
 
-let write ~path ~jobs ~quick ~max_calls ~benches ~capture_seconds ~phases
-    ~names ~engine calls =
+let write ~path ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds
+    ~phases ~names ~engine calls =
   let doc =
-    render ~jobs ~quick ~max_calls ~benches ~capture_seconds ~phases ~names
-      ~engine calls
+    render ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds ~phases
+      ~names ~engine calls
   in
   let oc = open_out path in
   output_string oc doc;

@@ -1,18 +1,22 @@
 (** The machine-readable benchmark baseline ([BENCH_engine.json]).
 
-    One JSON document per benchmark run, schema ["bddmin-bench-engine/1"],
+    One JSON document per benchmark run, schema ["bddmin-bench-engine/2"],
     with every key always present:
 
     {v
-    schema       string  "bddmin-bench-engine/1"
+    schema       string  "bddmin-bench-engine/2"
     jobs         int     worker domains used for the capture suite
     quick        bool    small sub-suite?
     max_calls    int     per-benchmark cap on measured calls
+    image        string  image strategy used for capture
     suite        { benches, calls, capture_seconds }
     phases       [ { name, seconds } ]   wall time, execution order
     minimizers   [ { name, total_size, total_seconds, mean_hit_rate } ]
     engine       Bdd.Stats.t counters (summed over the suite's managers)
     v}
+
+    Schema history: [/2] added the [image] key and the
+    [and_exists_recursions] / [interned_cubes] engine counters.
 
     Committed snapshots of this file are the perf trajectory: every
     change regenerates it ([make bench-json] or [bddmin bench]) and
@@ -22,6 +26,7 @@ val render :
   jobs:int ->
   quick:bool ->
   max_calls:int ->
+  image:string ->
   benches:int ->
   capture_seconds:float ->
   phases:(string * float) list ->
@@ -38,6 +43,7 @@ val write :
   jobs:int ->
   quick:bool ->
   max_calls:int ->
+  image:string ->
   benches:int ->
   capture_seconds:float ->
   phases:(string * float) list ->

@@ -25,6 +25,7 @@ type config = {
   self_product : bool;
   flush_caches : bool;
   image_strategy : Fsm.Image.strategy;
+  cluster_bound : int option;
   include_image_instances : bool;
   max_calls : int;
 }
@@ -37,6 +38,7 @@ let default_config =
     self_product = true;
     flush_caches = true;
     image_strategy = Fsm.Image.Partitioned;
+    cluster_bound = None;
     include_image_instances = true;
     max_calls = 400;
   }
@@ -145,6 +147,7 @@ let run_bench_stats ?(config = default_config) (b : Circuits.Registry.bench) =
   if config.self_product then begin
     match
       Fsm.Equiv.check_self man ~strategy:config.image_strategy
+        ?cluster_bound:config.cluster_bound
         ~max_iterations:config.max_iterations ~on_instance ~on_image_constrain
         nl
     with
@@ -156,6 +159,7 @@ let run_bench_stats ?(config = default_config) (b : Circuits.Registry.bench) =
     let sym = Fsm.Symbolic.of_netlist man nl in
     ignore
       (Fsm.Reach.reachable ~strategy:config.image_strategy
+         ?cluster_bound:config.cluster_bound
          ~max_iterations:config.max_iterations ~on_instance
          ~on_image_constrain sym)
   end;
@@ -204,6 +208,8 @@ let add_stats (a : Bdd.Stats.t) (b : Bdd.Stats.t) : Bdd.Stats.t =
     constrain_recursions = a.constrain_recursions + b.constrain_recursions;
     restrict_recursions = a.restrict_recursions + b.restrict_recursions;
     quantify_recursions = a.quantify_recursions + b.quantify_recursions;
+    and_exists_recursions = a.and_exists_recursions + b.and_exists_recursions;
+    interned_cubes = a.interned_cubes + b.interned_cubes;
     gc_runs = a.gc_runs + b.gc_runs;
     gc_reclaimed = a.gc_reclaimed + b.gc_reclaimed;
   }
@@ -228,6 +234,8 @@ let zero_stats : Bdd.Stats.t =
     constrain_recursions = 0;
     restrict_recursions = 0;
     quantify_recursions = 0;
+    and_exists_recursions = 0;
+    interned_cubes = 0;
     gc_runs = 0;
     gc_reclaimed = 0;
   }

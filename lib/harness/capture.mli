@@ -41,6 +41,10 @@ type config = {
       paper's setup) rather than plain reachability *)
   flush_caches : bool;
   image_strategy : Fsm.Image.strategy;
+  cluster_bound : int option;
+  (** node bound for the {!Fsm.Image.Clustered} strategy's schedule
+      ([None] = {!Fsm.Qsched.default_cluster_bound}; ignored by the
+      other strategies) *)
   include_image_instances : bool;
   (** also intercept the image computation's cofactor calls, as the
       paper's instrumented [constrain] does *)

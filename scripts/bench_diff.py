@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_engine.json documents (committed baseline vs fresh).
+
+Schema-aware: accepts bddmin-bench-engine/1 and /2 on either side and
+compares only what both documents carry.  Reports percentage deltas on
+phase wall times, the engine's work counters, and per-minimizer size and
+time totals.
+
+Exit status is 0 unless --strict is given AND a gated regression was
+found AND the two runs were actually comparable (same jobs / quick /
+max_calls / image configuration) — CI runs this non-fatally on a quick
+smoke capture, where only the report is wanted.
+
+usage: bench_diff.py BASELINE FRESH [--time-threshold PCT]
+                                    [--count-threshold PCT] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMAS = ("bddmin-bench-engine/1", "bddmin-bench-engine/2")
+
+# Counters that measure algorithmic work (deterministic for a given
+# configuration); capacities, live-node and hit-rate fields are
+# reported but never gated.
+WORK_COUNTERS = (
+    "ite_recursions",
+    "and_recursions",
+    "xor_recursions",
+    "constrain_recursions",
+    "restrict_recursions",
+    "quantify_recursions",
+    "and_exists_recursions",
+    "cache_lookups",
+)
+
+# Configuration keys that must match for timings/counters to be
+# comparable.  "image" only exists from schema /2 on.
+CONFIG_KEYS = ("jobs", "quick", "max_calls", "image")
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        sys.exit(f"{path}: unknown schema {schema!r} (expected one of {SCHEMAS})")
+    return doc
+
+
+def pct(old, new):
+    if old == 0:
+        return None
+    return 100.0 * (new - old) / old
+
+
+def fmt_pct(p):
+    return "   n/a" if p is None else f"{p:+6.1f}%"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--time-threshold", type=float, default=25.0,
+                    help="max tolerated %% increase in phase seconds (default 25)")
+    ap.add_argument("--count-threshold", type=float, default=10.0,
+                    help="max tolerated %% increase in work counters (default 10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 on gated regressions (comparable runs only)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    comparable = True
+    for key in CONFIG_KEYS:
+        b, f = base.get(key), fresh.get(key)
+        if b is not None and f is not None and b != f:
+            print(f"note: {key} differs (baseline {b!r}, fresh {f!r})")
+            comparable = False
+    if base["schema"] != fresh["schema"]:
+        print(f"note: schemas differ (baseline {base['schema']},"
+              f" fresh {fresh['schema']})")
+    if not comparable:
+        print("note: configurations differ — reporting deltas without gating\n")
+
+    regressions = []
+
+    print(f"{'phase':<24}{'baseline':>14}{'fresh':>14}   delta")
+    base_phases = {p["name"]: p["seconds"] for p in base["phases"]}
+    for p in fresh["phases"]:
+        name, new = p["name"], p["seconds"]
+        old = base_phases.get(name)
+        if old is None:
+            print(f"{name:<24}{'—':>14}{new:>13.3f}s   (new phase)")
+            continue
+        d = pct(old, new)
+        print(f"{name:<24}{old:>13.3f}s{new:>13.3f}s  {fmt_pct(d)}")
+        if d is not None and d > args.time_threshold:
+            regressions.append(f"phase {name}: {d:+.1f}% seconds")
+
+    print(f"\n{'engine counter':<24}{'baseline':>14}{'fresh':>14}   delta")
+    be, fe = base["engine"], fresh["engine"]
+    for key in WORK_COUNTERS:
+        if key not in be or key not in fe:
+            continue  # counter introduced by a later schema
+        old, new = be[key], fe[key]
+        d = pct(old, new)
+        print(f"{key:<24}{old:>14}{new:>14}  {fmt_pct(d)}")
+        if d is not None and d > args.count_threshold:
+            regressions.append(f"counter {key}: {d:+.1f}%")
+
+    base_min = {m["name"]: m for m in base["minimizers"]}
+    print(f"\n{'minimizer':<12}{'size':>10}{'sizeΔ':>8}{'seconds':>12}   delta")
+    for m in fresh["minimizers"]:
+        old = base_min.get(m["name"])
+        if old is None:
+            continue
+        sized = m["total_size"] - old["total_size"]
+        d = pct(old["total_seconds"], m["total_seconds"])
+        print(f"{m['name']:<12}{m['total_size']:>10}{sized:>+8}"
+              f"{m['total_seconds']:>11.3f}s  {fmt_pct(d)}")
+        # result sizes are deterministic per configuration: any drift in
+        # a comparable run means the minimizers changed behaviour
+        if comparable and sized != 0:
+            regressions.append(f"minimizer {m['name']}: total_size {sized:+d}")
+
+    if regressions:
+        print("\nregressions past thresholds:")
+        for r in regressions:
+            print(f"  - {r}")
+        if args.strict and comparable:
+            sys.exit(1)
+        if args.strict:
+            print("(configurations differ; not gating)")
+    else:
+        print("\nno regressions past thresholds")
+
+
+if __name__ == "__main__":
+    main()

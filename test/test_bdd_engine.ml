@@ -284,6 +284,58 @@ let sat_count_undersized_space () =
   Util.checkb "sparse support counts by dimension"
     (Bdd.sat_count man g ~nvars:2 = 1.0)
 
+let cube_interning () =
+  let man = Bdd.new_man () in
+  Util.checki "sorted/deduped identity"
+    (Bdd.cube_id man [ 3; 1; 2; 1 ])
+    (Bdd.cube_id man [ 1; 2; 3 ]);
+  Util.checkb "distinct sets get distinct ids"
+    (Bdd.cube_id man [ 1; 2 ] <> Bdd.cube_id man [ 1; 2; 3 ]);
+  let n = Bdd.interned_sets man in
+  ignore (Bdd.cube_id man [ 2; 3; 1 ]);
+  Util.checki "re-interning allocates nothing" n (Bdd.interned_sets man);
+  ignore (Bdd.cube_id man [ 7 ]);
+  Util.checkb "a new set is counted" (Bdd.interned_sets man > n);
+  Util.checki "snapshot reports the same counter"
+    (Bdd.interned_sets man)
+    (Bdd.snapshot man).Bdd.Stats.interned_cubes
+
+let quantify_cache_persists () =
+  let man = Bdd.new_man () in
+  let f = Tt.to_bdd man (tt_of_seed 6 0xbeef) in
+  let g = Bdd.exists man [ 0; 2; 4 ] f in
+  let s1 = Bdd.snapshot man in
+  Util.checkb "first exists recursed" (s1.Bdd.Stats.quantify_recursions > 0);
+  (* same cube, same operand: the packed cache answers at the root, so
+     the recursion counter must not move — this is the persistence the
+     per-call Hashtbl scheme could not provide *)
+  let g' = Bdd.exists man [ 0; 2; 4 ] f in
+  let s2 = Bdd.snapshot man in
+  Util.checkb "same result" (Bdd.equal g g');
+  Util.checki "second identical exists adds no recursions"
+    s1.Bdd.Stats.quantify_recursions s2.Bdd.Stats.quantify_recursions;
+  (* a different cube over the same operand is a different key *)
+  ignore (Bdd.exists man [ 1; 3 ] f);
+  let s3 = Bdd.snapshot man in
+  Util.checkb "different cube recomputes"
+    (s3.Bdd.Stats.quantify_recursions > s2.Bdd.Stats.quantify_recursions)
+
+let and_exists_counted () =
+  let man = Bdd.new_man () in
+  let f = Tt.to_bdd man (tt_of_seed 6 0x1234) in
+  let g = Tt.to_bdd man (tt_of_seed 6 0x5678) in
+  let r = Bdd.and_exists man [ 0; 1; 2 ] f g in
+  Util.checkb "fused = exists of and"
+    (Bdd.equal r (Bdd.exists man [ 0; 1; 2 ] (Bdd.dand man f g)));
+  let s = Bdd.snapshot man in
+  Util.checkb "and_exists kernel counted"
+    (s.Bdd.Stats.and_exists_recursions > 0);
+  (* the fused walk persists too *)
+  ignore (Bdd.and_exists man [ 0; 1; 2 ] f g);
+  Util.checki "repeat is answered from the cache"
+    s.Bdd.Stats.and_exists_recursions
+    (Bdd.snapshot man).Bdd.Stats.and_exists_recursions
+
 let clear_caches_keeps_nodes () =
   let man = Bdd.new_man () in
   let x i = Bdd.ithvar man i in
@@ -313,6 +365,11 @@ let suite =
     Alcotest.test_case "stats labels honest" `Quick stats_labels_honest;
     Alcotest.test_case "sat_count rejects undersized space" `Quick
       sat_count_undersized_space;
+    Alcotest.test_case "cube interning" `Quick cube_interning;
+    Alcotest.test_case "quantify cache persists across calls" `Quick
+      quantify_cache_persists;
+    Alcotest.test_case "and_exists counted and cached" `Quick
+      and_exists_counted;
     Alcotest.test_case "clear_caches keeps nodes" `Quick
       clear_caches_keeps_nodes;
   ]

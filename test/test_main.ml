@@ -24,6 +24,7 @@ let () =
       ("netlist", Test_netlist.suite);
       ("blif", Test_blif.suite);
       ("symbolic+image", Test_symbolic.suite);
+      ("qsched", Test_qsched.suite);
       ("reach+equiv", Test_reach_equiv.suite);
       ("explicit", Test_explicit.suite);
       ("synth", Test_synth.suite);

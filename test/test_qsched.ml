@@ -1,0 +1,136 @@
+(* Quantification scheduling: cluster structure, determinism, and the
+   exactness guarantees the image walk relies on (clusters conjoin back
+   to the transition relation; every quantifiable variable is abstracted
+   exactly once). *)
+
+module Sym = Fsm.Symbolic
+module Q = Fsm.Qsched
+
+let random_nl seed =
+  Circuits.Random_fsm.make
+    { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed }
+
+(* Manager-independent fingerprint of a schedule: BDD edges can't be
+   compared across managers, but the variable structure can. *)
+let fingerprint (s : Q.t) =
+  ( Array.to_list
+      (Array.map (fun c -> (c.Q.support, c.Q.quantify)) s.Q.clusters),
+    s.Q.pre_quantify,
+    s.Q.vars_early )
+
+let schedule_of ?cluster_bound nl =
+  let man = Bdd.new_man () in
+  let sym = Sym.of_netlist man nl in
+  (man, sym, Sym.schedule ?cluster_bound sym)
+
+let deterministic_across_managers =
+  Util.qtest ~count:20 "schedule identical on fresh managers and domains"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+       let nl = random_nl seed in
+       let _, _, reference = schedule_of nl in
+       (* worker domains build their own managers; the schedule must not
+          depend on which domain (or how many) did the work *)
+       let prints =
+         Exec.map ~jobs:2
+           (fun nl ->
+              let _, _, s = schedule_of nl in
+              fingerprint s)
+           [ nl; nl; nl ]
+       in
+       List.for_all (( = ) (fingerprint reference)) prints)
+
+let clusters_conjoin_to_relation =
+  Util.qtest ~count:20 "cluster conjunction = monolithic relation"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+       let man, sym, sched = schedule_of (random_nl seed) in
+       let product =
+         Array.fold_left
+           (fun acc c -> Bdd.dand man acc c.Q.rel)
+           (Bdd.one man) sched.Q.clusters
+       in
+       Bdd.equal product (Sym.transition_relation sym))
+
+let quantified_exactly_once =
+  Util.qtest ~count:20 "each quantifiable variable scheduled exactly once"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+       let _, sym, sched = schedule_of (random_nl seed) in
+       let scheduled =
+         sched.Q.pre_quantify
+         @ List.concat_map
+             (fun c -> c.Q.quantify)
+             (Array.to_list sched.Q.clusters)
+       in
+       let expected =
+         List.sort_uniq compare (Sym.state_support sym @ Sym.input_support sym)
+       in
+       List.sort compare scheduled = expected)
+
+let bound_one_keeps_conjuncts_apart () =
+  let man = Bdd.new_man () in
+  let sym = Sym.of_netlist man (Circuits.Counter.make ~width:5 ()) in
+  let sched = Sym.schedule ~cluster_bound:1 sym in
+  Alcotest.(check int)
+    "one cluster per latch" 5
+    (Array.length sched.Q.clusters);
+  (* a generous bound merges at least something on this tiny machine *)
+  let merged = Sym.schedule ~cluster_bound:10_000 sym in
+  Util.checkb "large bound clusters"
+    (Array.length merged.Q.clusters < 5)
+
+let schedule_is_memoized () =
+  let man = Bdd.new_man () in
+  let sym = Sym.of_netlist man (Circuits.Gray.make ~width:4) in
+  let a = Sym.schedule sym in
+  Util.checkb "same bound returns the memo" (a == Sym.schedule sym);
+  let b = Sym.schedule ~cluster_bound:1 sym in
+  Util.checkb "bound change rebuilds" (not (a == b));
+  Util.checkb "new bound recorded" (b.Q.cluster_bound = 1);
+  Util.checkb "rebuilt memo sticks" (b == Sym.schedule ~cluster_bound:1 sym)
+
+let relations_are_memoized () =
+  let man = Bdd.new_man () in
+  let sym = Sym.of_netlist man (Circuits.Gray.make ~width:4) in
+  let t1 = Sym.transition_relation sym in
+  let t2 = Sym.transition_relation sym in
+  Util.checkb "monolithic relation memoized" (Bdd.uid t1 = Bdd.uid t2);
+  Util.checkb "partitioned relation memoized"
+    (Sym.partitioned_relation sym == Sym.partitioned_relation sym);
+  (* memoized roots survive a collection *)
+  ignore (Bdd.gc sym.Sym.man);
+  Util.checkb "relation survives gc"
+    (Bdd.equal (Sym.transition_relation sym) t1)
+
+let restrict_resets_memos =
+  Util.qtest ~count:10 "restrict_to_care_states rebuilds relations"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+       let man = Bdd.new_man () in
+       let sym = Sym.of_netlist man (random_nl seed) in
+       let t = Sym.transition_relation sym in
+       let _ = Sym.schedule sym in
+       let reached, _ = Fsm.Reach.reachable sym in
+       let sym' =
+         Sym.restrict_to_care_states sym ~care:reached
+           ~minimize:Fsm.Reach.constrain_minimizer
+       in
+       (* the restricted machine's relation agrees with the original on
+          the care states (not necessarily elsewhere) *)
+       let t' = Sym.transition_relation sym' in
+       Bdd.is_zero (Bdd.dand man (Bdd.dxor man t t') reached))
+
+let suite =
+  [
+    deterministic_across_managers;
+    clusters_conjoin_to_relation;
+    quantified_exactly_once;
+    Alcotest.test_case "cluster bound 1 = partitioned" `Quick
+      bound_one_keeps_conjuncts_apart;
+    Alcotest.test_case "schedule memoized per bound" `Quick
+      schedule_is_memoized;
+    Alcotest.test_case "relations memoized and rooted" `Quick
+      relations_are_memoized;
+    restrict_resets_memos;
+  ]

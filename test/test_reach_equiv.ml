@@ -37,21 +37,25 @@ let minimizer_independent =
          ])
 
 let strategy_independent =
-  Util.qtest ~count:15 "reached set independent of the image strategy"
+  Util.qtest ~count:15
+    "reached set and iteration count independent of the image strategy"
     QCheck2.Gen.(int_bound 1000)
     (fun seed ->
        let nl =
          Circuits.Random_fsm.make
            { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed }
        in
-       let run strategy =
+       let run ?cluster_bound strategy =
          let man = Bdd.new_man () in
          let sym = Sym.of_netlist man nl in
-         let _, st = Fsm.Reach.reachable ~strategy sym in
-         st.Fsm.Reach.reached_states
+         let _, st = Fsm.Reach.reachable ~strategy ?cluster_bound sym in
+         (st.Fsm.Reach.reached_states, st.Fsm.Reach.iterations)
        in
        let a = run Fsm.Image.Monolithic in
-       a = run Fsm.Image.Partitioned && a = run Fsm.Image.Range)
+       a = run Fsm.Image.Partitioned
+       && a = run Fsm.Image.Range
+       && a = run Fsm.Image.Clustered
+       && a = run ~cluster_bound:8 Fsm.Image.Clustered)
 
 let max_iterations_enforced () =
   let man = Bdd.new_man () in

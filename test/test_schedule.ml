@@ -83,6 +83,31 @@ let best_is_minimal =
          (fun (e : R.entry) -> Bdd.size man (e.run man s) >= sz)
          R.all)
 
+let restr_uses_engine_kernel () =
+  (* The registry's [restr] entry must dispatch to the engine's restrict
+     kernel (and so be visible in [restrict_recursions]) — it used to go
+     through the generic sibling matcher, which computes the same
+     function without ever touching the kernel, leaving the counter at 0
+     while the bench charged seconds to "restr". *)
+  let man = Bdd.new_man () in
+  let st = Random.State.make [| 0x7e57 |] in
+  let tt () =
+    Logic.Truth_table.create 6 (fun _ -> Random.State.bool st)
+  in
+  let f = Logic.Truth_table.to_bdd man (tt ()) in
+  let c = Bdd.dor man (Logic.Truth_table.to_bdd man (tt ())) (Bdd.ithvar man 0) in
+  let s = I.make ~f ~c in
+  let entry = Option.get (R.find "restr") in
+  let before = (Bdd.snapshot man).Bdd.Stats.restrict_recursions in
+  let g = entry.R.run man s in
+  let after = (Bdd.snapshot man).Bdd.Stats.restrict_recursions in
+  Util.checkb "restrict kernel recursions counted" (after > before);
+  Util.checkb "still computes Bdd.restrict"
+    (Bdd.equal g (Bdd.restrict man f c));
+  Util.checkb "still agrees with the generic matcher"
+    (Bdd.equal g
+       (Minimize.Sibling.run_heuristic man Minimize.Sibling.Restrict s))
+
 let reference_entries () =
   let f = Util.random_bdd 4 and c = Util.random_bdd 4 in
   let s = I.make ~f ~c in
@@ -103,5 +128,7 @@ let suite =
     Alcotest.test_case "registry completeness" `Quick registry_complete;
     registry_runs_cover;
     best_is_minimal;
+    Alcotest.test_case "restr drives the engine kernel" `Quick
+      restr_uses_engine_kernel;
     Alcotest.test_case "reference entries" `Quick reference_entries;
   ]

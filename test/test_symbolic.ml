@@ -93,7 +93,13 @@ let strategies_agree =
        let a = Img.image_monolithic sym s in
        let b = Img.image_partitioned sym s in
        let c = Img.image_by_range sym s in
-       Bdd.equal a b && Bdd.equal b c)
+       let d = Img.image_clustered sym s in
+       (* a small bound forces several clusters; a huge one degenerates
+          to the monolithic walk *)
+       let e = Img.image_clustered ~cluster_bound:4 sym s in
+       let f = Img.image_clustered ~cluster_bound:1_000_000 sym s in
+       Bdd.equal a b && Bdd.equal b c && Bdd.equal c d && Bdd.equal d e
+       && Bdd.equal e f)
 
 let image_empty_and_total () =
   let nl = Circuits.Counter.make ~width:3 () in
