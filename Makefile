@@ -15,7 +15,7 @@ bench-smoke: build
 	BDDMIN_BENCH_QUICK=1 BDDMIN_BENCH_SKIP_MICRO=1 BDDMIN_BENCH_CALLS=30 \
 		dune exec bench/main.exe
 
-# Regenerate the committed perf baseline (schema bddmin-bench-engine/2;
+# Regenerate the committed perf baseline (schema bddmin-bench-engine/3;
 # see Harness.Bench_json).  Deterministic apart from the wall-time
 # fields, at any -j.
 bench-json: build

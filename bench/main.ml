@@ -19,6 +19,10 @@
      BDDMIN_BENCH_JOBS=N    like -j N
      BDDMIN_BENCH_IMAGE=S   like --image S
      BDDMIN_BENCH_CLUSTER_BOUND=N  like --cluster-bound N
+     BDDMIN_BENCH_NODE_BUDGET=N   live-node budget for the capture suite
+     BDDMIN_BENCH_STEP_BUDGET=N   recursion-step budget per minimizer run
+     BDDMIN_BENCH_TIME_BUDGET=S   wall-clock budget in seconds
+     BDDMIN_BENCH_FAIL_FAST=1     cancel the suite on the first DNF
      BDDMIN_BENCH_JSON=PATH where to write the machine-readable baseline
                             (default BENCH_engine.json in the cwd) *)
 
@@ -86,6 +90,24 @@ let cluster_bound =
   | Some n when n >= 1 -> Some n
   | _ -> ( match from_env with Some n when n >= 1 -> Some n | _ -> None)
 
+let env_pos_int name =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> Some n | _ -> None)
+  | None -> None
+
+let node_budget = env_pos_int "BDDMIN_BENCH_NODE_BUDGET"
+let step_budget = env_pos_int "BDDMIN_BENCH_STEP_BUDGET"
+
+let time_budget =
+  match Sys.getenv_opt "BDDMIN_BENCH_TIME_BUDGET" with
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some t when t > 0.0 -> Some t
+      | _ -> None)
+  | None -> None
+
+let fail_fast = Sys.getenv_opt "BDDMIN_BENCH_FAIL_FAST" = Some "1"
+
 let json_path =
   Option.value
     (Sys.getenv_opt "BDDMIN_BENCH_JSON")
@@ -102,12 +124,13 @@ let timed_phase name f =
 (* ----- the experiment: capture all minimization calls ----- *)
 
 let config =
-  {
-    Harness.Capture.default_config with
-    max_calls;
-    image_strategy;
-    cluster_bound;
-  }
+  Harness.Capture.(
+    default_config |> with_max_calls max_calls
+    |> with_image_strategy image_strategy
+    |> with_cluster_bound cluster_bound
+    |> with_jobs jobs |> with_node_budget node_budget
+    |> with_step_budget step_budget |> with_time_budget time_budget
+    |> with_fail_fast fail_fast)
 
 let names = Harness.Capture.minimizer_names config
 
@@ -116,20 +139,21 @@ let benches =
 
 let capture_seconds = ref 0.0
 
-let calls, suite_stats =
+let calls, suite_stats, suite_dnf =
   Printf.printf
     "== Capturing EBM instances from FSM self-equivalence (%d machines, <=%d calls each, %d job%s) ==\n%!"
     (List.length benches) max_calls jobs
     (if jobs = 1 then "" else "s");
   (* progress goes through the default Logs route of [run_suite_stats] *)
-  let (calls, stats), dt =
+  let suite, dt =
     Obs.Clock.timed (fun () ->
-        Harness.Capture.run_suite_stats ~config ~jobs benches)
+        Harness.Capture.run_suite_stats ~config benches)
   in
+  let calls = suite.Harness.Capture.suite_calls in
   Printf.printf "   captured %d calls in %.1fs\n\n%!" (List.length calls) dt;
   capture_seconds := dt;
   phase_times := !phase_times @ [ ("capture", dt) ];
-  (calls, stats)
+  (calls, suite.Harness.Capture.engine, suite.Harness.Capture.suite_dnf)
 
 (* ----- a standard instance pool for the microbenchmarks ----- *)
 
@@ -240,7 +264,7 @@ let table2 () =
 
 let table3 () =
   print_endline (Harness.Tables.render_table3 ~names calls);
-  print_endline (Harness.Tables.render_per_bench calls);
+  print_endline (Harness.Tables.render_per_bench ~dnf:suite_dnf calls);
   print_endline (Harness.Tables.render_lower_bound_summary ~names calls);
   let man, instances = pool in
   let bench (e : Minimize.Registry.entry) =
@@ -252,7 +276,7 @@ let table3 () =
                    swept unique table for every timed heuristic. *)
                 Bdd.clear_caches man;
                 ignore (Bdd.gc man);
-                ignore (e.run man s))
+                ignore (e.run (Minimize.Ctx.of_man man) s))
              instances))
   in
   run_benchmarks "table3-all-minimizers"
@@ -412,7 +436,7 @@ let phase_breakdown () =
   let b = Option.get (Circuits.Registry.find "tlc") in
   let sink = Obs.Trace.memory () in
   let config =
-    { Harness.Capture.default_config with max_calls = min max_calls 50 }
+    Harness.Capture.(default_config |> with_max_calls (min max_calls 50))
   in
   ignore
     (Obs.Trace.with_sink sink (fun () -> Harness.Capture.run_bench ~config b));
@@ -444,8 +468,9 @@ let engine_stats () =
 let emit_bench_json path =
   Harness.Bench_json.write ~path ~jobs ~quick ~max_calls
     ~image:(Fsm.Image.strategy_name image_strategy)
+    ~limits:config.Harness.Capture.limits
     ~benches:(List.length benches) ~capture_seconds:!capture_seconds
-    ~phases:!phase_times ~names ~engine:suite_stats calls;
+    ~phases:!phase_times ~names ~engine:suite_stats ~dnf:suite_dnf calls;
   Printf.printf "wrote %s\n" path
 
 let () =

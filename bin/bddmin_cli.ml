@@ -125,16 +125,54 @@ let minimizer_term =
                  heuristic (e.g. $(b,const), $(b,restr), $(b,sched), \
                  $(b,opt_lv)) instead of plain constrain.")
 
+(* Unknown names print the valid catalogue and exit 2 (usage error), so
+   scripted sweeps over minimizer names fail loudly and fixably. *)
+let catalogue_exit name =
+  Printf.eprintf "unknown minimizer %S; valid minimizers are:\n  %s\n" name
+    (String.concat ", "
+       (Minimize.Registry.names Minimize.Registry.extended));
+  exit 2
+
+let find_entry name =
+  match Minimize.Registry.find name with
+  | Some e -> e
+  | None -> catalogue_exit name
+
 let resolve_minimizer = function
   | None -> None
-  | Some name -> (
-      match Minimize.Registry.find name with
-      | Some e -> Some (fun man s -> e.Minimize.Registry.run man s)
-      | None ->
-        Printf.eprintf "unknown heuristic %s (known: %s)\n" name
-          (String.concat ", "
-             (Minimize.Registry.names Minimize.Registry.extended));
-        exit 1)
+  | Some name ->
+    let e = find_entry name in
+    Some
+      (fun man s -> Minimize.Registry.run e (Minimize.Ctx.of_man man) s)
+
+(* ----- resource budgets (--node-budget, --step-budget, --time-budget) ----- *)
+
+let budget_spec_term =
+  let node =
+    Arg.(value & opt (some int) None
+         & info [ "node-budget" ] ~docv:"N"
+             ~doc:"Give up when the BDD manager holds more than $(docv) \
+                   live nodes.")
+  in
+  let step =
+    Arg.(value & opt (some int) None
+         & info [ "step-budget" ] ~docv:"N"
+             ~doc:"Give up when an operation budget exceeds $(docv) \
+                   recursion steps.")
+  in
+  let time =
+    Arg.(value & opt (some float) None
+         & info [ "time-budget" ] ~docv:"SECONDS"
+             ~doc:"Give up after $(docv) seconds of wall clock.")
+  in
+  Term.(const (fun n s t -> (n, s, t)) $ node $ step $ time)
+
+let make_budget (node, step, time) =
+  match (node, step, time) with
+  | None, None, None -> None
+  | _ ->
+    Some
+      (Bdd.Budget.create ?max_nodes:node ?max_steps:step ?timeout_s:time ())
 
 (* ----- image-strategy selection (--image S, --cluster-bound N) ----- *)
 
@@ -177,20 +215,16 @@ let minimize_cmd =
         let entries =
           match heuristic with
           | "all" -> Minimize.Registry.all
-          | name -> (
-              match Minimize.Registry.find name with
-              | Some e -> [ e ]
-              | None ->
-                Printf.eprintf "unknown heuristic %s\n" name;
-                exit 1)
+          | name -> [ find_entry name ]
         in
+        let ctx = Minimize.Ctx.of_man man in
         Printf.printf "|f| = %d   c_onset = %.1f%%   lower bound = %d\n"
           (Bdd.size man inst.Minimize.Ispec.f)
           (100.0 *. Minimize.Ispec.c_onset_fraction man inst)
           (Minimize.Lower_bound.compute man inst);
         List.iter
           (fun (e : Minimize.Registry.entry) ->
-             let g = e.run man inst in
+             let g = Minimize.Registry.run e ctx inst in
              Printf.printf "%-8s size %-4d  %s\n" e.name (Bdd.size man g)
                (pp_cover man mapping g))
           entries;
@@ -261,7 +295,7 @@ let lower_bound_cmd =
 (* ----- equiv ----- *)
 
 let equiv_cmd =
-  let run spec1 spec2 strategy cluster_bound minimizer trace =
+  let run spec1 spec2 strategy cluster_bound minimizer budget trace =
     let strategy = resolve_image_strategy strategy in
     let minimize = resolve_minimizer minimizer in
     match
@@ -276,6 +310,7 @@ let equiv_cmd =
       1
     | Ok (nl1, nl2) ->
       let man = Bdd.new_man () in
+      Bdd.set_budget man (make_budget budget);
       with_trace trace @@ fun () ->
       (match
          Fsm.Equiv.check ~strategy ?cluster_bound ?minimize man nl1 nl2
@@ -290,7 +325,13 @@ let equiv_cmd =
          Format.printf
            "NOT EQUIVALENT after %d iterations; distinguishing state %a@."
            stats.Fsm.Reach.iterations Bdd.Cube.pp distinguishing_state;
-         1)
+         1
+       | exception Bdd.Budget_exhausted reason ->
+         (* no verdict either way: the traversal was cut short *)
+         Printf.printf "DNF(%s): %s\n"
+           (Bdd.Budget.reason_label reason)
+           (Bdd.Budget.reason_message reason);
+         3)
   in
   let spec1 =
     Arg.(required & pos 0 (some string) None
@@ -305,14 +346,14 @@ let equiv_cmd =
   Cmd.v
     (Cmd.info "equiv" ~doc:"Check product-machine equivalence")
     Term.(
-      const (fun () a b c d e f -> run a b c d e f)
+      const (fun () a b c d e f g -> run a b c d e f g)
       $ logs_term $ spec1 $ spec2 $ strategy $ cluster_bound_term
-      $ minimizer_term $ trace_term)
+      $ minimizer_term $ budget_spec_term $ trace_term)
 
 (* ----- reach ----- *)
 
 let reach_cmd =
-  let run spec image cluster_bound minimizer trace =
+  let run spec image cluster_bound minimizer budget trace =
     match load_netlist spec with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -322,6 +363,9 @@ let reach_cmd =
       let minimize = resolve_minimizer minimizer in
       let man = Bdd.new_man () in
       let sym = Fsm.Symbolic.of_netlist man nl in
+      (* budget the traversal, not the netlist-to-BDD build: the
+         fixpoint traps exhaustion and reports a partial result *)
+      Bdd.set_budget man (make_budget budget);
       let reached, st =
         with_trace trace @@ fun () ->
         Fsm.Reach.reachable ~strategy ?cluster_bound ?minimize sym
@@ -332,7 +376,13 @@ let reach_cmd =
         st.Fsm.Reach.reached_states
         (2.0 ** float_of_int (Fsm.Symbolic.num_state_vars sym))
         st.Fsm.Reach.iterations (Bdd.size man reached);
-      0
+      (match st.Fsm.Reach.fixpoint with
+       | Fsm.Reach.Complete -> 0
+       | Fsm.Reach.Partial { reason; _ } ->
+         Printf.printf "PARTIAL(%s): %s; the count is a lower bound\n"
+           (Bdd.Budget.reason_label reason)
+           (Bdd.Budget.reason_message reason);
+         3)
   in
   let spec =
     Arg.(required & pos 0 (some string) None
@@ -341,23 +391,36 @@ let reach_cmd =
   Cmd.v
     (Cmd.info "reach" ~doc:"Symbolic reachability statistics")
     Term.(
-      const (fun () a b c d e -> run a b c d e)
+      const (fun () a b c d e f -> run a b c d e f)
       $ logs_term $ spec $ image_term "partitioned" $ cluster_bound_term
-      $ minimizer_term $ trace_term)
+      $ minimizer_term $ budget_spec_term $ trace_term)
 
 (* ----- stats ----- *)
 
 let stats_cmd =
-  let analyze cache_bits strategy cluster_bound nl =
+  let analyze cache_bits strategy cluster_bound budget nl =
     let buf = Buffer.create 1024 in
     let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     let man = Bdd.new_man ?cache_bits () in
     let sym = Fsm.Symbolic.of_netlist man nl in
+    (* one budget per machine, installed after the netlist-to-BDD build:
+       budgets are stateful, managers private, and only the fixpoint
+       traps exhaustion into a partial result *)
+    Bdd.set_budget man (make_budget budget);
     let reached, st = Fsm.Reach.reachable ~strategy ?cluster_bound sym in
     out "%s\n" (Fsm.Netlist.stats nl);
-    out "reachability: %.0f states in %d iterations, |R| = %d nodes\n\n"
+    let partial =
+      match st.Fsm.Reach.fixpoint with
+      | Fsm.Reach.Complete -> None
+      | Fsm.Reach.Partial { reason; _ } ->
+        Some (Bdd.Budget.reason_label reason)
+    in
+    out "reachability: %.0f states in %d iterations, |R| = %d nodes%s\n\n"
       st.Fsm.Reach.reached_states st.Fsm.Reach.iterations
-      (Bdd.size man reached);
+      (Bdd.size man reached)
+      (match partial with
+       | None -> ""
+       | Some label -> Printf.sprintf "  [PARTIAL(%s)]" label);
     out "engine statistics after reachability:\n";
     out "%s" (Format.asprintf "%a@.@." Bdd.Stats.pp (Bdd.snapshot man));
     (* Collect everything except the reached set to show how much of
@@ -367,9 +430,9 @@ let stats_cmd =
     out
       "gc (rooting only the reached set): reclaimed %d dead nodes, %d live\n"
       reclaimed s.Bdd.Stats.live_nodes;
-    Buffer.contents buf
+    (Buffer.contents buf, partial <> None)
   in
-  let run specs cache_bits image cluster_bound jobs trace =
+  let run specs cache_bits image cluster_bound jobs budget trace =
     let strategy = resolve_image_strategy image in
     let loaded =
       List.fold_right
@@ -390,18 +453,18 @@ let stats_cmd =
          argument order and the single-machine output is unchanged. *)
       let reports =
         Exec.map ~jobs
-          (fun (_, nl) -> analyze cache_bits strategy cluster_bound nl)
+          (fun (_, nl) -> analyze cache_bits strategy cluster_bound budget nl)
           machines
       in
       (match reports with
-       | [ one ] -> print_string one
+       | [ (one, _) ] -> print_string one
        | many ->
          List.iteri
-           (fun i ((spec, _), report) ->
+           (fun i ((spec, _), (report, _)) ->
               if i > 0 then print_newline ();
               Printf.printf "== %s ==\n%s" spec report)
            (List.combine machines many));
-      0
+      if List.exists snd reports then 3 else 0
   in
   let specs =
     Arg.(non_empty & pos_all string []
@@ -418,31 +481,34 @@ let stats_cmd =
        ~doc:"Engine statistics (cache, GC, recursion counters) for a \
              reachability run")
     Term.(
-      const (fun () a b c d e f -> run a b c d e f)
+      const (fun () a b c d e f g -> run a b c d e f g)
       $ logs_term $ specs $ cache_bits $ image_term "partitioned"
-      $ cluster_bound_term $ jobs_term $ trace_term)
+      $ cluster_bound_term $ jobs_term $ budget_spec_term $ trace_term)
 
 (* ----- tables ----- *)
 
 let tables_cmd =
-  let run quick out_dir max_calls image cluster_bound jobs trace =
+  let run quick out_dir max_calls image cluster_bound jobs budget trace =
     let benches =
       if quick then Circuits.Registry.quick else Circuits.Registry.all
     in
     let image_strategy = resolve_image_strategy image in
+    let node_budget, step_budget, time_budget = budget in
     let config =
-      { Harness.Capture.default_config with
-        max_calls;
-        image_strategy;
-        cluster_bound;
-      }
+      Harness.Capture.(
+        default_config |> with_max_calls max_calls
+        |> with_image_strategy image_strategy
+        |> with_cluster_bound cluster_bound
+        |> with_jobs jobs |> with_node_budget node_budget
+        |> with_step_budget step_budget |> with_time_budget time_budget)
     in
-    let calls =
+    let suite =
       with_trace trace @@ fun () ->
-      Harness.Capture.run_suite ~config
+      Harness.Capture.run_suite_stats ~config
         ~progress:(fun m -> Printf.eprintf "%s\n%!" m)
-        ~jobs benches
+        benches
     in
+    let calls = suite.Harness.Capture.suite_calls in
     let names = Harness.Capture.minimizer_names config in
     print_endline (Harness.Tables.render_table1 ());
     print_endline (Harness.Tables.render_table2 ());
@@ -450,6 +516,11 @@ let tables_cmd =
     print_endline (Harness.Tables.render_table4 calls);
     print_endline (Harness.Tables.render_figure3 calls);
     print_endline (Harness.Tables.render_lower_bound_summary ~names calls);
+    (* DNF(reason) rows for budget-exhausted machines, as in the paper's
+       tables; absent (and the output unchanged) without budgets. *)
+    List.iter
+      (fun (bench, reason) -> Printf.printf "%-10s DNF(%s)\n" bench reason)
+      suite.Harness.Capture.suite_dnf;
     (match out_dir with
      | Some dir ->
        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -459,7 +530,9 @@ let tables_cmd =
          close_out oc
        in
        write "calls.csv" (Harness.Tables.calls_to_csv ~names calls);
-       write "per_bench.txt" (Harness.Tables.render_per_bench calls);
+       write "per_bench.txt"
+         (Harness.Tables.render_per_bench
+            ~dnf:suite.Harness.Capture.suite_dnf calls);
        write "figure3.csv"
          (Harness.Tables.curve_to_csv
             ~names:[ "f_orig"; "opt_lv"; "const"; "restr"; "tsm_td" ]
@@ -483,42 +556,52 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables" ~doc:"Reproduce the paper's tables and figure")
     Term.(
-      const (fun () a b c d e f g -> run a b c d e f g)
+      const (fun () a b c d e f g h -> run a b c d e f g h)
       $ logs_term $ quick $ out_dir $ max_calls $ image_term "partitioned"
-      $ cluster_bound_term $ jobs_term $ trace_term)
+      $ cluster_bound_term $ jobs_term $ budget_spec_term $ trace_term)
 
 (* ----- bench: capture suite + machine-readable baseline ----- *)
 
 let bench_cmd =
-  let run quick max_calls image cluster_bound jobs out trace =
+  let run quick max_calls image cluster_bound jobs budget fail_fast out trace =
     let benches =
       if quick then Circuits.Registry.quick else Circuits.Registry.all
     in
     let image_strategy = resolve_image_strategy image in
+    let node_budget, step_budget, time_budget = budget in
     let config =
-      { Harness.Capture.default_config with
-        max_calls;
-        image_strategy;
-        cluster_bound;
-      }
+      Harness.Capture.(
+        default_config |> with_max_calls max_calls
+        |> with_image_strategy image_strategy
+        |> with_cluster_bound cluster_bound
+        |> with_jobs jobs |> with_node_budget node_budget
+        |> with_step_budget step_budget |> with_time_budget time_budget
+        |> with_fail_fast fail_fast)
     in
     Printf.eprintf "capturing %d machines (<=%d calls each, %d job%s)\n%!"
       (List.length benches) max_calls jobs (if jobs = 1 then "" else "s");
-    let (calls, stats), dt =
+    let suite, dt =
       with_trace trace @@ fun () ->
       Obs.Clock.timed @@ fun () ->
       Harness.Capture.run_suite_stats ~config
         ~progress:(fun m -> Printf.eprintf "%s\n%!" m)
-        ~jobs benches
+        benches
     in
+    let calls = suite.Harness.Capture.suite_calls in
     Harness.Bench_json.write ~path:out ~jobs ~quick ~max_calls
       ~image:(Fsm.Image.strategy_name image_strategy)
+      ~limits:config.Harness.Capture.limits
       ~benches:(List.length benches) ~capture_seconds:dt
       ~phases:[ ("capture", dt) ]
       ~names:(Harness.Capture.minimizer_names config)
-      ~engine:stats calls;
-    Printf.printf "captured %d calls in %.1fs\nwrote %s\n"
-      (List.length calls) dt out;
+      ~engine:suite.Harness.Capture.engine
+      ~dnf:suite.Harness.Capture.suite_dnf calls;
+    Printf.printf "captured %d calls in %.1fs%s\nwrote %s\n"
+      (List.length calls) dt
+      (match suite.Harness.Capture.suite_dnf with
+       | [] -> ""
+       | dnf -> Printf.sprintf " (%d machines DNF)" (List.length dnf))
+      out;
     0
   in
   let quick =
@@ -528,6 +611,12 @@ let bench_cmd =
     Arg.(value & opt int 400
          & info [ "max-calls" ] ~docv:"N"
              ~doc:"Per-benchmark cap on measured calls.")
+  in
+  let fail_fast =
+    Arg.(value & flag
+         & info [ "fail-fast" ]
+             ~doc:"Cancel the remaining machines after the first budget \
+                   exhaustion anywhere in the suite.")
   in
   let out =
     Arg.(value & opt string "BENCH_engine.json"
@@ -545,14 +634,20 @@ let bench_cmd =
               machines (optionally on several worker domains; the \
               result data is byte-identical at any $(b,-j)) and writes \
               a machine-readable JSON baseline: schema \
-              $(b,bddmin-bench-engine/2) with per-minimizer size/time \
-              totals, capture wall time, the image strategy, and the \
-              summed engine counters of every benchmark manager.";
+              $(b,bddmin-bench-engine/3) with per-minimizer size/time \
+              totals, capture wall time, the image strategy, the \
+              resource limits with any DNF rows they produced, and the \
+              summed engine counters of every benchmark manager.  Under \
+              $(b,--node-budget), $(b,--step-budget) or \
+              $(b,--time-budget) the run still exits 0: exhausted \
+              minimizer runs and machines degrade to DNF rows instead \
+              of aborting the suite.";
          ])
     Term.(
-      const (fun () a b c d e f g -> run a b c d e f g)
+      const (fun () a b c d e f g h i -> run a b c d e f g h i)
       $ logs_term $ quick $ max_calls $ image_term "partitioned"
-      $ cluster_bound_term $ jobs_term $ out $ trace_term)
+      $ cluster_bound_term $ jobs_term $ budget_spec_term $ fail_fast $ out
+      $ trace_term)
 
 (* ----- profile ----- *)
 
@@ -568,7 +663,9 @@ let profile_cmd =
       let sink = Obs.Trace.memory ~capacity:2_000_000 () in
       Obs.Probe.reset ();
       let config =
-        { Harness.Capture.default_config with max_calls; self_product }
+        Harness.Capture.(
+          default_config |> with_max_calls max_calls
+          |> with_self_product self_product)
       in
       let calls =
         Obs.Trace.with_sink sink @@ fun () ->
@@ -629,12 +726,11 @@ let optimize_cmd =
       let minimize =
         match heuristic with
         | "clamped-osm_bt" -> None
-        | name -> (
-            match Minimize.Registry.find name with
-            | Some e -> Some (fun man s -> e.Minimize.Registry.run man s)
-            | None ->
-              Printf.eprintf "unknown heuristic %s\n" name;
-              exit 1)
+        | name ->
+          let e = find_entry name in
+          Some
+            (fun man s ->
+               Minimize.Registry.run e (Minimize.Ctx.of_man man) s)
       in
       let man = Bdd.new_man () in
       let nl2, reached = Fsm.Synth.resynthesize ?minimize man nl in
@@ -696,7 +792,10 @@ let pla_cmd =
           (fun (name, (f, c)) ->
              let inst = Minimize.Ispec.make ~f ~c in
              let isop = Minimize.Isop.compute man inst in
-             let _, best = Minimize.Registry.best man Minimize.Registry.all inst in
+             let _, best =
+               Minimize.Registry.best (Minimize.Ctx.of_man man)
+                 Minimize.Registry.all inst
+             in
              Printf.printf
                "%-8s |f| = %-4d best BDD cover = %-4d isop: %d cubes, %d literals\n"
                name (Bdd.size man f) (Bdd.size man best)

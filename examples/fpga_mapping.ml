@@ -51,7 +51,9 @@ let () =
        List.iteri
          (fun i name ->
             let entry = Option.get (Minimize.Registry.find name) in
-            let g = entry.Minimize.Registry.run man inst in
+            let g =
+              entry.Minimize.Registry.run (Minimize.Ctx.of_man man) inst
+            in
             assert (Minimize.Ispec.is_cover man inst g);
             let n = mux_count man g in
             totals.(i) <- totals.(i) + n;

@@ -25,7 +25,7 @@ let () =
   Format.printf "%-8s %-5s  (cover found)@." "name" "size";
   List.iter
     (fun (e : Minimize.Registry.entry) ->
-       let g = e.run man inst in
+       let g = e.run (Minimize.Ctx.of_man man) inst in
        assert (Minimize.Ispec.is_cover man inst g);
        Format.printf "%-8s %-5d@." e.name (Bdd.size man g))
     Minimize.Registry.all;

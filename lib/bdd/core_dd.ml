@@ -37,6 +37,28 @@ type engine_event =
   | Gc_run of { reclaimed : int; live_nodes : int }
   | Cache_grown of { old_capacity : int; new_capacity : int }
 
+(* Resource budgets.  A budget is installed per manager and consulted by
+   the kernels exactly at their cache-missing recursion steps (where the
+   per-operation counters increment) — a clean boundary: interning and
+   cache stores are atomic and only completed results are ever cached, so
+   unwinding [Budget_exhausted] from there leaves the unique table, the
+   computed cache and the GC roots consistent. *)
+type budget_reason =
+  | Nodes of { limit : int; live : int }
+  | Steps of { limit : int }
+  | Time of { seconds : float }
+  | Cancelled
+
+type budget = {
+  b_max_nodes : int;            (* max_int = unlimited *)
+  b_max_steps : int;            (* max_int = unlimited *)
+  b_deadline_ns : int64;        (* Int64.max_int = none *)
+  b_seconds : float;            (* original timeout, for the reason *)
+  b_cancelled : unit -> bool;
+  mutable b_steps : int;
+  mutable b_exhausted : budget_reason option;   (* sticky: first trip *)
+}
+
 type man = {
   mutable vars : int;
   (* unique table: open-addressed, [terminal] is the empty-slot sentinel *)
@@ -67,6 +89,7 @@ type man = {
   refs : (int, node * int ref) Hashtbl.t;         (* node id -> refcount *)
   mutable auto_gc : bool;
   mutable gc_wanted : bool;
+  mutable budget : budget option;
   (* statistics *)
   mutable n_ite : int;
   mutable n_and : int;
@@ -136,6 +159,7 @@ let new_man ?(nvars = 0) ?(cache_bits = default_cache_bits)
     refs = Hashtbl.create 64;
     auto_gc;
     gc_wanted = false;
+    budget = None;
     n_ite = 0;
     n_and = 0;
     n_xor = 0;
@@ -434,6 +458,113 @@ let maybe_gc man =
     ignore (gc_internal man [])
   end
 
+(* ----- Resource budgets ----- *)
+
+exception Budget_exhausted of budget_reason
+
+module Budget = struct
+  type reason = budget_reason =
+    | Nodes of { limit : int; live : int }
+    | Steps of { limit : int }
+    | Time of { seconds : float }
+    | Cancelled
+
+  type t = budget
+
+  let never_cancelled () = false
+
+  let create ?max_nodes ?max_steps ?timeout_s ?(cancelled = never_cancelled)
+      () =
+    let b_max_nodes =
+      match max_nodes with
+      | None -> max_int
+      | Some n ->
+        if n <= 0 then invalid_arg "Budget.create: max_nodes";
+        n
+    in
+    let b_max_steps =
+      match max_steps with
+      | None -> max_int
+      | Some n ->
+        if n <= 0 then invalid_arg "Budget.create: max_steps";
+        n
+    in
+    let b_seconds, b_deadline_ns =
+      match timeout_s with
+      | None -> (infinity, Int64.max_int)
+      | Some s ->
+        if s < 0.0 then invalid_arg "Budget.create: timeout_s";
+        ( s,
+          Int64.add (Obs.Clock.now_ns ())
+            (Int64.of_float (s *. 1e9)) )
+    in
+    {
+      b_max_nodes;
+      b_max_steps;
+      b_deadline_ns;
+      b_seconds;
+      b_cancelled = cancelled;
+      b_steps = 0;
+      b_exhausted = None;
+    }
+
+  let steps b = b.b_steps
+  let exhausted b = b.b_exhausted
+
+  (* Short machine-ish label, stable for tables, CSVs and cram tests. *)
+  let reason_label = function
+    | Nodes _ -> "nodes"
+    | Steps _ -> "steps"
+    | Time _ -> "time"
+    | Cancelled -> "cancelled"
+
+  let reason_message = function
+    | Nodes { limit; live } ->
+      Printf.sprintf "node budget exhausted (%d live > %d)" live limit
+    | Steps { limit } ->
+      Printf.sprintf "step budget exhausted (> %d recursion steps)" limit
+    | Time { seconds } ->
+      Printf.sprintf "time budget exhausted (> %gs)" seconds
+    | Cancelled -> "cancelled"
+end
+
+let budget_fail b r =
+  b.b_exhausted <- Some r;
+  raise (Budget_exhausted r)
+
+(* Slow path of the kernel check: count a step, compare against the
+   limits.  The wall clock and the cancellation callback are polled only
+   once every 1024 steps (and on the very first step) to keep the
+   per-recursion cost at a few integer compares. *)
+let budget_step man b =
+  let steps = b.b_steps + 1 in
+  b.b_steps <- steps;
+  if man.ucount > b.b_max_nodes then
+    budget_fail b (Nodes { limit = b.b_max_nodes; live = man.ucount });
+  if steps > b.b_max_steps then budget_fail b (Steps { limit = b.b_max_steps });
+  if steps land 1023 = 1 then begin
+    if b.b_cancelled () then budget_fail b Cancelled;
+    if
+      b.b_deadline_ns <> Int64.max_int
+      && Obs.Clock.now_ns () > b.b_deadline_ns
+    then budget_fail b (Time { seconds = b.b_seconds })
+  end
+
+(* The single cheap check in every kernel preamble: one load and a
+   branch when no budget is installed. *)
+let[@inline] budget_tick man =
+  match man.budget with None -> () | Some b -> budget_step man b
+
+let set_budget man b = man.budget <- b
+let current_budget man = man.budget
+
+let with_budget man b k =
+  let prev = man.budget in
+  man.budget <- Some b;
+  Fun.protect ~finally:(fun () -> man.budget <- prev) k
+
+let check_budget man = budget_tick man
+
 (* ----- Boolean operation kernels ----- *)
 
 let tag_ite = 0
@@ -470,6 +601,7 @@ let rec and_rec man f g =
     match cache_find man k0 k1 0 with
     | Some r -> r
     | None ->
+      budget_tick man;
       man.n_and <- man.n_and + 1;
       let v = min (topvar f) (topvar g) in
       let ft, fe = branches f v and gt, ge = branches g v in
@@ -501,6 +633,7 @@ let rec xor_rec man f g =
       match cache_find man k0 k1 0 with
       | Some r -> r
       | None ->
+        budget_tick man;
         man.n_xor <- man.n_xor + 1;
         let v = min (topvar f) (topvar g) in
         let ft, fe = branches f v and gt, ge = branches g v in
@@ -546,6 +679,7 @@ and ite_aux man f g h =
   match cache_find man k0 k1 k2 with
   | Some r -> r
   | None ->
+    budget_tick man;
     man.n_ite <- man.n_ite + 1;
     let v = min (topvar f) (min (topvar g) (topvar h)) in
     let ft, fe = branches f v and gt, ge = branches g v and ht, he = branches h v in
@@ -666,6 +800,7 @@ let quantify_rec man tag combine vars suffix i0 f0 =
       match cache_find man k0 k1 0 with
       | Some r -> r
       | None ->
+        budget_tick man;
         man.n_quantify <- man.n_quantify + 1;
         let i' = if topvar f = vars.(i) then i + 1 else i in
         let t = go i' (hi f) and e = go i' (lo f) in
@@ -710,6 +845,7 @@ let and_exists man vars f g =
         match cache_find man k0 k1 k2 with
         | Some r -> r
         | None ->
+          budget_tick man;
           man.n_and_exists <- man.n_and_exists + 1;
           let ft, fe = branches f top and gt, ge = branches g top in
           let i' = if top = vars.(i) then i + 1 else i in
@@ -756,6 +892,7 @@ let vector_compose man f subs =
         match cache_find man k0 sid 0 with
         | Some r -> r
         | None ->
+          budget_tick man;
           let v = topvar f in
           let test =
             match Hashtbl.find_opt table v with
@@ -782,6 +919,7 @@ let rec constrain_rec man f c =
     match cache_find man k0 k1 0 with
     | Some r -> r
     | None ->
+      budget_tick man;
       man.n_constrain <- man.n_constrain + 1;
       let v = min (topvar f) (topvar c) in
       let ft, fe = branches f v and ct, ce = branches c v in
@@ -806,6 +944,7 @@ let rec restrict_rec man f c =
     match cache_find man k0 k1 0 with
     | Some r -> r
     | None ->
+      budget_tick man;
       man.n_restrict <- man.n_restrict + 1;
       let fv = topvar f and cv = topvar c in
       let r =

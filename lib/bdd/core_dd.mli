@@ -93,6 +93,89 @@ val without_auto_gc : man -> (unit -> 'a) -> 'a
     sets (costing canonicity and the computed cache) every time the
     table grows past a long-lived root. *)
 
+(** {1 Resource budgets}
+
+    A budget bounds the work a manager may perform: a ceiling on live
+    unique-table nodes, a ceiling on cache-missing kernel recursion
+    steps, a monotonic wall-clock deadline, and an optional cooperative
+    cancellation callback.  Every kernel ({!ite}, {!and_}, {!xor},
+    {!exists}, {!and_exists}, {!constrain}, {!restrict},
+    {!vector_compose}) consults the installed budget with a single cheap
+    check in its cache-miss preamble and raises {!Budget_exhausted}
+    there — a {e clean recursion boundary}: node interning and cache
+    stores are individually atomic and only completed results are ever
+    cached, so after the exception unwinds the unique table, the
+    computed cache and the GC roots are all consistent.  Aborted work is
+    merely discarded; re-running the same operation without a budget
+    yields the canonical result.
+
+    The wall clock and the cancellation callback are polled once every
+    1024 steps (and on the first), so sub-millisecond deadlines resolve
+    with that granularity. *)
+
+module Budget : sig
+  type reason =
+    | Nodes of { limit : int; live : int }
+    (** live unique-table nodes exceeded [limit] *)
+    | Steps of { limit : int }
+    (** cache-missing recursion steps exceeded [limit] *)
+    | Time of { seconds : float }
+    (** the monotonic deadline passed *)
+    | Cancelled  (** the cancellation callback returned [true] *)
+
+  type t
+  (** A budget.  Mutable: the step count accumulates across every
+      operation run while it is installed, so one [t] governs a whole
+      task, not a single call.  Budgets are manager-local state — do not
+      share one [t] across domains. *)
+
+  val create :
+    ?max_nodes:int ->
+    ?max_steps:int ->
+    ?timeout_s:float ->
+    ?cancelled:(unit -> bool) ->
+    unit ->
+    t
+  (** All limits are optional; omitted ones are unlimited.  [timeout_s]
+      is converted to an absolute monotonic deadline at creation time.
+      @raise Invalid_argument on non-positive [max_nodes]/[max_steps] or
+      negative [timeout_s]. *)
+
+  val steps : t -> int
+  (** Recursion steps counted so far. *)
+
+  val exhausted : t -> reason option
+  (** The first reason this budget tripped, if it ever did (sticky).
+      Lets callers that trap {!Budget_exhausted} internally — e.g. the
+      anytime minimization schedule — report partiality afterwards. *)
+
+  val reason_label : reason -> string
+  (** Short stable label: ["nodes"], ["steps"], ["time"] or
+      ["cancelled"] (used in DNF table rows). *)
+
+  val reason_message : reason -> string
+  (** Human-readable one-line description. *)
+end
+
+exception Budget_exhausted of Budget.reason
+(** Raised by the kernels at a cache-miss boundary when the installed
+    budget is exhausted.  The manager remains fully consistent. *)
+
+val set_budget : man -> Budget.t option -> unit
+(** Install (or clear, with [None]) the manager's budget. *)
+
+val current_budget : man -> Budget.t option
+
+val with_budget : man -> Budget.t -> (unit -> 'a) -> 'a
+(** Run with the given budget installed, restoring the previously
+    installed one on exit (also on exceptions). *)
+
+val check_budget : man -> unit
+(** Manually consult the installed budget (counts as one step).  For
+    long-running loops outside the kernels — e.g. a reachability
+    fixpoint — that want deadline and cancellation responsiveness even
+    when individual operations keep hitting the cache. *)
+
 (** {1 Engine events}
 
     Rare structural events — garbage collections and computed-cache

@@ -1,0 +1,5 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+let cancel t = Atomic.set t true
+let cancelled t = Atomic.get t

@@ -1,0 +1,20 @@
+(** Cooperative cancellation tokens.
+
+    A token is a shared flag, safe to read and set from any domain.
+    Cancellation is {e cooperative}: setting the flag does nothing by
+    itself — jobs opt in by polling {!cancelled} (typically through a
+    [Bdd.Budget] cancellation callback, which the kernels poll at
+    recursion boundaries) and winding down when it flips.  One token
+    fanned out to every job of a batch lets a single failing job cancel
+    all its siblings ([bddmin bench --fail-fast]). *)
+
+type t
+
+val create : unit -> t
+(** A fresh, un-cancelled token. *)
+
+val cancel : t -> unit
+(** Set the flag.  Idempotent; never blocks. *)
+
+val cancelled : t -> bool
+(** Poll the flag. *)

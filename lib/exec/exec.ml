@@ -9,6 +9,7 @@
 
 module Pool = Pool
 module Future = Future
+module Cancel = Cancel
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 

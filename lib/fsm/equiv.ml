@@ -80,6 +80,12 @@ let check ?strategy ?cluster_bound ?minimize ?max_iterations ?on_instance
     Reach.reachable ?strategy ?cluster_bound ?minimize ?max_iterations
       ?on_instance ?on_image_constrain sym
   in
+  (* A partial reached set cannot support a verdict in either direction
+     (an unexplored state could still activate [neq]); surface the
+     exhaustion instead of guessing. *)
+  (match stats.Reach.fixpoint with
+   | Reach.Partial { reason; _ } -> raise (Bdd.Budget_exhausted reason)
+   | Reach.Complete -> ());
   let neq = List.assoc "neq" sym.output_fns in
   let bad_states = Bdd.exists man (Symbolic.input_support sym) neq in
   let witness = Bdd.dand man reached bad_states in

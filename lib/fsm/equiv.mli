@@ -31,7 +31,12 @@ val check :
   Netlist.t ->
   verdict
 (** Breadth-first equivalence check; [on_instance] sees every frontier
-    minimization instance, as in the paper's instrumented runs. *)
+    minimization instance, as in the paper's instrumented runs.
+
+    Verdicts are only ever rendered on a complete fixpoint: if an
+    installed [Bdd.Budget] runs out mid-traversal, the partial reached
+    set supports no sound answer and [Bdd.Budget_exhausted] is raised
+    instead. *)
 
 val counterexample_trace :
   ?max_iterations:int ->

@@ -2,12 +2,17 @@ let src = Logs.Src.create "bddmin.reach" ~doc:"symbolic reachability"
 
 module Log = (val Logs.src_log src)
 
+type fixpoint =
+  | Complete
+  | Partial of { frontier : Bdd.t; reason : Bdd.Budget.reason }
+
 type stats = {
   iterations : int;
   reached_states : float;
   peak_frontier_nodes : int;
   peak_reached_nodes : int;
   minimization_calls : int;
+  fixpoint : fixpoint;
 }
 
 type minimizer = Bdd.man -> Minimize.Ispec.t -> Bdd.t
@@ -20,7 +25,8 @@ let no_minimizer _man (s : Minimize.Ispec.t) = s.Minimize.Ispec.f
 let reachable ?strategy ?cluster_bound ?(node_stats = false)
     ?(minimize = constrain_minimizer)
     ?(max_iterations = max_int) ?(on_instance = fun ~iteration:_ _ -> ())
-    ?(on_image_constrain = fun ~iteration:_ _ -> ()) (sym : Symbolic.t) =
+    ?(on_image_constrain = fun ~iteration:_ _ -> ()) ?resume
+    (sym : Symbolic.t) =
   let man = sym.man in
   Obs.Trace.with_span "fsm.reach" @@ fun reach_sp ->
   let calls = ref 0 in
@@ -30,7 +36,7 @@ let reachable ?strategy ?cluster_bound ?(node_stats = false)
     match Logs.Src.level src with Some Logs.Debug -> true | _ -> false
   in
   let rec go iteration reached frontier =
-    if Bdd.is_zero frontier then (reached, iteration)
+    if Bdd.is_zero frontier then (reached, iteration, Complete)
     else if iteration >= max_iterations then
       failwith "Reach.reachable: max_iterations exceeded"
     else begin
@@ -45,7 +51,7 @@ let reachable ?strategy ?cluster_bound ?(node_stats = false)
       Log.debug (fun m ->
           m "iteration %d: |U| = %d nodes, |R| = %d nodes" iteration
             frontier_nodes reached_nodes);
-      let reached', frontier' =
+      let step () =
         Obs.Trace.with_span "reach.iteration"
           ~attrs:
             [
@@ -80,7 +86,15 @@ let reachable ?strategy ?cluster_bound ?(node_stats = false)
         end;
         (reached', frontier')
       in
-      go (iteration + 1) reached' frontier'
+      (* Budget exhaustion is caught at the iteration boundary: the
+         partially computed iteration is discarded, and the last
+         completed (reached, frontier) pair — a sound under-approximation
+         plus its unexplored frontier — is returned as an explicit
+         [Partial] fixpoint, so callers can resume from it. *)
+      match step () with
+      | reached', frontier' -> go (iteration + 1) reached' frontier'
+      | exception Bdd.Budget_exhausted reason ->
+        (reached, iteration, Partial { frontier; reason })
     end
   in
   (* The evolving reached/frontier sets live on un-rooted edges, while
@@ -88,8 +102,11 @@ let reachable ?strategy ?cluster_bound ?(node_stats = false)
      automatic GC trigger for the fixpoint or every unique-table growth
      would sweep the working set (and the now-persistent quantification
      cache entries with it). *)
-  let reached, iterations =
-    Bdd.without_auto_gc man @@ fun () -> go 0 sym.init sym.init
+  let init_reached, init_frontier =
+    match resume with None -> (sym.init, sym.init) | Some (r, u) -> (r, u)
+  in
+  let reached, iterations, fixpoint =
+    Bdd.without_auto_gc man @@ fun () -> go 0 init_reached init_frontier
   in
   Obs.Trace.add reach_sp "iterations" (Obs.Trace.Int iterations);
   Obs.Trace.add reach_sp "peak_frontier_nodes" (Obs.Trace.Int !peak_frontier);
@@ -103,6 +120,7 @@ let reachable ?strategy ?cluster_bound ?(node_stats = false)
       peak_frontier_nodes = !peak_frontier;
       peak_reached_nodes = !peak_reached;
       minimization_calls = !calls;
+      fixpoint;
     }
   in
   (reached, stats)

@@ -7,6 +7,14 @@
     intercepts them (the analogue of the paper's instrumented [constrain]
     calls inside [verify_fsm]). *)
 
+type fixpoint =
+  | Complete  (** the frontier emptied: the returned set is exact *)
+  | Partial of { frontier : Bdd.t; reason : Bdd.Budget.reason }
+      (** an installed [Bdd.Budget] was exhausted: the returned set is a
+          sound under-approximation of the reachable states, and
+          [frontier] is the still-unexplored frontier — pass both back
+          through [?resume] to continue *)
+
 type stats = {
   iterations : int;
   reached_states : float;  (** satisfying assignments of the final [R] *)
@@ -15,6 +23,7 @@ type stats = {
       enable tracing, or set the [bddmin.reach] log source to debug *)
   peak_reached_nodes : int;  (** likewise *)
   minimization_calls : int;
+  fixpoint : fixpoint;
 }
 
 type minimizer = Bdd.man -> Minimize.Ispec.t -> Bdd.t
@@ -33,17 +42,26 @@ val reachable :
   ?max_iterations:int ->
   ?on_instance:(iteration:int -> Minimize.Ispec.t -> unit) ->
   ?on_image_constrain:(iteration:int -> Minimize.Ispec.t -> unit) ->
+  ?resume:Bdd.t * Bdd.t ->
   Symbolic.t ->
   Bdd.t * stats
 (** Fixed-point reachability from the initial state.  The returned set is
-    exact (independent of the minimizer — any cover contains the frontier
-    and only adds already-reached states).  [cluster_bound] tunes the
-    {!Image.Clustered} strategy.  [node_stats] (default [false]) opts in
-    to the per-iteration frontier/reached node counts behind the peak
-    statistics — a full traversal of both sets per iteration, otherwise
-    skipped unless tracing or debug logging already wants them.
-    [on_image_constrain] observes the vector-cofactor instances
-    [[δ_j; S]] that a constrain-based image computation hands to
-    [constrain] (emitted for every strategy, so interception does not
-    force the exponential-prone {!Image.Range} recursion).
+    exact when [stats.fixpoint = Complete] (independent of the minimizer
+    — any cover contains the frontier and only adds already-reached
+    states).  [cluster_bound] tunes the {!Image.Clustered} strategy.
+    [node_stats] (default [false]) opts in to the per-iteration
+    frontier/reached node counts behind the peak statistics — a full
+    traversal of both sets per iteration, otherwise skipped unless
+    tracing or debug logging already wants them.  [on_image_constrain]
+    observes the vector-cofactor instances [[δ_j; S]] that a
+    constrain-based image computation hands to [constrain] (emitted for
+    every strategy, so interception does not force the exponential-prone
+    {!Image.Range} recursion).
+
+    When the manager has a [Bdd.Budget] installed and it runs out, the
+    fixpoint stops at the last completed iteration and returns a
+    {!Partial} fixpoint instead of raising; [resume] (the [reached] set
+    and [frontier] of a previous partial run) continues the traversal
+    from there — [stats.iterations] then counts only the resumed
+    segment's iterations.
     @raise Failure if [max_iterations] (default unlimited) is exceeded. *)

@@ -16,8 +16,11 @@ let escape s =
 
 let num f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
 
-let render ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds ~phases
-    ~names ~(engine : Bdd.Stats.t) (calls : Capture.call list) =
+let opt_int = function None -> "null" | Some i -> string_of_int i
+let opt_num = function None -> "null" | Some f -> num f
+
+let render ~jobs ~quick ~max_calls ~image ~limits ~benches ~capture_seconds
+    ~phases ~names ~(engine : Bdd.Stats.t) ~dnf (calls : Capture.call list) =
   let minimizer_rows =
     List.map
       (fun name ->
@@ -32,6 +35,11 @@ let render ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds ~phases
              (fun acc (c : Capture.call) ->
                 acc +. Option.value (pick c.times) ~default:0.0)
              0.0 calls
+         and dnf_calls =
+           List.length
+             (List.filter
+                (fun (c : Capture.call) -> List.mem_assoc name c.dnf)
+                calls)
          and hit_rates =
            List.filter_map (fun (c : Capture.call) -> pick c.hit_rates) calls
          in
@@ -42,8 +50,9 @@ let render ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds ~phases
          in
          Printf.sprintf
            "{\"name\":\"%s\",\"total_size\":%d,\"total_seconds\":%s,\
-            \"mean_hit_rate\":%s}"
-           (escape name) total_size (num total_seconds) (num mean_hit_rate))
+            \"mean_hit_rate\":%s,\"dnf_calls\":%d}"
+           (escape name) total_size (num total_seconds) (num mean_hit_rate)
+           dnf_calls)
       names
   in
   let phase_rows =
@@ -52,6 +61,23 @@ let render ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds ~phases
          Printf.sprintf "{\"name\":\"%s\",\"seconds\":%s}" (escape name)
            (num dt))
       phases
+  in
+  let dnf_rows =
+    List.map
+      (fun (bench, reason) ->
+         Printf.sprintf "{\"bench\":\"%s\",\"reason\":\"%s\"}" (escape bench)
+           (escape reason))
+      dnf
+  in
+  let limits_row =
+    let l = (limits : Capture.limits_config) in
+    Printf.sprintf
+      "{\"node_budget\": %s, \"step_budget\": %s, \"time_budget\": %s, \
+       \"fail_fast\": %b}"
+      (opt_int l.Capture.node_budget)
+      (opt_int l.Capture.step_budget)
+      (opt_num l.Capture.time_budget)
+      l.Capture.fail_fast
   in
   let s = engine in
   let engine_row =
@@ -78,27 +104,30 @@ let render ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds ~phases
   in
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"bddmin-bench-engine/2\",\n\
+    \  \"schema\": \"bddmin-bench-engine/3\",\n\
     \  \"jobs\": %d,\n\
     \  \"quick\": %b,\n\
     \  \"max_calls\": %d,\n\
     \  \"image\": \"%s\",\n\
+    \  \"limits\": %s,\n\
     \  \"suite\": {\"benches\": %d, \"calls\": %d, \"capture_seconds\": %s},\n\
+    \  \"dnf\": [%s],\n\
     \  \"phases\": [%s],\n\
     \  \"minimizers\": [%s],\n\
     \  \"engine\": %s\n\
      }\n"
-    jobs quick max_calls (escape image) benches (List.length calls)
+    jobs quick max_calls (escape image) limits_row benches (List.length calls)
     (num capture_seconds)
+    (String.concat ", " dnf_rows)
     (String.concat ", " phase_rows)
     (String.concat ", " minimizer_rows)
     engine_row
 
-let write ~path ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds
-    ~phases ~names ~engine calls =
+let write ~path ~jobs ~quick ~max_calls ~image ~limits ~benches
+    ~capture_seconds ~phases ~names ~engine ~dnf calls =
   let doc =
-    render ~jobs ~quick ~max_calls ~image ~benches ~capture_seconds ~phases
-      ~names ~engine calls
+    render ~jobs ~quick ~max_calls ~image ~limits ~benches ~capture_seconds
+      ~phases ~names ~engine ~dnf calls
   in
   let oc = open_out path in
   output_string oc doc;

@@ -1,22 +1,28 @@
 (** The machine-readable benchmark baseline ([BENCH_engine.json]).
 
-    One JSON document per benchmark run, schema ["bddmin-bench-engine/2"],
+    One JSON document per benchmark run, schema ["bddmin-bench-engine/3"],
     with every key always present:
 
     {v
-    schema       string  "bddmin-bench-engine/2"
+    schema       string  "bddmin-bench-engine/3"
     jobs         int     worker domains used for the capture suite
     quick        bool    small sub-suite?
     max_calls    int     per-benchmark cap on measured calls
     image        string  image strategy used for capture
+    limits       { node_budget, step_budget, time_budget, fail_fast }
+                 (budgets are ints/seconds or null = unlimited)
     suite        { benches, calls, capture_seconds }
+    dnf          [ { bench, reason } ]   benchmarks whose driver DNF'd
     phases       [ { name, seconds } ]   wall time, execution order
-    minimizers   [ { name, total_size, total_seconds, mean_hit_rate } ]
+    minimizers   [ { name, total_size, total_seconds, mean_hit_rate,
+                     dnf_calls } ]
     engine       Bdd.Stats.t counters (summed over the suite's managers)
     v}
 
     Schema history: [/2] added the [image] key and the
-    [and_exists_recursions] / [interned_cubes] engine counters.
+    [and_exists_recursions] / [interned_cubes] engine counters; [/3]
+    added resource governance — the [limits] and [dnf] keys and the
+    per-minimizer [dnf_calls] count.
 
     Committed snapshots of this file are the perf trajectory: every
     change regenerates it ([make bench-json] or [bddmin bench]) and
@@ -27,16 +33,19 @@ val render :
   quick:bool ->
   max_calls:int ->
   image:string ->
+  limits:Capture.limits_config ->
   benches:int ->
   capture_seconds:float ->
   phases:(string * float) list ->
   names:string list ->
   engine:Bdd.Stats.t ->
+  dnf:(string * string) list ->
   Capture.call list ->
   string
 (** Render the document.  [names] selects and orders the [minimizers]
-    rows; [engine] is typically {!Capture.run_suite_stats}'s summed
-    statistics.  Non-finite floats render as JSON [null]. *)
+    rows; [engine] and [dnf] are typically {!Capture.run_suite_stats}'s
+    summed statistics and driver-exhaustion rows.  Non-finite floats
+    render as JSON [null]. *)
 
 val write :
   path:string ->
@@ -44,11 +53,13 @@ val write :
   quick:bool ->
   max_calls:int ->
   image:string ->
+  limits:Capture.limits_config ->
   benches:int ->
   capture_seconds:float ->
   phases:(string * float) list ->
   names:string list ->
   engine:Bdd.Stats.t ->
+  dnf:(string * string) list ->
   Capture.call list ->
   unit
 (** {!render} to a file (truncating). *)

@@ -21,6 +21,7 @@ type row = {
   pct_of_min : float;
   runtime : float;
   rank : int;
+  dnf : int;
 }
 
 type table = {
@@ -31,23 +32,45 @@ type table = {
   rows : row list;
 }
 
-let size_of (c : Capture.call) name =
+let size_opt (c : Capture.call) name =
   match name with
-  | "min" -> c.min_size
-  | "low_bd" -> c.low_bd
+  | "min" -> Some c.min_size
+  | "low_bd" -> Some c.low_bd
   | _ -> (
       match List.assoc_opt name c.sizes with
-      | Some s -> s
-      | None -> invalid_arg ("Stats.size_of: unknown minimizer " ^ name))
+      | Some s -> Some s
+      | None ->
+        if List.mem_assoc name c.dnf then None
+        else invalid_arg ("Stats.size_of: unknown minimizer " ^ name))
+
+let size_of (c : Capture.call) name =
+  match size_opt c name with
+  | Some s -> s
+  | None ->
+    invalid_arg ("Stats.size_of: minimizer did not finish: " ^ name)
 
 let time_of (c : Capture.call) name =
   match List.assoc_opt name c.times with Some t -> t | None -> 0.0
 
+let dnf_of (c : Capture.call) name = List.mem_assoc name c.dnf
+
 let aggregate ~names bucket calls =
   let calls = List.filter (in_bucket bucket) calls in
   let ncalls = List.length calls in
+  (* Calls a minimizer DNF'd on contribute nothing to its total (there is
+     no size to add): totals are only comparable between rows with equal
+     [dnf] counts.  Without budgets every [dnf] is 0 and the totals are
+     the ungoverned ones. *)
   let total name =
-    List.fold_left (fun acc c -> acc + size_of c name) 0 calls
+    List.fold_left
+      (fun acc c ->
+         match size_opt c name with Some s -> acc + s | None -> acc)
+      0 calls
+  in
+  let dnf_count name =
+    List.fold_left
+      (fun acc c -> if dnf_of c name then acc + 1 else acc)
+      0 calls
   in
   let min_total = total "min" in
   let low_bd_total = total "low_bd" in
@@ -56,18 +79,18 @@ let aggregate ~names bucket calls =
       (fun name ->
          let t = total name in
          let rt = List.fold_left (fun acc c -> acc +. time_of c name) 0.0 calls in
-         (name, t, rt))
+         (name, t, rt, dnf_count name))
       names
   in
   let sorted =
-    List.stable_sort (fun (_, a, _) (_, b, _) -> compare a b) unranked
+    List.stable_sort (fun (_, a, _, _) (_, b, _, _) -> compare a b) unranked
   in
   (* Competition ranking: equal totals share a rank. *)
   let rows =
     List.mapi
-      (fun i (name, t, rt) ->
+      (fun i (name, t, rt, dn) ->
          let rank =
-           1 + List.length (List.filter (fun (_, t', _) -> t' < t) sorted)
+           1 + List.length (List.filter (fun (_, t', _, _) -> t' < t) sorted)
          in
          ignore i;
          {
@@ -78,6 +101,7 @@ let aggregate ~names bucket calls =
               else 100.0 *. float_of_int t /. float_of_int min_total);
            runtime = rt;
            rank;
+           dnf = dn;
          })
       sorted
   in
@@ -94,7 +118,10 @@ let head_to_head ~names calls =
         let wins =
           List.length
             (List.filter
-               (fun c -> size_of c arr.(i) < size_of c arr.(j))
+               (fun c ->
+                  match (size_opt c arr.(i), size_opt c arr.(j)) with
+                  | Some si, Some sj -> si < sj
+                  | _ -> false (* a DNF on either side is not a win *))
                calls)
         in
         m.(i).(j) <- 100.0 *. float_of_int wins /. float_of_int ncalls
@@ -110,8 +137,12 @@ let within_curve ~name ~percents calls =
          List.length
            (List.filter
               (fun (c : Capture.call) ->
-                 float_of_int (size_of c name)
-                 <= float_of_int c.min_size *. (1.0 +. (float_of_int x /. 100.0)))
+                 match size_opt c name with
+                 | Some s ->
+                   float_of_int s
+                   <= float_of_int c.min_size
+                      *. (1.0 +. (float_of_int x /. 100.0))
+                 | None -> false)
               calls)
        in
        ( x,
@@ -125,6 +156,11 @@ let achieving_lower_bound ~name calls =
   else
     let hits =
       List.length
-        (List.filter (fun c -> size_of c name <= c.Capture.low_bd) calls)
+        (List.filter
+           (fun (c : Capture.call) ->
+              match size_opt c name with
+              | Some s -> s <= c.Capture.low_bd
+              | None -> false)
+           calls)
     in
     100.0 *. float_of_int hits /. float_of_int ncalls

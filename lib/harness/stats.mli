@@ -13,9 +13,13 @@ val in_bucket : bucket -> Capture.call -> bool
 type row = {
   name : string;
   total_size : int;
+  (** sum over the calls the minimizer completed — calls it DNF'd on
+      contribute nothing, so compare totals only between rows with equal
+      [dnf] counts *)
   pct_of_min : float;  (** 100·total/min-total, the paper's "% of min" *)
   runtime : float;  (** cumulative seconds *)
   rank : int;  (** competition ranking by total size (1 = best) *)
+  dnf : int;  (** calls in the bucket the minimizer did not finish *)
 }
 
 type table = {
@@ -30,7 +34,15 @@ val aggregate : names:string list -> bucket -> Capture.call list -> table
 
 val size_of : Capture.call -> string -> int
 (** Result size of a minimizer on a call; ["min"] and ["low_bd"] resolve
-    to the per-call best and lower bound. *)
+    to the per-call best and lower bound.  @raise Invalid_argument for a
+    name the call has no row for, including one it DNF'd on. *)
+
+val size_opt : Capture.call -> string -> int option
+(** Like {!size_of} but [None] when the minimizer DNF'd on the call
+    (still raising on names that are not in the call at all). *)
+
+val dnf_of : Capture.call -> string -> bool
+(** Whether the named minimizer exhausted its budget on this call. *)
 
 val head_to_head : names:string list -> Capture.call list -> float array array
 (** Entry [(i, j)]: percentage of calls where minimizer [i]'s result is

@@ -76,15 +76,21 @@ let render_table3 ~names calls =
            100.0 "-" "-";
          List.iter
            (fun (r : Stats.row) ->
-              bprintf buf "  %-8s %12d %9.0f %9.2fs %5d\n" r.Stats.name
+              (* the marker only appears under a budget, so unbudgeted
+                 output stays byte-identical to the ungoverned harness *)
+              let dnf_marker =
+                if r.Stats.dnf > 0 then Printf.sprintf "  DNF:%d" r.Stats.dnf
+                else ""
+              in
+              bprintf buf "  %-8s %12d %9.0f %9.2fs %5d%s\n" r.Stats.name
                 r.Stats.total_size r.Stats.pct_of_min r.Stats.runtime
-                r.Stats.rank)
+                r.Stats.rank dnf_marker)
            t.Stats.rows
        end)
     Stats.buckets;
   Buffer.contents buf
 
-let render_per_bench calls =
+let render_per_bench ?(dnf = []) calls =
   let buf = Buffer.create 1024 in
   bprintf buf "Per-machine summary:\n\n";
   bprintf buf "  %-10s %6s %7s %7s %10s %10s %7s\n" "machine" "calls"
@@ -112,6 +118,11 @@ let render_per_bench calls =
          (if min_total = 0 then 1.0
           else float_of_int f_total /. float_of_int min_total))
     benches;
+  (* The paper's tables mark machines whose run blew the resource limit
+     as DNF rows; same here, from the suite's driver-exhaustion list. *)
+  List.iter
+    (fun (bench, reason) -> bprintf buf "  %-10s DNF(%s)\n" bench reason)
+    dnf;
   Buffer.contents buf
 
 let default_h2h = [ "f_orig"; "const"; "restr"; "osm_bt"; "tsm_td"; "opt_lv"; "min" ]
@@ -217,7 +228,12 @@ let calls_to_csv ~names calls =
     (fun (c : Capture.call) ->
        bprintf buf "%s,%d,%d,%.6f,%d,%d" c.bench c.iteration c.f_size
          c.c_onset_fraction c.low_bd c.min_size;
-       List.iter (fun n -> bprintf buf ",%d" (Stats.size_of c n)) names;
+       List.iter
+         (fun n ->
+            match Stats.size_opt c n with
+            | Some s -> bprintf buf ",%d" s
+            | None -> bprintf buf ",DNF")
+         names;
        let avg_hit_rate =
          match c.hit_rates with
          | [] -> 0.0

@@ -7,6 +7,7 @@
     {!Registry} for the named catalogue used by the experiments. *)
 
 module Ispec = Ispec
+module Ctx = Ctx
 module Matching = Matching
 module Sibling = Sibling
 module Graph = Graph

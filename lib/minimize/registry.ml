@@ -8,7 +8,7 @@ type kind =
 type entry = {
   name : string;
   kind : kind;
-  run : Bdd.man -> Ispec.t -> Bdd.t;
+  run : Ctx.t -> Ispec.t -> Bdd.t;
 }
 
 let sibling_entry h =
@@ -22,8 +22,9 @@ let sibling_entry h =
          path and [restrict_recursions] stayed 0.  Dispatch to the
          kernel; the generic matcher remains available through
          [Sibling.run_heuristic]. *)
-      fun man (s : Ispec.t) -> Bdd.restrict man s.Ispec.f s.Ispec.c
-    | _ -> fun man s -> Sibling.run_heuristic man h s
+      fun (ctx : Ctx.t) (s : Ispec.t) ->
+        Bdd.restrict ctx.Ctx.man s.Ispec.f s.Ispec.c
+    | _ -> fun (ctx : Ctx.t) s -> Sibling.run_heuristic ctx.Ctx.man h s
   in
   { name = Sibling.heuristic_name h; kind = Sibling_matching h; run }
 
@@ -34,25 +35,27 @@ let paper =
         name = "opt_lv";
         kind = Level_matching;
         run =
-          (fun man s ->
+          (fun (ctx : Ctx.t) s ->
              (* §3.3.1 set-limit method, at the largest set size the paper
                 reports encountering; bounds the quadratic matching work on
                 instances far larger than the paper's. *)
              let params =
                { Level.default_params with Level.set_limit = Some 512 }
              in
-             Level.opt_lv man ~params s);
+             Level.opt_lv ctx.Ctx.man ~params s);
       };
       { name = "f_orig"; kind = Reference; run = (fun _ s -> s.Ispec.f) };
       {
         name = "f_and_c";
         kind = Reference;
-        run = (fun man s -> Ispec.onset man s);
+        run = (fun (ctx : Ctx.t) s -> Ispec.onset ctx.Ctx.man s);
       };
       {
         name = "f_or_nc";
         kind = Reference;
-        run = (fun man s -> Bdd.dor man s.Ispec.f (Bdd.compl s.Ispec.c));
+        run =
+          (fun (ctx : Ctx.t) s ->
+             Bdd.dor ctx.Ctx.man s.Ispec.f (Bdd.compl s.Ispec.c));
       };
     ]
 
@@ -62,7 +65,7 @@ let all =
       {
         name = "sched";
         kind = Scheduled;
-        run = (fun man s -> Schedule.run man s);
+        run = (fun (ctx : Ctx.t) s -> Schedule.run ctx.Ctx.man s);
       };
     ]
 
@@ -72,7 +75,7 @@ let extended =
       {
         name = "isop";
         kind = Two_level;
-        run = (fun man s -> Isop.cover_only man s);
+        run = (fun (ctx : Ctx.t) s -> Isop.cover_only ctx.Ctx.man s);
       };
     ]
 
@@ -81,17 +84,32 @@ let proper = List.filter (fun e -> e.kind <> Reference) all
 let find name = List.find_opt (fun e -> e.name = name) extended
 let names entries = List.map (fun e -> e.name) entries
 
-let best man entries s =
-  match entries with
-  | [] -> invalid_arg "Registry.best: no entries"
-  | first :: rest ->
-    let score e =
-      let g = e.run man s in
-      (e.name, g, Bdd.size man g)
-    in
-    let keep (bn, bg, bs) e =
-      let n, g, sz = score e in
-      if sz < bs then (n, g, sz) else (bn, bg, bs)
-    in
-    let n, g, _ = List.fold_left keep (score first) rest in
-    (n, g)
+(* Run one entry under its context: the context's budget is installed on
+   the manager for the duration, and a trace span is recorded when the
+   context carries a scope. *)
+let run e (ctx : Ctx.t) s =
+  let body () = Ctx.protect ctx (fun () -> e.run ctx s) in
+  match ctx.Ctx.scope with
+  | None -> body ()
+  | Some scope ->
+    Obs.Trace.with_span (scope ^ ":" ^ e.name) (fun _ -> body ())
+
+let best ctx entries s =
+  if entries = [] then invalid_arg "Registry.best: no entries";
+  let man = Ctx.man ctx in
+  (* [Error] accumulates the first exhaustion reason so that when every
+     entry dies the caller still learns why. *)
+  let step acc e =
+    match run e ctx s with
+    | g ->
+      let sz = Bdd.size man g in
+      (match acc with
+       | Ok (_, _, best_sz) when best_sz <= sz -> acc
+       | _ -> Ok (e.name, g, sz))
+    | exception Bdd.Budget_exhausted r ->
+      (match acc with Error None -> Error (Some r) | _ -> acc)
+  in
+  match List.fold_left step (Error None) entries with
+  | Ok (n, g, _) -> (n, g)
+  | Error (Some r) -> raise (Bdd.Budget_exhausted r)
+  | Error None -> assert false

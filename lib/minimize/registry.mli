@@ -13,7 +13,8 @@ type kind =
 type entry = {
   name : string;
   kind : kind;
-  run : Bdd.man -> Ispec.t -> Bdd.t;
+  run : Ctx.t -> Ispec.t -> Bdd.t;
+      (** prefer {!run}, which honours the context's budget and scope *)
 }
 
 val paper : entry list
@@ -35,6 +36,14 @@ val proper : entry list
 val find : string -> entry option
 val names : entry list -> string list
 
-val best : Bdd.man -> entry list -> Ispec.t -> string * Bdd.t
+val run : entry -> Ctx.t -> Ispec.t -> Bdd.t
+(** Run one entry under a context: the context's budget (if any) is
+    installed on the manager for the duration, and when the context has
+    a scope a ["<scope>:<name>"] trace span is recorded around the run.
+    @raise Bdd.Budget_exhausted when the budget trips. *)
+
+val best : Ctx.t -> entry list -> Ispec.t -> string * Bdd.t
 (** The paper's [min]: run every entry and keep a smallest result (first
-    listed wins ties); returns its name and cover. *)
+    listed wins ties); returns its name and cover.  Entries that exhaust
+    the context's budget are skipped; if {e every} entry exhausts it,
+    the first [Bdd.Budget_exhausted] is re-raised. *)

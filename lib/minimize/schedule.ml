@@ -65,13 +65,24 @@ let run man ?(params = default_params) (s : Ispec.t) =
     end;
     spec
   in
+  (* The schedule is anytime by construction: every completed window
+     leaves [spec.f] a cover of the original instance, so on budget
+     exhaustion the partially transformed window is discarded and the
+     best-so-far cover is kept.  The final [constrain] gets the same
+     treatment — if even it cannot finish, [spec.f] itself stands. *)
+  let final spec =
+    try Bdd.constrain man spec.Ispec.f spec.Ispec.c
+    with Bdd.Budget_exhausted _ -> spec.Ispec.f
+  in
   let rec loop lo spec =
     if Bdd.is_one spec.Ispec.c then spec.Ispec.f
     else if nlevels - lo < params.stop_top_down || lo >= nlevels then
-      Bdd.constrain man spec.Ispec.f spec.Ispec.c
+      final spec
     else begin
       let hi = min nlevels (lo + params.window_size) in
-      loop hi (window lo hi spec)
+      match window lo hi spec with
+      | spec' -> loop hi spec'
+      | exception Bdd.Budget_exhausted _ -> final spec
     end
   in
   let r = loop 0 s in

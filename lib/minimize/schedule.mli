@@ -25,4 +25,10 @@ val default_params : params
 
 val run : Bdd.man -> ?params:params -> Ispec.t -> Bdd.t
 (** Run the schedule; requires a non-empty care set.  Always returns a
-    cover of the instance. *)
+    cover of the instance.
+
+    The schedule is {e anytime}: under an installed [Bdd.Budget] it
+    traps [Bdd.Budget_exhausted] at window boundaries and returns the
+    best-so-far cover instead of raising (every completed window leaves
+    a cover).  Callers that need to distinguish a degraded result can
+    inspect [Bdd.Budget.exhausted] on their budget afterwards. *)

@@ -1,25 +1,34 @@
 #!/usr/bin/env python3
 """Compare two BENCH_engine.json documents (committed baseline vs fresh).
 
-Schema-aware: accepts bddmin-bench-engine/1 and /2 on either side and
-compares only what both documents carry.  Reports percentage deltas on
-phase wall times, the engine's work counters, and per-minimizer size and
-time totals.
+Schema-aware: accepts bddmin-bench-engine/1, /2 and /3 on either side
+and compares only what both documents carry.  Reports percentage deltas
+on phase wall times, the engine's work counters, and per-minimizer size
+and time totals.  From schema /3 on, documents carry the resource
+limits (node/step/time budgets) and DNF rows — runs with different
+limits are never gated against each other, and the capture phase has
+its own (tight) threshold because the governance checks are supposed to
+cost nearly nothing when no budget is set.
 
 Exit status is 0 unless --strict is given AND a gated regression was
 found AND the two runs were actually comparable (same jobs / quick /
-max_calls / image configuration) — CI runs this non-fatally on a quick
-smoke capture, where only the report is wanted.
+max_calls / image / limits configuration) — CI runs this non-fatally on
+a quick smoke capture, where only the report is wanted.
 
 usage: bench_diff.py BASELINE FRESH [--time-threshold PCT]
-                                    [--count-threshold PCT] [--strict]
+                                    [--count-threshold PCT]
+                                    [--capture-threshold PCT] [--strict]
 """
 
 import argparse
 import json
 import sys
 
-SCHEMAS = ("bddmin-bench-engine/1", "bddmin-bench-engine/2")
+SCHEMAS = (
+    "bddmin-bench-engine/1",
+    "bddmin-bench-engine/2",
+    "bddmin-bench-engine/3",
+)
 
 # Counters that measure algorithmic work (deterministic for a given
 # configuration); capacities, live-node and hit-rate fields are
@@ -36,8 +45,9 @@ WORK_COUNTERS = (
 )
 
 # Configuration keys that must match for timings/counters to be
-# comparable.  "image" only exists from schema /2 on.
-CONFIG_KEYS = ("jobs", "quick", "max_calls", "image")
+# comparable.  "image" only exists from schema /2 on, "limits" (the
+# resource budgets) from /3 on.
+CONFIG_KEYS = ("jobs", "quick", "max_calls", "image", "limits")
 
 
 def load(path):
@@ -67,6 +77,9 @@ def main():
                     help="max tolerated %% increase in phase seconds (default 25)")
     ap.add_argument("--count-threshold", type=float, default=10.0,
                     help="max tolerated %% increase in work counters (default 10)")
+    ap.add_argument("--capture-threshold", type=float, default=3.0,
+                    help="max tolerated %% increase in capture seconds "
+                         "(default 3; the budget checks must be ~free)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 on gated regressions (comparable runs only)")
     args = ap.parse_args()
@@ -98,8 +111,11 @@ def main():
             continue
         d = pct(old, new)
         print(f"{name:<24}{old:>13.3f}s{new:>13.3f}s  {fmt_pct(d)}")
-        if d is not None and d > args.time_threshold:
-            regressions.append(f"phase {name}: {d:+.1f}% seconds")
+        threshold = (args.capture_threshold if name == "capture"
+                     else args.time_threshold)
+        if d is not None and d > threshold:
+            regressions.append(f"phase {name}: {d:+.1f}% seconds"
+                               f" (threshold {threshold:.0f}%)")
 
     print(f"\n{'engine counter':<24}{'baseline':>14}{'fresh':>14}   delta")
     be, fe = base["engine"], fresh["engine"]
@@ -112,6 +128,15 @@ def main():
         if d is not None and d > args.count_threshold:
             regressions.append(f"counter {key}: {d:+.1f}%")
 
+    # Schema /3: did-not-finish rows.  A budgeted run with DNFs has
+    # incomparable minimizer totals (they skip the starved calls), so
+    # note them and keep the size gate off.
+    base_dnf, fresh_dnf = base.get("dnf", []), fresh.get("dnf", [])
+    if base_dnf or fresh_dnf:
+        print(f"\nDNF rows: baseline {len(base_dnf)}, fresh {len(fresh_dnf)}")
+        for row in fresh_dnf:
+            print(f"  fresh: {row['bench']} DNF({row['reason']})")
+
     base_min = {m["name"]: m for m in base["minimizers"]}
     print(f"\n{'minimizer':<12}{'size':>10}{'sizeΔ':>8}{'seconds':>12}   delta")
     for m in fresh["minimizers"]:
@@ -120,11 +145,14 @@ def main():
             continue
         sized = m["total_size"] - old["total_size"]
         d = pct(old["total_seconds"], m["total_seconds"])
+        dnf_calls = m.get("dnf_calls", 0) + old.get("dnf_calls", 0)
         print(f"{m['name']:<12}{m['total_size']:>10}{sized:>+8}"
-              f"{m['total_seconds']:>11.3f}s  {fmt_pct(d)}")
+              f"{m['total_seconds']:>11.3f}s  {fmt_pct(d)}"
+              + (f"  ({m.get('dnf_calls', 0)} DNF)" if dnf_calls else ""))
         # result sizes are deterministic per configuration: any drift in
-        # a comparable run means the minimizers changed behaviour
-        if comparable and sized != 0:
+        # a comparable run means the minimizers changed behaviour (DNFs
+        # on either side make the totals cover different call sets)
+        if comparable and not dnf_calls and sized != 0:
             regressions.append(f"minimizer {m['name']}: total_size {sized:+d}")
 
     if regressions:

@@ -180,3 +180,30 @@ probes (timings vary, so check the row labels only):
   min:sched
   phase
   schedule.window
+
+Unknown minimizer names print the catalogue and exit with a usage error:
+
+  $ bddmin reach tlc --minimize nope
+  unknown minimizer "nope"; valid minimizers are:
+    const, restr, osm_td, osm_nv, osm_cp, osm_bt, tsm_td, tsm_cp, opt_lv, f_orig, f_and_c, f_or_nc, sched, isop
+  [2]
+
+Resource governance: step budgets are deterministic, so a starved
+traversal reports the same partial result every run — with exit code 3
+(did not finish) rather than a hard failure:
+
+  $ bddmin reach johnson8 --step-budget 40
+  johnson8: 42 gates, 1 inputs, 8 latches, 8 outputs
+  reachable states: 1 of 256   iterations: 0   |R| = 9 nodes
+  PARTIAL(steps): step budget exhausted (> 40 recursion steps); the count is a lower bound
+  [3]
+
+  $ bddmin equiv tlc --step-budget 40
+  DNF(steps): step budget exhausted (> 40 recursion steps)
+  [3]
+
+A generous budget changes nothing:
+
+  $ bddmin reach johnson8 --step-budget 10000000
+  johnson8: 42 gates, 1 inputs, 8 latches, 8 outputs
+  reachable states: 16 of 256   iterations: 16   |R| = 25 nodes

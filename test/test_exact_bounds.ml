@@ -20,7 +20,7 @@ let exact_is_cover_and_minimal =
          && Bdd.size man r.E.cover = r.E.size
          && List.for_all
               (fun (e : Minimize.Registry.entry) ->
-                 Bdd.size man (e.run man s) >= r.E.size)
+                 Bdd.size man (e.run (Minimize.Ctx.of_man man) s) >= r.E.size)
               Minimize.Registry.all)
 
 let sandwich =
@@ -35,7 +35,7 @@ let sandwich =
          lb <= m
          && List.for_all
               (fun (e : Minimize.Registry.entry) ->
-                 Bdd.size man (e.run man s) >= m)
+                 Bdd.size man (e.run (Minimize.Ctx.of_man man) s) >= m)
               Minimize.Registry.proper)
 
 let exact_no_dc_is_f =

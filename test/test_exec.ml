@@ -76,22 +76,20 @@ let future_states () =
    onset fractions, minimizer winners and lower bounds — no times — so
    string equality is the right oracle. *)
 let suite_differential () =
-  let config =
-    {
-      Harness.Capture.default_config with
-      Harness.Capture.max_calls = 6;
-      lower_bound_cubes = 50;
-    }
+  let base =
+    Harness.Capture.(
+      default_config |> with_max_calls 6 |> with_lower_bound_cubes 50)
   in
   let benches = Circuits.Registry.quick in
-  let names = Harness.Capture.minimizer_names config in
+  let names = Harness.Capture.minimizer_names base in
   let progress_log = ref [] in
   let run jobs =
     progress_log := [];
     let calls =
-      Harness.Capture.run_suite ~config
+      Harness.Capture.run_suite
+        ~config:(Harness.Capture.with_jobs jobs base)
         ~progress:(fun m -> progress_log := m :: !progress_log)
-        ~jobs benches
+        benches
     in
     (Harness.Tables.calls_to_csv ~names calls, List.rev !progress_log)
   in

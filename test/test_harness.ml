@@ -1,11 +1,8 @@
 (* Experiment harness: capture invariants, aggregation, and renderers. *)
 
 let config =
-  {
-    Harness.Capture.default_config with
-    Harness.Capture.lower_bound_cubes = 200;
-    max_calls = 60;
-  }
+  Harness.Capture.(
+    default_config |> with_lower_bound_cubes 200 |> with_max_calls 60)
 
 let names = Harness.Capture.minimizer_names config
 
@@ -138,7 +135,7 @@ let csv_shape () =
   | [] -> Alcotest.fail "empty csv"
 
 let max_calls_respected () =
-  let tight = { config with Harness.Capture.max_calls = 5 } in
+  let tight = Harness.Capture.with_max_calls 5 config in
   let calls =
     Harness.Capture.run_bench ~config:tight
       (Option.get (Circuits.Registry.find "gray6"))

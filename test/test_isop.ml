@@ -95,7 +95,9 @@ let registry_entry =
        let s = Util.build_ispec_nonzero desc in
        match Minimize.Registry.find "isop" with
        | None -> false
-       | Some e -> Util.tt_is_cover ~nvars s (e.Minimize.Registry.run man s))
+       | Some e ->
+         Util.tt_is_cover ~nvars s
+           (e.Minimize.Registry.run (Minimize.Ctx.of_man man) s))
 
 let zdd_bridge =
   Util.qtest ~count:150 "cube list <-> ZDD literal encoding round trip"

@@ -34,4 +34,5 @@ let () =
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
       ("exec", Test_exec.suite);
+      ("budget", Test_budget.suite);
     ]

@@ -486,15 +486,15 @@ let differential_tracing =
        let inst = Util.random_ispec_nonzero 6 in
        List.for_all
          (fun (e : Minimize.Registry.entry) ->
-            let plain = e.run Util.man inst in
+            let plain = e.run (Minimize.Ctx.of_man Util.man) inst in
             let traced =
-              T.with_sink (T.memory ()) (fun () -> e.run Util.man inst)
+              T.with_sink (T.memory ()) (fun () -> e.run (Minimize.Ctx.of_man Util.man) inst)
             in
             let chromed =
               let buf = Buffer.create 256 in
               T.with_sink
                 (T.chrome_writer (Buffer.add_string buf))
-                (fun () -> e.run Util.man inst)
+                (fun () -> e.run (Minimize.Ctx.of_man Util.man) inst)
             in
             Bdd.equal plain traced && Bdd.equal plain chromed)
          Minimize.Registry.extended)

@@ -69,7 +69,7 @@ let registry_runs_cover =
     (fun desc ->
        let s = Util.build_ispec_nonzero desc in
        List.for_all
-         (fun (e : R.entry) -> Util.tt_is_cover ~nvars s (e.run man s))
+         (fun (e : R.entry) -> Util.tt_is_cover ~nvars s (e.run (Minimize.Ctx.of_man man) s))
          R.all)
 
 let best_is_minimal =
@@ -77,10 +77,10 @@ let best_is_minimal =
     Util.gen_instance
     (fun desc ->
        let s = Util.build_ispec_nonzero desc in
-       let _, g = R.best man R.all s in
+       let _, g = R.best (Minimize.Ctx.of_man man) R.all s in
        let sz = Bdd.size man g in
        List.for_all
-         (fun (e : R.entry) -> Bdd.size man (e.run man s) >= sz)
+         (fun (e : R.entry) -> Bdd.size man (e.run (Minimize.Ctx.of_man man) s) >= sz)
          R.all)
 
 let restr_uses_engine_kernel () =
@@ -99,7 +99,7 @@ let restr_uses_engine_kernel () =
   let s = I.make ~f ~c in
   let entry = Option.get (R.find "restr") in
   let before = (Bdd.snapshot man).Bdd.Stats.restrict_recursions in
-  let g = entry.R.run man s in
+  let g = entry.R.run (Minimize.Ctx.of_man man) s in
   let after = (Bdd.snapshot man).Bdd.Stats.restrict_recursions in
   Util.checkb "restrict kernel recursions counted" (after > before);
   Util.checkb "still computes Bdd.restrict"
@@ -112,7 +112,7 @@ let reference_entries () =
   let f = Util.random_bdd 4 and c = Util.random_bdd 4 in
   let s = I.make ~f ~c in
   let run name =
-    (Option.get (R.find name)).R.run man s
+    (Option.get (R.find name)).R.run (Minimize.Ctx.of_man man) s
   in
   Util.checkb "f_orig" (Bdd.equal (run "f_orig") f);
   Util.checkb "f_and_c" (Bdd.equal (run "f_and_c") (Bdd.dand man f c));
