@@ -23,6 +23,9 @@
      BDDMIN_BENCH_STEP_BUDGET=N   recursion-step budget per minimizer run
      BDDMIN_BENCH_TIME_BUDGET=S   wall-clock budget in seconds
      BDDMIN_BENCH_FAIL_FAST=1     cancel the suite on the first DNF
+     BDDMIN_BENCH_SERVE=0   skip the serve load-generation phase
+     BDDMIN_BENCH_SERVE_CLIENTS=N   concurrent loadgen clients (default 4)
+     BDDMIN_BENCH_SERVE_REQUESTS=N  requests per client (default 150)
      BDDMIN_BENCH_JSON=PATH where to write the machine-readable baseline
                             (default BENCH_engine.json in the cwd) *)
 
@@ -457,6 +460,43 @@ let engine_stats () =
      instances)\n\n"
     reclaimed s.Bdd.Stats.live_nodes s.Bdd.Stats.external_refs
 
+(* ----- Serve phase: in-process daemon load generation ----- *)
+
+let serve_enabled = Sys.getenv_opt "BDDMIN_BENCH_SERVE" <> Some "0"
+
+let serve_clients =
+  Option.value (env_pos_int "BDDMIN_BENCH_SERVE_CLIENTS") ~default:4
+
+let serve_requests =
+  Option.value (env_pos_int "BDDMIN_BENCH_SERVE_REQUESTS") ~default:150
+
+let serve_stats : Harness.Bench_json.serve_stats option ref = ref None
+
+let serve_phase () =
+  Printf.printf
+    "== Serve load generation (%d clients x %d requests, in-process daemon) \
+     ==\n%!"
+    serve_clients serve_requests;
+  let stats =
+    Serve.Loadgen.run ~clients:serve_clients ~requests:serve_requests ()
+  in
+  Format.printf "%a@.@." Serve.Loadgen.pp stats;
+  serve_stats :=
+    Some
+      {
+        Harness.Bench_json.serve_clients = stats.Serve.Loadgen.clients;
+        serve_requests = stats.Serve.Loadgen.requests;
+        serve_workers = stats.Serve.Loadgen.workers;
+        serve_seconds = stats.Serve.Loadgen.seconds;
+        serve_rps = stats.Serve.Loadgen.rps;
+        serve_p50_ms = stats.Serve.Loadgen.p50_ms;
+        serve_p95_ms = stats.Serve.Loadgen.p95_ms;
+        serve_p99_ms = stats.Serve.Loadgen.p99_ms;
+        serve_mean_ms = stats.Serve.Loadgen.mean_ms;
+        serve_dnf = stats.Serve.Loadgen.dnf;
+        serve_errors = stats.Serve.Loadgen.errors;
+      }
+
 (* ----- machine-readable baseline: BENCH_engine.json -----
 
    Schema and field meanings are documented in [Harness.Bench_json]; the
@@ -466,7 +506,7 @@ let engine_stats () =
    against the predecessor. *)
 
 let emit_bench_json path =
-  Harness.Bench_json.write ~path ~jobs ~quick ~max_calls
+  Harness.Bench_json.write ?serve:!serve_stats ~path ~jobs ~quick ~max_calls
     ~image:(Fsm.Image.strategy_name image_strategy)
     ~limits:config.Harness.Capture.limits
     ~benches:(List.length benches) ~capture_seconds:!capture_seconds
@@ -485,5 +525,6 @@ let () =
   timed_phase "ablations" ablations;
   timed_phase "phase_breakdown" phase_breakdown;
   timed_phase "engine_stats" engine_stats;
+  if serve_enabled then timed_phase "serve" serve_phase;
   emit_bench_json json_path;
   print_endline "done."

@@ -562,8 +562,30 @@ let tables_cmd =
 
 (* ----- bench: capture suite + machine-readable baseline ----- *)
 
+(* The bench's serve phase: loadgen stats copied into the plain record
+   Bench_json renders (harness has no serve dependency). *)
+let serve_phase ~clients ~requests =
+  let (stats : Serve.Loadgen.stats), dt =
+    Obs.Clock.timed @@ fun () -> Serve.Loadgen.run ~clients ~requests ()
+  in
+  ( {
+      Harness.Bench_json.serve_clients = stats.clients;
+      serve_requests = stats.requests;
+      serve_workers = stats.workers;
+      serve_seconds = stats.seconds;
+      serve_rps = stats.rps;
+      serve_p50_ms = stats.p50_ms;
+      serve_p95_ms = stats.p95_ms;
+      serve_p99_ms = stats.p99_ms;
+      serve_mean_ms = stats.mean_ms;
+      serve_dnf = stats.dnf;
+      serve_errors = stats.errors;
+    },
+    dt )
+
 let bench_cmd =
-  let run quick max_calls image cluster_bound jobs budget fail_fast out trace =
+  let run quick max_calls image cluster_bound jobs budget fail_fast
+      serve_clients serve_requests out trace =
     let benches =
       if quick then Circuits.Registry.quick else Circuits.Registry.all
     in
@@ -588,11 +610,21 @@ let bench_cmd =
         benches
     in
     let calls = suite.Harness.Capture.suite_calls in
-    Harness.Bench_json.write ~path:out ~jobs ~quick ~max_calls
+    let serve, phases =
+      if serve_requests <= 0 then (None, [ ("capture", dt) ])
+      else begin
+        Printf.eprintf "serve phase: %d requests over %d clients\n%!"
+          serve_requests serve_clients;
+        let stats, serve_dt =
+          serve_phase ~clients:serve_clients ~requests:serve_requests
+        in
+        (Some stats, [ ("capture", dt); ("serve", serve_dt) ])
+      end
+    in
+    Harness.Bench_json.write ?serve ~path:out ~jobs ~quick ~max_calls
       ~image:(Fsm.Image.strategy_name image_strategy)
       ~limits:config.Harness.Capture.limits
-      ~benches:(List.length benches) ~capture_seconds:dt
-      ~phases:[ ("capture", dt) ]
+      ~benches:(List.length benches) ~capture_seconds:dt ~phases
       ~names:(Harness.Capture.minimizer_names config)
       ~engine:suite.Harness.Capture.engine
       ~dnf:suite.Harness.Capture.suite_dnf calls;
@@ -618,6 +650,18 @@ let bench_cmd =
              ~doc:"Cancel the remaining machines after the first budget \
                    exhaustion anywhere in the suite.")
   in
+  let serve_clients =
+    Arg.(value & opt int 4
+         & info [ "serve-clients" ] ~docv:"N"
+             ~doc:"Concurrent clients for the serve phase (default 4).")
+  in
+  let serve_requests =
+    Arg.(value & opt int 150
+         & info [ "serve-requests" ] ~docv:"N"
+             ~doc:"Requests for the serve throughput phase (default \
+                   150; 0 disables the phase and writes a null serve \
+                   section).")
+  in
   let out =
     Arg.(value & opt string "BENCH_engine.json"
          & info [ "o"; "out" ] ~docv:"FILE"
@@ -634,20 +678,22 @@ let bench_cmd =
               machines (optionally on several worker domains; the \
               result data is byte-identical at any $(b,-j)) and writes \
               a machine-readable JSON baseline: schema \
-              $(b,bddmin-bench-engine/3) with per-minimizer size/time \
+              $(b,bddmin-bench-engine/4) with per-minimizer size/time \
               totals, capture wall time, the image strategy, the \
-              resource limits with any DNF rows they produced, and the \
-              summed engine counters of every benchmark manager.  Under \
+              resource limits with any DNF rows they produced, a serve \
+              throughput/latency section (see $(b,--serve-requests)), \
+              and the summed engine counters of every benchmark \
+              manager.  Under \
               $(b,--node-budget), $(b,--step-budget) or \
               $(b,--time-budget) the run still exits 0: exhausted \
               minimizer runs and machines degrade to DNF rows instead \
               of aborting the suite.";
          ])
     Term.(
-      const (fun () a b c d e f g h i -> run a b c d e f g h i)
+      const (fun () a b c d e f g h i j k -> run a b c d e f g h i j k)
       $ logs_term $ quick $ max_calls $ image_term "partitioned"
-      $ cluster_bound_term $ jobs_term $ budget_spec_term $ fail_fast $ out
-      $ trace_term)
+      $ cluster_bound_term $ jobs_term $ budget_spec_term $ fail_fast
+      $ serve_clients $ serve_requests $ out $ trace_term)
 
 (* ----- profile ----- *)
 
@@ -888,12 +934,223 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Export BDDs as Graphviz")
     Term.(const run $ fexpr $ cexpr $ out)
 
+(* ----- serve: the request-scheduling daemon ----- *)
+
+let connect_doc =
+  "Server address: $(b,HOST:PORT) for TCP or a unix-socket path."
+
+let connect_opt_term =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"ADDR" ~doc:connect_doc)
+
+let connect_req_term =
+  Arg.(required & opt (some string) None
+       & info [ "connect" ] ~docv:"ADDR" ~doc:connect_doc)
+
+let serve_cmd =
+  let run port unix_path workers =
+    let listen =
+      match unix_path with
+      | Some path -> Serve.Server.Unix_path path
+      | None -> Serve.Server.Tcp port
+    in
+    let workers =
+      match workers with
+      | Some w -> w
+      | None -> max 2 (Exec.recommended_jobs () - 1)
+    in
+    match Serve.Server.start ~workers listen with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot listen on %s: %s\n"
+        (match listen with
+         | Serve.Server.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
+         | Serve.Server.Unix_path p -> p)
+        (Unix.error_message e);
+      1
+    | srv ->
+      Printf.printf "bddmin serve: listening on %s (%d workers)\n%!"
+        (Serve.Server.address srv) workers;
+      let stop_requested = Atomic.make false in
+      let on_signal _ = Atomic.set stop_requested true in
+      List.iter
+        (fun s ->
+           try Sys.set_signal s (Sys.Signal_handle on_signal)
+           with Invalid_argument _ | Sys_error _ -> ())
+        [ Sys.sigint; Sys.sigterm ];
+      (* poll so signal handlers get to run; the shutdown op flips the
+         server's own flag *)
+      while not (Atomic.get stop_requested) && not (Serve.Server.stopping srv)
+      do
+        (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      done;
+      Serve.Server.request_stop srv;
+      Serve.Server.wait srv;
+      Printf.printf "bddmin serve: stopped\n%!";
+      0
+  in
+  let port =
+    Arg.(value & opt int 4224
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"TCP port on 127.0.0.1 (default 4224; 0 picks a free \
+                   one).  Ignored when $(b,--unix) is given.")
+  in
+  let unix_path =
+    Arg.(value & opt (some string) None
+         & info [ "unix" ] ~docv:"PATH"
+             ~doc:"Listen on a unix-domain socket at $(docv) instead of \
+                   TCP.")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Compute worker domains (default: cores - 1, at least \
+                   2).  Each request runs on a private BDD manager under \
+                   its own budget.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the minimization daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Accepts minimize / reach / equiv / ping / metrics / \
+              shutdown requests as length-prefixed JSON frames (4-byte \
+              big-endian length, then the JSON document; see \
+              docs/TUTORIAL.md §11 for the message schema).  Each \
+              request is scheduled onto a pool of worker domains with a \
+              per-request budget; deadlines are fixed at arrival, so \
+              time spent queued counts and expired requests return a \
+              structured $(b,dnf) reply with reason $(b,time) without \
+              disturbing other in-flight work.  SIGINT/SIGTERM (or a \
+              client $(b,shutdown) request) stop the daemon: queued \
+              jobs are aborted with $(b,dnf cancelled) replies, running \
+              jobs drain.";
+         ])
+    Term.(const (fun () a b c -> run a b c)
+          $ logs_term $ port $ unix_path $ workers)
+
+let serve_bench_cmd =
+  let run connect clients requests workers heuristic seed max_steps
+      timeout_ms =
+    let connect = Option.map Serve.Client.parse_addr connect in
+    match
+      Serve.Loadgen.run ~clients ~requests ?connect ?workers ~heuristic ~seed
+        ?max_steps ?timeout_ms ()
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: %s\n" (Unix.error_message e);
+      1
+    | stats ->
+      Format.printf "%a@." Serve.Loadgen.pp stats;
+      if stats.Serve.Loadgen.errors > 0 then 1 else 0
+  in
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Concurrent client connections (default 4).")
+  in
+  let requests =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Total minimize requests across all clients (default \
+                   200).")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains for the in-process server (ignored \
+                   with $(b,--connect)).")
+  in
+  let heuristic =
+    Arg.(value & opt string "sched"
+         & info [ "heuristic" ] ~docv:"NAME"
+             ~doc:"Registry heuristic each request asks for (default \
+                   $(b,sched)).")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Payload generator seed (default 1).")
+  in
+  let max_steps =
+    Arg.(value & opt (some int) None
+         & info [ "max-steps" ] ~docv:"N"
+             ~doc:"Per-request recursion-step budget (requests past it \
+                   return $(b,dnf) replies).")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline in milliseconds, fixed at \
+                   arrival ($(b,0) = already expired: every request \
+                   returns $(b,dnf) with reason $(b,time)).")
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:"Measure serve throughput and tail latency"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Drives deterministic minimize requests at a serve daemon \
+              from concurrent clients and reports requests/sec and \
+              p50/p95/p99 latency.  Without $(b,--connect) an \
+              in-process server on a throwaway unix socket is measured \
+              (the same load generator backs the $(b,serve) phase of \
+              $(b,bddmin bench)).";
+         ])
+    Term.(const (fun () a b c d e f g h -> run a b c d e f g h)
+          $ logs_term $ connect_opt_term $ clients $ requests
+          $ workers $ heuristic $ seed $ max_steps $ timeout_ms)
+
+let serve_ctl_cmd =
+  let run action connect =
+    match Serve.Client.connect (Serve.Client.parse_addr connect) with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot connect to %s: %s\n" connect
+        (Unix.error_message e);
+      1
+    | c ->
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let reply =
+        match action with
+        | `Ping -> Serve.Client.ping c
+        | `Metrics -> Serve.Client.metrics c
+        | `Shutdown -> Serve.Client.shutdown c
+      in
+      (match reply with
+       | Ok { Serve.Protocol.status = "ok"; result; _ } ->
+         print_endline (Serve.Json.print result);
+         0
+       | Ok r ->
+         Printf.eprintf "error: status %s%s\n" r.Serve.Protocol.status
+           (match r.Serve.Protocol.message with
+            | Some m -> ": " ^ m
+            | None -> "");
+         1
+       | Error msg ->
+         Printf.eprintf "error: %s\n" msg;
+         1)
+  in
+  let action =
+    let actions = [ ("ping", `Ping); ("metrics", `Metrics); ("shutdown", `Shutdown) ] in
+    Arg.(required & pos 0 (some (enum actions)) None
+         & info [] ~docv:"ACTION"
+             ~doc:"$(b,ping), $(b,metrics) or $(b,shutdown).")
+  in
+  Cmd.v
+    (Cmd.info "serve-ctl"
+       ~doc:"Ping, inspect or stop a running serve daemon")
+    Term.(const (fun () a b -> run a b)
+          $ logs_term $ action $ connect_req_term)
+
 let main =
   Cmd.group
     (Cmd.info "bddmin" ~version:"1.0.0"
        ~doc:"Heuristic minimization of BDDs using don't cares (DAC'94)")
     [ minimize_cmd; lower_bound_cmd; equiv_cmd; reach_cmd; stats_cmd;
       tables_cmd; bench_cmd; profile_cmd; optimize_cmd; pla_cmd; benches_cmd;
-      dot_cmd ]
+      dot_cmd; serve_cmd; serve_bench_cmd; serve_ctl_cmd ]
 
 let () = exit (Cmd.eval' main)

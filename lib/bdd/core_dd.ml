@@ -555,6 +555,24 @@ let budget_step man b =
 let[@inline] budget_tick man =
   match man.budget with None -> () | Some b -> budget_step man b
 
+(* Immediate poll of the externally-driven limits (wall clock,
+   cancellation), bypassing the 1024-step cadence.  Run once at every
+   public operation's entry: an already-expired deadline must abort
+   before any work — in particular before a run of cache hits, which
+   never reach [budget_step] at all.  This is what lets a server enforce
+   per-request deadlines: a request whose deadline passed while it sat
+   in the queue dies on its first operation, not 1024 cache misses
+   later. *)
+let budget_poll b =
+  if b.b_cancelled () then budget_fail b Cancelled;
+  if
+    b.b_deadline_ns <> Int64.max_int
+    && Obs.Clock.now_ns () > b.b_deadline_ns
+  then budget_fail b (Time { seconds = b.b_seconds })
+
+let[@inline] budget_entry man =
+  match man.budget with None -> () | Some b -> budget_poll b
+
 let set_budget man b = man.budget <- b
 let current_budget man = man.budget
 
@@ -563,7 +581,9 @@ let with_budget man b k =
   man.budget <- Some b;
   Fun.protect ~finally:(fun () -> man.budget <- prev) k
 
-let check_budget man = budget_tick man
+let check_budget man =
+  budget_entry man;
+  budget_tick man
 
 (* ----- Boolean operation kernels ----- *)
 
@@ -691,18 +711,22 @@ and ite_aux man f g h =
 
 let ite man f g h =
   maybe_gc man;
+  budget_entry man;
   ite_norm man f g h
 
 let and_ man f g =
   maybe_gc man;
+  budget_entry man;
   and_rec man f g
 
 let or_ man f g =
   maybe_gc man;
+  budget_entry man;
   or_rec man f g
 
 let xor man f g =
   maybe_gc man;
+  budget_entry man;
   xor_rec man f g
 
 let dand = and_
@@ -723,6 +747,7 @@ let leq man f g = is_zero (diff man f g)
 
 let cofactor man f ~var phase =
   maybe_gc man;
+  budget_entry man;
   let memo = Hashtbl.create 64 in
   let rec go f =
     if topvar f > var then f
@@ -815,16 +840,19 @@ let quantify_rec man tag combine vars suffix i0 f0 =
 
 let exists man vars f =
   maybe_gc man;
+  budget_entry man;
   let vars, suffix = cube_of_list man vars in
   quantify_rec man tag_exists or_rec vars suffix 0 f
 
 let forall man vars f =
   maybe_gc man;
+  budget_entry man;
   let vars, suffix = cube_of_list man vars in
   quantify_rec man tag_forall and_rec vars suffix 0 f
 
 let and_exists man vars f g =
   maybe_gc man;
+  budget_entry man;
   let vars, suffix = cube_of_list man vars in
   let nv = Array.length vars in
   let rec go i f g =
@@ -870,6 +898,7 @@ let vector_compose man f subs =
   | [] -> f
   | _ ->
     maybe_gc man;
+    budget_entry man;
     let table = Hashtbl.create 16 in
     List.iter (fun (v, g) -> Hashtbl.replace table v g) subs;
     let bindings =
@@ -935,6 +964,7 @@ let rec constrain_rec man f c =
 let constrain man f c =
   if is_zero c then invalid_arg "Core_dd.constrain: empty care set";
   maybe_gc man;
+  budget_entry man;
   constrain_rec man f c
 
 let rec restrict_rec man f c =
@@ -962,6 +992,7 @@ let rec restrict_rec man f c =
 let restrict man f c =
   if is_zero c then invalid_arg "Core_dd.restrict: empty care set";
   maybe_gc man;
+  budget_entry man;
   restrict_rec man f c
 
 (* ----- Inspection ----- *)

@@ -109,9 +109,16 @@ val without_auto_gc : man -> (unit -> 'a) -> 'a
     merely discarded; re-running the same operation without a budget
     yields the canonical result.
 
-    The wall clock and the cancellation callback are polled once every
-    1024 steps (and on the first), so sub-millisecond deadlines resolve
-    with that granularity. *)
+    The wall clock and the cancellation callback are additionally polled
+    once at every public operation's {e entry} — so an already-expired
+    deadline (or an already-cancelled token) aborts the very next
+    operation immediately, even one that would be answered entirely from
+    the computed cache.  Inside a running operation they are then polled
+    once every 1024 cache-missing steps, so mid-operation deadlines
+    resolve with that granularity.  This entry check is what makes
+    server-side deadline enforcement cheap: a request whose deadline
+    passed while it queued dies on its first kernel call, not thousands
+    of steps later. *)
 
 module Budget : sig
   type reason =
@@ -171,7 +178,8 @@ val with_budget : man -> Budget.t -> (unit -> 'a) -> 'a
     installed one on exit (also on exceptions). *)
 
 val check_budget : man -> unit
-(** Manually consult the installed budget (counts as one step).  For
+(** Manually consult the installed budget (counts as one step, and polls
+    the deadline and cancellation callback immediately).  For
     long-running loops outside the kernels — e.g. a reachability
     fixpoint — that want deadline and cancellation responsiveness even
     when individual operations keep hitting the cache. *)

@@ -3,6 +3,18 @@ let edge_syntax id complemented =
 
 let is_complemented e = Core_dd.uid e land 1 = 1
 
+(* A root name round-trips iff [load]'s space-splitting line parser can
+   recover it: non-empty and free of any whitespace (space, tab, newline,
+   carriage return — the latter two would also corrupt the line
+   structure, and a CR would be silently eaten by [String.trim] on the
+   way back in). *)
+let root_name_roundtrips name =
+  name <> ""
+  && not
+       (String.exists
+          (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r')
+          name)
+
 let save man roots =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "bdd 1\n";
@@ -23,10 +35,19 @@ let save man roots =
     end
   in
   List.iter (fun (_, e) -> visit e) roots;
+  let seen_names = Hashtbl.create 8 in
   List.iter
     (fun (name, e) ->
-       if String.contains name ' ' || String.contains name '\n' then
-         invalid_arg "Store.save: root names must not contain spaces";
+       if not (root_name_roundtrips name) then
+         invalid_arg
+           (Printf.sprintf
+              "Store.save: root name %S cannot round-trip (must be \
+               non-empty and contain no whitespace)"
+              name);
+       if Hashtbl.mem seen_names name then
+         invalid_arg
+           (Printf.sprintf "Store.save: duplicate root name %S" name);
+       Hashtbl.add seen_names name ();
        Buffer.add_string buf (Printf.sprintf "root %s %s\n" name (edge_ref e)))
     roots;
   ignore man;
@@ -53,11 +74,22 @@ let load man text =
         | Some e -> if complemented then Core_dd.compl e else e)
   in
   let roots = ref [] in
+  let root_names = Hashtbl.create 8 in
+  (* The header is the first non-blank line, wherever that falls: leading
+     blank lines (or trailing ones a transport appended) must not shift a
+     valid document into a parse error. *)
+  let header_seen = ref false in
   let handle lineno line =
     match String.split_on_char ' ' (String.trim line) with
     | [ "" ] -> ()
-    | [ "bdd"; "1" ] when lineno = 0 -> ()
-    | [ "bdd"; v ] when lineno = 0 -> raise (Bad ("unsupported version " ^ v))
+    | [ "bdd"; "1" ] when not !header_seen -> header_seen := true
+    | [ "bdd"; v ] when not !header_seen ->
+      raise (Bad ("unsupported version " ^ v))
+    | _ when not !header_seen ->
+      raise
+        (Bad
+           (Printf.sprintf "line %d: expected the \"bdd 1\" header, got %S"
+              (lineno + 1) line))
     | [ "node"; id; var; hi; lo ] -> begin
         match (int_of_string_opt id, int_of_string_opt var) with
         | (Some id, Some var) when id > 0 && var >= 0 ->
@@ -71,7 +103,11 @@ let load man text =
           Hashtbl.add table id e
         | _ -> raise (Bad ("bad node line: " ^ line))
       end
-    | [ "root"; name; edge ] -> roots := (name, parse_edge edge) :: !roots
+    | [ "root"; name; edge ] ->
+      if Hashtbl.mem root_names name then
+        raise (Bad (Printf.sprintf "duplicate root name %S" name));
+      Hashtbl.add root_names name ();
+      roots := (name, parse_edge edge) :: !roots
     | _ -> raise (Bad (Printf.sprintf "line %d: cannot parse %S" (lineno + 1) line))
   in
   match

@@ -10,17 +10,23 @@
     v}
     Node ids are arbitrary positive integers unique within the file; the
     terminal is id 0 (so the constant one is edge [0] and zero is [!0]).
-    Loading reconstructs the functions in any manager, re-establishing
-    maximal sharing through the unique table. *)
+    The header must be the first non-blank line (blank lines are ignored
+    anywhere).  Loading reconstructs the functions in any manager,
+    re-establishing maximal sharing through the unique table. *)
 
 val save : Core_dd.man -> (string * Core_dd.t) list -> string
-(** Serialize the shared DAG of the named roots. *)
+(** Serialize the shared DAG of the named roots.
+    @raise Invalid_argument on a root name that would not round-trip
+    through {!load} — empty, containing whitespace (space, tab, newline,
+    carriage return), or duplicated. *)
 
 val save_file : string -> Core_dd.man -> (string * Core_dd.t) list -> unit
 
 val load : Core_dd.man -> string -> ((string * Core_dd.t) list, string) result
 (** Parse and rebuild in the given manager.  Fails on malformed input,
-    unknown ids, or order violations ([var] must be strictly smaller than
-    the children's variables). *)
+    a missing header, unknown ids, duplicate node ids or root names, or
+    order violations ([var] must be strictly smaller than the children's
+    variables).  Never raises on malformed input: every syntax problem
+    is an [Error]. *)
 
 val load_file : Core_dd.man -> string -> ((string * Core_dd.t) list, string) result

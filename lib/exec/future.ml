@@ -52,7 +52,9 @@ let is_resolved fut =
 
 let spawn pool f =
   let fut = create () in
-  Pool.submit pool (fun () ->
+  Pool.submit pool
+    ~on_abort:(fun () -> fail fut Pool.Aborted (Printexc.get_callstack 0))
+    (fun () ->
       match f () with
       | v -> fill fut v
       | exception e -> fail fut e (Printexc.get_raw_backtrace ()));

@@ -26,4 +26,5 @@ val is_resolved : 'a t -> bool
 val spawn : Pool.t -> (unit -> 'a) -> 'a t
 (** [spawn pool f] submits [f] and returns the future of its outcome.
     An exception raised by [f] is captured, not lost: it surfaces at
-    {!await}. *)
+    {!await}.  If the pool is shut down in [`Abort] mode while the job
+    is still queued, the future resolves with {!Pool.Aborted}. *)

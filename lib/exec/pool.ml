@@ -5,14 +5,24 @@
    shutdown.  Jobs are opaque thunks: the pool runs them and swallows
    anything they raise (the [Future] layer converts a job's outcome —
    value or exception — into a state the submitter awaits, so a raising
-   job can never take a worker down with it, let alone wedge the pool). *)
+   job can never take a worker down with it, let alone wedge the pool).
+
+   Every queued job also carries an abort callback.  [shutdown
+   ~mode:`Abort] discards the still-queued jobs instead of running them,
+   and invokes each discarded job's callback exactly once — that is how
+   the [Future] layer resolves abandoned futures with [Aborted], so an
+   [await] on a discarded job raises instead of hanging forever. *)
+
+exception Aborted
 
 type job = unit -> unit
+
+type queued = { run : job; on_abort : job }
 
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  q : job Queue.t;
+  q : queued Queue.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
   size : int;
@@ -31,7 +41,7 @@ let rec worker_loop pool =
   else begin
     let job = Queue.pop pool.q in
     Mutex.unlock pool.lock;
-    (try job () with _ -> ());
+    (try job.run () with _ -> ());
     worker_loop pool
   end
 
@@ -51,22 +61,34 @@ let create ~jobs =
     List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
   pool
 
-let submit pool job =
+let submit ?(on_abort = fun () -> ()) pool run =
   Mutex.lock pool.lock;
   if pool.closed then begin
     Mutex.unlock pool.lock;
     invalid_arg "Exec.Pool.submit: pool is shut down"
   end;
-  Queue.push job pool.q;
+  Queue.push { run; on_abort } pool.q;
   Condition.signal pool.nonempty;
   Mutex.unlock pool.lock
 
-let shutdown pool =
+let shutdown ?(mode = `Drain) pool =
   Mutex.lock pool.lock;
   let was_closed = pool.closed in
   pool.closed <- true;
+  (* In abort mode the queue is emptied under the lock, so no worker can
+     pick a discarded job up; in-flight jobs (already popped) complete
+     normally either way. *)
+  let discarded =
+    match mode with
+    | `Drain -> []
+    | `Abort ->
+      let js = List.of_seq (Queue.to_seq pool.q) in
+      Queue.clear pool.q;
+      js
+  in
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.lock;
+  List.iter (fun j -> try j.on_abort () with _ -> ()) discarded;
   if not was_closed then begin
     List.iter Domain.join pool.workers;
     pool.workers <- []

@@ -15,18 +15,33 @@ type t
 
 type job = unit -> unit
 
+exception Aborted
+(** The fate of a job discarded by {!shutdown} [~mode:`Abort]: the
+    [Future] layer resolves the job's future with this exception, so an
+    [await] raises instead of blocking forever. *)
+
 val create : jobs:int -> t
 (** Spawn [jobs] worker domains ([jobs >= 1]). *)
 
 val size : t -> int
 (** The number of worker domains. *)
 
-val submit : t -> job -> unit
-(** Enqueue a job.  @raise Invalid_argument after {!shutdown}. *)
+val submit : ?on_abort:job -> t -> job -> unit
+(** Enqueue a job.  [on_abort] (default a no-op) is invoked — instead of
+    the job, exactly once, in the domain calling {!shutdown} — if the
+    job is still queued when the pool is shut down in [`Abort] mode; use
+    it to resolve whatever is awaiting the job.  Anything it raises is
+    swallowed.  @raise Invalid_argument after {!shutdown}. *)
 
-val shutdown : t -> unit
-(** Stop accepting jobs, let the workers drain everything already
-    queued, and join them.  Idempotent. *)
+val shutdown : ?mode:[ `Drain | `Abort ] -> t -> unit
+(** Stop accepting jobs and join the workers.  Idempotent (a second
+    call, in either mode, finds nothing queued).
+
+    [`Drain] (the default) lets the workers finish everything already
+    queued first.  [`Abort] discards the still-queued jobs without
+    running them and invokes each one's [on_abort] callback, so their
+    futures resolve with {!Aborted} rather than hang; jobs already
+    running on a worker complete normally in both modes. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] over a fresh pool and shuts it down on

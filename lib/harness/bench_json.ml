@@ -19,8 +19,36 @@ let num f = if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
 let opt_int = function None -> "null" | Some i -> string_of_int i
 let opt_num = function None -> "null" | Some f -> num f
 
-let render ~jobs ~quick ~max_calls ~image ~limits ~benches ~capture_seconds
-    ~phases ~names ~(engine : Bdd.Stats.t) ~dnf (calls : Capture.call list) =
+(* Plain record so the serve library (which depends on nothing here) can
+   stay unreferenced: the caller copies its loadgen stats across. *)
+type serve_stats = {
+  serve_clients : int;
+  serve_requests : int;
+  serve_workers : int;
+  serve_seconds : float;
+  serve_rps : float;
+  serve_p50_ms : float;
+  serve_p95_ms : float;
+  serve_p99_ms : float;
+  serve_mean_ms : float;
+  serve_dnf : int;
+  serve_errors : int;
+}
+
+let serve_row = function
+  | None -> "null"
+  | Some s ->
+    Printf.sprintf
+      "{\"clients\":%d,\"requests\":%d,\"workers\":%d,\"seconds\":%s,\
+       \"requests_per_sec\":%s,\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\
+       \"mean_ms\":%s,\"dnf_replies\":%d,\"error_replies\":%d}"
+      s.serve_clients s.serve_requests s.serve_workers (num s.serve_seconds)
+      (num s.serve_rps) (num s.serve_p50_ms) (num s.serve_p95_ms)
+      (num s.serve_p99_ms) (num s.serve_mean_ms) s.serve_dnf s.serve_errors
+
+let render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
+    ~capture_seconds ~phases ~names ~(engine : Bdd.Stats.t) ~dnf
+    (calls : Capture.call list) =
   let minimizer_rows =
     List.map
       (fun name ->
@@ -104,7 +132,7 @@ let render ~jobs ~quick ~max_calls ~image ~limits ~benches ~capture_seconds
   in
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"bddmin-bench-engine/3\",\n\
+    \  \"schema\": \"bddmin-bench-engine/4\",\n\
     \  \"jobs\": %d,\n\
     \  \"quick\": %b,\n\
     \  \"max_calls\": %d,\n\
@@ -114,6 +142,7 @@ let render ~jobs ~quick ~max_calls ~image ~limits ~benches ~capture_seconds
     \  \"dnf\": [%s],\n\
     \  \"phases\": [%s],\n\
     \  \"minimizers\": [%s],\n\
+    \  \"serve\": %s,\n\
     \  \"engine\": %s\n\
      }\n"
     jobs quick max_calls (escape image) limits_row benches (List.length calls)
@@ -121,13 +150,13 @@ let render ~jobs ~quick ~max_calls ~image ~limits ~benches ~capture_seconds
     (String.concat ", " dnf_rows)
     (String.concat ", " phase_rows)
     (String.concat ", " minimizer_rows)
-    engine_row
+    (serve_row serve) engine_row
 
-let write ~path ~jobs ~quick ~max_calls ~image ~limits ~benches
+let write ?serve ~path ~jobs ~quick ~max_calls ~image ~limits ~benches
     ~capture_seconds ~phases ~names ~engine ~dnf calls =
   let doc =
-    render ~jobs ~quick ~max_calls ~image ~limits ~benches ~capture_seconds
-      ~phases ~names ~engine ~dnf calls
+    render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
+      ~capture_seconds ~phases ~names ~engine ~dnf calls
   in
   let oc = open_out path in
   output_string oc doc;

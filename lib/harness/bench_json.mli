@@ -1,10 +1,10 @@
 (** The machine-readable benchmark baseline ([BENCH_engine.json]).
 
-    One JSON document per benchmark run, schema ["bddmin-bench-engine/3"],
+    One JSON document per benchmark run, schema ["bddmin-bench-engine/4"],
     with every key always present:
 
     {v
-    schema       string  "bddmin-bench-engine/3"
+    schema       string  "bddmin-bench-engine/4"
     jobs         int     worker domains used for the capture suite
     quick        bool    small sub-suite?
     max_calls    int     per-benchmark cap on measured calls
@@ -16,19 +16,41 @@
     phases       [ { name, seconds } ]   wall time, execution order
     minimizers   [ { name, total_size, total_seconds, mean_hit_rate,
                      dnf_calls } ]
+    serve        { clients, requests, workers, seconds, requests_per_sec,
+                   p50_ms, p95_ms, p99_ms, mean_ms, dnf_replies,
+                   error_replies }   or null when the serve phase was skipped
     engine       Bdd.Stats.t counters (summed over the suite's managers)
     v}
 
     Schema history: [/2] added the [image] key and the
     [and_exists_recursions] / [interned_cubes] engine counters; [/3]
     added resource governance — the [limits] and [dnf] keys and the
-    per-minimizer [dnf_calls] count.
+    per-minimizer [dnf_calls] count; [/4] added the [serve] section —
+    request throughput and tail latency of the [bddmin serve] load
+    generator ([null] when that phase is disabled).
 
     Committed snapshots of this file are the perf trajectory: every
     change regenerates it ([make bench-json] or [bddmin bench]) and
     diffs against the predecessor. *)
 
+type serve_stats = {
+  serve_clients : int;
+  serve_requests : int;
+  serve_workers : int;
+  serve_seconds : float;
+  serve_rps : float;
+  serve_p50_ms : float;
+  serve_p95_ms : float;
+  serve_p99_ms : float;
+  serve_mean_ms : float;
+  serve_dnf : int;
+  serve_errors : int;
+}
+(** The [serve] section, as a plain record so this library needs no
+    dependency on [serve] — callers copy the loadgen stats across. *)
+
 val render :
+  ?serve:serve_stats ->
   jobs:int ->
   quick:bool ->
   max_calls:int ->
@@ -45,9 +67,10 @@ val render :
 (** Render the document.  [names] selects and orders the [minimizers]
     rows; [engine] and [dnf] are typically {!Capture.run_suite_stats}'s
     summed statistics and driver-exhaustion rows.  Non-finite floats
-    render as JSON [null]. *)
+    render as JSON [null]; an omitted [serve] renders as [null]. *)
 
 val write :
+  ?serve:serve_stats ->
   path:string ->
   jobs:int ->
   quick:bool ->

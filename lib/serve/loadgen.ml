@@ -1,0 +1,147 @@
+(* Load generator for the serve daemon: [clients] synchronous client
+   domains firing deterministic minimize requests, exact percentile
+   latencies computed client-side from every observed round-trip.
+
+   Default mode starts an in-process server on a throwaway unix socket
+   (so `bddmin bench` and the tests need no process management); pass
+   [~connect] to aim at an external daemon instead.
+
+   Determinism: payloads come from a tiny LCG seeded by [seed] — same
+   seed, same instance mix — and each client walks the payload ring from
+   its own offset, so the work is identical across runs while the
+   interleaving exercises the scheduler. *)
+
+type stats = {
+  clients : int;
+  requests : int;
+  workers : int;  (** 0 when driving an external server *)
+  seconds : float;
+  rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  ok : int;
+  dnf : int;
+  partial : int;
+  errors : int;
+}
+
+(* A deterministic EBM instance over [nvars] variables, shipped as Store
+   text with roots [f] and [c].  ~3n random binary ops give the sibling
+   heuristics a real DAG to chew on; the care function mixes a random
+   function with a complemented one so the don't-care set is dense
+   enough to matter. *)
+let build_payload ~nvars ~seed =
+  let man = Bdd.new_man () in
+  let state = ref ((seed + 0x9E3779B9) land 0x3FFFFFFF) in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod n
+  in
+  (* dense random truth tables: a truly random function has
+     near-maximal BDD size, so the minimizers get real work (random
+     combinations of literals collapse by absorption and do not) *)
+  let tt density =
+    Logic.Truth_table.create nvars (fun _ -> rand 100 < density)
+  in
+  let f = Logic.Truth_table.to_bdd man (tt 50) in
+  let c = Logic.Truth_table.to_bdd man (tt 75) in
+  Bdd.Store.save man [ ("f", f); ("c", c) ]
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+let run ?(clients = 4) ?(requests = 100) ?connect ?workers
+    ?(heuristic = "sched") ?(nvars = 12) ?(seed = 1) ?max_steps ?timeout_ms
+    () =
+  if clients < 1 then invalid_arg "Serve.Loadgen.run: clients must be >= 1";
+  if requests < 0 then invalid_arg "Serve.Loadgen.run: negative requests";
+  let payloads = Array.init 8 (fun i -> build_payload ~nvars ~seed:(seed + i)) in
+  let server, addr, workers =
+    match connect with
+    | Some addr -> (None, addr, Option.value ~default:0 workers)
+    | None ->
+      let workers =
+        match workers with
+        | Some w -> w
+        | None -> max 2 (Exec.recommended_jobs () / 2)
+      in
+      let path = Filename.temp_file "bddmin-serve" ".sock" in
+      Sys.remove path;
+      let srv = Server.start ~workers (Server.Unix_path path) in
+      (Some srv, Client.Unix_path path, workers)
+  in
+  let per_client k =
+    (requests / clients) + (if k < requests mod clients then 1 else 0)
+  in
+  let client_run k () =
+    let n = per_client k in
+    let lat = Array.make (max n 1) 0.0 in
+    let ok = ref 0 and dnf = ref 0 and partial = ref 0 and errors = ref 0 in
+    let c = Client.connect addr in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    for j = 0 to n - 1 do
+      let payload = payloads.((k + j) mod Array.length payloads) in
+      let t0 = Obs.Clock.now_ns () in
+      let r =
+        Client.minimize c ~heuristic ?max_steps ?timeout_ms
+          (Protocol.Store_text payload)
+      in
+      lat.(j) <-
+        Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e6;
+      (match r with
+       | Ok reply -> begin
+           match reply.Protocol.status with
+           | "ok" -> incr ok
+           | "dnf" -> incr dnf
+           | "partial" -> incr partial
+           | _ -> incr errors
+         end
+       | Error _ -> incr errors)
+    done;
+    (Array.sub lat 0 n, !ok, !dnf, !partial, !errors)
+  in
+  let t0 = Obs.Clock.now_ns () in
+  let domains = List.init clients (fun k -> Domain.spawn (client_run k)) in
+  let results = List.map Domain.join domains in
+  let seconds =
+    Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e9
+  in
+  (match server with Some srv -> Server.stop srv | None -> ());
+  let latencies = Array.concat (List.map (fun (l, _, _, _, _) -> l) results) in
+  Array.sort compare latencies;
+  let sum4 f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let total = Array.fold_left ( +. ) 0.0 latencies in
+  {
+    clients;
+    requests;
+    workers;
+    seconds;
+    rps = (if seconds > 0.0 then float_of_int requests /. seconds else 0.0);
+    p50_ms = percentile latencies 50.0;
+    p95_ms = percentile latencies 95.0;
+    p99_ms = percentile latencies 99.0;
+    mean_ms =
+      (if Array.length latencies > 0 then
+         total /. float_of_int (Array.length latencies)
+       else 0.0);
+    ok = sum4 (fun (_, ok, _, _, _) -> ok);
+    dnf = sum4 (fun (_, _, dnf, _, _) -> dnf);
+    partial = sum4 (fun (_, _, _, p, _) -> p);
+    errors = sum4 (fun (_, _, _, _, e) -> e);
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>clients %d  requests %d  workers %d@,\
+     %.2f s  %.1f req/s@,\
+     latency ms: p50 %.2f  p95 %.2f  p99 %.2f  mean %.2f@,\
+     replies: %d ok, %d dnf, %d partial, %d error@]"
+    s.clients s.requests s.workers s.seconds s.rps s.p50_ms s.p95_ms s.p99_ms
+    s.mean_ms s.ok s.dnf s.partial s.errors

@@ -1,0 +1,227 @@
+(* Wire protocol of [bddmin serve].
+
+   Transport: length-prefixed JSON frames — a 4-byte big-endian payload
+   length followed by that many bytes of UTF-8 JSON.  The prefix keeps
+   the reader trivial (no streaming JSON); the 32 MiB cap keeps a
+   hostile prefix from allocating the machine away.
+
+   Requests:
+     {"id": N, "op": "minimize", "bdd": <Store text>, "heuristic": "sched",
+      "budget": {"max_nodes": N, "max_steps": N, "timeout_ms": N}}
+     {"id": N, "op": "reach",  "bench": "tlc"}            (or "blif": <text>)
+     {"id": N, "op": "equiv", "bench1": ..., "bench2": ...}
+     {"id": N, "op": "ping" | "metrics" | "shutdown"}
+
+   Every budget field is optional, as is "budget" itself.  [timeout_ms]
+   is converted to an {e absolute} monotonic deadline when the request
+   is parsed, i.e. on arrival — so time spent waiting in the scheduler
+   queue counts against the request, and an expired request dies on its
+   first kernel call (see the Budget entry-point poll).
+
+   Replies:
+     {"id": N, "status": "ok",      "result": {...}}
+     {"id": N, "status": "dnf",     "reason": "steps"|"nodes"|"time"|"cancelled",
+      "message": "..."}
+     {"id": N, "status": "partial", "reason": ..., "result": {...}}
+     {"id": N, "status": "error",   "message": "..."}                    *)
+
+let max_frame = 32 * 1024 * 1024
+
+(* ----- framing ----- *)
+
+let rec really_write fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    really_write fd buf (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Serve.Protocol.write_frame: frame too large";
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  really_write fd buf 0 (4 + len)
+
+(* [`Frame payload | `Eof] on success; [Error] covers a torn frame, an
+   oversized length prefix, or an I/O error.  [`Eof] is only reported at
+   a frame boundary (no bytes of the next frame read). *)
+let read_frame fd =
+  let rec really_read buf off len =
+    if len = 0 then `Done
+    else
+      match Unix.read fd buf off len with
+      | 0 -> if off = 0 then `Eof else `Torn
+      | n -> really_read buf (off + n) (len - n)
+  in
+  let hdr = Bytes.create 4 in
+  match really_read hdr 0 4 with
+  | `Eof -> Ok `Eof
+  | `Torn -> Error "connection closed mid-frame"
+  | `Done -> begin
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then
+        Error (Printf.sprintf "frame length %d out of range" len)
+      else begin
+        let payload = Bytes.create len in
+        match really_read payload 0 len with
+        | `Eof | `Torn -> Error "connection closed mid-frame"
+        | `Done -> Ok (`Frame (Bytes.unsafe_to_string payload))
+      end
+    end
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* ----- requests ----- *)
+
+type budget_spec = {
+  max_nodes : int option;
+  max_steps : int option;
+  deadline_ns : int64 option;  (** absolute monotonic, fixed at arrival *)
+}
+
+let no_budget = { max_nodes = None; max_steps = None; deadline_ns = None }
+
+type source = Store_text of string | Pla_text of string
+type machine = Bench of string | Blif_text of string
+
+type op =
+  | Minimize of { source : source; heuristic : string }
+  | Reach of machine
+  | Equiv of machine * machine
+  | Ping
+  | Metrics
+  | Shutdown
+
+type request = { id : int; op : op; budget : budget_spec }
+
+let op_label = function
+  | Minimize _ -> "minimize"
+  | Reach _ -> "reach"
+  | Equiv _ -> "equiv"
+  | Ping -> "ping"
+  | Metrics -> "metrics"
+  | Shutdown -> "shutdown"
+
+let parse_budget j =
+  match Json.mem "budget" j with
+  | None | Some Json.Null -> Ok no_budget
+  | Some (Json.Obj _ as b) ->
+    let pos name =
+      match Json.int_field name b with
+      | Some n when n <= 0 -> Error (Printf.sprintf "budget.%s must be positive" name)
+      | v -> Ok v
+    in
+    Result.bind (pos "max_nodes") @@ fun max_nodes ->
+    Result.bind (pos "max_steps") @@ fun max_steps ->
+    Result.bind
+      (match Json.int_field "timeout_ms" b with
+       | Some ms when ms < 0 -> Error "budget.timeout_ms must be non-negative"
+       | v -> Ok v)
+    @@ fun timeout_ms ->
+    let deadline_ns =
+      Option.map
+        (fun ms ->
+           Int64.add (Obs.Clock.now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L))
+        timeout_ms
+    in
+    Ok { max_nodes; max_steps; deadline_ns }
+  | Some _ -> Error "budget must be an object"
+
+let machine_of ~bench ~blif j =
+  match Json.string_field bench j, Json.string_field blif j with
+  | Some name, None -> Ok (Bench name)
+  | None, Some text -> Ok (Blif_text text)
+  | Some _, Some _ -> Error (Printf.sprintf "give %s or %s, not both" bench blif)
+  | None, None -> Error (Printf.sprintf "missing %s or %s" bench blif)
+
+let parse_request payload =
+  match Json.parse payload with
+  | Error msg -> Error ("bad JSON: " ^ msg)
+  | Ok j ->
+    let id = Option.value ~default:0 (Json.int_field "id" j) in
+    Result.bind (parse_budget j) @@ fun budget ->
+    let finish op = Ok { id; op; budget } in
+    (match Json.string_field "op" j with
+     | None -> Error "missing op"
+     | Some "ping" -> finish Ping
+     | Some "metrics" -> finish Metrics
+     | Some "shutdown" -> finish Shutdown
+     | Some "minimize" ->
+       let heuristic =
+         Option.value ~default:"sched" (Json.string_field "heuristic" j)
+       in
+       (match Json.string_field "bdd" j, Json.string_field "pla" j with
+        | Some text, None -> finish (Minimize { source = Store_text text; heuristic })
+        | None, Some text -> finish (Minimize { source = Pla_text text; heuristic })
+        | Some _, Some _ -> Error "give bdd or pla, not both"
+        | None, None -> Error "minimize needs a bdd or pla field")
+     | Some "reach" ->
+       Result.bind (machine_of ~bench:"bench" ~blif:"blif" j) (fun m ->
+           finish (Reach m))
+     | Some "equiv" ->
+       Result.bind (machine_of ~bench:"bench1" ~blif:"blif1" j) @@ fun a ->
+       Result.bind (machine_of ~bench:"bench2" ~blif:"blif2" j) @@ fun b ->
+       finish (Equiv (a, b))
+     | Some op -> Error (Printf.sprintf "unknown op %S" op))
+
+(* ----- request rendering (client side) ----- *)
+
+let render_budget ?max_nodes ?max_steps ?timeout_ms () =
+  let fields =
+    List.filter_map
+      (fun (k, v) -> Option.map (fun n -> (k, Json.int n)) v)
+      [ ("max_nodes", max_nodes); ("max_steps", max_steps);
+        ("timeout_ms", timeout_ms) ]
+  in
+  match fields with [] -> None | fs -> Some (Json.Obj fs)
+
+let render_request ~id ?budget fields =
+  let budget_field =
+    match budget with None -> [] | Some b -> [ ("budget", b) ]
+  in
+  Json.print (Json.Obj (("id", Json.int id) :: fields @ budget_field))
+
+(* ----- replies ----- *)
+
+let reply_base ~id ~status rest =
+  Json.Obj (("id", Json.int id) :: ("status", Json.Str status) :: rest)
+
+let ok_reply ~id result = reply_base ~id ~status:"ok" [ ("result", result) ]
+
+let dnf_reply ~id reason =
+  reply_base ~id ~status:"dnf"
+    [ ("reason", Json.Str (Bdd.Budget.reason_label reason));
+      ("message", Json.Str (Bdd.Budget.reason_message reason)) ]
+
+let partial_reply ~id reason result =
+  reply_base ~id ~status:"partial"
+    [ ("reason", Json.Str (Bdd.Budget.reason_label reason));
+      ("message", Json.Str (Bdd.Budget.reason_message reason));
+      ("result", result) ]
+
+let error_reply ~id message =
+  reply_base ~id ~status:"error" [ ("message", Json.Str message) ]
+
+type reply = {
+  reply_id : int;
+  status : string;  (** ["ok"], ["dnf"], ["partial"] or ["error"] *)
+  reason : string option;
+  message : string option;
+  result : Json.t;  (** [Null] when absent *)
+}
+
+let parse_reply payload =
+  match Json.parse payload with
+  | Error msg -> Error ("bad JSON reply: " ^ msg)
+  | Ok j ->
+    (match Json.string_field "status" j with
+     | None -> Error "reply missing status"
+     | Some status ->
+       Ok
+         {
+           reply_id = Option.value ~default:0 (Json.int_field "id" j);
+           status;
+           reason = Json.string_field "reason" j;
+           message = Json.string_field "message" j;
+           result = Option.value ~default:Json.Null (Json.mem "result" j);
+         })

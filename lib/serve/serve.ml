@@ -1,0 +1,16 @@
+(** The [bddmin serve] daemon: a long-running request scheduler exposing
+    minimization, reachability and equivalence checking over a
+    length-prefixed JSON protocol.
+
+    {!Protocol} defines the frames and message schema, {!Server} the
+    daemon (accept loop, per-connection readers, a shared [Exec.Pool] of
+    compute workers, per-request budgets with arrival-time deadlines),
+    {!Client} a synchronous client, {!Loadgen} the throughput/latency
+    load generator behind [bddmin serve-bench] and the bench harness's
+    serve phase.  {!Json} is the self-contained JSON codec they share. *)
+
+module Json = Json
+module Protocol = Protocol
+module Server = Server
+module Client = Client
+module Loadgen = Loadgen

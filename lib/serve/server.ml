@@ -1,0 +1,420 @@
+(* The [bddmin serve] daemon core.
+
+   Shape: one accept domain, one reader domain per connection, one
+   shared [Exec.Pool] of compute workers.  The reader parses frames and
+   answers ping/metrics/shutdown inline; minimize/reach/equiv jobs go to
+   the pool, each under a fresh private manager (managers are
+   domain-local by contract) with a per-request [Bdd.Budget] combining
+   the request's limits, its arrival-time deadline and the connection's
+   cancellation token — a client that disconnects cancels its in-flight
+   work at the next kernel poll.
+
+   Replies are frames on the same socket, serialized by a per-connection
+   write lock; a connection with several outstanding compute requests
+   receives replies in completion order, matched by [id].  Shutdown
+   aborts the queued (not yet running) jobs — their futures' [on_abort]
+   writes a [dnf cancelled] reply so no client hangs — drains the
+   running ones, then unblocks and joins every reader. *)
+
+type listen = Tcp of int | Unix_path of string
+
+type conn = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t;
+  cancel : Exec.Cancel.t;
+  mutable refs : int;  (* reader + in-flight jobs; fd closes at 0 *)
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  address : string;
+  port : int option;  (** bound TCP port, for [Tcp 0] callers *)
+  unix_path : string option;
+  pool : Exec.Pool.t;
+  workers : int;
+  stop_flag : bool Atomic.t;
+  in_flight : int Atomic.t;
+  started_ns : int64;
+  lock : Mutex.t;
+  finished : Condition.t;
+  mutable accept_domain : unit Domain.t option;
+  mutable is_finished : bool;
+}
+
+(* ----- connection refcounting ----- *)
+
+let conn_retain conn =
+  Mutex.lock conn.wlock;
+  conn.refs <- conn.refs + 1;
+  Mutex.unlock conn.wlock
+
+let conn_release conn =
+  Mutex.lock conn.wlock;
+  conn.refs <- conn.refs - 1;
+  let close = conn.refs = 0 in
+  Mutex.unlock conn.wlock;
+  if close then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let conn_send conn json =
+  Mutex.lock conn.wlock;
+  (if conn.refs > 0 then
+     try Protocol.write_frame conn.fd (Json.print json)
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+  Mutex.unlock conn.wlock
+
+(* ----- per-request budget ----- *)
+
+(* Raised (and mapped to a [dnf time] reply) when the deadline passed
+   while the request sat in the queue — the job dies without touching a
+   manager. *)
+let make_budget conn (b : Protocol.budget_spec) =
+  let timeout_s =
+    Option.map
+      (fun deadline ->
+         let rem =
+           Int64.to_float (Int64.sub deadline (Obs.Clock.now_ns ())) /. 1e9
+         in
+         if rem <= 0.0 then
+           raise (Bdd.Budget_exhausted (Bdd.Budget.Time { seconds = 0.0 }));
+         rem)
+      b.deadline_ns
+  in
+  Bdd.Budget.create ?max_nodes:b.max_nodes ?max_steps:b.max_steps ?timeout_s
+    ~cancelled:(fun () -> Exec.Cancel.cancelled conn.cancel)
+    ()
+
+(* ----- op handlers (run on pool workers) ----- *)
+
+let load_ispec man = function
+  | Protocol.Store_text text -> begin
+      match Bdd.Store.load man text with
+      | Error msg -> Error ("bad bdd payload: " ^ msg)
+      | Ok roots ->
+        (match List.assoc_opt "f" roots with
+         | None -> Error "bdd payload has no root named \"f\""
+         | Some f ->
+           let c = Option.value ~default:(Bdd.one man) (List.assoc_opt "c" roots) in
+           Ok (Minimize.Ispec.make ~f ~c))
+    end
+  | Protocol.Pla_text text -> begin
+      match Logic.Pla.parse text with
+      | Error msg -> Error ("bad pla payload: " ^ msg)
+      | Ok pla ->
+        (match Logic.Pla.functions man pla with
+         | [] -> Error "pla has no outputs"
+         | (_, (f, c)) :: _ -> Ok (Minimize.Ispec.make ~f ~c))
+    end
+
+let handle_minimize conn budget_spec ~source ~heuristic =
+  let man = Bdd.new_man () in
+  match load_ispec man source with
+  | Error msg -> Error msg
+  | Ok spec ->
+    let budget = make_budget conn budget_spec in
+    let ctx = Minimize.Ctx.make ~budget man in
+    let name, cover =
+      if heuristic = "best" then
+        Minimize.Registry.best ctx Minimize.Registry.all spec
+      else
+        match Minimize.Registry.find heuristic with
+        | None ->
+          let names =
+            String.concat ", "
+              (Minimize.Registry.names Minimize.Registry.extended)
+          in
+          invalid_arg
+            (Printf.sprintf "unknown heuristic %S (try one of: %s, best)"
+               heuristic names)
+        | Some entry -> (heuristic, Minimize.Registry.run entry ctx spec)
+    in
+    Ok
+      (Json.Obj
+         [ ("heuristic", Json.Str name);
+           ("size", Json.int (Bdd.size man cover));
+           ("input_size", Json.int (Bdd.size man spec.Minimize.Ispec.f));
+           ("cover", Json.Str (Bdd.Store.save man [ ("g", cover) ])) ])
+
+let netlist_of = function
+  | Protocol.Bench name -> begin
+      match Circuits.Registry.find name with
+      | None ->
+        let names =
+          String.concat ", " (Circuits.Registry.names Circuits.Registry.all)
+        in
+        Error (Printf.sprintf "unknown bench %S (have: %s)" name names)
+      | Some b -> Ok (b.Circuits.Registry.build ())
+    end
+  | Protocol.Blif_text text -> begin
+      match Fsm.Blif.parse text with
+      | Error msg -> Error ("bad blif payload: " ^ msg)
+      | Ok nl -> Ok nl
+    end
+
+let reach_result (stats : Fsm.Reach.stats) =
+  Json.Obj
+    [ ("iterations", Json.int stats.iterations);
+      ("reached_states", Json.Num stats.reached_states);
+      ("minimization_calls", Json.int stats.minimization_calls) ]
+
+let handle_reach conn ~id budget_spec machine =
+  match netlist_of machine with
+  | Error msg -> Error (Protocol.error_reply ~id msg)
+  | Ok nl ->
+    let man = Bdd.new_man () in
+    let budget = make_budget conn budget_spec in
+    let sym = Fsm.Symbolic.of_netlist man nl in
+    let _reached, stats =
+      Bdd.with_budget man budget (fun () -> Fsm.Reach.reachable sym)
+    in
+    (match stats.Fsm.Reach.fixpoint with
+     | Fsm.Reach.Complete -> Ok (Protocol.ok_reply ~id (reach_result stats))
+     | Fsm.Reach.Partial { reason; _ } ->
+       Ok (Protocol.partial_reply ~id reason (reach_result stats)))
+
+let handle_equiv conn budget_spec a b =
+  match netlist_of a, netlist_of b with
+  | Error msg, _ | _, Error msg -> Error msg
+  | Ok na, Ok nb ->
+    let man = Bdd.new_man () in
+    let budget = make_budget conn budget_spec in
+    let verdict =
+      Bdd.with_budget man budget (fun () -> Fsm.Equiv.check man na nb)
+    in
+    (match verdict with
+     | Fsm.Equiv.Equivalent stats ->
+       Ok
+         (Json.Obj
+            [ ("equivalent", Json.Bool true);
+              ("iterations", Json.int stats.Fsm.Reach.iterations) ])
+     | Fsm.Equiv.Not_equivalent { stats; _ } ->
+       Ok
+         (Json.Obj
+            [ ("equivalent", Json.Bool false);
+              ("iterations", Json.int stats.Fsm.Reach.iterations) ]))
+
+let metrics_json srv =
+  let uptime_s =
+    Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) srv.started_ns) /. 1e9
+  in
+  Json.Obj
+    [ ("uptime_s", Json.Num uptime_s);
+      ("workers", Json.int srv.workers);
+      ("in_flight", Json.int (Atomic.get srv.in_flight));
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.int v)) (Obs.Probe.counters ())) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, buckets) ->
+                (k, Json.Arr (List.map Json.int (Array.to_list buckets))))
+             (Obs.Probe.histograms ())) ) ]
+
+(* ----- request execution ----- *)
+
+let reply_status j =
+  match Json.string_field "status" j with Some s -> s | None -> "error"
+
+let run_compute conn (req : Protocol.request) =
+  let t0 = Obs.Clock.now_ns () in
+  let id = req.id in
+  let reply =
+    try
+      match req.op with
+      | Protocol.Minimize { source; heuristic } -> begin
+          match handle_minimize conn req.budget ~source ~heuristic with
+          | Ok result -> Protocol.ok_reply ~id result
+          | Error msg -> Protocol.error_reply ~id msg
+        end
+      | Protocol.Reach machine -> begin
+          match handle_reach conn ~id req.budget machine with
+          | Ok reply -> reply
+          | Error reply -> reply
+        end
+      | Protocol.Equiv (a, b) -> begin
+          match handle_equiv conn req.budget a b with
+          | Ok result -> Protocol.ok_reply ~id result
+          | Error msg -> Protocol.error_reply ~id msg
+        end
+      | Protocol.Ping | Protocol.Metrics | Protocol.Shutdown ->
+        assert false (* handled inline by the reader *)
+    with
+    | Bdd.Budget_exhausted reason -> Protocol.dnf_reply ~id reason
+    | e -> Protocol.error_reply ~id (Printexc.to_string e)
+  in
+  let dt_us =
+    Int64.to_int (Int64.div (Int64.sub (Obs.Clock.now_ns ()) t0) 1000L)
+  in
+  Obs.Probe.observe ("serve.latency_us." ^ Protocol.op_label req.op) dt_us;
+  Obs.Probe.incr ("serve.replies." ^ reply_status reply);
+  conn_send conn reply
+
+let submit_compute srv conn req =
+  conn_retain conn;
+  Atomic.incr srv.in_flight;
+  let finish () =
+    Atomic.decr srv.in_flight;
+    conn_release conn
+  in
+  let submitted =
+    try
+      Exec.Pool.submit srv.pool
+        ~on_abort:(fun () ->
+          (* discarded at shutdown without running: tell the client *)
+          Obs.Probe.incr "serve.replies.dnf";
+          conn_send conn (Protocol.dnf_reply ~id:req.Protocol.id Bdd.Budget.Cancelled);
+          finish ())
+        (fun () ->
+           (try run_compute conn req
+            with _ -> () (* run_compute already catches; belt and braces *));
+           finish ());
+      true
+    with Invalid_argument _ -> false (* pool already shut down *)
+  in
+  if not submitted then begin
+    conn_send conn
+      (Protocol.error_reply ~id:req.Protocol.id "server is shutting down");
+    finish ()
+  end
+
+let reader_loop srv conn =
+  let rec loop () =
+    match Protocol.read_frame conn.fd with
+    | Ok `Eof | Error _ -> ()
+    | Ok (`Frame payload) ->
+      (match Protocol.parse_request payload with
+       | Error msg ->
+         Obs.Probe.incr "serve.requests.malformed";
+         conn_send conn (Protocol.error_reply ~id:0 msg)
+       | Ok req ->
+         Obs.Probe.incr "serve.requests";
+         (match req.op with
+          | Protocol.Ping ->
+            conn_send conn
+              (Protocol.ok_reply ~id:req.id (Json.Obj [ ("pong", Json.Bool true) ]))
+          | Protocol.Metrics ->
+            conn_send conn (Protocol.ok_reply ~id:req.id (metrics_json srv))
+          | Protocol.Shutdown ->
+            conn_send conn
+              (Protocol.ok_reply ~id:req.id
+                 (Json.Obj [ ("stopping", Json.Bool true) ]));
+            Atomic.set srv.stop_flag true
+          | Protocol.Minimize _ | Protocol.Reach _ | Protocol.Equiv _ ->
+            submit_compute srv conn req));
+      if not (Atomic.get srv.stop_flag) then loop ()
+      else () (* stop reading; teardown will half-close the socket *)
+  in
+  loop ();
+  (* reader is done: cancel whatever this connection still has in
+     flight, then drop the reader's reference *)
+  Exec.Cancel.cancel conn.cancel;
+  conn_release conn
+
+(* ----- lifecycle ----- *)
+
+let bind_listen = function
+  | Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 64;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (fd, Printf.sprintf "127.0.0.1:%d" bound, Some bound, None)
+  | Unix_path path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, path, None, Some path)
+
+let accept_loop srv =
+  let readers = ref [] in
+  let conns = ref [] in
+  while not (Atomic.get srv.stop_flag) do
+    match Unix.select [ srv.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ ->
+      (match Unix.accept srv.listen_fd with
+       | fd, _ ->
+         let conn =
+           { fd; wlock = Mutex.create (); cancel = Exec.Cancel.create ();
+             refs = 1 }
+         in
+         conns := conn :: !conns;
+         readers := Domain.spawn (fun () -> reader_loop srv conn) :: !readers
+       | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+  (match srv.unix_path with
+   | Some path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | None -> ());
+  (* abort the queue (their on_abort replies dnf), drain running jobs *)
+  Exec.Pool.shutdown ~mode:`Abort srv.pool;
+  (* unblock readers stuck in read(2), then join them *)
+  List.iter
+    (fun conn ->
+       try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ())
+    !conns;
+  List.iter Domain.join !readers
+
+let start ?(workers = Exec.recommended_jobs ()) listen =
+  if workers < 1 then invalid_arg "Serve.Server.start: workers must be >= 1";
+  (* a client vanishing mid-reply must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd, address, port, unix_path = bind_listen listen in
+  let srv =
+    {
+      listen_fd;
+      address;
+      port;
+      unix_path;
+      pool = Exec.Pool.create ~jobs:workers;
+      workers;
+      stop_flag = Atomic.make false;
+      in_flight = Atomic.make 0;
+      started_ns = Obs.Clock.now_ns ();
+      lock = Mutex.create ();
+      finished = Condition.create ();
+      accept_domain = None;
+      is_finished = false;
+    }
+  in
+  srv.accept_domain <- Some (Domain.spawn (fun () -> accept_loop srv));
+  srv
+
+let address srv = srv.address
+let port srv = srv.port
+let in_flight srv = Atomic.get srv.in_flight
+
+(* Async-signal-safe stop request: just flips the flag the accept loop
+   polls (within ~0.2 s).  Pair with {!wait} to actually tear down. *)
+let request_stop srv = Atomic.set srv.stop_flag true
+let stopping srv = Atomic.get srv.stop_flag
+
+(* First caller joins the accept domain (which joins readers and the
+   pool); latecomers block until that join completes. *)
+let wait srv =
+  Mutex.lock srv.lock;
+  (match srv.accept_domain with
+   | Some d ->
+     srv.accept_domain <- None;
+     Mutex.unlock srv.lock;
+     Domain.join d;
+     Mutex.lock srv.lock;
+     srv.is_finished <- true;
+     Condition.broadcast srv.finished;
+     Mutex.unlock srv.lock
+   | None ->
+     while not srv.is_finished do
+       Condition.wait srv.finished srv.lock
+     done;
+     Mutex.unlock srv.lock)
+
+let stop srv =
+  Atomic.set srv.stop_flag true;
+  wait srv

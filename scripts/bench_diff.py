@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Compare two BENCH_engine.json documents (committed baseline vs fresh).
 
-Schema-aware: accepts bddmin-bench-engine/1, /2 and /3 on either side
-and compares only what both documents carry.  Reports percentage deltas
-on phase wall times, the engine's work counters, and per-minimizer size
-and time totals.  From schema /3 on, documents carry the resource
-limits (node/step/time budgets) and DNF rows — runs with different
-limits are never gated against each other, and the capture phase has
-its own (tight) threshold because the governance checks are supposed to
-cost nearly nothing when no budget is set.
+Schema-aware: accepts bddmin-bench-engine/1, /2, /3 and /4 on either
+side and compares only what both documents carry.  Reports percentage
+deltas on phase wall times, the engine's work counters, and
+per-minimizer size and time totals.  From schema /3 on, documents carry
+the resource limits (node/step/time budgets) and DNF rows — runs with
+different limits are never gated against each other, and the capture
+phase has its own (tight) threshold because the governance checks are
+supposed to cost nearly nothing when no budget is set.  From schema /4
+on, documents may carry a "serve" section (daemon load-generation
+throughput and tail latency); its deltas are reported with generous
+thresholds since wall-clock latency on shared CI machines is noisy.
 
 Exit status is 0 unless --strict is given AND a gated regression was
 found AND the two runs were actually comparable (same jobs / quick /
@@ -17,7 +20,8 @@ a quick smoke capture, where only the report is wanted.
 
 usage: bench_diff.py BASELINE FRESH [--time-threshold PCT]
                                     [--count-threshold PCT]
-                                    [--capture-threshold PCT] [--strict]
+                                    [--capture-threshold PCT]
+                                    [--serve-threshold PCT] [--strict]
 """
 
 import argparse
@@ -28,6 +32,7 @@ SCHEMAS = (
     "bddmin-bench-engine/1",
     "bddmin-bench-engine/2",
     "bddmin-bench-engine/3",
+    "bddmin-bench-engine/4",
 )
 
 # Counters that measure algorithmic work (deterministic for a given
@@ -80,6 +85,10 @@ def main():
     ap.add_argument("--capture-threshold", type=float, default=3.0,
                     help="max tolerated %% increase in capture seconds "
                          "(default 3; the budget checks must be ~free)")
+    ap.add_argument("--serve-threshold", type=float, default=40.0,
+                    help="max tolerated %% throughput drop / p95 latency "
+                         "increase in the serve section (default 40; "
+                         "tail latency on shared machines is noisy)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 on gated regressions (comparable runs only)")
     args = ap.parse_args()
@@ -136,6 +145,42 @@ def main():
         print(f"\nDNF rows: baseline {len(base_dnf)}, fresh {len(fresh_dnf)}")
         for row in fresh_dnf:
             print(f"  fresh: {row['bench']} DNF({row['reason']})")
+
+    # Schema /4: serve section (null when the phase was skipped, absent
+    # before /4).  Throughput should not drop and tail latency should not
+    # grow — but both are wall-clock on possibly shared machines, so the
+    # gate is generous and only applies when the load shapes match.
+    base_srv, fresh_srv = base.get("serve"), fresh.get("serve")
+    if fresh_srv and not base_srv:
+        print("\nserve: no baseline section — reporting fresh only")
+        print(f"  {fresh_srv['clients']} clients x {fresh_srv['requests']} req:"
+              f" {fresh_srv['requests_per_sec']:.1f} req/s,"
+              f" p50 {fresh_srv['p50_ms']:.2f}ms p95 {fresh_srv['p95_ms']:.2f}ms"
+              f" p99 {fresh_srv['p99_ms']:.2f}ms,"
+              f" {fresh_srv['dnf_replies']} DNF {fresh_srv['error_replies']} err")
+    elif base_srv and fresh_srv:
+        same_load = all(base_srv[k] == fresh_srv[k]
+                        for k in ("clients", "requests", "workers"))
+        print(f"\n{'serve':<24}{'baseline':>14}{'fresh':>14}   delta")
+        for key, higher_is_better in (("requests_per_sec", True),
+                                      ("p50_ms", False), ("p95_ms", False),
+                                      ("p99_ms", False), ("mean_ms", False)):
+            old, new = base_srv[key], fresh_srv[key]
+            d = pct(old, new)
+            print(f"{key:<24}{old:>14.2f}{new:>14.2f}  {fmt_pct(d)}")
+            if not (comparable and same_load) or d is None:
+                continue
+            if higher_is_better and -d > args.serve_threshold:
+                regressions.append(f"serve {key}: {d:+.1f}%"
+                                   f" (threshold -{args.serve_threshold:.0f}%)")
+            elif key == "p95_ms" and d > args.serve_threshold:
+                regressions.append(f"serve {key}: {d:+.1f}%"
+                                   f" (threshold {args.serve_threshold:.0f}%)")
+        if not same_load:
+            print("  (load shapes differ; serve deltas not gated)")
+        if fresh_srv["error_replies"]:
+            regressions.append(
+                f"serve: {fresh_srv['error_replies']} error replies")
 
     base_min = {m["name"]: m for m in base["minimizers"]}
     print(f"\n{'minimizer':<12}{'size':>10}{'sizeΔ':>8}{'seconds':>12}   delta")

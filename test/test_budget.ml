@@ -79,6 +79,41 @@ let time_budget_trips () =
      | _ -> false
      | exception Bdd.Budget_exhausted (B.Time _) -> true)
 
+let deadline_checked_at_entry () =
+  (* The entry-point poll: an expired deadline aborts the very next
+     public operation even when that operation would do no cache-missing
+     recursion at all (terminal rule or warm cache), which is what keeps
+     a server's deadline latency bounded by one operation. *)
+  let man = Bdd.new_man () in
+  let x = Bdd.ithvar man 0 and y = Bdd.ithvar man 1 in
+  let b = B.create ~timeout_s:0.005 () in
+  Bdd.with_budget man b (fun () ->
+      ignore (Bdd.and_ man x y) (* warm the cache while within budget *);
+      let t0 = Obs.Clock.now_ns () in
+      while Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) < 7e6 do
+        ()
+      done;
+      (* fully-cached repeat: no recursion step will ever poll *)
+      (match Bdd.and_ man x y with
+       | _ -> Alcotest.fail "cached op must trip the entry deadline poll"
+       | exception Bdd.Budget_exhausted (B.Time _) -> ());
+      (* terminal-rule op: likewise no recursion *)
+      match Bdd.and_ man x x with
+      | _ -> Alcotest.fail "terminal op must trip the entry deadline poll"
+      | exception Bdd.Budget_exhausted (B.Time _) -> ())
+
+let cancel_checked_at_entry () =
+  let man = Bdd.new_man () in
+  let x = Bdd.ithvar man 0 in
+  let flag = ref false in
+  let b = B.create ~cancelled:(fun () -> !flag) () in
+  Bdd.with_budget man b (fun () ->
+      ignore (Bdd.or_ man x x);
+      flag := true;
+      match Bdd.or_ man x x with
+      | _ -> Alcotest.fail "cancellation must trip at operation entry"
+      | exception Bdd.Budget_exhausted B.Cancelled -> ())
+
 let node_budget_trips () =
   let man = Bdd.new_man () in
   let s = deep_instance man in
@@ -384,6 +419,10 @@ let suite =
     Alcotest.test_case "step budget trips" `Quick step_budget_trips;
     Alcotest.test_case "cancellation trips" `Quick cancellation_trips;
     Alcotest.test_case "time budget trips" `Quick time_budget_trips;
+    Alcotest.test_case "deadline checked at entry" `Quick
+      deadline_checked_at_entry;
+    Alcotest.test_case "cancellation checked at entry" `Quick
+      cancel_checked_at_entry;
     Alcotest.test_case "node budget trips" `Quick node_budget_trips;
     Alcotest.test_case "unlimited budget inert" `Quick
       unlimited_budget_never_trips;

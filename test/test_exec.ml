@@ -52,6 +52,80 @@ let submit_after_shutdown () =
   (* idempotent *)
   Exec.Pool.shutdown pool
 
+let abort_resolves_queued_futures () =
+  (* `Abort discards the queue and resolves the discarded jobs' futures
+     with Pool.Aborted, so awaiting them raises instead of hanging; the
+     job already on a worker still completes normally. *)
+  let pool = Exec.Pool.create ~jobs:1 in
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  let blocker =
+    Exec.Future.spawn pool (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        7)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  (* the single worker is busy: these stay queued *)
+  let queued = List.init 3 (fun i -> Exec.Future.spawn pool (fun () -> i)) in
+  (* shutdown joins the (still-blocked) worker, so run it elsewhere; the
+     queue is discarded and the futures resolved before the join *)
+  let shut = Domain.spawn (fun () -> Exec.Pool.shutdown ~mode:`Abort pool) in
+  List.iter
+    (fun fut ->
+       match Exec.Future.await fut with
+       | _ -> Alcotest.fail "aborted job returned a value"
+       | exception Exec.Pool.Aborted -> ())
+    queued;
+  Util.checkb "in-flight job not yet done" (not (Exec.Future.is_resolved blocker));
+  Atomic.set release true;
+  Domain.join shut;
+  Util.checki "in-flight job completed normally" 7 (Exec.Future.await blocker);
+  (* idempotent in either mode *)
+  Exec.Pool.shutdown ~mode:`Abort pool;
+  Exec.Pool.shutdown pool
+
+let abort_empty_queue () =
+  (* `Abort with nothing queued is just a join *)
+  let pool = Exec.Pool.create ~jobs:2 in
+  let fut = Exec.Future.spawn pool (fun () -> 5) in
+  Util.checki "ran" 5 (Exec.Future.await fut);
+  Exec.Pool.shutdown ~mode:`Abort pool;
+  Util.checkb "submit refused after abort"
+    (match Exec.Pool.submit pool (fun () -> ()) with
+     | exception Invalid_argument _ -> true
+     | () -> false)
+
+let on_abort_runs_once () =
+  let pool = Exec.Pool.create ~jobs:1 in
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  ignore
+    (Exec.Future.spawn pool (fun () ->
+         Atomic.set started true;
+         while not (Atomic.get release) do
+           Domain.cpu_relax ()
+         done));
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let aborts = Atomic.make 0 in
+  Exec.Pool.submit pool
+    ~on_abort:(fun () -> Atomic.incr aborts)
+    (fun () -> Alcotest.fail "discarded job must not run");
+  let shut = Domain.spawn (fun () -> Exec.Pool.shutdown ~mode:`Abort pool) in
+  while Atomic.get aborts = 0 do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set release true;
+  Domain.join shut;
+  Exec.Pool.shutdown ~mode:`Abort pool;
+  Util.checki "on_abort ran exactly once" 1 (Atomic.get aborts)
+
 let map_matches_sequential =
   Util.qtest ~count:30 "Exec.map ~jobs is List.map"
     QCheck2.Gen.(list_size (int_bound 40) (int_bound 1000))
@@ -105,6 +179,10 @@ let suite =
     Alcotest.test_case "pool survives exceptions" `Quick
       pool_survives_exceptions;
     Alcotest.test_case "submit after shutdown" `Quick submit_after_shutdown;
+    Alcotest.test_case "abort resolves queued futures" `Quick
+      abort_resolves_queued_futures;
+    Alcotest.test_case "abort with empty queue" `Quick abort_empty_queue;
+    Alcotest.test_case "on_abort runs exactly once" `Quick on_abort_runs_once;
     map_matches_sequential;
     Alcotest.test_case "future states" `Quick future_states;
     Alcotest.test_case "parallel capture is deterministic" `Quick

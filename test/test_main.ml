@@ -35,4 +35,5 @@ let () =
       ("obs", Test_obs.suite);
       ("exec", Test_exec.suite);
       ("budget", Test_budget.suite);
+      ("serve", Test_serve.suite);
     ]

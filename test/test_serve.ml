@@ -1,0 +1,277 @@
+(* The serve daemon end to end: protocol codec fuzzing, an in-process
+   server driven over a unix socket (submit / budget-DNF / deadline-DNF
+   with a concurrent healthy request / metrics / shutdown), and
+   concurrent clients. *)
+
+module J = Serve.Json
+module P = Serve.Protocol
+module C = Serve.Client
+
+(* ----- JSON codec ----- *)
+
+let json_roundtrip () =
+  let cases =
+    [
+      J.Null;
+      J.Bool true;
+      J.int 42;
+      J.Num (-0.5);
+      J.Str "a \"quoted\"\nline\twith \\ stuff";
+      J.Arr [ J.int 1; J.Str "x"; J.Null ];
+      J.Obj [ ("a", J.int 1); ("b", J.Arr [ J.Bool false ]) ];
+      J.Obj [];
+    ]
+  in
+  List.iter
+    (fun j ->
+       match J.parse (J.print j) with
+       | Ok j' -> Util.checkb "round trips" (j = j')
+       | Error msg -> Alcotest.failf "printed JSON failed to parse: %s" msg)
+    cases
+
+let json_fuzz_never_raises =
+  Util.qtest ~count:500 "Json.parse never raises"
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_bound 80))
+    (fun s -> match J.parse s with Ok _ | Error _ -> true)
+
+let json_rejects () =
+  List.iter
+    (fun s -> Util.checkb s (Result.is_error (J.parse s)))
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1.2.3"; "\"unterminated";
+      "{\"a\":1,}"; "[1 2]"; "nan"; "01x"; "\"bad \\q escape\"" ]
+
+(* ----- protocol codec ----- *)
+
+let protocol_fuzz_never_raises =
+  Util.qtest ~count:500 "parse_request never raises"
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_bound 120))
+    (fun s -> match P.parse_request s with Ok _ | Error _ -> true)
+
+let protocol_parse () =
+  (match P.parse_request {|{"id": 3, "op": "ping"}|} with
+   | Ok { P.id = 3; op = P.Ping; _ } -> ()
+   | _ -> Alcotest.fail "ping request");
+  (match
+     P.parse_request
+       {|{"id": 1, "op": "minimize", "bdd": "bdd 1\nroot f 0\n",
+          "budget": {"max_steps": 10, "timeout_ms": 1000}}|}
+   with
+   | Ok { P.op = P.Minimize { heuristic = "sched"; _ };
+          budget = { max_steps = Some 10; deadline_ns = Some _; _ }; _ } -> ()
+   | _ -> Alcotest.fail "minimize request with budget");
+  List.iter
+    (fun payload ->
+       Util.checkb payload (Result.is_error (P.parse_request payload)))
+    [
+      {|{"op": "warp"}|};
+      {|{"id": 1}|};
+      {|{"op": "minimize"}|};
+      {|{"op": "reach"}|};
+      {|{"op": "reach", "bench": "tlc", "blif": "x"}|};
+      {|{"op": "minimize", "bdd": "x", "budget": {"max_steps": 0}}|};
+      {|{"op": "minimize", "bdd": "x", "budget": 3}|};
+      "not json at all";
+    ]
+
+(* ----- in-process server ----- *)
+
+let with_server ?(workers = 2) f =
+  let path = Filename.temp_file "bddmin-test" ".sock" in
+  Sys.remove path;
+  let srv = Serve.Server.start ~workers (Serve.Server.Unix_path path) in
+  Fun.protect
+    ~finally:(fun () -> Serve.Server.stop srv)
+    (fun () -> f srv (C.Unix_path path))
+
+let payload = Serve.Loadgen.build_payload ~nvars:10 ~seed:42
+
+(* a payload heavy enough that tiny budgets trip mid-minimization *)
+let heavy_payload = Serve.Loadgen.build_payload ~nvars:14 ~seed:7
+
+let expect_ok what = function
+  | Ok { P.status = "ok"; result; _ } -> result
+  | Ok r -> Alcotest.failf "%s: status %s (%s)" what r.P.status
+              (Option.value ~default:"" r.P.message)
+  | Error msg -> Alcotest.failf "%s: transport error %s" what msg
+
+let serve_minimize_ok () =
+  with_server @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (match C.ping c with
+   | Ok { P.status = "ok"; _ } -> ()
+   | _ -> Alcotest.fail "ping");
+  let result = expect_ok "minimize" (C.minimize c (P.Store_text payload)) in
+  let size = Option.get (J.int_field "size" result) in
+  Util.checkb "positive cover size" (size > 0);
+  (* the returned cover must actually cover the instance *)
+  let cover_text = Option.get (J.string_field "cover" result) in
+  let man = Bdd.new_man () in
+  (match Bdd.Store.load man payload, Bdd.Store.load man cover_text with
+   | Ok roots, Ok [ ("g", g) ] ->
+     let f = List.assoc "f" roots and cc = List.assoc "c" roots in
+     Util.checkb "is a cover"
+       (Minimize.Ispec.is_cover man (Minimize.Ispec.make ~f ~c:cc) g)
+   | _ -> Alcotest.fail "cover text failed to load")
+
+let serve_pla_and_best () =
+  with_server @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let pla = ".i 3\n.o 1\n.type fd\n110 1\n10- -\n001 1\n.e\n" in
+  let result =
+    expect_ok "pla minimize" (C.minimize c ~heuristic:"best" (P.Pla_text pla))
+  in
+  Util.checkb "best reports the winning heuristic"
+    (J.string_field "heuristic" result <> None)
+
+let serve_budget_dnf () =
+  with_server @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (* restr is a pure kernel op that does not trap Budget_exhausted
+     (unlike the anytime sched), so a tiny step budget surfaces as a
+     structured dnf reply *)
+  match
+    C.minimize c ~heuristic:"restr" ~max_steps:2 (P.Store_text heavy_payload)
+  with
+  | Ok { P.status = "dnf"; reason = Some "steps"; _ } -> ()
+  | Ok r -> Alcotest.failf "expected dnf/steps, got %s/%s" r.P.status
+              (Option.value ~default:"-" r.P.reason)
+  | Error msg -> Alcotest.failf "transport error %s" msg
+
+let serve_deadline_dnf_isolated () =
+  (* an expired deadline yields dnf(time) while a concurrent healthy
+     request on another connection completes untouched *)
+  with_server ~workers:2 @@ fun _srv addr ->
+  let healthy =
+    Domain.spawn (fun () ->
+        let c = C.connect addr in
+        Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+        C.minimize c (P.Store_text payload))
+  in
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (match C.minimize c ~timeout_ms:0 (P.Store_text heavy_payload) with
+   | Ok { P.status = "dnf"; reason = Some "time"; _ } -> ()
+   | Ok r -> Alcotest.failf "expected dnf/time, got %s/%s" r.P.status
+               (Option.value ~default:"-" r.P.reason)
+   | Error msg -> Alcotest.failf "transport error %s" msg);
+  ignore (expect_ok "concurrent healthy request" (Domain.join healthy))
+
+let serve_error_replies () =
+  with_server @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (match C.minimize c ~heuristic:"nope" (P.Store_text payload) with
+   | Ok { P.status = "error"; message = Some m; _ } ->
+     Util.checkb "lists known heuristics" (Util.contains m "sched")
+   | _ -> Alcotest.fail "unknown heuristic must be an error reply");
+  (match C.minimize c (P.Store_text "bdd 1\nroot g 0\n") with
+   | Ok { P.status = "error"; message = Some m; _ } ->
+     Util.checkb "explains the missing root" (Util.contains m "f")
+   | _ -> Alcotest.fail "payload without f root must be an error reply");
+  (match C.reach c (P.Bench "no-such-bench") with
+   | Ok { P.status = "error"; _ } -> ()
+   | _ -> Alcotest.fail "unknown bench must be an error reply");
+  (* the connection survives malformed requests *)
+  match C.ping c with
+  | Ok { P.status = "ok"; _ } -> ()
+  | _ -> Alcotest.fail "connection unusable after errors"
+
+let serve_reach_equiv () =
+  with_server @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let result = expect_ok "reach" (C.reach c (P.Bench "tlc")) in
+  Util.checkb "iterations counted"
+    (Option.get (J.int_field "iterations" result) > 0);
+  let result = expect_ok "equiv" (C.equiv c (P.Bench "tlc") (P.Bench "tlc")) in
+  Util.checkb "self-equivalent"
+    (J.mem "equivalent" result = Some (J.Bool true));
+  (* a strangled reach is a partial, with the frontier still pending *)
+  match C.reach c ~max_steps:50 (P.Bench "johnson8") with
+  | Ok { P.status = "partial"; reason = Some _; _ } | Ok { P.status = "dnf"; _ }
+    -> ()
+  | Ok r -> Alcotest.failf "expected partial/dnf, got %s" r.P.status
+  | Error msg -> Alcotest.failf "transport error %s" msg
+
+let serve_metrics () =
+  with_server @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  ignore (expect_ok "minimize" (C.minimize c (P.Store_text payload)));
+  let m = expect_ok "metrics" (C.metrics c) in
+  let counters = Option.get (J.mem "counters" m) in
+  Util.checkb "request counter present"
+    (match J.int_field "serve.requests" counters with
+     | Some n -> n >= 1
+     | None -> false);
+  let histos = Option.get (J.mem "histograms" m) in
+  Util.checkb "latency histogram present"
+    (J.mem "serve.latency_us.minimize" histos <> None);
+  Util.checkb "uptime present" (J.float_field "uptime_s" m <> None)
+
+let serve_concurrent_clients () =
+  with_server ~workers:3 @@ fun _srv addr ->
+  let per_client = 5 in
+  let client k () =
+    let c = C.connect addr in
+    Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+    List.init per_client (fun j ->
+        let p = Serve.Loadgen.build_payload ~nvars:8 ~seed:((k * 17) + j) in
+        match C.minimize c (P.Store_text p) with
+        | Ok { P.status = "ok"; reply_id; _ } -> reply_id = j + 1
+        | _ -> false)
+  in
+  let domains = List.init 4 (fun k -> Domain.spawn (client k)) in
+  let all = List.concat_map Domain.join domains in
+  Util.checkb "every request answered ok with its own id"
+    (List.for_all (fun b -> b) all)
+
+let serve_shutdown_op () =
+  let path = Filename.temp_file "bddmin-test" ".sock" in
+  Sys.remove path;
+  let srv = Serve.Server.start ~workers:2 (Serve.Server.Unix_path path) in
+  let c = C.connect (C.Unix_path path) in
+  (match C.shutdown c with
+   | Ok { P.status = "ok"; _ } -> ()
+   | _ -> Alcotest.fail "shutdown must be acknowledged");
+  C.close c;
+  (* returns: the accept loop noticed the flag and tore everything down *)
+  Serve.Server.wait srv;
+  Util.checkb "socket removed" (not (Sys.file_exists path))
+
+let loadgen_smoke () =
+  let stats =
+    Serve.Loadgen.run ~clients:2 ~requests:12 ~workers:2 ~nvars:8 ()
+  in
+  Util.checki "all requests accounted"
+    stats.Serve.Loadgen.requests
+    (stats.Serve.Loadgen.ok + stats.Serve.Loadgen.dnf
+     + stats.Serve.Loadgen.partial + stats.Serve.Loadgen.errors);
+  Util.checki "no errors" 0 stats.Serve.Loadgen.errors;
+  Util.checkb "throughput measured" (stats.Serve.Loadgen.rps > 0.0);
+  Util.checkb "percentiles ordered"
+    (stats.Serve.Loadgen.p50_ms <= stats.Serve.Loadgen.p95_ms
+     && stats.Serve.Loadgen.p95_ms <= stats.Serve.Loadgen.p99_ms)
+
+let suite =
+  [
+    Alcotest.test_case "json round trip" `Quick json_roundtrip;
+    json_fuzz_never_raises;
+    Alcotest.test_case "json rejects malformed" `Quick json_rejects;
+    protocol_fuzz_never_raises;
+    Alcotest.test_case "protocol parse" `Quick protocol_parse;
+    Alcotest.test_case "minimize over the wire" `Quick serve_minimize_ok;
+    Alcotest.test_case "pla payload and best" `Quick serve_pla_and_best;
+    Alcotest.test_case "budget dnf reply" `Quick serve_budget_dnf;
+    Alcotest.test_case "deadline dnf does not disturb others" `Quick
+      serve_deadline_dnf_isolated;
+    Alcotest.test_case "error replies" `Quick serve_error_replies;
+    Alcotest.test_case "reach and equiv ops" `Quick serve_reach_equiv;
+    Alcotest.test_case "metrics endpoint" `Quick serve_metrics;
+    Alcotest.test_case "concurrent clients" `Quick serve_concurrent_clients;
+    Alcotest.test_case "shutdown op" `Quick serve_shutdown_op;
+    Alcotest.test_case "loadgen smoke" `Quick loadgen_smoke;
+  ]
