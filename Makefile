@@ -17,7 +17,7 @@ bench-smoke: build
 	BDDMIN_BENCH_SERVE_CLIENTS=2 BDDMIN_BENCH_SERVE_REQUESTS=20 \
 		dune exec bench/main.exe
 
-# Regenerate the committed perf baseline (schema bddmin-bench-engine/4;
+# Regenerate the committed perf baseline (schema bddmin-bench-engine/5;
 # see Harness.Bench_json).  Deterministic apart from the wall-time
 # fields and the serve section, at any -j.
 bench-json: build
@@ -33,16 +33,27 @@ bench-diff: build
 		$(if $(STRICT),--strict)
 
 # The serve daemon end to end as separate processes: start it on a
-# throwaway unix socket, ping it, drive a small load, check the
-# metrics endpoint, shut it down over the wire.
+# throwaway unix socket with the Prometheus listener and flight
+# recorder on, ping it, drive a small load with explain telemetry,
+# scrape /metrics, trigger a SIGUSR1 flight dump, shut it down over
+# the wire.
 serve-smoke: build
-	@rm -f _build/serve-smoke.sock
-	dune exec -- bddmin serve --unix _build/serve-smoke.sock --workers 2 & \
+	@rm -f _build/serve-smoke.sock _build/serve-smoke-flight.json
+	dune exec -- bddmin serve --unix _build/serve-smoke.sock --workers 2 \
+		--metrics-addr 127.0.0.1:9464 \
+		--flight-dump _build/serve-smoke-flight.json & \
+	pid=$$!; \
 	for i in $$(seq 1 50); do \
 		[ -S _build/serve-smoke.sock ] && break; sleep 0.1; done; \
 	dune exec -- bddmin serve-ctl ping --connect _build/serve-smoke.sock && \
 	dune exec -- bddmin serve-bench --connect _build/serve-smoke.sock \
-		--clients 2 --requests 30 && \
+		--clients 2 --requests 30 --explain && \
+	curl -sf http://127.0.0.1:9464/metrics \
+		| grep -q '^bddmin_serve_requests_total' && \
+	kill -USR1 $$pid && \
+	for i in $$(seq 1 50); do \
+		[ -s _build/serve-smoke-flight.json ] && break; sleep 0.1; done; \
+	[ -s _build/serve-smoke-flight.json ] && \
 	dune exec -- bddmin serve-ctl metrics --connect _build/serve-smoke.sock \
 		> /dev/null && \
 	dune exec -- bddmin serve-ctl shutdown --connect _build/serve-smoke.sock; \

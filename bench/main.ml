@@ -478,7 +478,8 @@ let serve_phase () =
      ==\n%!"
     serve_clients serve_requests;
   let stats =
-    Serve.Loadgen.run ~clients:serve_clients ~requests:serve_requests ()
+    Serve.Loadgen.run ~clients:serve_clients ~requests:serve_requests
+      ~explain:true ()
   in
   Format.printf "%a@.@." Serve.Loadgen.pp stats;
   serve_stats :=
@@ -493,8 +494,20 @@ let serve_phase () =
         serve_p95_ms = stats.Serve.Loadgen.p95_ms;
         serve_p99_ms = stats.Serve.Loadgen.p99_ms;
         serve_mean_ms = stats.Serve.Loadgen.mean_ms;
+        serve_ok = stats.Serve.Loadgen.ok;
         serve_dnf = stats.Serve.Loadgen.dnf;
+        serve_partial = stats.Serve.Loadgen.partial;
         serve_errors = stats.Serve.Loadgen.errors;
+        serve_telemetry =
+          Option.map
+            (fun (t : Serve.Loadgen.telemetry) ->
+               {
+                 Harness.Bench_json.serve_explained = t.explained;
+                 serve_queue_us_mean = t.queue_us_mean;
+                 serve_exec_us_mean = t.exec_us_mean;
+                 serve_write_us_mean = t.write_us_mean;
+               })
+            stats.Serve.Loadgen.telemetry;
       }
 
 (* ----- machine-readable baseline: BENCH_engine.json -----

@@ -566,7 +566,8 @@ let tables_cmd =
    Bench_json renders (harness has no serve dependency). *)
 let serve_phase ~clients ~requests =
   let (stats : Serve.Loadgen.stats), dt =
-    Obs.Clock.timed @@ fun () -> Serve.Loadgen.run ~clients ~requests ()
+    Obs.Clock.timed @@ fun () ->
+    Serve.Loadgen.run ~clients ~requests ~explain:true ()
   in
   ( {
       Harness.Bench_json.serve_clients = stats.clients;
@@ -578,8 +579,20 @@ let serve_phase ~clients ~requests =
       serve_p95_ms = stats.p95_ms;
       serve_p99_ms = stats.p99_ms;
       serve_mean_ms = stats.mean_ms;
+      serve_ok = stats.ok;
       serve_dnf = stats.dnf;
+      serve_partial = stats.partial;
       serve_errors = stats.errors;
+      serve_telemetry =
+        Option.map
+          (fun (t : Serve.Loadgen.telemetry) ->
+             {
+               Harness.Bench_json.serve_explained = t.explained;
+               serve_queue_us_mean = t.queue_us_mean;
+               serve_exec_us_mean = t.exec_us_mean;
+               serve_write_us_mean = t.write_us_mean;
+             })
+          stats.telemetry;
     },
     dt )
 
@@ -721,10 +734,13 @@ let profile_cmd =
         b.Circuits.Registry.name (List.length calls) max_calls;
       Format.printf "%a@." Obs.Report.pp
         (Obs.Report.of_events (Obs.Trace.events sink));
-      if Obs.Trace.dropped sink > 0 then
-        Printf.printf
-          "(ring dropped %d early events; earliest spans are partial)\n"
-          (Obs.Trace.dropped sink);
+      Printf.printf
+        "trace drops: %d from this ring%s, %d process-wide\n"
+        (Obs.Trace.dropped sink)
+        (if Obs.Trace.dropped sink > 0 then
+           " (earliest spans are partial)"
+         else "")
+        (Obs.Trace.total_dropped ());
       Format.printf "@.%a" Obs.Probe.pp ();
       0
   in
@@ -947,8 +963,27 @@ let connect_req_term =
   Arg.(required & opt (some string) None
        & info [ "connect" ] ~docv:"ADDR" ~doc:connect_doc)
 
+(* --metrics-addr accepts a bare port, HOST:PORT (the host is ignored —
+   the listener binds loopback, like the wire port), or a unix-socket
+   path. *)
+let parse_metrics_addr s =
+  match int_of_string_opt s with
+  | Some port -> Serve.Server.Tcp port
+  | None -> begin
+      match String.rindex_opt s ':' with
+      | Some i -> begin
+          match
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | Some port -> Serve.Server.Tcp port
+          | None -> Serve.Server.Unix_path s
+        end
+      | None -> Serve.Server.Unix_path s
+    end
+
 let serve_cmd =
-  let run port unix_path workers =
+  let run port unix_path workers metrics_addr flight_capacity flight_dump
+      trace =
     let listen =
       match unix_path with
       | Some path -> Serve.Server.Unix_path path
@@ -959,7 +994,17 @@ let serve_cmd =
       | Some w -> w
       | None -> max 2 (Exec.recommended_jobs () - 1)
     in
-    match Serve.Server.start ~workers listen with
+    let metrics = Option.map parse_metrics_addr metrics_addr in
+    with_trace trace @@ fun () ->
+    let trace_sink =
+      match Obs.Trace.sink () with
+      | s when s == Obs.Trace.null -> None
+      | s -> Some s
+    in
+    match
+      Serve.Server.start ~workers ?trace:trace_sink ?metrics ~flight_capacity
+        ~flight_dump listen
+    with
     | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "error: cannot listen on %s: %s\n"
         (match listen with
@@ -968,20 +1013,38 @@ let serve_cmd =
         (Unix.error_message e);
       1
     | srv ->
-      Printf.printf "bddmin serve: listening on %s (%d workers)\n%!"
-        (Serve.Server.address srv) workers;
+      Printf.printf "bddmin serve: listening on %s (%d workers)%s\n%!"
+        (Serve.Server.address srv) workers
+        (match Serve.Server.metrics_address srv with
+         | Some a -> Printf.sprintf ", metrics on http://%s/metrics" a
+         | None -> "");
       let stop_requested = Atomic.make false in
+      let dump_requested = Atomic.make false in
       let on_signal _ = Atomic.set stop_requested true in
       List.iter
         (fun s ->
            try Sys.set_signal s (Sys.Signal_handle on_signal)
            with Invalid_argument _ | Sys_error _ -> ())
         [ Sys.sigint; Sys.sigterm ];
+      (* SIGUSR1: dump the flight recorder.  The handler only flips a
+         flag; the poll loop below does the file I/O, since signal
+         handlers must stay async-safe. *)
+      (try
+         Sys.set_signal Sys.sigusr1
+           (Sys.Signal_handle (fun _ -> Atomic.set dump_requested true))
+       with Invalid_argument _ | Sys_error _ -> ());
       (* poll so signal handlers get to run; the shutdown op flips the
          server's own flag *)
       while not (Atomic.get stop_requested) && not (Serve.Server.stopping srv)
       do
-        (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        if Atomic.exchange dump_requested false then
+          match Serve.Server.dump_flight srv with
+          | Some path ->
+            Printf.eprintf "bddmin serve: flight recorder dumped to %s\n%!"
+              path
+          | None ->
+            Printf.eprintf "bddmin serve: flight dump failed\n%!"
       done;
       Serve.Server.request_stop srv;
       Serve.Server.wait srv;
@@ -1007,6 +1070,26 @@ let serve_cmd =
                    2).  Each request runs on a private BDD manager under \
                    its own budget.")
   in
+  let metrics_addr =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-addr" ] ~docv:"ADDR"
+             ~doc:"Also serve the Prometheus text exposition over HTTP \
+                   at $(docv) (a port, $(b,HOST:PORT), or a unix-socket \
+                   path); scrape $(b,/metrics).")
+  in
+  let flight_capacity =
+    Arg.(value & opt int 256
+         & info [ "flight-capacity" ] ~docv:"N"
+             ~doc:"Keep the last $(docv) request records in the flight \
+                   recorder ring (default 256).")
+  in
+  let flight_dump =
+    Arg.(value & opt string "bddmin-flight.json"
+         & info [ "flight-dump" ] ~docv:"FILE"
+             ~doc:"Where the flight recorder is dumped — on request \
+                   errors, on SIGUSR1, and for $(b,serve-ctl dump) \
+                   (default $(b,bddmin-flight.json)).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the minimization daemon"
@@ -1014,7 +1097,7 @@ let serve_cmd =
          [
            `S Manpage.s_description;
            `P
-             "Accepts minimize / reach / equiv / ping / metrics / \
+             "Accepts minimize / reach / equiv / ping / metrics / dump / \
               shutdown requests as length-prefixed JSON frames (4-byte \
               big-endian length, then the JSON document; see \
               docs/TUTORIAL.md §11 for the message schema).  Each \
@@ -1026,17 +1109,27 @@ let serve_cmd =
               client $(b,shutdown) request) stop the daemon: queued \
               jobs are aborted with $(b,dnf cancelled) replies, running \
               jobs drain.";
+           `P
+             "Telemetry: $(b,--metrics-addr) exposes the typed metrics \
+              registry in Prometheus text format; SIGUSR1 dumps the \
+              flight recorder (the last $(b,--flight-capacity) request \
+              records) to $(b,--flight-dump); requests carrying \
+              $(b,\\\"explain\\\": true) receive per-request phase \
+              timings, budget consumption and engine stats deltas on \
+              the reply; $(b,--trace FILE) streams per-request spans as \
+              Chrome trace-event JSON (see docs/TUTORIAL.md §12).";
          ])
-    Term.(const (fun () a b c -> run a b c)
-          $ logs_term $ port $ unix_path $ workers)
+    Term.(const (fun () a b c d e f g -> run a b c d e f g)
+          $ logs_term $ port $ unix_path $ workers $ metrics_addr
+          $ flight_capacity $ flight_dump $ trace_term)
 
 let serve_bench_cmd =
   let run connect clients requests workers heuristic seed max_steps
-      timeout_ms =
+      timeout_ms explain =
     let connect = Option.map Serve.Client.parse_addr connect in
     match
       Serve.Loadgen.run ~clients ~requests ?connect ?workers ~heuristic ~seed
-        ?max_steps ?timeout_ms ()
+        ?max_steps ?timeout_ms ~explain ()
     with
     | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "error: %s\n" (Unix.error_message e);
@@ -1086,6 +1179,13 @@ let serve_bench_cmd =
                    arrival ($(b,0) = already expired: every request \
                    returns $(b,dnf) with reason $(b,time)).")
   in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Ask the server to attach per-request telemetry to \
+                   every reply and report the mean server-side \
+                   queue/exec/write phase timings.")
+  in
   Cmd.v
     (Cmd.info "serve-bench"
        ~doc:"Measure serve throughput and tail latency"
@@ -1094,18 +1194,131 @@ let serve_bench_cmd =
            `S Manpage.s_description;
            `P
              "Drives deterministic minimize requests at a serve daemon \
-              from concurrent clients and reports requests/sec and \
-              p50/p95/p99 latency.  Without $(b,--connect) an \
-              in-process server on a throwaway unix socket is measured \
-              (the same load generator backs the $(b,serve) phase of \
-              $(b,bddmin bench)).";
+              from concurrent clients and reports requests/sec, \
+              p50/p95/p99 latency, and per-status reply counts (ok / \
+              dnf / partial / error as separate columns).  Without \
+              $(b,--connect) an in-process server on a throwaway unix \
+              socket is measured (the same load generator backs the \
+              $(b,serve) phase of $(b,bddmin bench)).";
          ])
-    Term.(const (fun () a b c d e f g h -> run a b c d e f g h)
+    Term.(const (fun () a b c d e f g h i -> run a b c d e f g h i)
           $ logs_term $ connect_opt_term $ clients $ requests
-          $ workers $ heuristic $ seed $ max_steps $ timeout_ms)
+          $ workers $ heuristic $ seed $ max_steps $ timeout_ms $ explain)
+
+(* ----- serve-ctl watch: a refreshing terminal view of the registry ----- *)
+
+let json_series f =
+  match Serve.Json.mem "series" f with
+  | Some (Serve.Json.Arr xs) -> xs
+  | _ -> []
+
+let json_label_suffix s =
+  match Serve.Json.mem "labels" s with
+  | Some (Serve.Json.Obj []) | None -> ""
+  | Some (Serve.Json.Obj kvs) ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+              Printf.sprintf "%s=%s" k
+                (Option.value ~default:"?" (Serve.Json.to_string v)))
+           kvs)
+    ^ "}"
+  | Some _ -> ""
+
+let json_buckets s =
+  match Serve.Json.mem "buckets" s with
+  | Some (Serve.Json.Arr xs) ->
+    Array.of_list (List.filter_map Serve.Json.to_int xs)
+  | _ -> [||]
+
+(* The smallest log2-bucket upper bound below which at least a [q]
+   fraction of observations fall — the same le scheme the exposition
+   uses (bucket i <= 2^(i+1)-1, last bucket +Inf). *)
+let approx_quantile buckets count q =
+  if count = 0 then "-"
+  else begin
+    let target =
+      max 1 (int_of_float (ceil (q *. float_of_int count)))
+    in
+    let cum = ref 0 and result = ref "+Inf" and found = ref false in
+    Array.iteri
+      (fun i c ->
+         cum := !cum + c;
+         if (not !found) && !cum >= target then begin
+           found := true;
+           if i < Array.length buckets - 1 then
+             result := string_of_int ((1 lsl (i + 1)) - 1)
+         end)
+      buckets;
+    !result
+  end
+
+let watch_render result =
+  let fams =
+    match Serve.Json.mem "families" result with
+    | Some (Serve.Json.Arr fs) -> fs
+    | _ -> []
+  in
+  let fname f = Option.value ~default:"?" (Serve.Json.string_field "name" f) in
+  Printf.printf "bddmin serve  uptime %.0f s  in_flight %d  queue %d  connections %d\n\n"
+    (Option.value ~default:0.0 (Serve.Json.float_field "uptime_s" result))
+    (Option.value ~default:0 (Serve.Json.int_field "in_flight" result))
+    (Option.value ~default:0 (Serve.Json.int_field "queue_depth" result))
+    (Option.value ~default:0 (Serve.Json.int_field "connections" result));
+  Printf.printf "%-48s %12s\n" "gauge" "value";
+  List.iter
+    (fun f ->
+       if Serve.Json.string_field "kind" f = Some "gauge" then
+         List.iter
+           (fun s ->
+              match Serve.Json.int_field "value" s with
+              | Some v ->
+                Printf.printf "%-48s %12d\n" (fname f ^ json_label_suffix s) v
+              | None -> ())
+           (json_series f))
+    fams;
+  Printf.printf "\n%-48s %8s %10s %8s %8s\n" "histogram" "count" "mean"
+    "~p50" "~p95";
+  List.iter
+    (fun f ->
+       if Serve.Json.string_field "kind" f = Some "histogram" then
+         List.iter
+           (fun s ->
+              let count =
+                Option.value ~default:0 (Serve.Json.int_field "count" s)
+              in
+              let sum =
+                Option.value ~default:0 (Serve.Json.int_field "sum" s)
+              in
+              let buckets = json_buckets s in
+              Printf.printf "%-48s %8d %10.0f %8s %8s\n"
+                (fname f ^ json_label_suffix s)
+                count
+                (if count = 0 then 0.0
+                 else float_of_int sum /. float_of_int count)
+                (approx_quantile buckets count 0.50)
+                (approx_quantile buckets count 0.95))
+           (json_series f))
+    fams
 
 let serve_ctl_cmd =
-  let run action connect =
+  let print_ok_or_fail reply =
+    match reply with
+    | Ok { Serve.Protocol.status = "ok"; result; _ } ->
+      print_endline (Serve.Json.print result);
+      0
+    | Ok r ->
+      Printf.eprintf "error: status %s%s\n" r.Serve.Protocol.status
+        (match r.Serve.Protocol.message with
+         | Some m -> ": " ^ m
+         | None -> "");
+      1
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  let run action connect interval count =
     match Serve.Client.connect (Serve.Client.parse_addr connect) with
     | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "error: cannot connect to %s: %s\n" connect
@@ -1113,37 +1326,62 @@ let serve_ctl_cmd =
       1
     | c ->
       Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
-      let reply =
-        match action with
-        | `Ping -> Serve.Client.ping c
-        | `Metrics -> Serve.Client.metrics c
-        | `Shutdown -> Serve.Client.shutdown c
-      in
-      (match reply with
-       | Ok { Serve.Protocol.status = "ok"; result; _ } ->
-         print_endline (Serve.Json.print result);
-         0
-       | Ok r ->
-         Printf.eprintf "error: status %s%s\n" r.Serve.Protocol.status
-           (match r.Serve.Protocol.message with
-            | Some m -> ": " ^ m
-            | None -> "");
-         1
-       | Error msg ->
-         Printf.eprintf "error: %s\n" msg;
-         1)
+      (match action with
+       | `Ping -> print_ok_or_fail (Serve.Client.ping c)
+       | `Metrics -> print_ok_or_fail (Serve.Client.metrics c)
+       | `Dump -> print_ok_or_fail (Serve.Client.dump c)
+       | `Shutdown -> print_ok_or_fail (Serve.Client.shutdown c)
+       | `Watch ->
+         let rec go i =
+           match Serve.Client.metrics c with
+           | Ok { Serve.Protocol.status = "ok"; result; _ } ->
+             (* clear screen + home, then redraw *)
+             print_string "\027[2J\027[H";
+             watch_render result;
+             flush stdout;
+             if count > 0 && i + 1 >= count then 0
+             else begin
+               (try Unix.sleepf interval
+                with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+               go (i + 1)
+             end
+           | Ok r ->
+             Printf.eprintf "error: status %s\n" r.Serve.Protocol.status;
+             1
+           | Error msg ->
+             Printf.eprintf "error: %s\n" msg;
+             1
+         in
+         go 0)
   in
   let action =
-    let actions = [ ("ping", `Ping); ("metrics", `Metrics); ("shutdown", `Shutdown) ] in
+    let actions =
+      [ ("ping", `Ping); ("metrics", `Metrics); ("dump", `Dump);
+        ("watch", `Watch); ("shutdown", `Shutdown) ]
+    in
     Arg.(required & pos 0 (some (enum actions)) None
          & info [] ~docv:"ACTION"
-             ~doc:"$(b,ping), $(b,metrics) or $(b,shutdown).")
+             ~doc:"$(b,ping), $(b,metrics), $(b,dump) (print the \
+                   server's flight recorder as JSON), $(b,watch) \
+                   (refreshing terminal view of gauges and latency \
+                   histograms) or $(b,shutdown).")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Refresh period for $(b,watch) (default 2).")
+  in
+  let count =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Stop $(b,watch) after $(docv) refreshes (default: \
+                   run until interrupted).")
   in
   Cmd.v
     (Cmd.info "serve-ctl"
-       ~doc:"Ping, inspect or stop a running serve daemon")
-    Term.(const (fun () a b -> run a b)
-          $ logs_term $ action $ connect_req_term)
+       ~doc:"Ping, inspect, dump or watch a running serve daemon")
+    Term.(const (fun () a b c d -> run a b c d)
+          $ logs_term $ action $ connect_req_term $ interval $ count)
 
 let main =
   Cmd.group

@@ -1141,6 +1141,40 @@ module Stats = struct
       s.interned_cubes s.gc_runs s.gc_reclaimed
 
   let to_string s = Format.asprintf "%a" pp s
+
+  (* Per-task attribution: monotone work counters are subtracted, level
+     quantities (sizes, capacities, occupancy) are taken from [after] —
+     a delta of "how much the table grew" is less useful to a telemetry
+     consumer than "how big it is now". *)
+  let delta ~(before : t) ~(after : t) =
+    {
+      vars = after.vars;
+      live_nodes = after.live_nodes;
+      peak_live_nodes = after.peak_live_nodes;
+      interned_total = after.interned_total - before.interned_total;
+      unique_capacity = after.unique_capacity;
+      external_refs = after.external_refs;
+      cache_entries = after.cache_entries;
+      cache_capacity = after.cache_capacity;
+      cache_lookups = after.cache_lookups - before.cache_lookups;
+      cache_hits = after.cache_hits - before.cache_hits;
+      cache_stores = after.cache_stores - before.cache_stores;
+      cache_evictions = after.cache_evictions - before.cache_evictions;
+      ite_recursions = after.ite_recursions - before.ite_recursions;
+      and_recursions = after.and_recursions - before.and_recursions;
+      xor_recursions = after.xor_recursions - before.xor_recursions;
+      constrain_recursions =
+        after.constrain_recursions - before.constrain_recursions;
+      restrict_recursions =
+        after.restrict_recursions - before.restrict_recursions;
+      quantify_recursions =
+        after.quantify_recursions - before.quantify_recursions;
+      and_exists_recursions =
+        after.and_exists_recursions - before.and_exists_recursions;
+      interned_cubes = after.interned_cubes - before.interned_cubes;
+      gc_runs = after.gc_runs - before.gc_runs;
+      gc_reclaimed = after.gc_reclaimed - before.gc_reclaimed;
+    }
 end
 
 let snapshot man : Stats.t =

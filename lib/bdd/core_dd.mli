@@ -239,6 +239,15 @@ module Stats : sig
   val hit_rate : t -> float
   (** Computed-cache hits per lookup, in [0, 1]. *)
 
+  val delta : before:t -> after:t -> t
+  (** Attribute engine work to one task: every monotone counter
+      (recursions, cache traffic, interned totals, GC tallies) is
+      [after - before]; level quantities (vars, live/peak nodes,
+      capacities, occupancy, external refs) are taken from [after]
+      unchanged.  With [before] and [after] bracketing a task on one
+      manager, all counter fields are non-negative, and zero when the
+      bracketed work was fully served from the computed cache. *)
+
   val pp : Format.formatter -> t -> unit
   val to_string : t -> string
 end

@@ -30,6 +30,12 @@ type t = {
 
 let size pool = pool.size
 
+let queue_depth pool =
+  Mutex.lock pool.lock;
+  let n = Queue.length pool.q in
+  Mutex.unlock pool.lock;
+  n
+
 let rec worker_loop pool =
   Mutex.lock pool.lock;
   while Queue.is_empty pool.q && not pool.closed do

@@ -26,6 +26,12 @@ val create : jobs:int -> t
 val size : t -> int
 (** The number of worker domains. *)
 
+val queue_depth : t -> int
+(** Jobs submitted but not yet picked up by a worker — the scheduler
+    backlog, distinct from "in flight" (which also counts running
+    jobs).  Takes the queue mutex briefly; meant for gauges and
+    backpressure decisions, not tight loops. *)
+
 val submit : ?on_abort:job -> t -> job -> unit
 (** Enqueue a job.  [on_abort] (default a no-op) is invoked — instead of
     the job, exactly once, in the domain calling {!shutdown} — if the

@@ -21,6 +21,13 @@ let opt_num = function None -> "null" | Some f -> num f
 
 (* Plain record so the serve library (which depends on nothing here) can
    stay unreferenced: the caller copies its loadgen stats across. *)
+type serve_telemetry = {
+  serve_explained : int;
+  serve_queue_us_mean : float;
+  serve_exec_us_mean : float;
+  serve_write_us_mean : float;
+}
+
 type serve_stats = {
   serve_clients : int;
   serve_requests : int;
@@ -31,9 +38,23 @@ type serve_stats = {
   serve_p95_ms : float;
   serve_p99_ms : float;
   serve_mean_ms : float;
+  serve_ok : int;
   serve_dnf : int;
+  serve_partial : int;
   serve_errors : int;
+  serve_telemetry : serve_telemetry option;
 }
+
+let telemetry_row = function
+  | None -> "null"
+  | Some t ->
+    Printf.sprintf
+      "{\"explained\":%d,\"queue_us_mean\":%s,\"exec_us_mean\":%s,\
+       \"write_us_mean\":%s}"
+      t.serve_explained
+      (num t.serve_queue_us_mean)
+      (num t.serve_exec_us_mean)
+      (num t.serve_write_us_mean)
 
 let serve_row = function
   | None -> "null"
@@ -41,10 +62,13 @@ let serve_row = function
     Printf.sprintf
       "{\"clients\":%d,\"requests\":%d,\"workers\":%d,\"seconds\":%s,\
        \"requests_per_sec\":%s,\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\
-       \"mean_ms\":%s,\"dnf_replies\":%d,\"error_replies\":%d}"
+       \"mean_ms\":%s,\"ok_replies\":%d,\"dnf_replies\":%d,\
+       \"partial_replies\":%d,\"error_replies\":%d,\"telemetry\":%s}"
       s.serve_clients s.serve_requests s.serve_workers (num s.serve_seconds)
       (num s.serve_rps) (num s.serve_p50_ms) (num s.serve_p95_ms)
-      (num s.serve_p99_ms) (num s.serve_mean_ms) s.serve_dnf s.serve_errors
+      (num s.serve_p99_ms) (num s.serve_mean_ms) s.serve_ok s.serve_dnf
+      s.serve_partial s.serve_errors
+      (telemetry_row s.serve_telemetry)
 
 let render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
     ~capture_seconds ~phases ~names ~(engine : Bdd.Stats.t) ~dnf
@@ -132,7 +156,7 @@ let render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
   in
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"bddmin-bench-engine/4\",\n\
+    \  \"schema\": \"bddmin-bench-engine/5\",\n\
     \  \"jobs\": %d,\n\
     \  \"quick\": %b,\n\
     \  \"max_calls\": %d,\n\

@@ -1,10 +1,10 @@
 (** The machine-readable benchmark baseline ([BENCH_engine.json]).
 
-    One JSON document per benchmark run, schema ["bddmin-bench-engine/4"],
+    One JSON document per benchmark run, schema ["bddmin-bench-engine/5"],
     with every key always present:
 
     {v
-    schema       string  "bddmin-bench-engine/4"
+    schema       string  "bddmin-bench-engine/5"
     jobs         int     worker domains used for the capture suite
     quick        bool    small sub-suite?
     max_calls    int     per-benchmark cap on measured calls
@@ -17,21 +17,39 @@
     minimizers   [ { name, total_size, total_seconds, mean_hit_rate,
                      dnf_calls } ]
     serve        { clients, requests, workers, seconds, requests_per_sec,
-                   p50_ms, p95_ms, p99_ms, mean_ms, dnf_replies,
-                   error_replies }   or null when the serve phase was skipped
+                   p50_ms, p95_ms, p99_ms, mean_ms, ok_replies,
+                   dnf_replies, partial_replies, error_replies,
+                   telemetry }   or null when the serve phase was skipped
     engine       Bdd.Stats.t counters (summed over the suite's managers)
     v}
+
+    The serve [telemetry] object is
+    [{ explained, queue_us_mean, exec_us_mean, write_us_mean }] —
+    server-reported phase means over replies that carried telemetry
+    (loadgen run with [explain]) — or [null] when none did.
 
     Schema history: [/2] added the [image] key and the
     [and_exists_recursions] / [interned_cubes] engine counters; [/3]
     added resource governance — the [limits] and [dnf] keys and the
     per-minimizer [dnf_calls] count; [/4] added the [serve] section —
     request throughput and tail latency of the [bddmin serve] load
-    generator ([null] when that phase is disabled).
+    generator ([null] when that phase is disabled); [/5] split serve
+    replies into per-status counts ([ok_replies] / [dnf_replies] /
+    [partial_replies] / [error_replies]) and added the serve
+    [telemetry] section of server-side phase timings.
 
     Committed snapshots of this file are the perf trajectory: every
     change regenerates it ([make bench-json] or [bddmin bench]) and
     diffs against the predecessor. *)
+
+type serve_telemetry = {
+  serve_explained : int;
+  serve_queue_us_mean : float;
+  serve_exec_us_mean : float;
+  serve_write_us_mean : float;
+}
+(** Server-side phase means over explained replies, for the serve
+    [telemetry] object. *)
 
 type serve_stats = {
   serve_clients : int;
@@ -43,8 +61,11 @@ type serve_stats = {
   serve_p95_ms : float;
   serve_p99_ms : float;
   serve_mean_ms : float;
+  serve_ok : int;
   serve_dnf : int;
+  serve_partial : int;
   serve_errors : int;
+  serve_telemetry : serve_telemetry option;
 }
 (** The [serve] section, as a plain record so this library needs no
     dependency on [serve] — callers copy the loadgen stats across. *)

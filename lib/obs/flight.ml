@@ -1,0 +1,112 @@
+(* Lock-striped flight-recorder ring.
+
+   One global atomic sequence counter orders records and assigns them to
+   stripes round-robin ([seq mod stripes]); each stripe is a fixed
+   circular buffer behind its own mutex.  Round-robin assignment means
+   the union of the stripes' retained slots is exactly the last
+   [capacity] records by sequence number — reconstruction is a collect
+   and sort, with no cross-stripe coordination on the write path. *)
+
+type record = {
+  seq : int;
+  ts_ns : int64;
+  id : int;
+  trace_id : string;
+  op : string;
+  sizes : (string * int) list;
+  phases_us : (string * int) list;
+  outcome : string;
+}
+
+type stripe = { lock : Mutex.t; slots : record option array }
+
+type t = {
+  stripes : stripe array;
+  per_stripe : int;
+  next_seq : int Atomic.t;
+}
+
+let create ?(stripes = 8) ~capacity () =
+  if capacity < 1 then invalid_arg "Obs.Flight.create: capacity must be >= 1";
+  if stripes < 1 then invalid_arg "Obs.Flight.create: stripes must be >= 1";
+  let stripes = min stripes capacity in
+  let per_stripe = (capacity + stripes - 1) / stripes in
+  {
+    stripes =
+      Array.init stripes (fun _ ->
+          { lock = Mutex.create (); slots = Array.make per_stripe None });
+    per_stripe;
+    next_seq = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.stripes * t.per_stripe
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let record t ?(trace_id = "") ?(sizes = []) ?(phases_us = []) ~id ~op ~outcome
+    () =
+  let seq = Atomic.fetch_and_add t.next_seq 1 in
+  let r =
+    { seq; ts_ns = Clock.now_ns (); id; trace_id; op; sizes; phases_us;
+      outcome }
+  in
+  let stripe = t.stripes.(seq mod Array.length t.stripes) in
+  let slot = seq / Array.length t.stripes mod t.per_stripe in
+  locked stripe.lock (fun () -> stripe.slots.(slot) <- Some r)
+
+let written t = Atomic.get t.next_seq
+
+let dropped t = max 0 (written t - capacity t)
+
+let records t =
+  Array.to_list t.stripes
+  |> List.concat_map (fun s ->
+      locked s.lock (fun () ->
+          Array.to_list s.slots |> List.filter_map Fun.id))
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let clear t =
+  Array.iter
+    (fun s -> locked s.lock (fun () -> Array.fill s.slots 0 t.per_stripe None))
+    t.stripes;
+  Atomic.set t.next_seq 0
+
+(* ----- JSON dump (self-contained, like the bench baseline writer) ----- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let assoc_json kvs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (escape k) v) kvs)
+  ^ "}"
+
+let record_json r =
+  Printf.sprintf
+    "{\"seq\":%d,\"ts_ns\":%Ld,\"id\":%d,\"trace_id\":\"%s\",\"op\":\"%s\",\
+     \"sizes\":%s,\"phases_us\":%s,\"outcome\":\"%s\"}"
+    r.seq r.ts_ns r.id (escape r.trace_id) (escape r.op) (assoc_json r.sizes)
+    (assoc_json r.phases_us) (escape r.outcome)
+
+let to_json t =
+  let rs = records t in
+  Printf.sprintf
+    "{\"capacity\":%d,\"written\":%d,\"dropped\":%d,\"records\":[%s]}"
+    (capacity t) (written t) (dropped t)
+    (String.concat "," (List.map record_json rs))

@@ -1,0 +1,73 @@
+(** Flight recorder: a bounded, lock-striped ring of the most recent
+    request records, kept cheaply at all times and dumped as JSON when
+    something goes wrong (a request errors, SIGUSR1, an operator asks
+    over the wire).
+
+    Each record is one served request: its id, the client-propagated
+    trace id (if any), the operation, free-form integer measurements
+    (payload/result sizes), per-phase timings in microseconds and a
+    final outcome string.
+
+    {b Concurrency.}  Writers are striped: a global atomic sequence
+    number both orders records and picks the stripe ([seq mod stripes]),
+    so concurrent writers contend only on the sequence counter and on
+    [1/stripes] of the mutexes.  Because stripes are filled round-robin,
+    each stripe's ring independently holds its share of the {e most
+    recent} records — collecting all stripes and sorting by sequence
+    reconstructs exactly the last [capacity] records, no matter how many
+    domains were writing.  {!records} and {!to_json} take every stripe
+    mutex (one at a time) and are meant for dump paths, not hot ones. *)
+
+type record = {
+  seq : int;  (** global allocation order, starting at 0 *)
+  ts_ns : int64;  (** {!Clock.now_ns} at record time *)
+  id : int;  (** request id *)
+  trace_id : string;  (** [""] when the client sent none *)
+  op : string;
+  sizes : (string * int) list;  (** e.g. [("input_nodes", 41)] *)
+  phases_us : (string * int) list;  (** e.g. [("queue", 12)] *)
+  outcome : string;  (** reply status: ok / dnf / partial / error *)
+}
+
+type t
+
+val create : ?stripes:int -> capacity:int -> unit -> t
+(** A recorder holding (at least) the last [capacity] records across
+    [stripes] independently locked rings (default 8, clamped to
+    [capacity]).  The effective capacity rounds [capacity] up to a
+    multiple of the stripe count.
+    @raise Invalid_argument when [capacity < 1] or [stripes < 1]. *)
+
+val capacity : t -> int
+(** The effective (rounded-up) capacity. *)
+
+val record :
+  t ->
+  ?trace_id:string ->
+  ?sizes:(string * int) list ->
+  ?phases_us:(string * int) list ->
+  id:int ->
+  op:string ->
+  outcome:string ->
+  unit ->
+  unit
+(** Append one record, evicting the oldest in its stripe when full. *)
+
+val written : t -> int
+(** Records ever written. *)
+
+val dropped : t -> int
+(** Records evicted so far ([max 0 (written - capacity)]). *)
+
+val records : t -> record list
+(** The retained records, oldest first (globally ordered by [seq]). *)
+
+val to_json : t -> string
+(** The ring as one JSON document:
+    [{"capacity":C,"written":W,"dropped":D,"records":[…]}], each record
+    an object with [seq], [ts_ns], [id], [trace_id], [op], [sizes],
+    [phases_us] and [outcome] fields.  Self-contained rendering (no
+    JSON dependency); strings are escaped. *)
+
+val clear : t -> unit
+(** Drop every retained record and reset the counters. *)

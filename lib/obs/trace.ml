@@ -149,6 +149,11 @@ let with_sink s f =
   Domain.DLS.set current s;
   Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
 
+(* Process-wide total of ring-dropped events, across every memory sink
+   that ever existed — the number a metrics endpoint can export without
+   holding a reference to each sink. *)
+let all_dropped = Atomic.make 0
+
 let forward ev =
   match Domain.DLS.get current with
   | Null -> ()
@@ -156,7 +161,8 @@ let forward ev =
     locked m.mem_lock (fun () ->
         if Queue.length m.q >= m.capacity then begin
           ignore (Queue.pop m.q);
-          m.mem_dropped <- m.mem_dropped + 1
+          m.mem_dropped <- m.mem_dropped + 1;
+          Atomic.incr all_dropped
         end;
         Queue.push ev m.q)
   | Chrome c -> chrome_emit c ev
@@ -216,3 +222,5 @@ let events = function
 let dropped = function
   | Memory m -> locked m.mem_lock (fun () -> m.mem_dropped)
   | Null | Chrome _ -> 0
+
+let total_dropped () = Atomic.get all_dropped

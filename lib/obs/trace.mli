@@ -119,3 +119,8 @@ val events : sink -> event list
 
 val dropped : sink -> int
 (** Events dropped by a memory sink's ring; [0] on other sinks. *)
+
+val total_dropped : unit -> int
+(** Events dropped by {e every} memory sink over the process lifetime —
+    the exportable aggregate for metrics endpoints, which cannot poll
+    each sink individually. *)

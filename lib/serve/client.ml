@@ -48,10 +48,10 @@ let connect addr =
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
-let request c ?budget fields =
+let request c ?budget ?trace ?explain fields =
   let id = c.next_id in
   c.next_id <- id + 1;
-  let payload = Protocol.render_request ~id ?budget fields in
+  let payload = Protocol.render_request ~id ?budget ?trace ?explain fields in
   match Protocol.write_frame c.fd payload with
   | () -> begin
       match Protocol.read_frame c.fd with
@@ -64,14 +64,15 @@ let request c ?budget fields =
 let budget_json ?max_nodes ?max_steps ?timeout_ms () =
   Protocol.render_budget ?max_nodes ?max_steps ?timeout_ms ()
 
-let minimize c ?max_nodes ?max_steps ?timeout_ms ?(heuristic = "sched") source =
+let minimize c ?max_nodes ?max_steps ?timeout_ms ?(heuristic = "sched") ?trace
+    ?explain source =
   let budget = budget_json ?max_nodes ?max_steps ?timeout_ms () in
   let source_field =
     match source with
     | Protocol.Store_text text -> ("bdd", Json.Str text)
     | Protocol.Pla_text text -> ("pla", Json.Str text)
   in
-  request c ?budget
+  request c ?budget ?trace ?explain
     [ ("op", Json.Str "minimize"); source_field;
       ("heuristic", Json.Str heuristic) ]
 
@@ -93,4 +94,5 @@ let equiv c ?max_nodes ?max_steps ?timeout_ms a b =
 
 let ping c = request c [ ("op", Json.Str "ping") ]
 let metrics c = request c [ ("op", Json.Str "metrics") ]
+let dump c = request c [ ("op", Json.Str "dump") ]
 let shutdown c = request c [ ("op", Json.Str "shutdown") ]

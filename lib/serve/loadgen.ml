@@ -11,6 +11,13 @@
    its own offset, so the work is identical across runs while the
    interleaving exercises the scheduler. *)
 
+type telemetry = {
+  explained : int;  (** replies that carried a telemetry object *)
+  queue_us_mean : float;
+  exec_us_mean : float;
+  write_us_mean : float;
+}
+
 type stats = {
   clients : int;
   requests : int;
@@ -25,6 +32,8 @@ type stats = {
   dnf : int;
   partial : int;
   errors : int;
+  telemetry : telemetry option;
+      (** server-side phase means, when run with [~explain:true] *)
 }
 
 (* A deterministic EBM instance over [nvars] variables, shipped as Store
@@ -59,7 +68,7 @@ let percentile sorted p =
 
 let run ?(clients = 4) ?(requests = 100) ?connect ?workers
     ?(heuristic = "sched") ?(nvars = 12) ?(seed = 1) ?max_steps ?timeout_ms
-    () =
+    ?(explain = false) () =
   if clients < 1 then invalid_arg "Serve.Loadgen.run: clients must be >= 1";
   if requests < 0 then invalid_arg "Serve.Loadgen.run: negative requests";
   let payloads = Array.init 8 (fun i -> build_payload ~nvars ~seed:(seed + i)) in
@@ -84,6 +93,9 @@ let run ?(clients = 4) ?(requests = 100) ?connect ?workers
     let n = per_client k in
     let lat = Array.make (max n 1) 0.0 in
     let ok = ref 0 and dnf = ref 0 and partial = ref 0 and errors = ref 0 in
+    (* sums of server-reported phase timings, over explained replies *)
+    let explained = ref 0 in
+    let queue_us = ref 0 and exec_us = ref 0 and write_us = ref 0 in
     let c = Client.connect addr in
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
     for j = 0 to n - 1 do
@@ -91,21 +103,35 @@ let run ?(clients = 4) ?(requests = 100) ?connect ?workers
       let t0 = Obs.Clock.now_ns () in
       let r =
         Client.minimize c ~heuristic ?max_steps ?timeout_ms
-          (Protocol.Store_text payload)
+          ~explain (Protocol.Store_text payload)
       in
       lat.(j) <-
         Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e6;
       (match r with
        | Ok reply -> begin
-           match reply.Protocol.status with
-           | "ok" -> incr ok
-           | "dnf" -> incr dnf
-           | "partial" -> incr partial
-           | _ -> incr errors
+           (match reply.Protocol.status with
+            | "ok" -> incr ok
+            | "dnf" -> incr dnf
+            | "partial" -> incr partial
+            | _ -> incr errors);
+           let tel = reply.Protocol.telemetry in
+           match
+             ( Json.int_field "queue_us" tel,
+               Json.int_field "exec_us" tel,
+               Json.int_field "write_us" tel )
+           with
+           | Some q, Some e, Some w ->
+             incr explained;
+             queue_us := !queue_us + q;
+             exec_us := !exec_us + e;
+             write_us := !write_us + w
+           | _ -> ()
          end
        | Error _ -> incr errors)
     done;
-    (Array.sub lat 0 n, !ok, !dnf, !partial, !errors)
+    ( Array.sub lat 0 n,
+      (!ok, !dnf, !partial, !errors),
+      (!explained, !queue_us, !exec_us, !write_us) )
   in
   let t0 = Obs.Clock.now_ns () in
   let domains = List.init clients (fun k -> Domain.spawn (client_run k)) in
@@ -114,9 +140,11 @@ let run ?(clients = 4) ?(requests = 100) ?connect ?workers
     Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e9
   in
   (match server with Some srv -> Server.stop srv | None -> ());
-  let latencies = Array.concat (List.map (fun (l, _, _, _, _) -> l) results) in
+  let latencies = Array.concat (List.map (fun (l, _, _) -> l) results) in
   Array.sort compare latencies;
-  let sum4 f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let sum4 f = List.fold_left (fun acc (_, r, _) -> acc + f r) 0 results in
+  let sumt f = List.fold_left (fun acc (_, _, t) -> acc + f t) 0 results in
+  let explained = sumt (fun (n, _, _, _) -> n) in
   let total = Array.fold_left ( +. ) 0.0 latencies in
   {
     clients;
@@ -131,10 +159,23 @@ let run ?(clients = 4) ?(requests = 100) ?connect ?workers
       (if Array.length latencies > 0 then
          total /. float_of_int (Array.length latencies)
        else 0.0);
-    ok = sum4 (fun (_, ok, _, _, _) -> ok);
-    dnf = sum4 (fun (_, _, dnf, _, _) -> dnf);
-    partial = sum4 (fun (_, _, _, p, _) -> p);
-    errors = sum4 (fun (_, _, _, _, e) -> e);
+    ok = sum4 (fun (ok, _, _, _) -> ok);
+    dnf = sum4 (fun (_, dnf, _, _) -> dnf);
+    partial = sum4 (fun (_, _, p, _) -> p);
+    errors = sum4 (fun (_, _, _, e) -> e);
+    telemetry =
+      (if explained = 0 then None
+       else
+         let mean sel =
+           float_of_int (sumt sel) /. float_of_int explained
+         in
+         Some
+           {
+             explained;
+             queue_us_mean = mean (fun (_, q, _, _) -> q);
+             exec_us_mean = mean (fun (_, _, e, _) -> e);
+             write_us_mean = mean (fun (_, _, _, w) -> w);
+           });
   }
 
 let pp ppf s =
@@ -142,6 +183,14 @@ let pp ppf s =
     "@[<v>clients %d  requests %d  workers %d@,\
      %.2f s  %.1f req/s@,\
      latency ms: p50 %.2f  p95 %.2f  p99 %.2f  mean %.2f@,\
-     replies: %d ok, %d dnf, %d partial, %d error@]"
+     replies: %d ok, %d dnf, %d partial, %d error%a@]"
     s.clients s.requests s.workers s.seconds s.rps s.p50_ms s.p95_ms s.p99_ms
     s.mean_ms s.ok s.dnf s.partial s.errors
+    (fun ppf -> function
+       | None -> ()
+       | Some t ->
+         Format.fprintf ppf
+           "@,server phases us (over %d explained): queue %.0f  exec %.0f  \
+            write %.0f"
+           t.explained t.queue_us_mean t.exec_us_mean t.write_us_mean)
+    s.telemetry

@@ -10,7 +10,7 @@
       "budget": {"max_nodes": N, "max_steps": N, "timeout_ms": N}}
      {"id": N, "op": "reach",  "bench": "tlc"}            (or "blif": <text>)
      {"id": N, "op": "equiv", "bench1": ..., "bench2": ...}
-     {"id": N, "op": "ping" | "metrics" | "shutdown"}
+     {"id": N, "op": "ping" | "metrics" | "shutdown" | "dump"}
 
    Every budget field is optional, as is "budget" itself.  [timeout_ms]
    is converted to an {e absolute} monotonic deadline when the request
@@ -18,12 +18,29 @@
    queue counts against the request, and an expired request dies on its
    first kernel call (see the Budget entry-point poll).
 
+   Two optional telemetry fields ride on any request:
+
+     "trace":   {"id": "<client-generated>", "sampled": true}
+     "explain": true
+
+   The trace id is an opaque client string carried through the server's
+   span emission and flight-recorder records, and echoed nowhere else —
+   it exists so one distributed trace can stitch client and server
+   views together.  [sampled:false] asks the server not to emit spans
+   for this request (it is still metered and flight-recorded).
+   [explain] asks for a "telemetry" object on the reply: phase timings
+   (queue/exec/write, microseconds), budget consumption, and the engine
+   stats delta attributable to this request.
+
    Replies:
      {"id": N, "status": "ok",      "result": {...}}
      {"id": N, "status": "dnf",     "reason": "steps"|"nodes"|"time"|"cancelled",
       "message": "..."}
      {"id": N, "status": "partial", "reason": ..., "result": {...}}
-     {"id": N, "status": "error",   "message": "..."}                    *)
+     {"id": N, "status": "error",   "message": "..."}
+   plus, when the request said [explain]:
+     {..., "telemetry": {"queue_us": N, "exec_us": N, "write_us": N,
+                         "budget": {...}, "engine": {...}}}            *)
 
 let max_frame = 32 * 1024 * 1024
 
@@ -84,15 +101,24 @@ let no_budget = { max_nodes = None; max_steps = None; deadline_ns = None }
 type source = Store_text of string | Pla_text of string
 type machine = Bench of string | Blif_text of string
 
+type trace_spec = { trace_id : string; sampled : bool }
+
 type op =
   | Minimize of { source : source; heuristic : string }
   | Reach of machine
   | Equiv of machine * machine
   | Ping
   | Metrics
+  | Dump
   | Shutdown
 
-type request = { id : int; op : op; budget : budget_spec }
+type request = {
+  id : int;
+  op : op;
+  budget : budget_spec;
+  trace : trace_spec option;
+  explain : bool;
+}
 
 let op_label = function
   | Minimize _ -> "minimize"
@@ -100,6 +126,7 @@ let op_label = function
   | Equiv _ -> "equiv"
   | Ping -> "ping"
   | Metrics -> "metrics"
+  | Dump -> "dump"
   | Shutdown -> "shutdown"
 
 let parse_budget j =
@@ -127,6 +154,25 @@ let parse_budget j =
     Ok { max_nodes; max_steps; deadline_ns }
   | Some _ -> Error "budget must be an object"
 
+(* The trace id round-trips the wire {e byte-identically}: it is
+   carried as a plain JSON string, and the codec's escaping is an exact
+   inverse of its parsing for every OCaml string. *)
+let parse_trace j =
+  match Json.mem "trace" j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Obj _ as t) -> begin
+      match Json.string_field "id" t with
+      | None -> Error "trace.id must be a string"
+      | Some trace_id ->
+        let sampled =
+          match Json.mem "sampled" t with
+          | Some (Json.Bool b) -> b
+          | _ -> true
+        in
+        Ok (Some { trace_id; sampled })
+    end
+  | Some _ -> Error "trace must be an object"
+
 let machine_of ~bench ~blif j =
   match Json.string_field bench j, Json.string_field blif j with
   | Some name, None -> Ok (Bench name)
@@ -140,11 +186,16 @@ let parse_request payload =
   | Ok j ->
     let id = Option.value ~default:0 (Json.int_field "id" j) in
     Result.bind (parse_budget j) @@ fun budget ->
-    let finish op = Ok { id; op; budget } in
+    Result.bind (parse_trace j) @@ fun trace ->
+    let explain =
+      match Json.mem "explain" j with Some (Json.Bool b) -> b | _ -> false
+    in
+    let finish op = Ok { id; op; budget; trace; explain } in
     (match Json.string_field "op" j with
      | None -> Error "missing op"
      | Some "ping" -> finish Ping
      | Some "metrics" -> finish Metrics
+     | Some "dump" -> finish Dump
      | Some "shutdown" -> finish Shutdown
      | Some "minimize" ->
        let heuristic =
@@ -175,11 +226,23 @@ let render_budget ?max_nodes ?max_steps ?timeout_ms () =
   in
   match fields with [] -> None | fs -> Some (Json.Obj fs)
 
-let render_request ~id ?budget fields =
+let render_trace { trace_id; sampled } =
+  Json.Obj [ ("id", Json.Str trace_id); ("sampled", Json.Bool sampled) ]
+
+let render_request ~id ?budget ?trace ?(explain = false) fields =
   let budget_field =
     match budget with None -> [] | Some b -> [ ("budget", b) ]
   in
-  Json.print (Json.Obj (("id", Json.int id) :: fields @ budget_field))
+  let trace_field =
+    match trace with None -> [] | Some t -> [ ("trace", render_trace t) ]
+  in
+  let explain_field =
+    if explain then [ ("explain", Json.Bool true) ] else []
+  in
+  Json.print
+    (Json.Obj
+       (("id", Json.int id)
+        :: fields @ trace_field @ explain_field @ budget_field))
 
 (* ----- replies ----- *)
 
@@ -202,12 +265,20 @@ let partial_reply ~id reason result =
 let error_reply ~id message =
   reply_base ~id ~status:"error" [ ("message", Json.Str message) ]
 
+(* Appended last so a reply's non-telemetry prefix is byte-identical
+   whether or not the client asked to be explained. *)
+let with_telemetry reply telemetry =
+  match reply with
+  | Json.Obj kvs -> Json.Obj (kvs @ [ ("telemetry", telemetry) ])
+  | other -> other
+
 type reply = {
   reply_id : int;
   status : string;  (** ["ok"], ["dnf"], ["partial"] or ["error"] *)
   reason : string option;
   message : string option;
   result : Json.t;  (** [Null] when absent *)
+  telemetry : Json.t;  (** [Null] unless the request said [explain] *)
 }
 
 let parse_reply payload =
@@ -224,4 +295,5 @@ let parse_reply payload =
            reason = Json.string_field "reason" j;
            message = Json.string_field "message" j;
            result = Option.value ~default:Json.Null (Json.mem "result" j);
+           telemetry = Option.value ~default:Json.Null (Json.mem "telemetry" j);
          })

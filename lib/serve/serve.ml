@@ -2,12 +2,16 @@
     minimization, reachability and equivalence checking over a
     length-prefixed JSON protocol.
 
-    {!Protocol} defines the frames and message schema, {!Server} the
-    daemon (accept loop, per-connection readers, a shared [Exec.Pool] of
-    compute workers, per-request budgets with arrival-time deadlines),
-    {!Client} a synchronous client, {!Loadgen} the throughput/latency
-    load generator behind [bddmin serve-bench] and the bench harness's
-    serve phase.  {!Json} is the self-contained JSON codec they share. *)
+    {!Protocol} defines the frames and message schema (including the
+    optional per-request [trace] and [explain] telemetry fields),
+    {!Server} the daemon (accept loop, per-connection readers, a shared
+    [Exec.Pool] of compute workers, per-request budgets with
+    arrival-time deadlines, an [Obs.Metrics]-backed telemetry surface
+    with an optional Prometheus HTTP listener, and an [Obs.Flight]
+    recorder of recent requests), {!Client} a synchronous client,
+    {!Loadgen} the throughput/latency load generator behind
+    [bddmin serve-bench] and the bench harness's serve phase.  {!Json}
+    is the self-contained JSON codec they share. *)
 
 module Json = Json
 module Protocol = Protocol

@@ -2,8 +2,8 @@
 
    Shape: one accept domain, one reader domain per connection, one
    shared [Exec.Pool] of compute workers.  The reader parses frames and
-   answers ping/metrics/shutdown inline; minimize/reach/equiv jobs go to
-   the pool, each under a fresh private manager (managers are
+   answers ping/metrics/dump/shutdown inline; minimize/reach/equiv jobs
+   go to the pool, each under a fresh private manager (managers are
    domain-local by contract) with a per-request [Bdd.Budget] combining
    the request's limits, its arrival-time deadline and the connection's
    cancellation token — a client that disconnects cancels its in-flight
@@ -14,14 +14,118 @@
    receives replies in completion order, matched by [id].  Shutdown
    aborts the queued (not yet running) jobs — their futures' [on_abort]
    writes a [dnf cancelled] reply so no client hangs — drains the
-   running ones, then unblocks and joins every reader. *)
+   running ones, then unblocks and joins every reader.
+
+   Telemetry: every request is metered into the typed [Obs.Metrics]
+   registry (counters by op and status, log2 latency and phase
+   histograms, gauges refreshed at scrape time) and appended to an
+   [Obs.Flight] ring of recent request records; requests carrying a
+   client trace id flow through [Obs.Trace] spans when the server was
+   started with a sink.  The registry is scrapable three ways: the
+   [metrics] wire op, an optional plaintext-HTTP listener
+   ([?metrics] at {!start}), and {!metrics_exposition}. *)
+
+let src = Logs.Src.create "bddmin.serve" ~doc:"request scheduler daemon"
+
+module Log = (val Logs.src_log src)
 
 type listen = Tcp of int | Unix_path of string
+
+(* ----- metric families -----
+
+   Registered (idempotently) at every [start] rather than at module
+   init, so a test calling [Obs.Metrics.reset] between servers gets a
+   freshly scrapable registry instead of orphaned handles. *)
+
+module M = struct
+  type t = {
+    requests : Obs.Metrics.counter Obs.Metrics.family;
+    malformed : Obs.Metrics.counter;
+    replies : Obs.Metrics.counter Obs.Metrics.family;
+    latency : Obs.Metrics.histogram Obs.Metrics.family;
+    phase : Obs.Metrics.histogram Obs.Metrics.family;
+    conn_errors : Obs.Metrics.counter Obs.Metrics.family;
+    queue_depth : Obs.Metrics.gauge;
+    workers_busy : Obs.Metrics.gauge;
+    workers : Obs.Metrics.gauge;
+    in_flight : Obs.Metrics.gauge;
+    connections : Obs.Metrics.gauge;
+    manager_live : Obs.Metrics.gauge Obs.Metrics.family;
+    uptime : Obs.Metrics.gauge;
+    trace_dropped : Obs.Metrics.gauge;
+    flight_dropped : Obs.Metrics.gauge;
+  }
+
+  let register () =
+    let counter = Obs.Metrics.counter and gauge = Obs.Metrics.gauge in
+    {
+      requests =
+        counter ~help:"Requests parsed, by operation" ~labels:[ "op" ]
+          "bddmin_serve_requests_total";
+      malformed =
+        Obs.Metrics.handle
+          (counter ~help:"Frames that failed request parsing"
+             "bddmin_serve_malformed_total");
+      replies =
+        counter ~help:"Replies written, by operation and status"
+          ~labels:[ "op"; "status" ] "bddmin_serve_replies_total";
+      latency =
+        Obs.Metrics.histogram
+          ~help:"Worker-side request latency in microseconds (log2 buckets)"
+          ~labels:[ "op" ] "bddmin_serve_latency_us";
+      phase =
+        Obs.Metrics.histogram
+          ~help:
+            "Per-phase request time in microseconds: queue wait, handler \
+             execution, reply serialization + write"
+          ~labels:[ "phase" ] "bddmin_serve_phase_us";
+      conn_errors =
+        counter ~help:"Connection-level failures, by kind" ~labels:[ "kind" ]
+          "bddmin_serve_conn_errors_total";
+      queue_depth =
+        Obs.Metrics.handle
+          (gauge ~help:"Compute jobs queued but not yet running"
+             "bddmin_serve_queue_depth");
+      workers_busy =
+        Obs.Metrics.handle
+          (gauge ~help:"Pool workers currently executing a job"
+             "bddmin_serve_workers_busy");
+      workers =
+        Obs.Metrics.handle
+          (gauge ~help:"Pool worker domains" "bddmin_serve_workers");
+      in_flight =
+        Obs.Metrics.handle
+          (gauge ~help:"Compute requests accepted and not yet replied"
+             "bddmin_serve_in_flight");
+      connections =
+        Obs.Metrics.handle
+          (gauge ~help:"Open client connections" "bddmin_serve_connections");
+      manager_live =
+        gauge
+          ~help:
+            "Live BDD nodes in the most recently completed request's \
+             manager, by operation"
+          ~labels:[ "op" ] "bddmin_serve_manager_live_nodes";
+      uptime =
+        Obs.Metrics.handle
+          (gauge ~help:"Seconds since the server started"
+             "bddmin_serve_uptime_seconds");
+      trace_dropped =
+        Obs.Metrics.handle
+          (gauge ~help:"Trace events dropped by memory-sink rings"
+             "bddmin_obs_trace_dropped_events");
+      flight_dropped =
+        Obs.Metrics.handle
+          (gauge ~help:"Flight-recorder records evicted from the ring"
+             "bddmin_serve_flight_dropped_records");
+    }
+end
 
 type conn = {
   fd : Unix.file_descr;
   wlock : Mutex.t;
   cancel : Exec.Cancel.t;
+  peer : string;
   mutable refs : int;  (* reader + in-flight jobs; fd closes at 0 *)
 }
 
@@ -34,10 +138,19 @@ type t = {
   workers : int;
   stop_flag : bool Atomic.t;
   in_flight : int Atomic.t;
+  conn_count : int Atomic.t;
   started_ns : int64;
+  m : M.t;
+  flight : Obs.Flight.t;
+  flight_dump : string option;
+  trace_sink : Obs.Trace.sink option;
+  metrics_address : string option;
+  metrics_port : int option;
+  metrics_unix_path : string option;
   lock : Mutex.t;
   finished : Condition.t;
   mutable accept_domain : unit Domain.t option;
+  mutable metrics_domain : unit Domain.t option;
   mutable is_finished : bool;
 }
 
@@ -55,12 +168,21 @@ let conn_release conn =
   Mutex.unlock conn.wlock;
   if close then try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-let conn_send conn json =
+let conn_send_payload conn payload =
   Mutex.lock conn.wlock;
   (if conn.refs > 0 then
-     try Protocol.write_frame conn.fd (Json.print json)
+     try Protocol.write_frame conn.fd payload
      with Unix.Unix_error _ | Invalid_argument _ -> ());
   Mutex.unlock conn.wlock
+
+let conn_send conn json = conn_send_payload conn (Json.print json)
+
+(* ----- timing helpers ----- *)
+
+let now_ns = Obs.Clock.now_ns
+
+let us_since t0 =
+  Int64.to_int (Int64.div (Int64.sub (now_ns ()) t0) 1000L)
 
 (* ----- per-request budget ----- *)
 
@@ -72,7 +194,7 @@ let make_budget conn (b : Protocol.budget_spec) =
     Option.map
       (fun deadline ->
          let rem =
-           Int64.to_float (Int64.sub deadline (Obs.Clock.now_ns ())) /. 1e9
+           Int64.to_float (Int64.sub deadline (now_ns ())) /. 1e9
          in
          if rem <= 0.0 then
            raise (Bdd.Budget_exhausted (Bdd.Budget.Time { seconds = 0.0 }));
@@ -82,6 +204,55 @@ let make_budget conn (b : Protocol.budget_spec) =
   Bdd.Budget.create ?max_nodes:b.max_nodes ?max_steps:b.max_steps ?timeout_s
     ~cancelled:(fun () -> Exec.Cancel.cancelled conn.cancel)
     ()
+
+(* ----- per-request execution telemetry -----
+
+   Handlers deposit what only they can see — the manager's footprint,
+   and (under [explain]) the engine stats delta and budget consumption —
+   into this accumulator; [run_compute] owns the phase clocks. *)
+
+type texec = {
+  mutable live_nodes : int;
+  mutable engine : (string * Json.t) list;
+  mutable budget_used : (string * Json.t) list;
+}
+
+let stats_fields (d : Bdd.Stats.t) =
+  Bdd.Stats.
+    [ ("vars", Json.int d.vars);
+      ("live_nodes", Json.int d.live_nodes);
+      ("peak_live_nodes", Json.int d.peak_live_nodes);
+      ("interned", Json.int d.interned_total);
+      ("cache_lookups", Json.int d.cache_lookups);
+      ("cache_hits", Json.int d.cache_hits);
+      ("cache_hit_rate", Json.Num (Bdd.Stats.hit_rate d));
+      ("cache_stores", Json.int d.cache_stores);
+      ("cache_evictions", Json.int d.cache_evictions);
+      ("ite_recursions", Json.int d.ite_recursions);
+      ("and_recursions", Json.int d.and_recursions);
+      ("xor_recursions", Json.int d.xor_recursions);
+      ("constrain_recursions", Json.int d.constrain_recursions);
+      ("restrict_recursions", Json.int d.restrict_recursions);
+      ("quantify_recursions", Json.int d.quantify_recursions);
+      ("and_exists_recursions", Json.int d.and_exists_recursions);
+      ("gc_runs", Json.int d.gc_runs);
+      ("gc_reclaimed", Json.int d.gc_reclaimed) ]
+
+(* Bracket a handler's compute on one manager: take the "before"
+   snapshot now, and on the way out — also when the budget fires —
+   deposit the footprint and, under [explain], the delta and the steps
+   consumed.  A dnf reply thus still explains the work done so far. *)
+let with_engine_telemetry tx ~explain man budget f =
+  let before = Bdd.snapshot man in
+  let finish () =
+    let after = Bdd.snapshot man in
+    tx.live_nodes <- after.Bdd.Stats.live_nodes;
+    if explain then begin
+      tx.engine <- stats_fields (Bdd.Stats.delta ~before ~after);
+      tx.budget_used <- [ ("steps", Json.int (Bdd.Budget.steps budget)) ]
+    end
+  in
+  Fun.protect ~finally:finish f
 
 (* ----- op handlers (run on pool workers) ----- *)
 
@@ -105,12 +276,13 @@ let load_ispec man = function
          | (_, (f, c)) :: _ -> Ok (Minimize.Ispec.make ~f ~c))
     end
 
-let handle_minimize conn budget_spec ~source ~heuristic =
+let handle_minimize conn tx ~explain budget_spec ~source ~heuristic =
   let man = Bdd.new_man () in
   match load_ispec man source with
   | Error msg -> Error msg
   | Ok spec ->
     let budget = make_budget conn budget_spec in
+    with_engine_telemetry tx ~explain man budget @@ fun () ->
     let ctx = Minimize.Ctx.make ~budget man in
     let name, cover =
       if heuristic = "best" then
@@ -156,12 +328,13 @@ let reach_result (stats : Fsm.Reach.stats) =
       ("reached_states", Json.Num stats.reached_states);
       ("minimization_calls", Json.int stats.minimization_calls) ]
 
-let handle_reach conn ~id budget_spec machine =
+let handle_reach conn tx ~explain ~id budget_spec machine =
   match netlist_of machine with
   | Error msg -> Error (Protocol.error_reply ~id msg)
   | Ok nl ->
     let man = Bdd.new_man () in
     let budget = make_budget conn budget_spec in
+    with_engine_telemetry tx ~explain man budget @@ fun () ->
     let sym = Fsm.Symbolic.of_netlist man nl in
     let _reached, stats =
       Bdd.with_budget man budget (fun () -> Fsm.Reach.reachable sym)
@@ -171,12 +344,13 @@ let handle_reach conn ~id budget_spec machine =
      | Fsm.Reach.Partial { reason; _ } ->
        Ok (Protocol.partial_reply ~id reason (reach_result stats)))
 
-let handle_equiv conn budget_spec a b =
+let handle_equiv conn tx ~explain budget_spec a b =
   match netlist_of a, netlist_of b with
   | Error msg, _ | _, Error msg -> Error msg
   | Ok na, Ok nb ->
     let man = Bdd.new_man () in
     let budget = make_budget conn budget_spec in
+    with_engine_telemetry tx ~explain man budget @@ fun () ->
     let verdict =
       Bdd.with_budget man budget (fun () -> Fsm.Equiv.check man na nb)
     in
@@ -192,64 +366,239 @@ let handle_equiv conn budget_spec a b =
             [ ("equivalent", Json.Bool false);
               ("iterations", Json.int stats.Fsm.Reach.iterations) ]))
 
+(* ----- gauges and scraping ----- *)
+
+(* Levels are refreshed on scrape rather than maintained event-by-event:
+   the sources of truth (pool queue, atomics, ring counters) are always
+   current, so a scrape-time read can never drift the way paired
+   inc/dec instrumentation can. *)
+let refresh_gauges srv =
+  let set = Obs.Metrics.set in
+  let m = srv.m in
+  let depth = Exec.Pool.queue_depth srv.pool in
+  let in_flight = Atomic.get srv.in_flight in
+  set m.M.queue_depth depth;
+  set m.M.in_flight in_flight;
+  set m.M.workers_busy (min srv.workers (max 0 (in_flight - depth)));
+  set m.M.workers srv.workers;
+  set m.M.connections (Atomic.get srv.conn_count);
+  set m.M.uptime
+    (Int64.to_int
+       (Int64.div (Int64.sub (now_ns ()) srv.started_ns) 1_000_000_000L));
+  set m.M.trace_dropped (Obs.Trace.total_dropped ());
+  set m.M.flight_dropped (Obs.Flight.dropped srv.flight)
+
+let metrics_exposition srv =
+  refresh_gauges srv;
+  Obs.Metrics.expose ()
+
+let kind_str = function
+  | Obs.Metrics.Counter -> "counter"
+  | Obs.Metrics.Gauge -> "gauge"
+  | Obs.Metrics.Histogram -> "histogram"
+
+let families_json () =
+  Json.Arr
+    (List.map
+       (fun (f : Obs.Metrics.family_snapshot) ->
+          Json.Obj
+            [ ("name", Json.Str f.name);
+              ("kind", Json.Str (kind_str f.kind));
+              ("help", Json.Str f.help);
+              ( "series",
+                Json.Arr
+                  (List.map
+                     (fun (s : Obs.Metrics.series) ->
+                        Json.Obj
+                          (( "labels",
+                             Json.Obj
+                               (List.map (fun (k, v) -> (k, Json.Str v))
+                                  s.labels) )
+                           ::
+                           (match s.value with
+                            | Obs.Metrics.Counter_v v
+                            | Obs.Metrics.Gauge_v v ->
+                              [ ("value", Json.int v) ]
+                            | Obs.Metrics.Histogram_v { buckets; sum; count }
+                              ->
+                              [ ( "buckets",
+                                  Json.Arr
+                                    (List.map Json.int
+                                       (Array.to_list buckets)) );
+                                ("sum", Json.int sum);
+                                ("count", Json.int count) ])))
+                     f.series) ) ])
+       (Obs.Metrics.snapshot ()))
+
 let metrics_json srv =
   let uptime_s =
-    Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) srv.started_ns) /. 1e9
+    Int64.to_float (Int64.sub (now_ns ()) srv.started_ns) /. 1e9
   in
+  refresh_gauges srv;
   Json.Obj
     [ ("uptime_s", Json.Num uptime_s);
       ("workers", Json.int srv.workers);
       ("in_flight", Json.int (Atomic.get srv.in_flight));
-      ( "counters",
+      ("queue_depth", Json.int (Exec.Pool.queue_depth srv.pool));
+      ("connections", Json.int (Atomic.get srv.conn_count));
+      ("trace_dropped", Json.int (Obs.Trace.total_dropped ()));
+      ( "flight",
         Json.Obj
-          (List.map (fun (k, v) -> (k, Json.int v)) (Obs.Probe.counters ())) );
-      ( "histograms",
-        Json.Obj
-          (List.map
-             (fun (k, buckets) ->
-                (k, Json.Arr (List.map Json.int (Array.to_list buckets))))
-             (Obs.Probe.histograms ())) ) ]
+          [ ("capacity", Json.int (Obs.Flight.capacity srv.flight));
+            ("written", Json.int (Obs.Flight.written srv.flight));
+            ("dropped", Json.int (Obs.Flight.dropped srv.flight)) ] );
+      ("families", families_json ());
+      ("prometheus", Json.Str (Obs.Metrics.expose ())) ]
+
+(* ----- flight recorder ----- *)
+
+let flight_json srv = Obs.Flight.to_json srv.flight
+
+(* Write the ring to the configured dump path (atomically, via rename);
+   [None] when no path was configured or the write failed. *)
+let dump_flight srv =
+  match srv.flight_dump with
+  | None -> None
+  | Some path -> begin
+      match
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+            output_string oc (flight_json srv));
+        Sys.rename tmp path
+      with
+      | () ->
+        Log.info (fun k -> k "flight recorder dumped to %s" path);
+        Some path
+      | exception Sys_error msg ->
+        Log.err (fun k -> k "flight dump to %s failed: %s" path msg);
+        None
+    end
 
 (* ----- request execution ----- *)
 
 let reply_status j =
   match Json.string_field "status" j with Some s -> s | None -> "error"
 
-let run_compute conn (req : Protocol.request) =
-  let t0 = Obs.Clock.now_ns () in
+let trace_id_of (req : Protocol.request) =
+  match req.trace with Some t -> t.Protocol.trace_id | None -> ""
+
+let sampled (req : Protocol.request) =
+  match req.trace with Some t -> t.Protocol.sampled | None -> true
+
+(* Run [f span] under the server's trace sink (if any and the request
+   is sampled) inside a [serve.request] span carrying the request and
+   client trace ids; otherwise under an inert span. *)
+let in_request_span srv (req : Protocol.request) f =
+  let attrs =
+    [ ("id", Obs.Trace.Int req.id);
+      ("op", Obs.Trace.Str (Protocol.op_label req.op)) ]
+    @
+    match req.trace with
+    | Some t -> [ ("trace_id", Obs.Trace.Str t.Protocol.trace_id) ]
+    | None -> []
+  in
+  match srv.trace_sink with
+  | Some sink when sampled req ->
+    Obs.Trace.with_sink sink (fun () ->
+        Obs.Trace.with_span "serve.request" ~attrs f)
+  | _ -> Obs.Trace.with_span "serve.request" ~attrs f
+
+let run_compute srv conn ~arrival_ns ~req_bytes (req : Protocol.request) =
+  in_request_span srv req @@ fun span ->
+  let t_start = now_ns () in
+  let queue_us =
+    Int64.to_int (Int64.div (Int64.sub t_start arrival_ns) 1000L)
+  in
   let id = req.id in
+  let op = Protocol.op_label req.op in
+  let tx = { live_nodes = 0; engine = []; budget_used = [] } in
+  let explain = req.explain in
   let reply =
     try
       match req.op with
       | Protocol.Minimize { source; heuristic } -> begin
-          match handle_minimize conn req.budget ~source ~heuristic with
+          match handle_minimize conn tx ~explain req.budget ~source ~heuristic with
           | Ok result -> Protocol.ok_reply ~id result
           | Error msg -> Protocol.error_reply ~id msg
         end
       | Protocol.Reach machine -> begin
-          match handle_reach conn ~id req.budget machine with
+          match handle_reach conn tx ~explain ~id req.budget machine with
           | Ok reply -> reply
           | Error reply -> reply
         end
       | Protocol.Equiv (a, b) -> begin
-          match handle_equiv conn req.budget a b with
+          match handle_equiv conn tx ~explain req.budget a b with
           | Ok result -> Protocol.ok_reply ~id result
           | Error msg -> Protocol.error_reply ~id msg
         end
-      | Protocol.Ping | Protocol.Metrics | Protocol.Shutdown ->
+      | Protocol.Ping | Protocol.Metrics | Protocol.Dump | Protocol.Shutdown
+        ->
         assert false (* handled inline by the reader *)
     with
     | Bdd.Budget_exhausted reason -> Protocol.dnf_reply ~id reason
     | e -> Protocol.error_reply ~id (Printexc.to_string e)
   in
-  let dt_us =
-    Int64.to_int (Int64.div (Int64.sub (Obs.Clock.now_ns ()) t0) 1000L)
+  let exec_us = us_since t_start in
+  let status = reply_status reply in
+  (* [write_us] is the cost of serializing the reply body: it has to be
+     measured before it is shipped inside the bytes it describes, so
+     the subsequent socket write can only appear in the flight record
+     and the phase histogram, never in the reply itself.  Under
+     [explain] the plain body is printed once to take the measurement
+     and once more with the telemetry attached. *)
+  let t_ser = now_ns () in
+  let plain = Json.print reply in
+  let write_us = us_since t_ser in
+  let payload =
+    if not explain then plain
+    else
+      Json.print
+        (Protocol.with_telemetry reply
+           (Json.Obj
+              ([ ("queue_us", Json.int queue_us);
+                 ("exec_us", Json.int exec_us);
+                 ("write_us", Json.int write_us) ]
+               @ (match tx.budget_used with
+                  | [] -> []
+                  | b -> [ ("budget", Json.Obj b) ])
+               @
+               match tx.engine with
+               | [] -> []
+               | e -> [ ("engine", Json.Obj e) ])))
   in
-  Obs.Probe.observe ("serve.latency_us." ^ Protocol.op_label req.op) dt_us;
-  Obs.Probe.incr ("serve.replies." ^ reply_status reply);
-  conn_send conn reply
+  (* The flight record goes into the ring {e before} the reply leaves:
+     a client holding a reply must find its request in a subsequent
+     [dump], so the record cannot wait for the socket write (whose
+     duration therefore only reaches the phase histogram below). *)
+  Obs.Flight.record srv.flight ~trace_id:(trace_id_of req)
+    ~sizes:
+      [ ("req_bytes", req_bytes); ("reply_bytes", String.length payload) ]
+    ~phases_us:[ ("queue", queue_us); ("exec", exec_us); ("write", write_us) ]
+    ~id ~op ~outcome:status ();
+  let t_send = now_ns () in
+  conn_send_payload conn payload;
+  let send_us = us_since t_send in
+  let total_us = us_since t_start in
+  Obs.Trace.add span "queue_us" (Obs.Trace.Int queue_us);
+  Obs.Trace.add span "exec_us" (Obs.Trace.Int exec_us);
+  Obs.Trace.add span "write_us" (Obs.Trace.Int write_us);
+  Obs.Trace.add span "status" (Obs.Trace.Str status);
+  let m = srv.m in
+  Obs.Metrics.observe (Obs.Metrics.labels m.M.latency [ op ]) total_us;
+  Obs.Metrics.observe (Obs.Metrics.labels m.M.phase [ "queue" ]) queue_us;
+  Obs.Metrics.observe (Obs.Metrics.labels m.M.phase [ "exec" ]) exec_us;
+  Obs.Metrics.observe
+    (Obs.Metrics.labels m.M.phase [ "write" ])
+    (write_us + send_us);
+  Obs.Metrics.inc (Obs.Metrics.labels m.M.replies [ op; status ]);
+  Obs.Metrics.set (Obs.Metrics.labels m.M.manager_live [ op ]) tx.live_nodes;
+  if status = "error" then begin
+    Log.debug (fun k -> k "request %d (%s) from %s errored" id op conn.peer);
+    ignore (dump_flight srv)
+  end
 
-let submit_compute srv conn req =
+let submit_compute srv conn ~arrival_ns ~req_bytes req =
   conn_retain conn;
   Atomic.incr srv.in_flight;
   let finish () =
@@ -261,11 +610,17 @@ let submit_compute srv conn req =
       Exec.Pool.submit srv.pool
         ~on_abort:(fun () ->
           (* discarded at shutdown without running: tell the client *)
-          Obs.Probe.incr "serve.replies.dnf";
+          Obs.Metrics.inc
+            (Obs.Metrics.labels srv.m.M.replies
+               [ Protocol.op_label req.Protocol.op; "dnf" ]);
+          Obs.Flight.record srv.flight ~trace_id:(trace_id_of req)
+            ~id:req.Protocol.id
+            ~op:(Protocol.op_label req.Protocol.op)
+            ~outcome:"dnf" ();
           conn_send conn (Protocol.dnf_reply ~id:req.Protocol.id Bdd.Budget.Cancelled);
           finish ())
         (fun () ->
-           (try run_compute conn req
+           (try run_compute srv conn ~arrival_ns ~req_bytes req
             with _ -> () (* run_compute already catches; belt and braces *));
            finish ());
       true
@@ -277,36 +632,93 @@ let submit_compute srv conn req =
     finish ()
   end
 
+(* Inline ops complete on the reader domain; they are still metered and
+   flight-recorded (with an empty phase list — there is no queue wait or
+   compute to attribute). *)
+let record_inline srv req ~outcome =
+  Obs.Metrics.inc
+    (Obs.Metrics.labels srv.m.M.replies
+       [ Protocol.op_label req.Protocol.op; outcome ]);
+  Obs.Flight.record srv.flight ~trace_id:(trace_id_of req)
+    ~id:req.Protocol.id
+    ~op:(Protocol.op_label req.Protocol.op)
+    ~outcome ()
+
 let reader_loop srv conn =
   let rec loop () =
     match Protocol.read_frame conn.fd with
-    | Ok `Eof | Error _ -> ()
+    | Ok `Eof -> ()
+    | Error msg ->
+      (* torn frame, oversized prefix, or I/O failure mid-frame *)
+      if not (Atomic.get srv.stop_flag) then begin
+        Log.warn (fun k -> k "connection %s: %s" conn.peer msg);
+        Obs.Metrics.inc
+          (Obs.Metrics.labels srv.m.M.conn_errors [ "torn_frame" ])
+      end
     | Ok (`Frame payload) ->
+      let arrival_ns = now_ns () in
       (match Protocol.parse_request payload with
        | Error msg ->
-         Obs.Probe.incr "serve.requests.malformed";
+         Obs.Metrics.inc srv.m.M.malformed;
+         Log.info (fun k -> k "connection %s: malformed request: %s" conn.peer msg);
+         Obs.Flight.record srv.flight ~id:0 ~op:"malformed" ~outcome:"error"
+           ~sizes:[ ("req_bytes", String.length payload) ]
+           ();
          conn_send conn (Protocol.error_reply ~id:0 msg)
        | Ok req ->
-         Obs.Probe.incr "serve.requests";
+         Obs.Metrics.inc
+           (Obs.Metrics.labels srv.m.M.requests
+              [ Protocol.op_label req.op ]);
+         (match srv.trace_sink with
+          | Some sink when sampled req ->
+            Obs.Trace.with_sink sink (fun () ->
+                Obs.Trace.instant "serve.recv"
+                  ~attrs:
+                    [ ("id", Obs.Trace.Int req.id);
+                      ("op", Obs.Trace.Str (Protocol.op_label req.op));
+                      ("trace_id", Obs.Trace.Str (trace_id_of req)) ])
+          | _ -> ());
          (match req.op with
           | Protocol.Ping ->
             conn_send conn
-              (Protocol.ok_reply ~id:req.id (Json.Obj [ ("pong", Json.Bool true) ]))
+              (Protocol.ok_reply ~id:req.id (Json.Obj [ ("pong", Json.Bool true) ]));
+            record_inline srv req ~outcome:"ok"
           | Protocol.Metrics ->
-            conn_send conn (Protocol.ok_reply ~id:req.id (metrics_json srv))
+            conn_send conn (Protocol.ok_reply ~id:req.id (metrics_json srv));
+            record_inline srv req ~outcome:"ok"
+          | Protocol.Dump ->
+            let dump =
+              match Json.parse (flight_json srv) with
+              | Ok j -> j
+              | Error _ -> Json.Null (* unreachable: we rendered it *)
+            in
+            conn_send conn (Protocol.ok_reply ~id:req.id dump);
+            record_inline srv req ~outcome:"ok"
           | Protocol.Shutdown ->
+            Log.info (fun k -> k "shutdown requested by %s" conn.peer);
             conn_send conn
               (Protocol.ok_reply ~id:req.id
                  (Json.Obj [ ("stopping", Json.Bool true) ]));
+            record_inline srv req ~outcome:"ok";
             Atomic.set srv.stop_flag true
           | Protocol.Minimize _ | Protocol.Reach _ | Protocol.Equiv _ ->
-            submit_compute srv conn req));
+            submit_compute srv conn ~arrival_ns
+              ~req_bytes:(String.length payload) req));
       if not (Atomic.get srv.stop_flag) then loop ()
       else () (* stop reading; teardown will half-close the socket *)
   in
-  loop ();
+  (try loop ()
+   with e ->
+     (* a reader must never die silently: the connection is torn down
+        below either way, but the cause goes to the log *)
+     Log.err (fun k ->
+         k "reader for %s died: %s" conn.peer (Printexc.to_string e));
+     Obs.Metrics.inc
+       (Obs.Metrics.labels srv.m.M.conn_errors [ "reader_exception" ]));
   (* reader is done: cancel whatever this connection still has in
      flight, then drop the reader's reference *)
+  Log.debug (fun k -> k "connection %s closed" conn.peer);
+  Atomic.decr srv.conn_count;
   Exec.Cancel.cancel conn.cancel;
   conn_release conn
 
@@ -330,6 +742,13 @@ let bind_listen = function
     Unix.listen fd 64;
     (fd, path, None, Some path)
 
+let peer_string fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (ip, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+  | Unix.ADDR_UNIX _ -> "unix"
+  | exception Unix.Unix_error _ -> "?"
+
 let accept_loop srv =
   let readers = ref [] in
   let conns = ref [] in
@@ -341,11 +760,16 @@ let accept_loop srv =
        | fd, _ ->
          let conn =
            { fd; wlock = Mutex.create (); cancel = Exec.Cancel.create ();
-             refs = 1 }
+             peer = peer_string fd; refs = 1 }
          in
+         Log.debug (fun k -> k "connection %s accepted" conn.peer);
+         Atomic.incr srv.conn_count;
          conns := conn :: !conns;
          readers := Domain.spawn (fun () -> reader_loop srv conn) :: !readers
-       | exception Unix.Unix_error _ -> ())
+       | exception Unix.Unix_error (e, _, _) ->
+         Log.warn (fun k -> k "accept failed: %s" (Unix.error_message e));
+         Obs.Metrics.inc
+           (Obs.Metrics.labels srv.m.M.conn_errors [ "accept" ]))
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
@@ -360,13 +784,82 @@ let accept_loop srv =
        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
        with Unix.Unix_error _ -> ())
     !conns;
-  List.iter Domain.join !readers
+  List.iter Domain.join !readers;
+  Log.info (fun k -> k "server on %s stopped" srv.address)
 
-let start ?(workers = Exec.recommended_jobs ()) listen =
+(* ----- metrics HTTP listener -----
+
+   A deliberately tiny HTTP/1.0 responder: one request per connection,
+   served serially on the metrics domain.  Scrapes are rare (seconds
+   apart) and the exposition is small, so there is nothing to win from
+   concurrency here — and a second listener socket keeps scrape traffic
+   entirely off the wire-protocol port. *)
+
+let http_request_path data =
+  match String.index_opt data '\r' with
+  | None -> None
+  | Some i -> begin
+      match String.split_on_char ' ' (String.sub data 0 i) with
+      | [ "GET"; path; _version ] -> Some path
+      | _ -> None
+    end
+
+let http_respond fd ~status ~content_type body =
+  let payload =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n%s"
+      status content_type (String.length body) body
+  in
+  Protocol.really_write fd (Bytes.of_string payload) 0 (String.length payload)
+
+let metrics_loop srv fd unix_path =
+  while not (Atomic.get srv.stop_flag) do
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ ->
+      (match Unix.accept fd with
+       | cfd, _ ->
+         (try
+            Unix.setsockopt_float cfd Unix.SO_RCVTIMEO 2.0;
+            let buf = Bytes.create 4096 in
+            let n = try Unix.read cfd buf 0 4096 with Unix.Unix_error _ -> 0 in
+            (match http_request_path (Bytes.sub_string buf 0 n) with
+             | Some ("/metrics" | "/") ->
+               http_respond cfd ~status:"200 OK"
+                 ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+                 (metrics_exposition srv)
+             | Some _ ->
+               http_respond cfd ~status:"404 Not Found"
+                 ~content_type:"text/plain" "not found\n"
+             | None ->
+               http_respond cfd ~status:"400 Bad Request"
+                 ~content_type:"text/plain" "bad request\n")
+          with Unix.Unix_error _ | Invalid_argument _ -> ());
+         (try Unix.close cfd with Unix.Unix_error _ -> ())
+       | exception Unix.Unix_error (e, _, _) ->
+         Log.warn (fun k ->
+             k "metrics accept failed: %s" (Unix.error_message e)))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match unix_path with
+  | Some path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let start ?(workers = Exec.recommended_jobs ()) ?trace ?metrics
+    ?(flight_capacity = 256) ?flight_dump listen =
   if workers < 1 then invalid_arg "Serve.Server.start: workers must be >= 1";
   (* a client vanishing mid-reply must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd, address, port, unix_path = bind_listen listen in
+  let metrics_fd, metrics_address, metrics_port, metrics_unix_path =
+    match metrics with
+    | None -> (None, None, None, None)
+    | Some l ->
+      let fd, addr, port, upath = bind_listen l in
+      (Some fd, Some addr, port, upath)
+  in
   let srv =
     {
       listen_fd;
@@ -377,34 +870,59 @@ let start ?(workers = Exec.recommended_jobs ()) listen =
       workers;
       stop_flag = Atomic.make false;
       in_flight = Atomic.make 0;
-      started_ns = Obs.Clock.now_ns ();
+      conn_count = Atomic.make 0;
+      started_ns = now_ns ();
+      m = M.register ();
+      flight = Obs.Flight.create ~capacity:(max 1 flight_capacity) ();
+      flight_dump;
+      trace_sink = trace;
+      metrics_address;
+      metrics_port;
+      metrics_unix_path;
       lock = Mutex.create ();
       finished = Condition.create ();
       accept_domain = None;
+      metrics_domain = None;
       is_finished = false;
     }
   in
+  Log.info (fun k ->
+      k "serving on %s (%d workers%s)" address workers
+        (match metrics_address with
+         | Some a -> Printf.sprintf ", metrics on %s" a
+         | None -> ""));
   srv.accept_domain <- Some (Domain.spawn (fun () -> accept_loop srv));
+  (match metrics_fd with
+   | Some fd ->
+     srv.metrics_domain <-
+       Some (Domain.spawn (fun () -> metrics_loop srv fd metrics_unix_path))
+   | None -> ());
   srv
 
 let address srv = srv.address
 let port srv = srv.port
+let metrics_address srv = srv.metrics_address
+let metrics_port srv = srv.metrics_port
 let in_flight srv = Atomic.get srv.in_flight
+let connections srv = Atomic.get srv.conn_count
 
 (* Async-signal-safe stop request: just flips the flag the accept loop
    polls (within ~0.2 s).  Pair with {!wait} to actually tear down. *)
 let request_stop srv = Atomic.set srv.stop_flag true
 let stopping srv = Atomic.get srv.stop_flag
 
-(* First caller joins the accept domain (which joins readers and the
-   pool); latecomers block until that join completes. *)
+(* First caller joins the accept and metrics domains (the former joins
+   readers and the pool); latecomers block until that join completes. *)
 let wait srv =
   Mutex.lock srv.lock;
   (match srv.accept_domain with
    | Some d ->
      srv.accept_domain <- None;
+     let md = srv.metrics_domain in
+     srv.metrics_domain <- None;
      Mutex.unlock srv.lock;
      Domain.join d;
+     Option.iter Domain.join md;
      Mutex.lock srv.lock;
      srv.is_finished <- true;
      Condition.broadcast srv.finished;

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Compare two BENCH_engine.json documents (committed baseline vs fresh).
 
-Schema-aware: accepts bddmin-bench-engine/1, /2, /3 and /4 on either
-side and compares only what both documents carry.  Reports percentage
+Schema-aware: accepts bddmin-bench-engine/1 through /5 on either side
+and compares only what both documents carry.  Reports percentage
 deltas on phase wall times, the engine's work counters, and
 per-minimizer size and time totals.  From schema /3 on, documents carry
 the resource limits (node/step/time budgets) and DNF rows — runs with
@@ -12,6 +12,10 @@ supposed to cost nearly nothing when no budget is set.  From schema /4
 on, documents may carry a "serve" section (daemon load-generation
 throughput and tail latency); its deltas are reported with generous
 thresholds since wall-clock latency on shared CI machines is noisy.
+Schema /5 splits serve replies into per-status counts and adds a
+"telemetry" object of server-side phase means; error replies always
+gate, and a rising error *rate* or dnf rate between comparable runs
+gates too.
 
 Exit status is 0 unless --strict is given AND a gated regression was
 found AND the two runs were actually comparable (same jobs / quick /
@@ -33,6 +37,7 @@ SCHEMAS = (
     "bddmin-bench-engine/2",
     "bddmin-bench-engine/3",
     "bddmin-bench-engine/4",
+    "bddmin-bench-engine/5",
 )
 
 # Counters that measure algorithmic work (deterministic for a given
@@ -151,6 +156,13 @@ def main():
     # grow — but both are wall-clock on possibly shared machines, so the
     # gate is generous and only applies when the load shapes match.
     base_srv, fresh_srv = base.get("serve"), fresh.get("serve")
+
+    def reply_rate(srv, key):
+        """Per-request rate of a /5 reply-status count, None pre-/5."""
+        if srv is None or key not in srv or not srv.get("requests"):
+            return None
+        return srv[key] / srv["requests"]
+
     if fresh_srv and not base_srv:
         print("\nserve: no baseline section — reporting fresh only")
         print(f"  {fresh_srv['clients']} clients x {fresh_srv['requests']} req:"
@@ -176,11 +188,45 @@ def main():
             elif key == "p95_ms" and d > args.serve_threshold:
                 regressions.append(f"serve {key}: {d:+.1f}%"
                                    f" (threshold {args.serve_threshold:.0f}%)")
+        # Schema /5: per-status reply counts.  Error and dnf *rates* gate
+        # on any increase between comparable runs (they are determinism,
+        # not wall-clock); pre-/5 baselines lack the counts, so only the
+        # fresh side's absolute errors gate then.
+        for key in ("ok_replies", "dnf_replies", "partial_replies",
+                    "error_replies"):
+            old, new = base_srv.get(key), fresh_srv.get(key)
+            if old is None and new is None:
+                continue
+            print(f"{key:<24}"
+                  f"{'—' if old is None else old:>14}"
+                  f"{'—' if new is None else new:>14}")
+            if key in ("dnf_replies", "error_replies") and comparable \
+                    and same_load:
+                old_rate = reply_rate(base_srv, key)
+                new_rate = reply_rate(fresh_srv, key)
+                if old_rate is not None and new_rate is not None \
+                        and new_rate > old_rate:
+                    regressions.append(
+                        f"serve {key} rate: {100 * old_rate:.1f}% ->"
+                        f" {100 * new_rate:.1f}% of requests")
         if not same_load:
             print("  (load shapes differ; serve deltas not gated)")
         if fresh_srv["error_replies"]:
             regressions.append(
                 f"serve: {fresh_srv['error_replies']} error replies")
+        # Schema /5: server-side phase means (reported, never gated —
+        # they are sub-slices of the latency already gated above).
+        fresh_tel = fresh_srv.get("telemetry")
+        if fresh_tel:
+            base_tel = base_srv.get("telemetry") or {}
+            print(f"  telemetry over {fresh_tel['explained']} explained"
+                  " replies (us, server-side means):")
+            for key in ("queue_us_mean", "exec_us_mean", "write_us_mean"):
+                old, new = base_tel.get(key), fresh_tel[key]
+                d = None if old is None else pct(old, new)
+                print(f"    {key:<20}"
+                      f"{'—' if old is None else format(old, '>12.1f'):>14}"
+                      f"{new:>14.1f}  {fmt_pct(d)}")
 
     base_min = {m["name"]: m for m in base["minimizers"]}
     print(f"\n{'minimizer':<12}{'size':>10}{'sizeΔ':>8}{'seconds':>12}   delta")

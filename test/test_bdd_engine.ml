@@ -130,6 +130,37 @@ let kernel_counters () =
   Util.checkb "or_ hits the and_ cache"
     (s2.Bdd.Stats.cache_hits > s1.Bdd.Stats.cache_hits)
 
+let stats_delta () =
+  let man = Bdd.new_man () in
+  let x i = Bdd.ithvar man i in
+  let before = Bdd.snapshot man in
+  let f = Bdd.and_ man (x 0) (Bdd.xor man (x 1) (x 2)) in
+  let after = Bdd.snapshot man in
+  let d = Bdd.Stats.delta ~before ~after in
+  (* monotone counters are after - before... *)
+  Util.checkb "work attributed to the window"
+    (d.Bdd.Stats.and_recursions > 0 && d.Bdd.Stats.xor_recursions > 0);
+  Util.checki "lookup delta"
+    (after.Bdd.Stats.cache_lookups - before.Bdd.Stats.cache_lookups)
+    d.Bdd.Stats.cache_lookups;
+  Util.checki "interned delta"
+    (after.Bdd.Stats.interned_total - before.Bdd.Stats.interned_total)
+    d.Bdd.Stats.interned_total;
+  (* ...while level quantities are the after-side values as-is *)
+  Util.checki "live nodes are a level, not a delta"
+    after.Bdd.Stats.live_nodes d.Bdd.Stats.live_nodes;
+  Util.checki "vars are a level" after.Bdd.Stats.vars d.Bdd.Stats.vars;
+  (* a fully cache-served window deltas to zero work *)
+  let b2 = Bdd.snapshot man in
+  ignore (Bdd.and_ man (x 0) (Bdd.xor man (x 1) (x 2)));
+  let d2 = Bdd.Stats.delta ~before:b2 ~after:(Bdd.snapshot man) in
+  Util.checki "no new recursions beyond the cached roots"
+    d2.Bdd.Stats.cache_lookups d2.Bdd.Stats.cache_hits;
+  Util.checki "nothing interned when served from cache" 0
+    d2.Bdd.Stats.interned_total;
+  Util.checki "no stores when served from cache" 0 d2.Bdd.Stats.cache_stores;
+  ignore f
+
 let canonicity_after_gc_churn =
   Util.qtest ~count:100 "equal iff same uid holds after GC under churn"
     gen_seeds
@@ -363,6 +394,7 @@ let suite =
     Alcotest.test_case "cache growth bounded" `Quick cache_growth_bounded;
     Alcotest.test_case "auto gc triggers" `Quick auto_gc_triggers;
     Alcotest.test_case "stats labels honest" `Quick stats_labels_honest;
+    Alcotest.test_case "stats delta windows" `Quick stats_delta;
     Alcotest.test_case "sat_count rejects undersized space" `Quick
       sat_count_undersized_space;
     Alcotest.test_case "cube interning" `Quick cube_interning;

@@ -33,6 +33,7 @@ let () =
       ("circuits", Test_circuits.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("metrics+flight", Test_metrics.suite);
       ("exec", Test_exec.suite);
       ("budget", Test_budget.suite);
       ("serve", Test_serve.suite);

@@ -196,21 +196,199 @@ let serve_reach_equiv () =
   | Ok r -> Alcotest.failf "expected partial/dnf, got %s" r.P.status
   | Error msg -> Alcotest.failf "transport error %s" msg
 
+(* Find one family snapshot by name in the metrics reply's "families". *)
+let find_family m name =
+  match J.mem "families" m with
+  | Some (J.Arr fams) ->
+    List.find_opt
+      (fun f -> J.string_field "name" f = Some name)
+      fams
+  | _ -> None
+
 let serve_metrics () =
   with_server @@ fun _srv addr ->
   let c = C.connect addr in
   Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
   ignore (expect_ok "minimize" (C.minimize c (P.Store_text payload)));
   let m = expect_ok "metrics" (C.metrics c) in
-  let counters = Option.get (J.mem "counters" m) in
-  Util.checkb "request counter present"
-    (match J.int_field "serve.requests" counters with
-     | Some n -> n >= 1
-     | None -> false);
-  let histos = Option.get (J.mem "histograms" m) in
-  Util.checkb "latency histogram present"
-    (J.mem "serve.latency_us.minimize" histos <> None);
-  Util.checkb "uptime present" (J.float_field "uptime_s" m <> None)
+  Util.checkb "uptime present" (J.float_field "uptime_s" m <> None);
+  Util.checkb "queue depth present" (J.int_field "queue_depth" m <> None);
+  Util.checkb "connection count positive"
+    (match J.int_field "connections" m with Some n -> n >= 1 | None -> false);
+  Util.checkb "trace drop counter present"
+    (J.int_field "trace_dropped" m <> None);
+  (match J.mem "flight" m with
+   | Some f ->
+     Util.checkb "flight written counts the minimize"
+       (match J.int_field "written" f with Some n -> n >= 1 | None -> false)
+   | None -> Alcotest.fail "flight section missing");
+  (* the typed registry: request counter labeled by op *)
+  (match find_family m "bddmin_serve_requests_total" with
+   | Some fam -> begin
+       match J.mem "series" fam with
+       | Some (J.Arr series) ->
+         Util.checkb "minimize series counted"
+           (List.exists
+              (fun s ->
+                 (match J.mem "labels" s with
+                  | Some labels ->
+                    J.string_field "op" labels = Some "minimize"
+                  | None -> false)
+                 && (match J.int_field "value" s with
+                     | Some n -> n >= 1
+                     | None -> false))
+              series)
+       | _ -> Alcotest.fail "request family has no series"
+     end
+   | None -> Alcotest.fail "bddmin_serve_requests_total not registered");
+  Util.checkb "latency histogram family present"
+    (find_family m "bddmin_serve_latency_us" <> None);
+  (* the embedded Prometheus rendering agrees *)
+  match J.mem "prometheus" m with
+  | Some (J.Str text) ->
+    Util.checkb "exposition carries the request counter"
+      (Util.contains text "bddmin_serve_requests_total{op=\"minimize\"}")
+  | _ -> Alcotest.fail "prometheus text missing"
+
+let serve_trace_roundtrip () =
+  (* a trace spec survives render -> parse byte-identically, including
+     bytes that need JSON escaping *)
+  let trace_id = "req-\xc3\xa9\"\\\n\t 0123456789abcdef" in
+  let rendered =
+    P.render_request ~id:7 ~trace:{ P.trace_id; sampled = false }
+      ~explain:true
+      [ ("op", J.Str "ping") ]
+  in
+  (match P.parse_request rendered with
+   | Ok { P.id = 7; trace = Some t; explain = true; _ } ->
+     Util.checkb "trace id byte-identical" (t.P.trace_id = trace_id);
+     Util.checkb "sampled flag preserved" (t.P.sampled = false)
+   | Ok _ -> Alcotest.fail "trace spec lost in round trip"
+   | Error msg -> Alcotest.failf "round-tripped request rejected: %s" msg);
+  (* and end to end: the id lands verbatim in the flight recorder *)
+  with_server @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let tid = "e2e-trace-0001" in
+  ignore
+    (expect_ok "traced minimize"
+       (C.minimize c ~trace:{ P.trace_id = tid; sampled = true }
+          (P.Store_text payload)));
+  let dump = expect_ok "dump" (C.dump c) in
+  match J.mem "records" dump with
+  | Some (J.Arr records) ->
+    Util.checkb "flight record carries the trace id"
+      (List.exists
+         (fun r ->
+            J.string_field "trace_id" r = Some tid
+            && J.string_field "op" r = Some "minimize")
+         records)
+  | _ -> Alcotest.fail "dump has no records"
+
+let serve_explain_telemetry () =
+  with_server @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (* without explain the reply carries no telemetry at all *)
+  (match C.minimize c (P.Store_text payload) with
+   | Ok r -> Util.checkb "no telemetry unless asked" (r.P.telemetry = J.Null)
+   | Error msg -> Alcotest.failf "transport error %s" msg);
+  match C.minimize c ~explain:true ~max_steps:1_000_000 (P.Store_text payload)
+  with
+  | Error msg -> Alcotest.failf "transport error %s" msg
+  | Ok r ->
+    let tel = r.P.telemetry in
+    let phase name =
+      match J.int_field name tel with
+      | Some v -> v
+      | None -> Alcotest.failf "telemetry lacks %s" name
+    in
+    Util.checkb "queue_us non-negative" (phase "queue_us" >= 0);
+    Util.checkb "exec_us non-negative" (phase "exec_us" >= 0);
+    Util.checkb "write_us non-negative" (phase "write_us" >= 0);
+    let budget = Option.get (J.mem "budget" tel) in
+    Util.checkb "budget consumption reported"
+      (match J.int_field "steps" budget with
+       | Some s -> s >= 0
+       | None -> false);
+    let engine = Option.get (J.mem "engine" tel) in
+    (* deltas of monotone counters over the request: never negative,
+       and a minimize must have done some cache-visible work *)
+    List.iter
+      (fun key ->
+         match J.int_field key engine with
+         | Some v -> Util.checkb (key ^ " delta non-negative") (v >= 0)
+         | None -> Alcotest.failf "engine delta lacks %s" key)
+      [ "cache_lookups"; "cache_hits"; "cache_stores"; "ite_recursions";
+        "and_recursions"; "interned" ];
+    Util.checkb "the request did engine work"
+      (Option.get (J.int_field "cache_lookups" engine) > 0)
+
+let serve_dump_op () =
+  with_server @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  ignore (expect_ok "minimize" (C.minimize c (P.Store_text payload)));
+  ignore (expect_ok "minimize" (C.minimize c (P.Store_text payload)));
+  let dump = expect_ok "dump" (C.dump c) in
+  Util.checkb "capacity positive"
+    (Option.get (J.int_field "capacity" dump) > 0);
+  Util.checkb "both requests recorded"
+    (Option.get (J.int_field "written" dump) >= 2);
+  match J.mem "records" dump with
+  | Some (J.Arr records) ->
+    Util.checkb "records present" (List.length records >= 2);
+    List.iter
+      (fun r ->
+         Util.checkb "record has seq" (J.int_field "seq" r <> None);
+         Util.checkb "record has outcome" (J.string_field "outcome" r <> None))
+      records
+  | _ -> Alcotest.fail "dump has no records"
+
+(* Raw HTTP GET against the Prometheus listener. *)
+let http_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+  in
+  drain ();
+  Buffer.contents buf
+
+let serve_http_exposition () =
+  let path = Filename.temp_file "bddmin-test" ".sock" in
+  Sys.remove path;
+  let srv =
+    Serve.Server.start ~workers:2 ~metrics:(Serve.Server.Tcp 0)
+      (Serve.Server.Unix_path path)
+  in
+  Fun.protect ~finally:(fun () -> Serve.Server.stop srv) @@ fun () ->
+  let port = Option.get (Serve.Server.metrics_port srv) in
+  let c = C.connect (C.Unix_path path) in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  ignore (expect_ok "minimize" (C.minimize c (P.Store_text payload)));
+  let resp = http_get ~port "/metrics" in
+  Util.checkb "200 OK" (Util.contains resp "HTTP/1.0 200");
+  Util.checkb "prometheus content type"
+    (Util.contains resp "text/plain; version=0.0.4");
+  Util.checkb "request counter exposed"
+    (Util.contains resp "bddmin_serve_requests_total{op=\"minimize\"} 1");
+  Util.checkb "type comment present"
+    (Util.contains resp "# TYPE bddmin_serve_latency_us histogram");
+  Util.checkb "gauges refreshed at scrape time"
+    (Util.contains resp "bddmin_serve_workers 2");
+  let missing = http_get ~port "/nope" in
+  Util.checkb "unknown path is a 404" (Util.contains missing "404")
 
 let serve_concurrent_clients () =
   with_server ~workers:3 @@ fun _srv addr ->
@@ -244,7 +422,8 @@ let serve_shutdown_op () =
 
 let loadgen_smoke () =
   let stats =
-    Serve.Loadgen.run ~clients:2 ~requests:12 ~workers:2 ~nvars:8 ()
+    Serve.Loadgen.run ~clients:2 ~requests:12 ~workers:2 ~nvars:8
+      ~explain:true ()
   in
   Util.checki "all requests accounted"
     stats.Serve.Loadgen.requests
@@ -254,7 +433,16 @@ let loadgen_smoke () =
   Util.checkb "throughput measured" (stats.Serve.Loadgen.rps > 0.0);
   Util.checkb "percentiles ordered"
     (stats.Serve.Loadgen.p50_ms <= stats.Serve.Loadgen.p95_ms
-     && stats.Serve.Loadgen.p95_ms <= stats.Serve.Loadgen.p99_ms)
+     && stats.Serve.Loadgen.p95_ms <= stats.Serve.Loadgen.p99_ms);
+  match stats.Serve.Loadgen.telemetry with
+  | None -> Alcotest.fail "explain run must aggregate server telemetry"
+  | Some t ->
+    Util.checkb "every ok reply explained"
+      (t.Serve.Loadgen.explained >= stats.Serve.Loadgen.ok);
+    Util.checkb "phase means non-negative"
+      (t.Serve.Loadgen.queue_us_mean >= 0.0
+       && t.Serve.Loadgen.exec_us_mean >= 0.0
+       && t.Serve.Loadgen.write_us_mean >= 0.0)
 
 let suite =
   [
@@ -271,6 +459,11 @@ let suite =
     Alcotest.test_case "error replies" `Quick serve_error_replies;
     Alcotest.test_case "reach and equiv ops" `Quick serve_reach_equiv;
     Alcotest.test_case "metrics endpoint" `Quick serve_metrics;
+    Alcotest.test_case "trace id round trip" `Quick serve_trace_roundtrip;
+    Alcotest.test_case "explain telemetry" `Quick serve_explain_telemetry;
+    Alcotest.test_case "flight dump op" `Quick serve_dump_op;
+    Alcotest.test_case "prometheus http exposition" `Quick
+      serve_http_exposition;
     Alcotest.test_case "concurrent clients" `Quick serve_concurrent_clients;
     Alcotest.test_case "shutdown op" `Quick serve_shutdown_op;
     Alcotest.test_case "loadgen smoke" `Quick loadgen_smoke;
