@@ -497,6 +497,7 @@ let serve_phase () =
         serve_ok = stats.Serve.Loadgen.ok;
         serve_dnf = stats.Serve.Loadgen.dnf;
         serve_partial = stats.Serve.Loadgen.partial;
+        serve_busy = stats.Serve.Loadgen.busy;
         serve_errors = stats.Serve.Loadgen.errors;
         serve_telemetry =
           Option.map
@@ -508,6 +509,22 @@ let serve_phase () =
                  serve_write_us_mean = t.write_us_mean;
                })
             stats.Serve.Loadgen.telemetry;
+        serve_server =
+          Option.map
+            (fun (c : Serve.Loadgen.server_counters) ->
+               {
+                 Harness.Bench_json.serve_cache_hits = c.cache_hits;
+                 serve_cache_canonical_hits = c.cache_canonical_hits;
+                 serve_cache_misses = c.cache_misses;
+                 serve_cache_collapsed = c.cache_collapsed;
+                 serve_cache_evicted = c.cache_evicted;
+                 serve_sessions_opened = c.sessions_opened;
+                 serve_sessions_evicted = c.sessions_evicted;
+                 serve_batches = c.batches;
+                 serve_batched_requests = c.batched_requests;
+                 serve_busy_replies = c.busy_replies;
+               })
+            stats.Serve.Loadgen.server;
       }
 
 (* ----- machine-readable baseline: BENCH_engine.json -----

@@ -582,6 +582,7 @@ let serve_phase ~clients ~requests =
       serve_ok = stats.ok;
       serve_dnf = stats.dnf;
       serve_partial = stats.partial;
+      serve_busy = stats.busy;
       serve_errors = stats.errors;
       serve_telemetry =
         Option.map
@@ -593,6 +594,22 @@ let serve_phase ~clients ~requests =
                serve_write_us_mean = t.write_us_mean;
              })
           stats.telemetry;
+      serve_server =
+        Option.map
+          (fun (c : Serve.Loadgen.server_counters) ->
+             {
+               Harness.Bench_json.serve_cache_hits = c.cache_hits;
+               serve_cache_canonical_hits = c.cache_canonical_hits;
+               serve_cache_misses = c.cache_misses;
+               serve_cache_collapsed = c.cache_collapsed;
+               serve_cache_evicted = c.cache_evicted;
+               serve_sessions_opened = c.sessions_opened;
+               serve_sessions_evicted = c.sessions_evicted;
+               serve_batches = c.batches;
+               serve_batched_requests = c.batched_requests;
+               serve_busy_replies = c.busy_replies;
+             })
+          stats.server;
     },
     dt )
 
@@ -983,7 +1000,7 @@ let parse_metrics_addr s =
 
 let serve_cmd =
   let run port unix_path workers metrics_addr flight_capacity flight_dump
-      trace =
+      queue_cap max_sessions batch_threshold cache_capacity trace =
     let listen =
       match unix_path with
       | Some path -> Serve.Server.Unix_path path
@@ -1003,7 +1020,8 @@ let serve_cmd =
     in
     match
       Serve.Server.start ~workers ?trace:trace_sink ?metrics ~flight_capacity
-        ~flight_dump listen
+        ~flight_dump ~queue_cap ~max_sessions ~batch_threshold ~cache_capacity
+        listen
     with
     | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "error: cannot listen on %s: %s\n"
@@ -1090,6 +1108,34 @@ let serve_cmd =
                    errors, on SIGUSR1, and for $(b,serve-ctl dump) \
                    (default $(b,bddmin-flight.json)).")
   in
+  let queue_cap =
+    Arg.(value & opt int 512
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Bound on admitted-but-unfinished compute requests \
+                   (default 512; 0 = unbounded).  Past it the daemon \
+                   answers $(b,busy) with a $(b,retry_after_ms) hint \
+                   instead of queueing.")
+  in
+  let max_sessions =
+    Arg.(value & opt int 64
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Live warm-manager sessions kept across all \
+                   connections (default 64); opening past it evicts \
+                   the least recently used.")
+  in
+  let batch_threshold =
+    Arg.(value & opt int 4096
+         & info [ "batch-threshold" ] ~docv:"BYTES"
+             ~doc:"Sessionless minimize payloads at or below $(docv) \
+                   bytes are coalesced onto a shared batch manager \
+                   (default 4096; 0 disables batching).")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 1024
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"Entries in the canonical result cache (default \
+                   1024; 0 disables caching).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the minimization daemon"
@@ -1118,18 +1164,30 @@ let serve_cmd =
               timings, budget consumption and engine stats deltas on \
               the reply; $(b,--trace FILE) streams per-request spans as \
               Chrome trace-event JSON (see docs/TUTORIAL.md §12).";
+           `P
+             "Throughput: requests are dispatched earliest-deadline-\
+              first with per-connection fairness; admitted work is \
+              bounded by $(b,--queue-cap) (overload answers $(b,busy) \
+              with a $(b,retry_after_ms) hint); repeated payloads hit \
+              a canonical result cache ($(b,--cache-capacity)) with \
+              in-flight duplicates collapsed onto one execution; small \
+              sessionless requests are batched onto a shared manager \
+              ($(b,--batch-threshold)); and $(b,session_open) pins a \
+              warm manager for a client ($(b,--max-sessions)).  See \
+              docs/TUTORIAL.md §13.";
          ])
-    Term.(const (fun () a b c d e f g -> run a b c d e f g)
+    Term.(const (fun () a b c d e f g h i j k -> run a b c d e f g h i j k)
           $ logs_term $ port $ unix_path $ workers $ metrics_addr
-          $ flight_capacity $ flight_dump $ trace_term)
+          $ flight_capacity $ flight_dump $ queue_cap $ max_sessions
+          $ batch_threshold $ cache_capacity $ trace_term)
 
 let serve_bench_cmd =
   let run connect clients requests workers heuristic seed max_steps
-      timeout_ms explain =
+      timeout_ms explain sessions duplicate_rate =
     let connect = Option.map Serve.Client.parse_addr connect in
     match
       Serve.Loadgen.run ~clients ~requests ?connect ?workers ~heuristic ~seed
-        ?max_steps ?timeout_ms ~explain ()
+        ?max_steps ?timeout_ms ~explain ~sessions ~duplicate_rate ()
     with
     | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "error: %s\n" (Unix.error_message e);
@@ -1186,6 +1244,20 @@ let serve_bench_cmd =
                    every reply and report the mean server-side \
                    queue/exec/write phase timings.")
   in
+  let sessions =
+    Arg.(value & flag
+         & info [ "sessions" ]
+             ~doc:"Each client opens a warm-manager session once and \
+                   runs every minimize against it, measuring the \
+                   re-intern-free path.")
+  in
+  let duplicate_rate =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate-rate" ] ~docv:"FRACTION"
+             ~doc:"Replay one designated payload for this fraction of \
+                   requests (default 0), exercising the result cache \
+                   and single-flight collapse.")
+  in
   Cmd.v
     (Cmd.info "serve-bench"
        ~doc:"Measure serve throughput and tail latency"
@@ -1199,11 +1271,17 @@ let serve_bench_cmd =
               dnf / partial / error as separate columns).  Without \
               $(b,--connect) an in-process server on a throwaway unix \
               socket is measured (the same load generator backs the \
-              $(b,serve) phase of $(b,bddmin bench)).";
+              $(b,serve) phase of $(b,bddmin bench)).  $(b,--sessions) \
+              and $(b,--duplicate-rate) aim the same deterministic \
+              traffic at the daemon's warm-session and result-cache \
+              fast paths; the report then includes the server's own \
+              cache / session / batch / busy counters scraped at the \
+              end of the run.";
          ])
-    Term.(const (fun () a b c d e f g h i -> run a b c d e f g h i)
+    Term.(const (fun () a b c d e f g h i j k -> run a b c d e f g h i j k)
           $ logs_term $ connect_opt_term $ clients $ requests
-          $ workers $ heuristic $ seed $ max_steps $ timeout_ms $ explain)
+          $ workers $ heuristic $ seed $ max_steps $ timeout_ms $ explain
+          $ sessions $ duplicate_rate)
 
 (* ----- serve-ctl watch: a refreshing terminal view of the registry ----- *)
 
@@ -1318,41 +1396,89 @@ let serve_ctl_cmd =
       Printf.eprintf "error: %s\n" msg;
       1
   in
-  let run action connect interval count =
-    match Serve.Client.connect (Serve.Client.parse_addr connect) with
-    | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "error: cannot connect to %s: %s\n" connect
-        (Unix.error_message e);
-      1
-    | c ->
-      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
-      (match action with
-       | `Ping -> print_ok_or_fail (Serve.Client.ping c)
-       | `Metrics -> print_ok_or_fail (Serve.Client.metrics c)
-       | `Dump -> print_ok_or_fail (Serve.Client.dump c)
-       | `Shutdown -> print_ok_or_fail (Serve.Client.shutdown c)
-       | `Watch ->
-         let rec go i =
-           match Serve.Client.metrics c with
+  (* Watch owns its connection: one connection is reused across
+     refreshes, and a transport error (daemon restart, ECONNRESET, a
+     torn frame) drops it and reconnects with exponential backoff
+     instead of exiting.  A failed refresh does not consume a --count
+     tick; with --count set we give up after enough consecutive
+     failures so scripted runs cannot hang forever. *)
+  let watch_loop ~connect ~interval ~count =
+    let addr = Serve.Client.parse_addr connect in
+    let conn = ref None in
+    let backoff = ref 0.5 in
+    let sleep s =
+      try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    let drop () =
+      (match !conn with Some c -> Serve.Client.close c | None -> ());
+      conn := None
+    in
+    let rec go i failures =
+      if count > 0 && failures >= 10 then begin
+        Printf.eprintf
+          "error: gave up on %s after %d consecutive failures\n" connect
+          failures;
+        1
+      end
+      else begin
+        let retry msg =
+          Printf.eprintf
+            "bddmin serve-ctl: %s; retrying %s in %.1fs\n%!" msg connect
+            !backoff;
+          drop ();
+          sleep !backoff;
+          backoff := Float.min 8.0 (!backoff *. 2.0);
+          go i (failures + 1)
+        in
+        match
+          match !conn with
+          | Some c -> Ok c
+          | None ->
+            (match Serve.Client.connect addr with
+             | c -> conn := Some c; Ok c
+             | exception Unix.Unix_error (e, _, _) ->
+               Error (Unix.error_message e))
+        with
+        | Error msg -> retry ("cannot connect: " ^ msg)
+        | Ok c ->
+          (match Serve.Client.metrics c with
            | Ok { Serve.Protocol.status = "ok"; result; _ } ->
+             backoff := 0.5;
              (* clear screen + home, then redraw *)
              print_string "\027[2J\027[H";
              watch_render result;
              flush stdout;
              if count > 0 && i + 1 >= count then 0
              else begin
-               (try Unix.sleepf interval
-                with Unix.Unix_error (Unix.EINTR, _, _) -> ());
-               go (i + 1)
+               sleep interval;
+               go (i + 1) 0
              end
            | Ok r ->
+             (* the daemon answered — a bad status is not a transport
+                failure, report it and stop *)
              Printf.eprintf "error: status %s\n" r.Serve.Protocol.status;
              1
-           | Error msg ->
-             Printf.eprintf "error: %s\n" msg;
-             1
-         in
-         go 0)
+           | Error msg -> retry ("connection lost (" ^ msg ^ ")"))
+      end
+    in
+    Fun.protect ~finally:drop @@ fun () -> go 0 0
+  in
+  let run action connect interval count =
+    match action with
+    | `Watch -> watch_loop ~connect ~interval ~count
+    | (`Ping | `Metrics | `Dump | `Shutdown) as action ->
+      (match Serve.Client.connect (Serve.Client.parse_addr connect) with
+       | exception Unix.Unix_error (e, _, _) ->
+         Printf.eprintf "error: cannot connect to %s: %s\n" connect
+           (Unix.error_message e);
+         1
+       | c ->
+         Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+         (match action with
+          | `Ping -> print_ok_or_fail (Serve.Client.ping c)
+          | `Metrics -> print_ok_or_fail (Serve.Client.metrics c)
+          | `Dump -> print_ok_or_fail (Serve.Client.dump c)
+          | `Shutdown -> print_ok_or_fail (Serve.Client.shutdown c)))
   in
   let action =
     let actions =

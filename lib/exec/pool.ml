@@ -1,11 +1,22 @@
-(* A fixed-size pool of worker domains draining one FIFO work queue.
+(* A fixed-size pool of worker domains draining one priority work queue.
 
-   The queue is guarded by a single mutex; workers sleep on a condition
-   variable that is signaled once per submitted job and broadcast on
-   shutdown.  Jobs are opaque thunks: the pool runs them and swallows
-   anything they raise (the [Future] layer converts a job's outcome —
-   value or exception — into a state the submitter awaits, so a raising
-   job can never take a worker down with it, let alone wedge the pool).
+   The queue is a binary min-heap ordered by an explicit 64-bit priority
+   (lower runs first; the serve daemon passes deadlines, making the pool
+   earliest-deadline-first) with a submission sequence number breaking
+   ties, so equal-priority jobs — and all jobs submitted without a
+   priority — still run in FIFO order.
+
+   The heap is guarded by a single mutex; workers sleep on a condition
+   variable.  A submit signals {e one} waiter, and only when at least
+   one worker is actually idle — a busy worker re-checks the heap when
+   its current job finishes, so waking it early would be a wasted
+   syscall, and broadcasting would stampede every sleeper for a single
+   job.  The idle count is exported ({!idle_workers}) for gauges.
+
+   Jobs are opaque thunks: the pool runs them and swallows anything they
+   raise (the [Future] layer converts a job's outcome — value or
+   exception — into a state the submitter awaits, so a raising job can
+   never take a worker down with it, let alone wedge the pool).
 
    Every queued job also carries an abort callback.  [shutdown
    ~mode:`Abort] discards the still-queued jobs instead of running them,
@@ -17,12 +28,86 @@ exception Aborted
 
 type job = unit -> unit
 
-type queued = { run : job; on_abort : job }
+type queued = { run : job; on_abort : job; prio : int64; seq : int }
+
+(* [a] precedes [b]: smaller priority first, submission order on ties. *)
+let precedes a b =
+  match Int64.compare a.prio b.prio with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+(* ----- binary min-heap on a growable array ----- *)
+
+module Heap = struct
+  type t = { mutable arr : queued array; mutable len : int }
+
+  let dummy =
+    { run = ignore; on_abort = ignore; prio = 0L; seq = 0 }
+
+  let create () = { arr = Array.make 16 dummy; len = 0 }
+  let length h = h.len
+  let is_empty h = h.len = 0
+
+  let push h x =
+    if h.len = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.len) dummy in
+      Array.blit h.arr 0 bigger 0 h.len;
+      h.arr <- bigger
+    end;
+    (* sift up *)
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.arr.(!i) <- x;
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      precedes h.arr.(!i) h.arr.(p)
+      && begin
+        let tmp = h.arr.(p) in
+        h.arr.(p) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := p;
+        true
+      end
+    do
+      ()
+    done
+
+  let pop h =
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    h.arr.(0) <- h.arr.(h.len);
+    h.arr.(h.len) <- dummy;
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && precedes h.arr.(l) h.arr.(!smallest) then smallest := l;
+      if r < h.len && precedes h.arr.(r) h.arr.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.arr.(!smallest) in
+        h.arr.(!smallest) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+
+  let drain h =
+    let rec go acc = if is_empty h then List.rev acc else go (pop h :: acc) in
+    go []
+end
 
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  q : queued Queue.t;
+  q : Heap.t;
+  mutable next_seq : int;
+  mutable idle : int;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
   size : int;
@@ -32,20 +117,28 @@ let size pool = pool.size
 
 let queue_depth pool =
   Mutex.lock pool.lock;
-  let n = Queue.length pool.q in
+  let n = Heap.length pool.q in
+  Mutex.unlock pool.lock;
+  n
+
+let idle_workers pool =
+  Mutex.lock pool.lock;
+  let n = pool.idle in
   Mutex.unlock pool.lock;
   n
 
 let rec worker_loop pool =
   Mutex.lock pool.lock;
-  while Queue.is_empty pool.q && not pool.closed do
-    Condition.wait pool.nonempty pool.lock
+  while Heap.is_empty pool.q && not pool.closed do
+    pool.idle <- pool.idle + 1;
+    Condition.wait pool.nonempty pool.lock;
+    pool.idle <- pool.idle - 1
   done;
-  if Queue.is_empty pool.q then
+  if Heap.is_empty pool.q then
     (* closed and drained: exit *)
     Mutex.unlock pool.lock
   else begin
-    let job = Queue.pop pool.q in
+    let job = Heap.pop pool.q in
     Mutex.unlock pool.lock;
     (try job.run () with _ -> ());
     worker_loop pool
@@ -57,7 +150,9 @@ let create ~jobs =
     {
       lock = Mutex.create ();
       nonempty = Condition.create ();
-      q = Queue.create ();
+      q = Heap.create ();
+      next_seq = 0;
+      idle = 0;
       closed = false;
       workers = [];
       size = jobs;
@@ -67,30 +162,30 @@ let create ~jobs =
     List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
   pool
 
-let submit ?(on_abort = fun () -> ()) pool run =
+let submit ?(priority = Int64.max_int) ?(on_abort = fun () -> ()) pool run =
   Mutex.lock pool.lock;
   if pool.closed then begin
     Mutex.unlock pool.lock;
     invalid_arg "Exec.Pool.submit: pool is shut down"
   end;
-  Queue.push { run; on_abort } pool.q;
-  Condition.signal pool.nonempty;
+  let seq = pool.next_seq in
+  pool.next_seq <- seq + 1;
+  Heap.push pool.q { run; on_abort; prio = priority; seq };
+  (* one job, one waiter — and none at all if every worker is busy
+     (they re-check the heap between jobs) *)
+  if pool.idle > 0 then Condition.signal pool.nonempty;
   Mutex.unlock pool.lock
 
 let shutdown ?(mode = `Drain) pool =
   Mutex.lock pool.lock;
   let was_closed = pool.closed in
   pool.closed <- true;
-  (* In abort mode the queue is emptied under the lock, so no worker can
+  (* In abort mode the heap is emptied under the lock, so no worker can
      pick a discarded job up; in-flight jobs (already popped) complete
-     normally either way. *)
+     normally either way.  Discards run in priority order — the same
+     order they would have executed in. *)
   let discarded =
-    match mode with
-    | `Drain -> []
-    | `Abort ->
-      let js = List.of_seq (Queue.to_seq pool.q) in
-      Queue.clear pool.q;
-      js
+    match mode with `Drain -> [] | `Abort -> Heap.drain pool.q
   in
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.lock;

@@ -1,4 +1,4 @@
-(** A fixed-size pool of worker domains over one FIFO work queue.
+(** A fixed-size pool of worker domains over one priority work queue.
 
     Workers are real [Domain]s (OCaml 5 parallelism), so jobs run truly
     concurrently — which also means a job must not touch domain-unsafe
@@ -6,6 +6,14 @@
     are domain-local}: a [Core_dd.man] has no internal locking, so each
     job must build (and keep to) its own manager.  The [Obs] layer is
     safe to use from jobs (see its thread-safety contracts).
+
+    Scheduling: jobs carry a 64-bit priority — {e lower runs first} —
+    with submission order breaking ties, so jobs submitted without a
+    priority (or with equal priorities) drain FIFO.  The serve daemon
+    passes absolute deadlines as priorities, which makes the pool an
+    earliest-deadline-first scheduler.  A submit wakes exactly one idle
+    worker (never a broadcast), and no worker at all when every domain
+    is already busy — busy workers re-check the queue between jobs.
 
     Jobs are opaque thunks; whatever they raise is swallowed by the
     worker, so a failing job can never wedge or shrink the pool.  Use
@@ -32,12 +40,19 @@ val queue_depth : t -> int
     jobs).  Takes the queue mutex briefly; meant for gauges and
     backpressure decisions, not tight loops. *)
 
-val submit : ?on_abort:job -> t -> job -> unit
-(** Enqueue a job.  [on_abort] (default a no-op) is invoked — instead of
-    the job, exactly once, in the domain calling {!shutdown} — if the
-    job is still queued when the pool is shut down in [`Abort] mode; use
-    it to resolve whatever is awaiting the job.  Anything it raises is
-    swallowed.  @raise Invalid_argument after {!shutdown}. *)
+val idle_workers : t -> int
+(** Workers currently parked on the condition variable waiting for
+    work.  Same caveat as {!queue_depth}. *)
+
+val submit : ?priority:int64 -> ?on_abort:job -> t -> job -> unit
+(** Enqueue a job.  [priority] (default [Int64.max_int]) orders the
+    queue — lower values run first, ties drain in submission order, so
+    omitting it everywhere degenerates to plain FIFO.  [on_abort]
+    (default a no-op) is invoked — instead of the job, exactly once, in
+    the domain calling {!shutdown} — if the job is still queued when
+    the pool is shut down in [`Abort] mode; use it to resolve whatever
+    is awaiting the job.  Anything it raises is swallowed.
+    @raise Invalid_argument after {!shutdown}. *)
 
 val shutdown : ?mode:[ `Drain | `Abort ] -> t -> unit
 (** Stop accepting jobs and join the workers.  Idempotent (a second

@@ -28,6 +28,19 @@ type serve_telemetry = {
   serve_write_us_mean : float;
 }
 
+type serve_server = {
+  serve_cache_hits : int;
+  serve_cache_canonical_hits : int;
+  serve_cache_misses : int;
+  serve_cache_collapsed : int;
+  serve_cache_evicted : int;
+  serve_sessions_opened : int;
+  serve_sessions_evicted : int;
+  serve_batches : int;
+  serve_batched_requests : int;
+  serve_busy_replies : int;
+}
+
 type serve_stats = {
   serve_clients : int;
   serve_requests : int;
@@ -41,8 +54,10 @@ type serve_stats = {
   serve_ok : int;
   serve_dnf : int;
   serve_partial : int;
+  serve_busy : int;
   serve_errors : int;
   serve_telemetry : serve_telemetry option;
+  serve_server : serve_server option;
 }
 
 let telemetry_row = function
@@ -56,6 +71,19 @@ let telemetry_row = function
       (num t.serve_exec_us_mean)
       (num t.serve_write_us_mean)
 
+let server_row = function
+  | None -> "null"
+  | Some c ->
+    Printf.sprintf
+      "{\"cache_hits\":%d,\"cache_canonical_hits\":%d,\"cache_misses\":%d,\
+       \"cache_collapsed\":%d,\"cache_evicted\":%d,\"sessions_opened\":%d,\
+       \"sessions_evicted\":%d,\"batches\":%d,\"batched_requests\":%d,\
+       \"busy_replies\":%d}"
+      c.serve_cache_hits c.serve_cache_canonical_hits c.serve_cache_misses
+      c.serve_cache_collapsed c.serve_cache_evicted c.serve_sessions_opened
+      c.serve_sessions_evicted c.serve_batches c.serve_batched_requests
+      c.serve_busy_replies
+
 let serve_row = function
   | None -> "null"
   | Some s ->
@@ -63,12 +91,14 @@ let serve_row = function
       "{\"clients\":%d,\"requests\":%d,\"workers\":%d,\"seconds\":%s,\
        \"requests_per_sec\":%s,\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,\
        \"mean_ms\":%s,\"ok_replies\":%d,\"dnf_replies\":%d,\
-       \"partial_replies\":%d,\"error_replies\":%d,\"telemetry\":%s}"
+       \"partial_replies\":%d,\"busy_replies\":%d,\"error_replies\":%d,\
+       \"telemetry\":%s,\"server\":%s}"
       s.serve_clients s.serve_requests s.serve_workers (num s.serve_seconds)
       (num s.serve_rps) (num s.serve_p50_ms) (num s.serve_p95_ms)
       (num s.serve_p99_ms) (num s.serve_mean_ms) s.serve_ok s.serve_dnf
-      s.serve_partial s.serve_errors
+      s.serve_partial s.serve_busy s.serve_errors
       (telemetry_row s.serve_telemetry)
+      (server_row s.serve_server)
 
 let render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
     ~capture_seconds ~phases ~names ~(engine : Bdd.Stats.t) ~dnf
@@ -156,7 +186,7 @@ let render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
   in
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"bddmin-bench-engine/5\",\n\
+    \  \"schema\": \"bddmin-bench-engine/6\",\n\
     \  \"jobs\": %d,\n\
     \  \"quick\": %b,\n\
     \  \"max_calls\": %d,\n\

@@ -1,10 +1,10 @@
 (** The machine-readable benchmark baseline ([BENCH_engine.json]).
 
-    One JSON document per benchmark run, schema ["bddmin-bench-engine/5"],
+    One JSON document per benchmark run, schema ["bddmin-bench-engine/6"],
     with every key always present:
 
     {v
-    schema       string  "bddmin-bench-engine/5"
+    schema       string  "bddmin-bench-engine/6"
     jobs         int     worker domains used for the capture suite
     quick        bool    small sub-suite?
     max_calls    int     per-benchmark cap on measured calls
@@ -18,8 +18,9 @@
                      dnf_calls } ]
     serve        { clients, requests, workers, seconds, requests_per_sec,
                    p50_ms, p95_ms, p99_ms, mean_ms, ok_replies,
-                   dnf_replies, partial_replies, error_replies,
-                   telemetry }   or null when the serve phase was skipped
+                   dnf_replies, partial_replies, busy_replies,
+                   error_replies, telemetry, server }
+                 or null when the serve phase was skipped
     engine       Bdd.Stats.t counters (summed over the suite's managers)
     v}
 
@@ -27,6 +28,13 @@
     [{ explained, queue_us_mean, exec_us_mean, write_us_mean }] —
     server-reported phase means over replies that carried telemetry
     (loadgen run with [explain]) — or [null] when none did.
+
+    The serve [server] object is the end-of-run scrape of the daemon's
+    own counters —
+    [{ cache_hits, cache_canonical_hits, cache_misses, cache_collapsed,
+    cache_evicted, sessions_opened, sessions_evicted, batches,
+    batched_requests, busy_replies }] — or [null] when the scrape
+    connection failed.
 
     Schema history: [/2] added the [image] key and the
     [and_exists_recursions] / [interned_cubes] engine counters; [/3]
@@ -36,7 +44,10 @@
     generator ([null] when that phase is disabled); [/5] split serve
     replies into per-status counts ([ok_replies] / [dnf_replies] /
     [partial_replies] / [error_replies]) and added the serve
-    [telemetry] section of server-side phase timings.
+    [telemetry] section of server-side phase timings; [/6] added the
+    client-observed [busy_replies] count (backpressure refusals, not
+    errors) and the [server] section of scraped daemon counters —
+    result-cache traffic, session and batch activity, busy replies.
 
     Committed snapshots of this file are the perf trajectory: every
     change regenerates it ([make bench-json] or [bddmin bench]) and
@@ -51,6 +62,20 @@ type serve_telemetry = {
 (** Server-side phase means over explained replies, for the serve
     [telemetry] object. *)
 
+type serve_server = {
+  serve_cache_hits : int;
+  serve_cache_canonical_hits : int;
+  serve_cache_misses : int;
+  serve_cache_collapsed : int;
+  serve_cache_evicted : int;
+  serve_sessions_opened : int;
+  serve_sessions_evicted : int;
+  serve_batches : int;
+  serve_batched_requests : int;
+  serve_busy_replies : int;
+}
+(** Scraped daemon counters for the serve [server] object. *)
+
 type serve_stats = {
   serve_clients : int;
   serve_requests : int;
@@ -64,8 +89,10 @@ type serve_stats = {
   serve_ok : int;
   serve_dnf : int;
   serve_partial : int;
+  serve_busy : int;
   serve_errors : int;
   serve_telemetry : serve_telemetry option;
+  serve_server : serve_server option;
 }
 (** The [serve] section, as a plain record so this library needs no
     dependency on [serve] — callers copy the loadgen stats across. *)

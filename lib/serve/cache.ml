@@ -1,0 +1,189 @@
+(* Canonical result cache for the serve daemon.
+
+   A bounded, sharded LRU mapping request keys — op + heuristic +
+   canonical Store text + budget class — to finished reply bodies
+   (reply JSON with the per-requester "id" and "telemetry" fields
+   stripped, so one cached value serves every requester).
+
+   Single-flight: a key being computed holds a [Pending] entry carrying
+   the followers' reply callbacks.  A duplicate request arriving while
+   the leader runs {e joins} the entry instead of queueing its own
+   compute; when the leader {!resolve}s, every follower's callback is
+   handed the finished value.  Followers are plain closures, so no
+   worker (and no reader) ever blocks on a cache entry.
+
+   Sharding: keys are hashed onto [n] independent shards, each a mutex
+   + hashtable + LRU clock, so concurrent workers touching different
+   keys never contend on one lock.  Eviction is an O(shard) scan for
+   the stalest [Done] entry — shards are small (capacity/shards) and
+   eviction only runs on insert-at-capacity, so the scan never shows up
+   next to an actual minimize call.  [Pending] entries are never
+   evicted (their followers must be answered) and don't count against
+   capacity.
+
+   Thread-safety: every operation is safe from any domain.  Callbacks
+   returned by {!resolve}/{!abandon} are invoked by the {e caller},
+   outside all shard locks. *)
+
+type follower = Json.t -> unit
+
+type entry =
+  | Done of { value : Json.t; mutable last_used : int }
+  | Pending of { mutable followers : follower list }
+
+type shard = {
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;  (* LRU timestamp source, monotone per shard *)
+  mutable done_count : int;  (* [Done] entries only *)
+}
+
+type t = {
+  shards : shard array;
+  shard_capacity : int;
+  on_evict : unit -> unit;
+}
+
+type outcome =
+  | Hit of Json.t  (** finished value, serve it now *)
+  | Joined  (** a leader is computing; your follower is registered *)
+  | Lead  (** you are the leader: compute, then {!resolve} *)
+
+let create ?(shards = 8) ~capacity ?(on_evict = fun () -> ()) () =
+  if capacity < 1 then invalid_arg "Serve.Cache.create: capacity must be >= 1";
+  let shards = max 1 shards in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { lock = Mutex.create ();
+            table = Hashtbl.create 64;
+            clock = 0;
+            done_count = 0 });
+    (* ceil-divide so total capacity is never below the ask *)
+    shard_capacity = max 1 ((capacity + shards - 1) / shards);
+    on_evict;
+  }
+
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let with_shard t key f =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s)
+
+let touch s = function
+  | Done d ->
+    s.clock <- s.clock + 1;
+    d.last_used <- s.clock
+  | Pending _ -> ()
+
+(* Evict the stalest [Done] entry; [Pending] entries are untouchable. *)
+let evict_one s =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key -> function
+      | Done d -> begin
+          match !victim with
+          | Some (_, age) when age <= d.last_used -> ()
+          | _ -> victim := Some (key, d.last_used)
+        end
+      | Pending _ -> ())
+    s.table;
+  match !victim with
+  | None -> false
+  | Some (key, _) ->
+    Hashtbl.remove s.table key;
+    s.done_count <- s.done_count - 1;
+    true
+
+let insert_done t s key value =
+  let evicted = ref 0 in
+  (match Hashtbl.find_opt s.table key with
+   | Some (Done _) -> s.done_count <- s.done_count - 1
+   | Some (Pending _) | None -> ());
+  while s.done_count >= t.shard_capacity && evict_one s do incr evicted done;
+  s.clock <- s.clock + 1;
+  Hashtbl.replace s.table key (Done { value; last_used = s.clock });
+  s.done_count <- s.done_count + 1;
+  !evicted
+
+(* Plain lookup: a finished value or nothing.  Does not join a pending
+   computation — use {!find_or_join} for single-flight semantics. *)
+let find t key =
+  with_shard t key @@ fun s ->
+  match Hashtbl.find_opt s.table key with
+  | Some (Done d as e) ->
+    touch s e;
+    Some d.value
+  | Some (Pending _) | None -> None
+
+(* The single-flight entry point.  Exactly one concurrent caller per
+   key gets [Lead] (and owes a {!resolve} or {!abandon}); the rest are
+   [Joined] with their [follower] registered, or [Hit] if the value is
+   already there. *)
+let find_or_join t key ~follower =
+  with_shard t key @@ fun s ->
+  match Hashtbl.find_opt s.table key with
+  | Some (Done d as e) ->
+    touch s e;
+    Hit d.value
+  | Some (Pending p) ->
+    p.followers <- follower :: p.followers;
+    Joined
+  | None ->
+    Hashtbl.replace s.table key (Pending { followers = [] });
+    Lead
+
+(* take_pending: remove the Pending entry for [key] (if that is what's
+   there) and return its followers, oldest first. *)
+let take_pending s key =
+  match Hashtbl.find_opt s.table key with
+  | Some (Pending p) ->
+    Hashtbl.remove s.table key;
+    List.rev p.followers
+  | Some (Done _) | None -> []
+
+(* The leader finished.  Replaces the [Pending] entry with the value
+   (when [store] — only "ok" replies are worth keeping) and returns the
+   followers for the caller to answer, oldest first.  [aliases] are
+   additional keys — e.g. the canonical-text key discovered after
+   interning — that get [Done] entries of their own.  Evictions fire
+   [on_evict] once each, outside the shard locks. *)
+let resolve t ~key ?(aliases = []) ~store value =
+  let evicted = ref 0 in
+  let followers =
+    with_shard t key @@ fun s ->
+    let fs = take_pending s key in
+    if store then evicted := !evicted + insert_done t s key value;
+    fs
+  in
+  if store then
+    List.iter
+      (fun alias ->
+         if alias <> key then
+           with_shard t alias @@ fun s ->
+           (* never clobber another leader's Pending: its followers
+              would be orphaned *)
+           match Hashtbl.find_opt s.table alias with
+           | Some (Pending _) -> ()
+           | Some (Done _) | None ->
+             evicted := !evicted + insert_done t s alias value)
+      aliases;
+  for _ = 1 to !evicted do t.on_evict () done;
+  followers
+
+(* The leader cannot produce a value (rejected, crashed, aborted).
+   Drops the [Pending] entry and returns the followers so the caller
+   can answer them with whatever the failure reply is. *)
+let abandon t ~key =
+  with_shard t key @@ fun s -> take_pending s key
+
+(* Done entries across all shards — for gauges. *)
+let length t =
+  Array.fold_left
+    (fun acc s ->
+       Mutex.lock s.lock;
+       let n = s.done_count in
+       Mutex.unlock s.lock;
+       acc + n)
+    0 t.shards

@@ -71,10 +71,29 @@ let minimize c ?max_nodes ?max_steps ?timeout_ms ?(heuristic = "sched") ?trace
     match source with
     | Protocol.Store_text text -> ("bdd", Json.Str text)
     | Protocol.Pla_text text -> ("pla", Json.Str text)
+    | Protocol.Session_ref sid -> ("session", Json.Str sid)
   in
   request c ?budget ?trace ?explain
     [ ("op", Json.Str "minimize"); source_field;
       ("heuristic", Json.Str heuristic) ]
+
+(* Open a warm-manager session over [text] (Store format); the returned
+   session id feeds [minimize (Session_ref sid)]. *)
+let session_open c text =
+  match request c [ ("op", Json.Str "session_open"); ("bdd", Json.Str text) ] with
+  | Error _ as e -> e
+  | Ok r when r.Protocol.status = "ok" -> begin
+      match Json.string_field "session" r.Protocol.result with
+      | Some sid -> Ok (`Session sid)
+      | None -> Error "session_open reply carried no session id"
+    end
+  | Ok r ->
+    Error
+      (Option.value r.Protocol.message
+         ~default:("session_open failed: " ^ r.Protocol.status))
+
+let session_close c sid =
+  request c [ ("op", Json.Str "session_close"); ("session", Json.Str sid) ]
 
 let machine_fields ~bench ~blif = function
   | Protocol.Bench name -> (bench, Json.Str name)

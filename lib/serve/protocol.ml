@@ -8,9 +8,19 @@
    Requests:
      {"id": N, "op": "minimize", "bdd": <Store text>, "heuristic": "sched",
       "budget": {"max_nodes": N, "max_steps": N, "timeout_ms": N}}
+     {"id": N, "op": "minimize", "session": "s3", "heuristic": "sched"}
      {"id": N, "op": "reach",  "bench": "tlc"}            (or "blif": <text>)
      {"id": N, "op": "equiv", "bench1": ..., "bench2": ...}
+     {"id": N, "op": "session_open",  "bdd": <Store text>}
+     {"id": N, "op": "session_close", "session": "s3"}
      {"id": N, "op": "ping" | "metrics" | "shutdown" | "dump"}
+
+   [session_open] interns the Store text into a server-side manager
+   once and replies {"session": "s3", "roots": [...], "nodes": N}; a
+   minimize carrying "session" then runs against that warm manager
+   without re-uploading or re-interning.  Sessions belong to the
+   connection that opened them and die with it (or under the server's
+   [--max-sessions] LRU).
 
    Every budget field is optional, as is "budget" itself.  [timeout_ms]
    is converted to an {e absolute} monotonic deadline when the request
@@ -38,6 +48,12 @@
       "message": "..."}
      {"id": N, "status": "partial", "reason": ..., "result": {...}}
      {"id": N, "status": "error",   "message": "..."}
+     {"id": N, "status": "busy",    "retry_after_ms": N, "message": "..."}
+
+   [busy] is the backpressure reply: the admission queue is at its
+   bound, the request was {e not} enqueued, and the client should retry
+   after roughly [retry_after_ms] (an estimate from the current backlog
+   and recent execution times).
    plus, when the request said [explain]:
      {..., "telemetry": {"queue_us": N, "exec_us": N, "write_us": N,
                          "budget": {...}, "engine": {...}}}            *)
@@ -94,11 +110,21 @@ type budget_spec = {
   max_nodes : int option;
   max_steps : int option;
   deadline_ns : int64 option;  (** absolute monotonic, fixed at arrival *)
+  timeout_ms : int option;
+      (** the raw wire value behind [deadline_ns] — kept because the
+          result cache buckets budgets by requested timeout, and the
+          absolute deadline differs between otherwise identical
+          requests *)
 }
 
-let no_budget = { max_nodes = None; max_steps = None; deadline_ns = None }
+let no_budget =
+  { max_nodes = None; max_steps = None; deadline_ns = None; timeout_ms = None }
 
-type source = Store_text of string | Pla_text of string
+type source =
+  | Store_text of string
+  | Pla_text of string
+  | Session_ref of string  (** minimize against a warm session manager *)
+
 type machine = Bench of string | Blif_text of string
 
 type trace_spec = { trace_id : string; sampled : bool }
@@ -107,6 +133,8 @@ type op =
   | Minimize of { source : source; heuristic : string }
   | Reach of machine
   | Equiv of machine * machine
+  | Session_open of { bdd : string }
+  | Session_close of { sid : string }
   | Ping
   | Metrics
   | Dump
@@ -124,6 +152,8 @@ let op_label = function
   | Minimize _ -> "minimize"
   | Reach _ -> "reach"
   | Equiv _ -> "equiv"
+  | Session_open _ -> "session_open"
+  | Session_close _ -> "session_close"
   | Ping -> "ping"
   | Metrics -> "metrics"
   | Dump -> "dump"
@@ -151,7 +181,7 @@ let parse_budget j =
            Int64.add (Obs.Clock.now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L))
         timeout_ms
     in
-    Ok { max_nodes; max_steps; deadline_ns }
+    Ok { max_nodes; max_steps; deadline_ns; timeout_ms }
   | Some _ -> Error "budget must be an object"
 
 (* The trace id round-trips the wire {e byte-identically}: it is
@@ -201,11 +231,29 @@ let parse_request payload =
        let heuristic =
          Option.value ~default:"sched" (Json.string_field "heuristic" j)
        in
-       (match Json.string_field "bdd" j, Json.string_field "pla" j with
-        | Some text, None -> finish (Minimize { source = Store_text text; heuristic })
-        | None, Some text -> finish (Minimize { source = Pla_text text; heuristic })
-        | Some _, Some _ -> Error "give bdd or pla, not both"
-        | None, None -> Error "minimize needs a bdd or pla field")
+       (match
+          ( Json.string_field "bdd" j,
+            Json.string_field "pla" j,
+            Json.string_field "session" j )
+        with
+        | Some text, None, None ->
+          finish (Minimize { source = Store_text text; heuristic })
+        | None, Some text, None ->
+          finish (Minimize { source = Pla_text text; heuristic })
+        | None, None, Some sid ->
+          finish (Minimize { source = Session_ref sid; heuristic })
+        | None, None, None -> Error "minimize needs a bdd, pla or session field"
+        | _ -> Error "give exactly one of bdd, pla or session")
+     | Some "session_open" -> begin
+         match Json.string_field "bdd" j with
+         | Some bdd -> finish (Session_open { bdd })
+         | None -> Error "session_open needs a bdd field"
+       end
+     | Some "session_close" -> begin
+         match Json.string_field "session" j with
+         | Some sid -> finish (Session_close { sid })
+         | None -> Error "session_close needs a session field"
+       end
      | Some "reach" ->
        Result.bind (machine_of ~bench:"bench" ~blif:"blif" j) (fun m ->
            finish (Reach m))
@@ -265,6 +313,12 @@ let partial_reply ~id reason result =
 let error_reply ~id message =
   reply_base ~id ~status:"error" [ ("message", Json.Str message) ]
 
+(* Backpressure: the request was rejected without being enqueued. *)
+let busy_reply ~id ~retry_after_ms =
+  reply_base ~id ~status:"busy"
+    [ ("retry_after_ms", Json.int retry_after_ms);
+      ("message", Json.Str "admission queue full, retry later") ]
+
 (* Appended last so a reply's non-telemetry prefix is byte-identical
    whether or not the client asked to be explained. *)
 let with_telemetry reply telemetry =
@@ -274,9 +328,11 @@ let with_telemetry reply telemetry =
 
 type reply = {
   reply_id : int;
-  status : string;  (** ["ok"], ["dnf"], ["partial"] or ["error"] *)
+  status : string;
+      (** ["ok"], ["dnf"], ["partial"], ["error"] or ["busy"] *)
   reason : string option;
   message : string option;
+  retry_after_ms : int option;  (** only on ["busy"] *)
   result : Json.t;  (** [Null] when absent *)
   telemetry : Json.t;  (** [Null] unless the request said [explain] *)
 }
@@ -294,6 +350,7 @@ let parse_reply payload =
            status;
            reason = Json.string_field "reason" j;
            message = Json.string_field "message" j;
+           retry_after_ms = Json.int_field "retry_after_ms" j;
            result = Option.value ~default:Json.Null (Json.mem "result" j);
            telemetry = Option.value ~default:Json.Null (Json.mem "telemetry" j);
          })

@@ -5,16 +5,21 @@
     {!Protocol} defines the frames and message schema (including the
     optional per-request [trace] and [explain] telemetry fields),
     {!Server} the daemon (accept loop, per-connection readers, a shared
-    [Exec.Pool] of compute workers, per-request budgets with
-    arrival-time deadlines, an [Obs.Metrics]-backed telemetry surface
-    with an optional Prometheus HTTP listener, and an [Obs.Flight]
-    recorder of recent requests), {!Client} a synchronous client,
-    {!Loadgen} the throughput/latency load generator behind
-    [bddmin serve-bench] and the bench harness's serve phase.  {!Json}
-    is the self-contained JSON codec they share. *)
+    [Exec.Pool] of compute workers scheduled earliest-deadline-first,
+    bounded admission with [busy] backpressure replies, per-request
+    budgets with arrival-time deadlines, an [Obs.Metrics]-backed
+    telemetry surface with an optional Prometheus HTTP listener, and an
+    [Obs.Flight] recorder of recent requests), {!Cache} the sharded
+    single-flight result cache, {!Session} the warm-manager session
+    registry, {!Client} a synchronous client, {!Loadgen} the
+    throughput/latency load generator behind [bddmin serve-bench] and
+    the bench harness's serve phase.  {!Json} is the self-contained
+    JSON codec they share. *)
 
 module Json = Json
 module Protocol = Protocol
+module Cache = Cache
+module Session = Session
 module Server = Server
 module Client = Client
 module Loadgen = Loadgen

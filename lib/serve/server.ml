@@ -1,29 +1,56 @@
 (* The [bddmin serve] daemon core.
 
    Shape: one accept domain, one reader domain per connection, one
-   shared [Exec.Pool] of compute workers.  The reader parses frames and
-   answers ping/metrics/dump/shutdown inline; minimize/reach/equiv jobs
-   go to the pool, each under a fresh private manager (managers are
-   domain-local by contract) with a per-request [Bdd.Budget] combining
-   the request's limits, its arrival-time deadline and the connection's
-   cancellation token — a client that disconnects cancels its in-flight
-   work at the next kernel poll.
+   shared [Exec.Pool] of compute workers scheduled {e earliest deadline
+   first} — a job's pool priority is its request's absolute arrival-time
+   deadline (no-deadline requests get arrival + a fixed horizon, which
+   keeps them FIFO among themselves), plus a small per-connection
+   fairness penalty proportional to how many jobs that connection
+   already has queued, so one chatty client cannot starve the rest.
+
+   The reader answers ping/metrics/dump/shutdown/session_close inline
+   and pushes everything else through the admission path:
+
+     1. {e result cache}: a bounded sharded LRU ({!Cache}) keyed on
+        op + heuristic + payload text + budget class.  A finished entry
+        is replied straight from the reader — no queue, no manager.
+        Concurrent identical requests are single-flighted: one leader
+        computes, followers are parked as reply closures and answered
+        when the leader resolves.  Handlers additionally look the
+        {e canonical} Store text up after interning (and store results
+        under it), so differently-formatted uploads of the same
+        function share entries.
+     2. {e backpressure}: admission is bounded ([?queue_cap]); a
+        request arriving at the bound is refused with a
+        [busy {retry_after_ms}] reply (estimated from the backlog and a
+        recent-execution-time EMA) instead of growing the queue.
+     3. {e batching}: small sessionless minimize payloads are coalesced
+        into a batch buffer drained by one pool job that runs the whole
+        batch — sorted by deadline — on one shared manager (re-created
+        every few items), amortizing the per-request [new_man] +
+        re-intern cost.  Failures stay per-item: each batch member has
+        its own budget, handler try/catch and reply.
+     4. everything else is submitted directly with its EDF priority.
+
+   Sessions ({!Session}) pin a warm manager to a connection:
+   [session_open] interns the uploaded Store once, and subsequent
+   minimize calls referencing the session skip setup entirely (they
+   also skip the result cache — the warm path is the point).  Sessions
+   are LRU-evicted under [?max_sessions] and torn down on disconnect.
 
    Replies are frames on the same socket, serialized by a per-connection
    write lock; a connection with several outstanding compute requests
    receives replies in completion order, matched by [id].  Shutdown
-   aborts the queued (not yet running) jobs — their futures' [on_abort]
-   writes a [dnf cancelled] reply so no client hangs — drains the
-   running ones, then unblocks and joins every reader.
+   aborts the queued (not yet running) jobs — including batch buffers
+   and cache followers — with [dnf cancelled]/[busy] replies so no
+   client hangs, drains the running ones, then joins every reader.
 
    Telemetry: every request is metered into the typed [Obs.Metrics]
-   registry (counters by op and status, log2 latency and phase
-   histograms, gauges refreshed at scrape time) and appended to an
-   [Obs.Flight] ring of recent request records; requests carrying a
-   client trace id flow through [Obs.Trace] spans when the server was
-   started with a sink.  The registry is scrapable three ways: the
-   [metrics] wire op, an optional plaintext-HTTP listener
-   ([?metrics] at {!start}), and {!metrics_exposition}. *)
+   registry (counters by op and status, cache/session/batch event
+   counters, log2 latency and phase histograms, gauges refreshed at
+   scrape time) and appended to an [Obs.Flight] ring of recent request
+   records; requests carrying a client trace id flow through
+   [Obs.Trace] spans when the server was started with a sink. *)
 
 let src = Logs.Src.create "bddmin.serve" ~doc:"request scheduler daemon"
 
@@ -45,8 +72,16 @@ module M = struct
     latency : Obs.Metrics.histogram Obs.Metrics.family;
     phase : Obs.Metrics.histogram Obs.Metrics.family;
     conn_errors : Obs.Metrics.counter Obs.Metrics.family;
+    cache_events : Obs.Metrics.counter Obs.Metrics.family;
+    session_events : Obs.Metrics.counter Obs.Metrics.family;
+    batches : Obs.Metrics.counter;
+    batched : Obs.Metrics.counter;
     queue_depth : Obs.Metrics.gauge;
+    admission_queue : Obs.Metrics.gauge;
+    cache_entries : Obs.Metrics.gauge;
+    sessions_live : Obs.Metrics.gauge;
     workers_busy : Obs.Metrics.gauge;
+    workers_idle : Obs.Metrics.gauge;
     workers : Obs.Metrics.gauge;
     in_flight : Obs.Metrics.gauge;
     connections : Obs.Metrics.gauge;
@@ -82,14 +117,50 @@ module M = struct
       conn_errors =
         counter ~help:"Connection-level failures, by kind" ~labels:[ "kind" ]
           "bddmin_serve_conn_errors_total";
+      cache_events =
+        counter
+          ~help:
+            "Result-cache events: hit (served from the reader), \
+             canonical_hit (matched after interning), miss, collapsed \
+             (joined an in-flight identical request), store, evicted"
+          ~labels:[ "event" ] "bddmin_serve_cache_events_total";
+      session_events =
+        counter ~help:"Session lifecycle events: opened, closed, evicted"
+          ~labels:[ "event" ] "bddmin_serve_session_events_total";
+      batches =
+        Obs.Metrics.handle
+          (counter ~help:"Coalesced batches executed"
+             "bddmin_serve_batches_total");
+      batched =
+        Obs.Metrics.handle
+          (counter ~help:"Requests that ran inside a coalesced batch"
+             "bddmin_serve_batched_requests_total");
       queue_depth =
         Obs.Metrics.handle
           (gauge ~help:"Compute jobs queued but not yet running"
              "bddmin_serve_queue_depth");
+      admission_queue =
+        Obs.Metrics.handle
+          (gauge
+             ~help:
+               "Admitted compute requests not yet started (bounded by \
+                --queue-cap)"
+             "bddmin_serve_admission_queue");
+      cache_entries =
+        Obs.Metrics.handle
+          (gauge ~help:"Finished entries resident in the result cache"
+             "bddmin_serve_cache_entries");
+      sessions_live =
+        Obs.Metrics.handle
+          (gauge ~help:"Open warm-manager sessions" "bddmin_serve_sessions");
       workers_busy =
         Obs.Metrics.handle
           (gauge ~help:"Pool workers currently executing a job"
              "bddmin_serve_workers_busy");
+      workers_idle =
+        Obs.Metrics.handle
+          (gauge ~help:"Pool workers parked waiting for work"
+             "bddmin_serve_workers_idle");
       workers =
         Obs.Metrics.handle
           (gauge ~help:"Pool worker domains" "bddmin_serve_workers");
@@ -122,11 +193,26 @@ module M = struct
 end
 
 type conn = {
+  id : int;  (* server-unique; owns this connection's sessions *)
   fd : Unix.file_descr;
   wlock : Mutex.t;
   cancel : Exec.Cancel.t;
   peer : string;
+  queued : int Atomic.t;  (* this connection's admitted-not-started jobs *)
   mutable refs : int;  (* reader + in-flight jobs; fd closes at 0 *)
+}
+
+(* An admitted compute request, on its way through queue / batch buffer
+   to a worker.  [p_key] is the cache key this request {e leads} (it
+   owes the cache a resolve or abandon); [None] when caching is off,
+   the op is uncacheable, or the request joined another leader. *)
+type pending = {
+  p_req : Protocol.request;
+  p_conn : conn;
+  p_arrival : int64;
+  p_bytes : int;
+  p_key : string option;
+  p_prio : int64;
 }
 
 type t = {
@@ -136,9 +222,16 @@ type t = {
   unix_path : string option;
   pool : Exec.Pool.t;
   workers : int;
+  sessions : Session.t;
+  cache : Cache.t option;
+  queue_cap : int;  (* 0 = unbounded *)
+  batch_threshold : int;  (* payload bytes; 0 disables batching *)
   stop_flag : bool Atomic.t;
   in_flight : int Atomic.t;
+  admitted : int Atomic.t;  (* enqueued (incl. batch buffer), not started *)
+  exec_ema_us : int Atomic.t;  (* recent handler time, for retry_after *)
   conn_count : int Atomic.t;
+  conn_seq : int Atomic.t;
   started_ns : int64;
   m : M.t;
   flight : Obs.Flight.t;
@@ -147,6 +240,9 @@ type t = {
   metrics_address : string option;
   metrics_port : int option;
   metrics_unix_path : string option;
+  batch_lock : Mutex.t;
+  mutable batch_buf : pending list;
+  mutable batch_scheduled : bool;
   lock : Mutex.t;
   finished : Condition.t;
   mutable accept_domain : unit Domain.t option;
@@ -184,6 +280,86 @@ let now_ns = Obs.Clock.now_ns
 let us_since t0 =
   Int64.to_int (Int64.div (Int64.sub (now_ns ()) t0) 1000L)
 
+(* ----- EDF priorities ----- *)
+
+(* Requests without a deadline schedule as "arrival + horizon": still
+   strictly after anything with a real deadline inside the horizon, and
+   FIFO among themselves. *)
+let default_horizon_ns = 60_000_000_000L
+
+(* Per-connection fairness: each job a connection already has waiting
+   pushes its next one this much later, so interleaved clients with
+   equal deadlines alternate instead of draining one connection first.
+   Small enough (2 ms) never to reorder deadlines that differ by a
+   scheduling-relevant amount. *)
+let fairness_quantum_ns = 2_000_000L
+
+let priority_of conn ~arrival_ns (b : Protocol.budget_spec) =
+  let deadline =
+    match b.deadline_ns with
+    | Some d -> d
+    | None -> Int64.add arrival_ns default_horizon_ns
+  in
+  Int64.add deadline
+    (Int64.mul (Int64.of_int (Atomic.get conn.queued)) fairness_quantum_ns)
+
+(* ----- cache keys ----- *)
+
+(* Budgets enter the cache key as a class, not as raw values: the
+   absolute deadline differs between otherwise identical requests, so
+   the requested timeout is bucketed by log2 — a 900 ms and a 1000 ms
+   request share an entry, a 10 ms and a 10 s one don't. *)
+let budget_class (b : Protocol.budget_spec) =
+  let opt = function None -> "-" | Some n -> string_of_int n in
+  let tclass =
+    match b.timeout_ms with
+    | None -> "-"
+    | Some ms when ms <= 0 -> "0"
+    | Some ms ->
+      let rec lg n acc = if n <= 1 then acc else lg (n lsr 1) (acc + 1) in
+      string_of_int (lg ms 0)
+  in
+  Printf.sprintf "n%s/s%s/t%s" (opt b.max_nodes) (opt b.max_steps) tclass
+
+let key_of ~kind ~extra ~bclass ~payload =
+  String.concat "\x00" [ kind; extra; bclass; payload ]
+
+let machine_key = function
+  | Protocol.Bench name -> "bench:" ^ name
+  | Protocol.Blif_text text -> "blif:" ^ text
+
+(* The raw-payload cache key, computed at admission (before any
+   interning).  Session ops and session-backed minimizes are never
+   cached — the warm-manager path is the point of a session. *)
+let cache_key_of (req : Protocol.request) =
+  let bclass = budget_class req.budget in
+  match req.op with
+  | Protocol.Minimize { source = Protocol.Store_text text; heuristic } ->
+    Some (key_of ~kind:"minimize" ~extra:heuristic ~bclass ~payload:text)
+  | Protocol.Minimize { source = Protocol.Pla_text text; heuristic } ->
+    Some (key_of ~kind:"minimize-pla" ~extra:heuristic ~bclass ~payload:text)
+  | Protocol.Reach m ->
+    Some (key_of ~kind:"reach" ~extra:"" ~bclass ~payload:(machine_key m))
+  | Protocol.Equiv (a, b) ->
+    Some
+      (key_of ~kind:"equiv" ~extra:(machine_key a) ~bclass
+         ~payload:(machine_key b))
+  | Protocol.Minimize { source = Protocol.Session_ref _; _ }
+  | Protocol.Session_open _ | Protocol.Session_close _ | Protocol.Ping
+  | Protocol.Metrics | Protocol.Dump | Protocol.Shutdown ->
+    None
+
+(* Cached values are reply bodies with the per-requester fields
+   stripped; [with_id] puts a requester's id back on the way out. *)
+let strip_for_cache = function
+  | Json.Obj kvs ->
+    Json.Obj (List.filter (fun (k, _) -> k <> "id" && k <> "telemetry") kvs)
+  | other -> other
+
+let with_id id = function
+  | Json.Obj kvs -> Json.Obj (("id", Json.int id) :: kvs)
+  | other -> other
+
 (* ----- per-request budget ----- *)
 
 (* Raised (and mapped to a [dnf time] reply) when the deadline passed
@@ -208,13 +384,16 @@ let make_budget conn (b : Protocol.budget_spec) =
 (* ----- per-request execution telemetry -----
 
    Handlers deposit what only they can see — the manager's footprint,
-   and (under [explain]) the engine stats delta and budget consumption —
-   into this accumulator; [run_compute] owns the phase clocks. *)
+   the canonical cache key discovered after interning, and (under
+   [explain]) the engine stats delta and budget consumption — into this
+   accumulator; [run_item] owns the phase clocks. *)
 
 type texec = {
   mutable live_nodes : int;
   mutable engine : (string * Json.t) list;
   mutable budget_used : (string * Json.t) list;
+  mutable canonical_key : string option;
+  mutable cache_note : string option;  (* "canonical-hit" etc, for explain *)
 }
 
 let stats_fields (d : Bdd.Stats.t) =
@@ -275,36 +454,113 @@ let load_ispec man = function
          | [] -> Error "pla has no outputs"
          | (_, (f, c)) :: _ -> Ok (Minimize.Ispec.make ~f ~c))
     end
+  | Protocol.Session_ref _ ->
+    Error "session minimize does not re-intern" (* handled elsewhere *)
 
-let handle_minimize conn tx ~explain budget_spec ~source ~heuristic =
-  let man = Bdd.new_man () in
-  match load_ispec man source with
+let run_heuristic ctx ~heuristic spec =
+  if heuristic = "best" then
+    Minimize.Registry.best ctx Minimize.Registry.all spec
+  else
+    match Minimize.Registry.find heuristic with
+    | None ->
+      let names =
+        String.concat ", "
+          (Minimize.Registry.names Minimize.Registry.extended)
+      in
+      invalid_arg
+        (Printf.sprintf "unknown heuristic %S (try one of: %s, best)"
+           heuristic names)
+    | Some entry -> (heuristic, Minimize.Registry.run entry ctx spec)
+
+let minimize_result man ~name ~cover spec =
+  Json.Obj
+    [ ("heuristic", Json.Str name);
+      ("size", Json.int (Bdd.size man cover));
+      ("input_size", Json.int (Bdd.size man spec.Minimize.Ispec.f));
+      ("cover", Json.Str (Bdd.Store.save man [ ("g", cover) ])) ]
+
+(* Minimize against a warm session manager.  Owner-checked; the session
+   lock serializes manager access across workers (managers have no
+   internal locking).  Skips the result cache by design: the warm path
+   is what the client asked to measure. *)
+let handle_session_minimize srv conn tx ~explain budget_spec ~sid ~heuristic =
+  match Session.find srv.sessions ~owner:conn.id sid with
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown session %S (evicted, closed, or not open on this \
+          connection)" sid)
+  | Some s ->
+    Session.with_session s @@ fun man ->
+    (match List.assoc_opt "f" s.Session.roots with
+     | None -> Error "session has no root named \"f\""
+     | Some f ->
+       let c =
+         Option.value ~default:(Bdd.one man)
+           (List.assoc_opt "c" s.Session.roots)
+       in
+       let spec = Minimize.Ispec.make ~f ~c in
+       let budget = make_budget conn budget_spec in
+       with_engine_telemetry tx ~explain man budget @@ fun () ->
+       let ctx = Minimize.Ctx.make ~budget man in
+       let name, cover = run_heuristic ctx ~heuristic spec in
+       Ok (minimize_result man ~name ~cover spec))
+
+(* Sessionless minimize.  [?man] is the shared batch manager when this
+   request rides in a coalesced batch; otherwise a private one is
+   built.  After interning, the canonical Store text of the instance is
+   (a) looked up in the cache — a differently-formatted upload of a
+   function already served returns without running the minimizer — and
+   (b) left in [tx.canonical_key] so the result is stored under both
+   the raw and canonical keys. *)
+let handle_minimize srv ?man conn tx ~explain budget_spec ~source ~heuristic =
+  match source with
+  | Protocol.Session_ref sid ->
+    handle_session_minimize srv conn tx ~explain budget_spec ~sid ~heuristic
+  | Protocol.Store_text _ | Protocol.Pla_text _ ->
+    let man = match man with Some m -> m | None -> Bdd.new_man () in
+    (match load_ispec man source with
+     | Error msg -> Error msg
+     | Ok spec ->
+       let canonical_value =
+         match srv.cache with
+         | None -> None
+         | Some cache ->
+           let canonical =
+             Bdd.Store.save man
+               [ ("f", spec.Minimize.Ispec.f); ("c", spec.Minimize.Ispec.c) ]
+           in
+           let ckey =
+             key_of ~kind:"minimize@canon" ~extra:heuristic
+               ~bclass:(budget_class budget_spec) ~payload:canonical
+           in
+           tx.canonical_key <- Some ckey;
+           Cache.find cache ckey
+       in
+       (match canonical_value with
+        | Some value when Json.mem "result" value <> None ->
+          Obs.Metrics.inc
+            (Obs.Metrics.labels srv.m.M.cache_events [ "canonical_hit" ]);
+          tx.cache_note <- Some "canonical-hit";
+          Ok (Option.get (Json.mem "result" value))
+        | _ ->
+          let budget = make_budget conn budget_spec in
+          with_engine_telemetry tx ~explain man budget @@ fun () ->
+          let ctx = Minimize.Ctx.make ~budget man in
+          let name, cover = run_heuristic ctx ~heuristic spec in
+          Ok (minimize_result man ~name ~cover spec)))
+
+let handle_session_open srv conn ~bdd =
+  match Session.open_ srv.sessions ~owner:conn.id ~text:bdd with
   | Error msg -> Error msg
-  | Ok spec ->
-    let budget = make_budget conn budget_spec in
-    with_engine_telemetry tx ~explain man budget @@ fun () ->
-    let ctx = Minimize.Ctx.make ~budget man in
-    let name, cover =
-      if heuristic = "best" then
-        Minimize.Registry.best ctx Minimize.Registry.all spec
-      else
-        match Minimize.Registry.find heuristic with
-        | None ->
-          let names =
-            String.concat ", "
-              (Minimize.Registry.names Minimize.Registry.extended)
-          in
-          invalid_arg
-            (Printf.sprintf "unknown heuristic %S (try one of: %s, best)"
-               heuristic names)
-        | Some entry -> (heuristic, Minimize.Registry.run entry ctx spec)
-    in
+  | Ok s ->
+    Obs.Metrics.inc (Obs.Metrics.labels srv.m.M.session_events [ "opened" ]);
     Ok
       (Json.Obj
-         [ ("heuristic", Json.Str name);
-           ("size", Json.int (Bdd.size man cover));
-           ("input_size", Json.int (Bdd.size man spec.Minimize.Ispec.f));
-           ("cover", Json.Str (Bdd.Store.save man [ ("g", cover) ])) ])
+         [ ("session", Json.Str s.Session.sid);
+           ( "roots",
+             Json.Arr (List.map (fun (n, _) -> Json.Str n) s.Session.roots) );
+           ("nodes", Json.int s.Session.baseline_nodes) ])
 
 let netlist_of = function
   | Protocol.Bench name -> begin
@@ -378,10 +634,15 @@ let refresh_gauges srv =
   let depth = Exec.Pool.queue_depth srv.pool in
   let in_flight = Atomic.get srv.in_flight in
   set m.M.queue_depth depth;
+  set m.M.admission_queue (Atomic.get srv.admitted);
   set m.M.in_flight in_flight;
   set m.M.workers_busy (min srv.workers (max 0 (in_flight - depth)));
+  set m.M.workers_idle (Exec.Pool.idle_workers srv.pool);
   set m.M.workers srv.workers;
   set m.M.connections (Atomic.get srv.conn_count);
+  set m.M.sessions_live (Session.count srv.sessions);
+  set m.M.cache_entries
+    (match srv.cache with None -> 0 | Some c -> Cache.length c);
   set m.M.uptime
     (Int64.to_int
        (Int64.div (Int64.sub (now_ns ()) srv.started_ns) 1_000_000_000L));
@@ -430,6 +691,34 @@ let families_json () =
                      f.series) ) ])
        (Obs.Metrics.snapshot ()))
 
+(* Sum a counter family's series, keeping those where [pick labels]
+   holds — so the wire metrics op can export flat convenience numbers
+   (cache hits, busy replies) without clients parsing the registry. *)
+let counter_total ~name ~pick =
+  List.fold_left
+    (fun acc (f : Obs.Metrics.family_snapshot) ->
+       if f.name <> name then acc
+       else
+         List.fold_left
+           (fun acc (s : Obs.Metrics.series) ->
+              match s.value with
+              | Obs.Metrics.Counter_v v when pick s.labels -> acc + v
+              | _ -> acc)
+           acc f.series)
+    0 (Obs.Metrics.snapshot ())
+
+let cache_event_total event =
+  counter_total ~name:"bddmin_serve_cache_events_total"
+    ~pick:(fun labels -> List.assoc_opt "event" labels = Some event)
+
+let session_event_total event =
+  counter_total ~name:"bddmin_serve_session_events_total"
+    ~pick:(fun labels -> List.assoc_opt "event" labels = Some event)
+
+let status_reply_total status =
+  counter_total ~name:"bddmin_serve_replies_total"
+    ~pick:(fun labels -> List.assoc_opt "status" labels = Some status)
+
 let metrics_json srv =
   let uptime_s =
     Int64.to_float (Int64.sub (now_ns ()) srv.started_ns) /. 1e9
@@ -440,7 +729,37 @@ let metrics_json srv =
       ("workers", Json.int srv.workers);
       ("in_flight", Json.int (Atomic.get srv.in_flight));
       ("queue_depth", Json.int (Exec.Pool.queue_depth srv.pool));
+      ("admission_queue", Json.int (Atomic.get srv.admitted));
+      ("queue_cap", Json.int srv.queue_cap);
+      ("workers_idle", Json.int (Exec.Pool.idle_workers srv.pool));
       ("connections", Json.int (Atomic.get srv.conn_count));
+      ("busy_replies", Json.int (status_reply_total "busy"));
+      ( "cache",
+        Json.Obj
+          [ ("entries",
+             Json.int
+               (match srv.cache with None -> 0 | Some c -> Cache.length c));
+            ("hits", Json.int (cache_event_total "hit"));
+            ("canonical_hits", Json.int (cache_event_total "canonical_hit"));
+            ("misses", Json.int (cache_event_total "miss"));
+            ("collapsed", Json.int (cache_event_total "collapsed"));
+            ("evicted", Json.int (cache_event_total "evicted")) ] );
+      ( "sessions",
+        Json.Obj
+          [ ("live", Json.int (Session.count srv.sessions));
+            ("opened", Json.int (session_event_total "opened"));
+            ("closed", Json.int (session_event_total "closed"));
+            ("evicted", Json.int (session_event_total "evicted")) ] );
+      ( "batch",
+        Json.Obj
+          [ ( "batches",
+              Json.int
+                (counter_total ~name:"bddmin_serve_batches_total"
+                   ~pick:(fun _ -> true)) );
+            ( "requests",
+              Json.int
+                (counter_total ~name:"bddmin_serve_batched_requests_total"
+                   ~pick:(fun _ -> true)) ) ] );
       ("trace_dropped", Json.int (Obs.Trace.total_dropped ()));
       ( "flight",
         Json.Obj
@@ -504,21 +823,94 @@ let in_request_span srv (req : Protocol.request) f =
         Obs.Trace.with_span "serve.request" ~attrs f)
   | _ -> Obs.Trace.with_span "serve.request" ~attrs f
 
-let run_compute srv conn ~arrival_ns ~req_bytes (req : Protocol.request) =
+(* Serve a cached value: re-key it with the requester's id, note the
+   provenance in telemetry under [explain], meter and flight-record.
+   [via] is "hit" (found finished at admission) or "collapsed" (parked
+   behind a leader and answered at its resolve). *)
+let send_cached srv conn (req : Protocol.request) ~via value =
+  let reply = with_id req.id value in
+  let payload =
+    if not req.explain then Json.print reply
+    else
+      Json.print
+        (Protocol.with_telemetry reply (Json.Obj [ ("cache", Json.Str via) ]))
+  in
+  let op = Protocol.op_label req.op in
+  let status = reply_status reply in
+  Obs.Flight.record srv.flight ~trace_id:(trace_id_of req)
+    ~sizes:[ ("reply_bytes", String.length payload) ]
+    ~id:req.id ~op ~outcome:status ();
+  Obs.Metrics.inc (Obs.Metrics.labels srv.m.M.replies [ op; status ]);
+  conn_send_payload conn payload
+
+(* ----- pending-item accounting -----
+
+   Every admitted item holds: one connection ref, one [in_flight]
+   slot (both taken at admission, released by [finish_item]) and one
+   [admitted] slot (released by [start_item] when a worker picks the
+   item up, or by the abort path). *)
+
+let start_item srv p =
+  Atomic.decr srv.admitted;
+  Atomic.decr p.p_conn.queued
+
+let finish_item srv p =
+  Atomic.decr srv.in_flight;
+  conn_release p.p_conn
+
+(* Answer the followers parked behind [p]'s cache key (if it leads one)
+   with [reply]'s body.  Used by the failure paths; the success path
+   goes through [Cache.resolve] in [run_item] instead. *)
+let abandon_followers srv p reply =
+  match p.p_key, srv.cache with
+  | Some key, Some cache ->
+    let value = strip_for_cache reply in
+    List.iter (fun f -> f value) (Cache.abandon cache ~key)
+  | _ -> ()
+
+(* An item discarded without running (pool abort at shutdown, or the
+   pool closed before submit): answer the client and any followers with
+   [dnf cancelled], settle the accounting. *)
+let abort_item srv ~started p =
+  let req = p.p_req in
+  let reply = Protocol.dnf_reply ~id:req.Protocol.id Bdd.Budget.Cancelled in
+  Obs.Metrics.inc
+    (Obs.Metrics.labels srv.m.M.replies
+       [ Protocol.op_label req.Protocol.op; "dnf" ]);
+  Obs.Flight.record srv.flight ~trace_id:(trace_id_of req)
+    ~id:req.Protocol.id
+    ~op:(Protocol.op_label req.Protocol.op)
+    ~outcome:"dnf" ();
+  conn_send p.p_conn reply;
+  abandon_followers srv p reply;
+  if not started then start_item srv p;
+  finish_item srv p
+
+(* The worker-side execution of one admitted item.  [?man] is the
+   shared manager when the item rides in a batch. *)
+let run_item srv ?man (p : pending) =
+  let conn = p.p_conn and req = p.p_req in
+  Fun.protect ~finally:(fun () -> finish_item srv p) @@ fun () ->
   in_request_span srv req @@ fun span ->
   let t_start = now_ns () in
   let queue_us =
-    Int64.to_int (Int64.div (Int64.sub t_start arrival_ns) 1000L)
+    Int64.to_int (Int64.div (Int64.sub t_start p.p_arrival) 1000L)
   in
   let id = req.id in
   let op = Protocol.op_label req.op in
-  let tx = { live_nodes = 0; engine = []; budget_used = [] } in
+  let tx =
+    { live_nodes = 0; engine = []; budget_used = [];
+      canonical_key = None; cache_note = None }
+  in
   let explain = req.explain in
   let reply =
     try
       match req.op with
       | Protocol.Minimize { source; heuristic } -> begin
-          match handle_minimize conn tx ~explain req.budget ~source ~heuristic with
+          match
+            handle_minimize srv ?man conn tx ~explain req.budget ~source
+              ~heuristic
+          with
           | Ok result -> Protocol.ok_reply ~id result
           | Error msg -> Protocol.error_reply ~id msg
         end
@@ -532,8 +924,13 @@ let run_compute srv conn ~arrival_ns ~req_bytes (req : Protocol.request) =
           | Ok result -> Protocol.ok_reply ~id result
           | Error msg -> Protocol.error_reply ~id msg
         end
-      | Protocol.Ping | Protocol.Metrics | Protocol.Dump | Protocol.Shutdown
-        ->
+      | Protocol.Session_open { bdd } -> begin
+          match handle_session_open srv conn ~bdd with
+          | Ok result -> Protocol.ok_reply ~id result
+          | Error msg -> Protocol.error_reply ~id msg
+        end
+      | Protocol.Session_close _ | Protocol.Ping | Protocol.Metrics
+      | Protocol.Dump | Protocol.Shutdown ->
         assert false (* handled inline by the reader *)
     with
     | Bdd.Budget_exhausted reason -> Protocol.dnf_reply ~id reason
@@ -541,6 +938,23 @@ let run_compute srv conn ~arrival_ns ~req_bytes (req : Protocol.request) =
   in
   let exec_us = us_since t_start in
   let status = reply_status reply in
+  (* feed the retry_after estimator (racy read-modify-write is fine for
+     an EMA used as a hint) *)
+  let old_ema = Atomic.get srv.exec_ema_us in
+  Atomic.set srv.exec_ema_us
+    (if old_ema = 0 then exec_us else ((7 * old_ema) + exec_us) / 8);
+  (* resolve the cache entry this item leads: store ok results, answer
+     followers with whatever the outcome was either way *)
+  (match p.p_key, srv.cache with
+   | Some key, Some cache ->
+     let value = strip_for_cache reply in
+     let store = status = "ok" in
+     if store then
+       Obs.Metrics.inc (Obs.Metrics.labels srv.m.M.cache_events [ "store" ]);
+     let aliases = Option.to_list tx.canonical_key in
+     let followers = Cache.resolve cache ~key ~aliases ~store value in
+     List.iter (fun f -> f value) followers
+   | _ -> ());
   (* [write_us] is the cost of serializing the reply body: it has to be
      measured before it is shipped inside the bytes it describes, so
      the subsequent socket write can only appear in the flight record
@@ -559,6 +973,9 @@ let run_compute srv conn ~arrival_ns ~req_bytes (req : Protocol.request) =
               ([ ("queue_us", Json.int queue_us);
                  ("exec_us", Json.int exec_us);
                  ("write_us", Json.int write_us) ]
+               @ (match tx.cache_note with
+                  | None -> []
+                  | Some note -> [ ("cache", Json.Str note) ])
                @ (match tx.budget_used with
                   | [] -> []
                   | b -> [ ("budget", Json.Obj b) ])
@@ -573,7 +990,7 @@ let run_compute srv conn ~arrival_ns ~req_bytes (req : Protocol.request) =
      duration therefore only reaches the phase histogram below). *)
   Obs.Flight.record srv.flight ~trace_id:(trace_id_of req)
     ~sizes:
-      [ ("req_bytes", req_bytes); ("reply_bytes", String.length payload) ]
+      [ ("req_bytes", p.p_bytes); ("reply_bytes", String.length payload) ]
     ~phases_us:[ ("queue", queue_us); ("exec", exec_us); ("write", write_us) ]
     ~id ~op ~outcome:status ();
   let t_send = now_ns () in
@@ -598,39 +1015,174 @@ let run_compute srv conn ~arrival_ns ~req_bytes (req : Protocol.request) =
     ignore (dump_flight srv)
   end
 
-let submit_compute srv conn ~arrival_ns ~req_bytes req =
-  conn_retain conn;
-  Atomic.incr srv.in_flight;
-  let finish () =
-    Atomic.decr srv.in_flight;
-    conn_release conn
-  in
-  let submitted =
+(* ----- batching -----
+
+   Small sessionless minimizes accumulate in a buffer; the first one in
+   an empty buffer also submits a single drainer job (at that item's
+   priority).  When a worker runs the drainer it takes the whole
+   buffer, sorts it by deadline — EDF continues inside the batch — and
+   runs the items sequentially on one shared manager, re-created every
+   [batch_chunk] items so a long batch cannot bloat one unique table.
+   Items arriving while a drainer runs find the buffer unscheduled
+   again and submit the next drainer: batch boundaries are simply
+   "whatever queued up while the previous batch ran". *)
+
+let batch_chunk = 16
+
+let take_batch srv =
+  Mutex.lock srv.batch_lock;
+  let items = srv.batch_buf in
+  srv.batch_buf <- [];
+  srv.batch_scheduled <- false;
+  Mutex.unlock srv.batch_lock;
+  List.sort (fun a b -> Int64.compare a.p_prio b.p_prio) items
+
+let run_batch srv () =
+  match take_batch srv with
+  | [] -> ()
+  | items ->
+    Obs.Metrics.inc srv.m.M.batches;
+    Obs.Metrics.add srv.m.M.batched (List.length items);
+    let man = ref (Bdd.new_man ()) in
+    List.iteri
+      (fun i p ->
+         if i > 0 && i mod batch_chunk = 0 then man := Bdd.new_man ();
+         start_item srv p;
+         run_item srv ~man:!man p)
+      items
+
+let abort_batch srv = List.iter (abort_item srv ~started:false) (take_batch srv)
+
+let enqueue_batch srv p =
+  Mutex.lock srv.batch_lock;
+  srv.batch_buf <- p :: srv.batch_buf;
+  let need_drainer = not srv.batch_scheduled in
+  if need_drainer then srv.batch_scheduled <- true;
+  Mutex.unlock srv.batch_lock;
+  if need_drainer then begin
     try
-      Exec.Pool.submit srv.pool
-        ~on_abort:(fun () ->
-          (* discarded at shutdown without running: tell the client *)
-          Obs.Metrics.inc
-            (Obs.Metrics.labels srv.m.M.replies
-               [ Protocol.op_label req.Protocol.op; "dnf" ]);
-          Obs.Flight.record srv.flight ~trace_id:(trace_id_of req)
-            ~id:req.Protocol.id
-            ~op:(Protocol.op_label req.Protocol.op)
-            ~outcome:"dnf" ();
-          conn_send conn (Protocol.dnf_reply ~id:req.Protocol.id Bdd.Budget.Cancelled);
-          finish ())
-        (fun () ->
-           (try run_compute srv conn ~arrival_ns ~req_bytes req
-            with _ -> () (* run_compute already catches; belt and braces *));
-           finish ());
-      true
-    with Invalid_argument _ -> false (* pool already shut down *)
-  in
-  if not submitted then begin
-    conn_send conn
-      (Protocol.error_reply ~id:req.Protocol.id "server is shutting down");
-    finish ()
+      Exec.Pool.submit srv.pool ~priority:p.p_prio
+        ~on_abort:(fun () -> abort_batch srv)
+        (fun () -> run_batch srv ())
+    with Invalid_argument _ ->
+      (* pool already shut down: answer everything buffered *)
+      abort_batch srv
   end
+
+(* ----- admission ----- *)
+
+let retry_after_ms srv =
+  let backlog = Atomic.get srv.admitted in
+  let ema = max 1000 (Atomic.get srv.exec_ema_us) in
+  let est_ms = backlog * ema / max 1 srv.workers / 1000 in
+  min 5000 (max 10 est_ms)
+
+(* Reserve one admission slot, or refuse.  A CAS loop rather than a
+   check-then-increment: readers run on independent domains, and the
+   queue-depth bound is a hard invariant ("the gauge never exceeds the
+   cap"), not a soft target. *)
+let try_admit srv =
+  if srv.queue_cap = 0 then begin
+    Atomic.incr srv.admitted;
+    true
+  end
+  else
+    let rec go () =
+      let cur = Atomic.get srv.admitted in
+      if cur >= srv.queue_cap then false
+      else if Atomic.compare_and_set srv.admitted cur (cur + 1) then true
+      else go ()
+    in
+    go ()
+
+(* Enqueue an admitted item (caller already holds the admission slot,
+   the conn ref and the in_flight slot).  Small sessionless minimize
+   payloads go to the batch buffer; everything else straight to the
+   pool with its EDF priority. *)
+let submit_item srv conn ~arrival_ns ~req_bytes ~key (req : Protocol.request) =
+  let p =
+    { p_req = req; p_conn = conn; p_arrival = arrival_ns;
+      p_bytes = req_bytes; p_key = key;
+      p_prio = priority_of conn ~arrival_ns req.Protocol.budget }
+  in
+  Atomic.incr conn.queued;
+  match req.Protocol.op with
+  | Protocol.Minimize { source = Protocol.Store_text text; _ }
+    when srv.batch_threshold > 0
+         && String.length text <= srv.batch_threshold ->
+    enqueue_batch srv p
+  | _ -> begin
+      try
+        Exec.Pool.submit srv.pool ~priority:p.p_prio
+          ~on_abort:(fun () -> abort_item srv ~started:false p)
+          (fun () ->
+             start_item srv p;
+             run_item srv p)
+      with Invalid_argument _ -> abort_item srv ~started:false p
+    end
+
+(* The reader-side dispatch for compute ops: result cache, then
+   backpressure, then single-flight join, then the queue. *)
+let dispatch_compute srv conn ~arrival_ns ~req_bytes (req : Protocol.request) =
+  let m = srv.m in
+  let raw_key =
+    match srv.cache with None -> None | Some _ -> cache_key_of req
+  in
+  let cached =
+    match raw_key, srv.cache with
+    | Some key, Some cache -> Cache.find cache key
+    | _ -> None
+  in
+  match cached with
+  | Some value ->
+    (* finished result: served straight from the reader, no queue *)
+    Obs.Metrics.inc (Obs.Metrics.labels m.M.cache_events [ "hit" ]);
+    send_cached srv conn req ~via:"hit" value
+  | None ->
+    if not (try_admit srv) then begin
+      (* backpressure: refuse without enqueueing *)
+      let retry = retry_after_ms srv in
+      Obs.Metrics.inc
+        (Obs.Metrics.labels m.M.replies [ Protocol.op_label req.op; "busy" ]);
+      Obs.Flight.record srv.flight ~trace_id:(trace_id_of req) ~id:req.id
+        ~op:(Protocol.op_label req.op) ~outcome:"busy" ();
+      conn_send conn (Protocol.busy_reply ~id:req.id ~retry_after_ms:retry)
+    end
+    else begin
+      (* the item below holds one conn ref + one in_flight slot,
+         whether it becomes a follower or a leader *)
+      conn_retain conn;
+      Atomic.incr srv.in_flight;
+      let joined =
+        match raw_key, srv.cache with
+        | Some key, Some cache ->
+          let follower value =
+            send_cached srv conn req ~via:"collapsed" value;
+            Atomic.decr srv.in_flight;
+            conn_release conn
+          in
+          Some (key, Cache.find_or_join cache key ~follower)
+        | _ -> None
+      in
+      match joined with
+      | Some (_, Cache.Hit value) ->
+        (* resolved between the probe above and the join: a hit.
+           Give the admission slot back — nothing was enqueued. *)
+        Obs.Metrics.inc (Obs.Metrics.labels m.M.cache_events [ "hit" ]);
+        send_cached srv conn req ~via:"hit" value;
+        Atomic.decr srv.admitted;
+        Atomic.decr srv.in_flight;
+        conn_release conn
+      | Some (_, Cache.Joined) ->
+        (* parked behind the leader; the follower closure owns the
+           ref + in_flight slot, and no queue slot is consumed *)
+        Obs.Metrics.inc (Obs.Metrics.labels m.M.cache_events [ "collapsed" ]);
+        Atomic.decr srv.admitted
+      | Some (key, Cache.Lead) ->
+        Obs.Metrics.inc (Obs.Metrics.labels m.M.cache_events [ "miss" ]);
+        submit_item srv conn ~arrival_ns ~req_bytes ~key:(Some key) req
+      | None -> submit_item srv conn ~arrival_ns ~req_bytes ~key:None req
+    end
 
 (* Inline ops complete on the reader domain; they are still metered and
    flight-recorded (with an empty phase list — there is no queue wait or
@@ -701,8 +1253,19 @@ let reader_loop srv conn =
                  (Json.Obj [ ("stopping", Json.Bool true) ]));
             record_inline srv req ~outcome:"ok";
             Atomic.set srv.stop_flag true
-          | Protocol.Minimize _ | Protocol.Reach _ | Protocol.Equiv _ ->
-            submit_compute srv conn ~arrival_ns
+          | Protocol.Session_close { sid } ->
+            (* a registry removal: cheap enough for the reader *)
+            let closed = Session.close srv.sessions ~owner:conn.id sid in
+            if closed then
+              Obs.Metrics.inc
+                (Obs.Metrics.labels srv.m.M.session_events [ "closed" ]);
+            conn_send conn
+              (Protocol.ok_reply ~id:req.id
+                 (Json.Obj [ ("closed", Json.Bool closed) ]));
+            record_inline srv req ~outcome:"ok"
+          | Protocol.Minimize _ | Protocol.Reach _ | Protocol.Equiv _
+          | Protocol.Session_open _ ->
+            dispatch_compute srv conn ~arrival_ns
               ~req_bytes:(String.length payload) req));
       if not (Atomic.get srv.stop_flag) then loop ()
       else () (* stop reading; teardown will half-close the socket *)
@@ -716,10 +1279,15 @@ let reader_loop srv conn =
      Obs.Metrics.inc
        (Obs.Metrics.labels srv.m.M.conn_errors [ "reader_exception" ]));
   (* reader is done: cancel whatever this connection still has in
-     flight, then drop the reader's reference *)
+     flight, drop its sessions, then drop the reader's reference *)
   Log.debug (fun k -> k "connection %s closed" conn.peer);
   Atomic.decr srv.conn_count;
   Exec.Cancel.cancel conn.cancel;
+  let dropped = Session.drop_conn srv.sessions ~owner:conn.id in
+  if dropped > 0 then
+    Obs.Metrics.add
+      (Obs.Metrics.labels srv.m.M.session_events [ "closed" ])
+      dropped;
   conn_release conn
 
 (* ----- lifecycle ----- *)
@@ -759,8 +1327,9 @@ let accept_loop srv =
       (match Unix.accept srv.listen_fd with
        | fd, _ ->
          let conn =
-           { fd; wlock = Mutex.create (); cancel = Exec.Cancel.create ();
-             peer = peer_string fd; refs = 1 }
+           { id = Atomic.fetch_and_add srv.conn_seq 1;
+             fd; wlock = Mutex.create (); cancel = Exec.Cancel.create ();
+             peer = peer_string fd; queued = Atomic.make 0; refs = 1 }
          in
          Log.debug (fun k -> k "connection %s accepted" conn.peer);
          Atomic.incr srv.conn_count;
@@ -776,8 +1345,11 @@ let accept_loop srv =
   (match srv.unix_path with
    | Some path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
    | None -> ());
-  (* abort the queue (their on_abort replies dnf), drain running jobs *)
+  (* abort the queue (their on_abort replies dnf — including batch
+     drainers, which answer their whole buffer), drain running jobs *)
   Exec.Pool.shutdown ~mode:`Abort srv.pool;
+  (* belt and braces: a batch buffered after its drainer was aborted *)
+  abort_batch srv;
   (* unblock readers stuck in read(2), then join them *)
   List.iter
     (fun conn ->
@@ -848,8 +1420,11 @@ let metrics_loop srv fd unix_path =
   | None -> ()
 
 let start ?(workers = Exec.recommended_jobs ()) ?trace ?metrics
-    ?(flight_capacity = 256) ?flight_dump listen =
+    ?(flight_capacity = 256) ?flight_dump ?(queue_cap = 512)
+    ?(max_sessions = 64) ?(batch_threshold = 4096) ?(cache_capacity = 1024)
+    listen =
   if workers < 1 then invalid_arg "Serve.Server.start: workers must be >= 1";
+  if queue_cap < 0 then invalid_arg "Serve.Server.start: queue_cap must be >= 0";
   (* a client vanishing mid-reply must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd, address, port, unix_path = bind_listen listen in
@@ -860,6 +1435,25 @@ let start ?(workers = Exec.recommended_jobs ()) ?trace ?metrics
       let fd, addr, port, upath = bind_listen l in
       (Some fd, Some addr, port, upath)
   in
+  let m = M.register () in
+  let cache =
+    if cache_capacity <= 0 then None
+    else
+      Some
+        (Cache.create ~capacity:cache_capacity
+           ~on_evict:(fun () ->
+             Obs.Metrics.inc
+               (Obs.Metrics.labels m.M.cache_events [ "evicted" ]))
+           ())
+  in
+  let sessions =
+    Session.create ~max_sessions:(max 1 max_sessions)
+      ~on_evict:(fun sid ->
+        Log.debug (fun k -> k "session %s evicted (LRU)" sid);
+        Obs.Metrics.inc
+          (Obs.Metrics.labels m.M.session_events [ "evicted" ]))
+      ()
+  in
   let srv =
     {
       listen_fd;
@@ -868,17 +1462,27 @@ let start ?(workers = Exec.recommended_jobs ()) ?trace ?metrics
       unix_path;
       pool = Exec.Pool.create ~jobs:workers;
       workers;
+      sessions;
+      cache;
+      queue_cap;
+      batch_threshold;
       stop_flag = Atomic.make false;
       in_flight = Atomic.make 0;
+      admitted = Atomic.make 0;
+      exec_ema_us = Atomic.make 0;
       conn_count = Atomic.make 0;
+      conn_seq = Atomic.make 1;
       started_ns = now_ns ();
-      m = M.register ();
+      m;
       flight = Obs.Flight.create ~capacity:(max 1 flight_capacity) ();
       flight_dump;
       trace_sink = trace;
       metrics_address;
       metrics_port;
       metrics_unix_path;
+      batch_lock = Mutex.create ();
+      batch_buf = [];
+      batch_scheduled = false;
       lock = Mutex.create ();
       finished = Condition.create ();
       accept_domain = None;
@@ -887,7 +1491,8 @@ let start ?(workers = Exec.recommended_jobs ()) ?trace ?metrics
     }
   in
   Log.info (fun k ->
-      k "serving on %s (%d workers%s)" address workers
+      k "serving on %s (%d workers, queue cap %d, batch <= %dB, cache %d%s)"
+        address workers queue_cap batch_threshold cache_capacity
         (match metrics_address with
          | Some a -> Printf.sprintf ", metrics on %s" a
          | None -> ""));

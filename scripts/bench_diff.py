@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare two BENCH_engine.json documents (committed baseline vs fresh).
 
-Schema-aware: accepts bddmin-bench-engine/1 through /5 on either side
+Schema-aware: accepts bddmin-bench-engine/1 through /6 on either side
 and compares only what both documents carry.  Reports percentage
 deltas on phase wall times, the engine's work counters, and
 per-minimizer size and time totals.  From schema /3 on, documents carry
@@ -11,11 +11,15 @@ phase has its own (tight) threshold because the governance checks are
 supposed to cost nearly nothing when no budget is set.  From schema /4
 on, documents may carry a "serve" section (daemon load-generation
 throughput and tail latency); its deltas are reported with generous
-thresholds since wall-clock latency on shared CI machines is noisy.
-Schema /5 splits serve replies into per-status counts and adds a
-"telemetry" object of server-side phase means; error replies always
-gate, and a rising error *rate* or dnf rate between comparable runs
-gates too.
+thresholds since wall-clock latency on shared CI machines is noisy —
+p50, p95 and p99 all gate against the serve threshold.  Schema /5
+splits serve replies into per-status counts and adds a "telemetry"
+object of server-side phase means; error replies always gate, and a
+rising error *rate* or dnf rate between comparable runs gates too.
+Schema /6 adds busy_replies (backpressure refusals — reported, never
+gated as errors) and a "server" object of scraped daemon counters;
+between comparable /6 runs the result-cache hit rate gates against a
+relative drop past the serve threshold.
 
 Exit status is 0 unless --strict is given AND a gated regression was
 found AND the two runs were actually comparable (same jobs / quick /
@@ -38,6 +42,7 @@ SCHEMAS = (
     "bddmin-bench-engine/3",
     "bddmin-bench-engine/4",
     "bddmin-bench-engine/5",
+    "bddmin-bench-engine/6",
 )
 
 # Counters that measure algorithmic work (deterministic for a given
@@ -185,15 +190,18 @@ def main():
             if higher_is_better and -d > args.serve_threshold:
                 regressions.append(f"serve {key}: {d:+.1f}%"
                                    f" (threshold -{args.serve_threshold:.0f}%)")
-            elif key == "p95_ms" and d > args.serve_threshold:
+            elif key in ("p50_ms", "p95_ms", "p99_ms") \
+                    and d > args.serve_threshold:
                 regressions.append(f"serve {key}: {d:+.1f}%"
                                    f" (threshold {args.serve_threshold:.0f}%)")
         # Schema /5: per-status reply counts.  Error and dnf *rates* gate
         # on any increase between comparable runs (they are determinism,
         # not wall-clock); pre-/5 baselines lack the counts, so only the
         # fresh side's absolute errors gate then.
+        # busy_replies (schema /6) are backpressure refusals, reported
+        # but never gated as errors.
         for key in ("ok_replies", "dnf_replies", "partial_replies",
-                    "error_replies"):
+                    "busy_replies", "error_replies"):
             old, new = base_srv.get(key), fresh_srv.get(key)
             if old is None and new is None:
                 continue
@@ -227,6 +235,44 @@ def main():
                 print(f"    {key:<20}"
                       f"{'—' if old is None else format(old, '>12.1f'):>14}"
                       f"{new:>14.1f}  {fmt_pct(d)}")
+        # Schema /6: scraped daemon counters.  Cache traffic is
+        # deterministic for a given load shape, so the hit rate gates
+        # (relative drop past the serve threshold) between comparable
+        # runs; the session/batch/busy counters are informational.
+        def cache_hit_rate(srv):
+            ctr = (srv or {}).get("server")
+            if not ctr:
+                return None
+            hits = ctr["cache_hits"] + ctr["cache_canonical_hits"]
+            lookups = hits + ctr["cache_misses"]
+            return hits / lookups if lookups else None
+
+        fresh_ctr = fresh_srv.get("server")
+        if fresh_ctr:
+            base_ctr = base_srv.get("server") or {}
+            print("  server counters:")
+            for key in ("cache_hits", "cache_canonical_hits", "cache_misses",
+                        "cache_collapsed", "cache_evicted", "sessions_opened",
+                        "sessions_evicted", "batches", "batched_requests",
+                        "busy_replies"):
+                old, new = base_ctr.get(key), fresh_ctr[key]
+                print(f"    {key:<22}"
+                      f"{'—' if old is None else old:>12}{new:>12}")
+            old_rate = cache_hit_rate(base_srv)
+            new_rate = cache_hit_rate(fresh_srv)
+            if new_rate is not None:
+                print(f"    cache hit rate: "
+                      + ("—" if old_rate is None else f"{100 * old_rate:.1f}%")
+                      + f" -> {100 * new_rate:.1f}%")
+            if comparable and same_load \
+                    and old_rate is not None and new_rate is not None \
+                    and old_rate > 0 \
+                    and 100.0 * (old_rate - new_rate) / old_rate \
+                        > args.serve_threshold:
+                regressions.append(
+                    f"serve cache hit rate: {100 * old_rate:.1f}% ->"
+                    f" {100 * new_rate:.1f}%"
+                    f" (threshold -{args.serve_threshold:.0f}%)")
 
     base_min = {m["name"]: m for m in base["minimizers"]}
     print(f"\n{'minimizer':<12}{'size':>10}{'sizeΔ':>8}{'seconds':>12}   delta")

@@ -126,6 +126,73 @@ let on_abort_runs_once () =
   Exec.Pool.shutdown ~mode:`Abort pool;
   Util.checki "on_abort ran exactly once" 1 (Atomic.get aborts)
 
+let priority_ordering () =
+  (* While the single worker is pinned, queued jobs accumulate in the
+     heap; on release they must run lowest priority value first, FIFO
+     among equals — the property the serve layer's EDF scheduling
+     stands on. *)
+  let pool = Exec.Pool.create ~jobs:1 in
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  let blocker =
+    Exec.Future.spawn pool (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let order = ref [] in
+  let lock = Mutex.create () in
+  let tag name =
+    Mutex.lock lock;
+    order := name :: !order;
+    Mutex.unlock lock
+  in
+  List.iter
+    (fun (name, prio) ->
+       Exec.Pool.submit pool ~priority:prio (fun () -> tag name))
+    [ ("late", 30L); ("early", 10L); ("tie-a", 20L); ("mid", 20L);
+      ("default", Int64.max_int) ];
+  Atomic.set release true;
+  Exec.Future.await blocker;
+  Exec.Pool.shutdown pool;
+  Util.checkb "EDF order with FIFO ties"
+    (List.rev !order = [ "early"; "tie-a"; "mid"; "late"; "default" ])
+
+let idle_workers_gauge () =
+  let pool = Exec.Pool.create ~jobs:2 in
+  let spin_until what pred =
+    let tries = ref 0 in
+    while not (pred ()) && !tries < 10_000_000 do
+      incr tries;
+      Domain.cpu_relax ()
+    done;
+    Util.checkb what (pred ())
+  in
+  spin_until "both workers idle at rest"
+    (fun () -> Exec.Pool.idle_workers pool = 2);
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  let blocker =
+    Exec.Future.spawn pool (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  spin_until "one worker busy" (fun () -> Exec.Pool.idle_workers pool = 1);
+  Atomic.set release true;
+  Exec.Future.await blocker;
+  spin_until "both idle again" (fun () -> Exec.Pool.idle_workers pool = 2);
+  Exec.Pool.shutdown pool;
+  Util.checki "no idle workers after shutdown" 0 (Exec.Pool.idle_workers pool)
+
 let map_matches_sequential =
   Util.qtest ~count:30 "Exec.map ~jobs is List.map"
     QCheck2.Gen.(list_size (int_bound 40) (int_bound 1000))

@@ -59,6 +59,14 @@ let protocol_parse () =
    | Ok { P.op = P.Minimize { heuristic = "sched"; _ };
           budget = { max_steps = Some 10; deadline_ns = Some _; _ }; _ } -> ()
    | _ -> Alcotest.fail "minimize request with budget");
+  (match P.parse_request {|{"id": 5, "op": "session_open", "bdd": "x"}|} with
+   | Ok { P.id = 5; op = P.Session_open _; _ } -> ()
+   | _ -> Alcotest.fail "session_open request");
+  (match
+     P.parse_request {|{"id": 6, "op": "minimize", "session": "s1"}|}
+   with
+   | Ok { P.op = P.Minimize { source = P.Session_ref "s1"; _ }; _ } -> ()
+   | _ -> Alcotest.fail "minimize against a session");
   List.iter
     (fun payload ->
        Util.checkb payload (Result.is_error (P.parse_request payload)))
@@ -70,18 +78,62 @@ let protocol_parse () =
       {|{"op": "reach", "bench": "tlc", "blif": "x"}|};
       {|{"op": "minimize", "bdd": "x", "budget": {"max_steps": 0}}|};
       {|{"op": "minimize", "bdd": "x", "budget": 3}|};
+      {|{"op": "minimize", "bdd": "x", "session": "s1"}|};
+      {|{"op": "session_open"}|};
+      {|{"op": "session_close"}|};
       "not json at all";
-    ]
+    ];
+  (* the busy reply round-trips with its retry hint *)
+  match P.parse_reply (J.print (P.busy_reply ~id:9 ~retry_after_ms:250)) with
+  | Ok { P.status = "busy"; retry_after_ms = Some 250; _ } -> ()
+  | _ -> Alcotest.fail "busy reply round trip"
 
 (* ----- in-process server ----- *)
 
-let with_server ?(workers = 2) f =
+let with_server ?(workers = 2) ?queue_cap ?max_sessions ?batch_threshold
+    ?cache_capacity f =
   let path = Filename.temp_file "bddmin-test" ".sock" in
   Sys.remove path;
-  let srv = Serve.Server.start ~workers (Serve.Server.Unix_path path) in
+  let srv =
+    Serve.Server.start ~workers ?queue_cap ?max_sessions ?batch_threshold
+      ?cache_capacity (Serve.Server.Unix_path path)
+  in
   Fun.protect
     ~finally:(fun () -> Serve.Server.stop srv)
     (fun () -> f srv (C.Unix_path path))
+
+(* Raw pipelined access: several frames written before any reply is
+   read — the synchronous [Client] deliberately never does this, and
+   the scheduling tests below need requests to pile up server-side. *)
+let raw_connect = function
+  | C.Unix_path path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | C.Tcp _ -> Alcotest.fail "raw_connect expects a unix socket"
+
+let with_raw addr f =
+  let fd = raw_connect addr in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let raw_minimize fd ~id ?timeout_ms text =
+  let budget = P.render_budget ?timeout_ms () in
+  P.write_frame fd
+    (P.render_request ~id ?budget
+       [ ("op", J.Str "minimize"); ("bdd", J.Str text);
+         ("heuristic", J.Str "sched") ])
+
+let raw_recv fd =
+  match P.read_frame fd with
+  | Ok (`Frame reply) -> begin
+      match P.parse_reply reply with
+      | Ok r -> r
+      | Error msg -> Alcotest.failf "unparseable reply: %s" msg
+    end
+  | Ok `Eof -> Alcotest.fail "server closed the connection mid-test"
+  | Error msg -> Alcotest.failf "transport error: %s" msg
 
 let payload = Serve.Loadgen.build_payload ~nvars:10 ~seed:42
 
@@ -420,6 +472,209 @@ let serve_shutdown_op () =
   Serve.Server.wait srv;
   Util.checkb "socket removed" (not (Sys.file_exists path))
 
+(* ----- throughput machinery: backpressure, cache, sessions, batching,
+   EDF ----- *)
+
+let metrics_of addr =
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  expect_ok "metrics" (C.metrics c)
+
+let sub_field m obj field =
+  match J.mem obj m with
+  | Some o -> Option.value ~default:0 (J.int_field field o)
+  | None -> Alcotest.failf "metrics lack the %s section" obj
+
+let serve_backpressure_busy () =
+  (* One worker, a single admission slot, cache and batching off: with
+     the worker pinned by a heavy request, pipelined small requests
+     overflow the queue and are refused with busy + retry_after_ms —
+     yet every request still gets exactly one reply, and the admission
+     gauge never exceeded its bound. *)
+  with_server ~workers:1 ~queue_cap:1 ~cache_capacity:0 ~batch_threshold:0
+  @@ fun _srv addr ->
+  with_raw addr @@ fun fd ->
+  raw_minimize fd ~id:1 heavy_payload;
+  let flood = 6 in
+  for id = 2 to flood + 1 do
+    raw_minimize fd ~id payload
+  done;
+  let replies = List.init (flood + 1) (fun _ -> raw_recv fd) in
+  let busy = List.filter (fun r -> r.P.status = "busy") replies in
+  Util.checkb "overload refused with busy replies" (List.length busy >= 1);
+  List.iter
+    (fun r ->
+       Util.checkb "busy reply carries a positive retry_after_ms"
+         (match r.P.retry_after_ms with Some ms -> ms > 0 | None -> false))
+    busy;
+  Util.checkb "every request answered exactly once"
+    (List.sort compare (List.map (fun r -> r.P.reply_id) replies)
+     = List.init (flood + 1) (fun i -> i + 1));
+  let m = metrics_of addr in
+  Util.checkb "admission gauge within the bound"
+    (match J.int_field "admission_queue" m with
+     | Some d -> d >= 0 && d <= 1
+     | None -> false);
+  Util.checkb "queue_cap reported"
+    (J.int_field "queue_cap" m = Some 1);
+  Util.checkb "busy replies counted"
+    (Option.value ~default:0 (J.int_field "busy_replies" m)
+     >= List.length busy)
+
+let serve_cache_single_flight () =
+  (* Two identical requests queued behind a pinned worker collapse onto
+     one execution (the follower is answered from the leader's result);
+     a third identical request after completion is a straight cache
+     hit. *)
+  with_server ~workers:1 ~batch_threshold:0 @@ fun _srv addr ->
+  with_raw addr @@ fun fd ->
+  raw_minimize fd ~id:1 heavy_payload;
+  raw_minimize fd ~id:2 payload;
+  raw_minimize fd ~id:3 payload;
+  let replies = List.init 3 (fun _ -> raw_recv fd) in
+  List.iter
+    (fun r ->
+       Util.checkb "all three requests ok" (r.P.status = "ok"))
+    replies;
+  let result_of id =
+    match List.find_opt (fun r -> r.P.reply_id = id) replies with
+    | Some r -> r.P.result
+    | None -> Alcotest.failf "no reply for id %d" id
+  in
+  Util.checkb "collapsed follower got the leader's result"
+    (result_of 2 = result_of 3);
+  raw_minimize fd ~id:4 payload;
+  let r4 = raw_recv fd in
+  Util.checkb "cached rerun ok" (r4.P.status = "ok");
+  Util.checkb "cached rerun returns the same result"
+    (r4.P.result = result_of 2);
+  let m = metrics_of addr in
+  Util.checkb "collapse counted" (sub_field m "cache" "collapsed" >= 1);
+  Util.checkb "hit counted" (sub_field m "cache" "hits" >= 1);
+  Util.checkb "cache holds entries" (sub_field m "cache" "entries" >= 1)
+
+let serve_sessions () =
+  (* Warm-manager sessions: open / minimize-against / close; an
+     over-cap open evicts the least recently used; foreign connections
+     cannot use another client's session. *)
+  let p k = Serve.Loadgen.build_payload ~nvars:8 ~seed:(200 + k) in
+  with_server ~workers:2 ~max_sessions:2 @@ fun _srv addr ->
+  let c = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let open_session text =
+    match C.session_open c text with
+    | Ok (`Session sid) -> sid
+    | Error msg -> Alcotest.failf "session_open: %s" msg
+  in
+  let sid1 = open_session (p 1) in
+  let r = expect_ok "session minimize" (C.minimize c (P.Session_ref sid1)) in
+  Util.checkb "session minimize returns a cover"
+    (Option.get (J.int_field "size" r) > 0);
+  let sid2 = open_session (p 2) in
+  (* cap is 2: this open evicts sid1, the least recently used *)
+  let sid3 = open_session (p 3) in
+  (match C.minimize c (P.Session_ref sid1) with
+   | Ok { P.status = "error"; message = Some m; _ } ->
+     Util.checkb "eviction explained" (Util.contains m sid1)
+   | _ -> Alcotest.fail "evicted session must be an error reply");
+  ignore (expect_ok "survivor sid2" (C.minimize c (P.Session_ref sid2)));
+  ignore (expect_ok "survivor sid3" (C.minimize c (P.Session_ref sid3)));
+  (* a different connection must not see this client's sessions *)
+  let c2 = C.connect addr in
+  Fun.protect ~finally:(fun () -> C.close c2) @@ fun () ->
+  (match C.minimize c2 (P.Session_ref sid3) with
+   | Ok { P.status = "error"; _ } -> ()
+   | _ -> Alcotest.fail "foreign session use must be an error reply");
+  (match C.session_close c sid2 with
+   | Ok { P.status = "ok"; result; _ } ->
+     Util.checkb "close acknowledged" (J.mem "closed" result = Some (J.Bool true))
+   | _ -> Alcotest.fail "session_close must be ok");
+  (match C.minimize c (P.Session_ref sid2) with
+   | Ok { P.status = "error"; _ } -> ()
+   | _ -> Alcotest.fail "closed session must be an error reply");
+  let m = metrics_of addr in
+  Util.checki "three opens counted" 3 (sub_field m "sessions" "opened");
+  Util.checki "one eviction counted" 1 (sub_field m "sessions" "evicted");
+  Util.checkb "close counted" (sub_field m "sessions" "closed" >= 1);
+  Util.checki "one session live" 1 (sub_field m "sessions" "live")
+
+let serve_batch_isolation () =
+  (* Small sessionless payloads queued behind a pinned worker coalesce
+     onto one batch manager; a bad item inside the batch fails alone
+     while its neighbours complete. *)
+  let small k = Serve.Loadgen.build_payload ~nvars:6 ~seed:(300 + k) in
+  let bad = "bdd 1\nroot g 0\n" in
+  (* the batch route keys on payload size, so pin the sizes down *)
+  Util.checkb "heavy payload rides above the batch threshold"
+    (String.length heavy_payload > 4096);
+  Util.checkb "small payloads ride below the batch threshold"
+    (String.length (small 1) <= 4096 && String.length bad <= 4096);
+  with_server ~workers:1 ~cache_capacity:0 @@ fun _srv addr ->
+  with_raw addr @@ fun fd ->
+  raw_minimize fd ~id:1 heavy_payload;
+  raw_minimize fd ~id:2 (small 1);
+  raw_minimize fd ~id:3 bad;
+  raw_minimize fd ~id:4 (small 2);
+  let replies = List.init 4 (fun _ -> raw_recv fd) in
+  let status_of id =
+    match List.find_opt (fun r -> r.P.reply_id = id) replies with
+    | Some r -> r.P.status
+    | None -> Alcotest.failf "no reply for id %d" id
+  in
+  Util.check Alcotest.string "good item before the bad one" "ok" (status_of 2);
+  Util.check Alcotest.string "bad item fails alone" "error" (status_of 3);
+  Util.check Alcotest.string "good item after the bad one" "ok" (status_of 4);
+  let m = metrics_of addr in
+  Util.checkb "batches counted" (sub_field m "batch" "batches" >= 1);
+  Util.checkb "batched requests counted" (sub_field m "batch" "requests" >= 3)
+
+let serve_edf_ordering () =
+  (* With the single worker pinned, three queued requests with mixed
+     deadlines must run earliest-deadline-first, not in arrival order.
+     The deadlines are minutes out so nothing expires; only the order
+     is under test. *)
+  let p k = Serve.Loadgen.build_payload ~nvars:10 ~seed:(400 + k) in
+  with_server ~workers:1 ~cache_capacity:0 ~batch_threshold:0
+  @@ fun _srv addr ->
+  with_raw addr @@ fun fd ->
+  raw_minimize fd ~id:1 heavy_payload;
+  raw_minimize fd ~id:2 ~timeout_ms:600_000 (p 1);
+  raw_minimize fd ~id:3 ~timeout_ms:120_000 (p 2);
+  raw_minimize fd ~id:4 ~timeout_ms:300_000 (p 3);
+  let order = List.init 4 (fun _ -> (raw_recv fd).P.reply_id) in
+  Util.checkb "completion order follows deadlines, not arrival"
+    (order = [ 1; 3; 4; 2 ])
+
+let loadgen_duplicates () =
+  let stats =
+    Serve.Loadgen.run ~clients:2 ~requests:16 ~workers:2 ~nvars:8
+      ~duplicate_rate:1.0 ()
+  in
+  Util.checki "no errors" 0 stats.Serve.Loadgen.errors;
+  Util.checki "all requests accounted"
+    stats.Serve.Loadgen.requests
+    (stats.Serve.Loadgen.ok + stats.Serve.Loadgen.dnf
+     + stats.Serve.Loadgen.partial + stats.Serve.Loadgen.busy
+     + stats.Serve.Loadgen.errors);
+  match stats.Serve.Loadgen.server with
+  | None -> Alcotest.fail "server counters not scraped"
+  | Some s ->
+    Util.checkb "duplicate traffic hit the result cache"
+      (s.Serve.Loadgen.cache_hits + s.Serve.Loadgen.cache_collapsed
+       + s.Serve.Loadgen.cache_canonical_hits > 0)
+
+let loadgen_sessions () =
+  let stats =
+    Serve.Loadgen.run ~clients:2 ~requests:10 ~workers:2 ~nvars:8
+      ~sessions:true ()
+  in
+  Util.checki "no errors" 0 stats.Serve.Loadgen.errors;
+  match stats.Serve.Loadgen.server with
+  | None -> Alcotest.fail "server counters not scraped"
+  | Some s ->
+    Util.checkb "each client opened a session"
+      (s.Serve.Loadgen.sessions_opened >= 2)
+
 let loadgen_smoke () =
   let stats =
     Serve.Loadgen.run ~clients:2 ~requests:12 ~workers:2 ~nvars:8
@@ -428,7 +683,8 @@ let loadgen_smoke () =
   Util.checki "all requests accounted"
     stats.Serve.Loadgen.requests
     (stats.Serve.Loadgen.ok + stats.Serve.Loadgen.dnf
-     + stats.Serve.Loadgen.partial + stats.Serve.Loadgen.errors);
+     + stats.Serve.Loadgen.partial + stats.Serve.Loadgen.busy
+     + stats.Serve.Loadgen.errors);
   Util.checki "no errors" 0 stats.Serve.Loadgen.errors;
   Util.checkb "throughput measured" (stats.Serve.Loadgen.rps > 0.0);
   Util.checkb "percentiles ordered"
@@ -437,8 +693,11 @@ let loadgen_smoke () =
   match stats.Serve.Loadgen.telemetry with
   | None -> Alcotest.fail "explain run must aggregate server telemetry"
   | Some t ->
-    Util.checkb "every ok reply explained"
-      (t.Serve.Loadgen.explained >= stats.Serve.Loadgen.ok);
+    (* cache hits skip the phase telemetry (nothing was queued or
+       executed), so explained counts the computed subset of ok *)
+    Util.checkb "computed replies explained"
+      (t.Serve.Loadgen.explained >= 1
+       && t.Serve.Loadgen.explained <= stats.Serve.Loadgen.ok);
     Util.checkb "phase means non-negative"
       (t.Serve.Loadgen.queue_us_mean >= 0.0
        && t.Serve.Loadgen.exec_us_mean >= 0.0
@@ -466,5 +725,15 @@ let suite =
       serve_http_exposition;
     Alcotest.test_case "concurrent clients" `Quick serve_concurrent_clients;
     Alcotest.test_case "shutdown op" `Quick serve_shutdown_op;
+    Alcotest.test_case "backpressure busy replies" `Quick
+      serve_backpressure_busy;
+    Alcotest.test_case "cache and single-flight collapse" `Quick
+      serve_cache_single_flight;
+    Alcotest.test_case "session lifecycle and eviction" `Quick serve_sessions;
+    Alcotest.test_case "batch failure isolation" `Quick serve_batch_isolation;
+    Alcotest.test_case "EDF ordering under mixed deadlines" `Quick
+      serve_edf_ordering;
     Alcotest.test_case "loadgen smoke" `Quick loadgen_smoke;
+    Alcotest.test_case "loadgen duplicate traffic" `Quick loadgen_duplicates;
+    Alcotest.test_case "loadgen sessions" `Quick loadgen_sessions;
   ]
