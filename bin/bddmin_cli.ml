@@ -353,7 +353,7 @@ let equiv_cmd =
 (* ----- reach ----- *)
 
 let reach_cmd =
-  let run spec image cluster_bound minimizer budget trace =
+  let run spec image cluster_bound jobs minimizer budget trace =
     match load_netlist spec with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -361,14 +361,27 @@ let reach_cmd =
     | Ok nl ->
       let strategy = resolve_image_strategy image in
       let minimize = resolve_minimizer minimizer in
-      let man = Bdd.new_man () in
+      (* -j N > 1 swaps the private manager for a view of a shared node
+         store plus a worker pool: the fixpoint's image merges fan out
+         across the pool, each worker on its own view, and the result is
+         bit-identical to -j 1 (BDDs are canonical store-wide) *)
+      let with_engine k =
+        if jobs <= 1 then k (Bdd.new_man ()) None
+        else begin
+          let store = Bdd.Shared.create () in
+          let man = Bdd.Shared.attach store in
+          Exec.Pool.with_pool ~jobs @@ fun pool ->
+          k man (Some (Fsm.Image.par ~pool ~store))
+        end
+      in
+      with_engine @@ fun man par ->
       let sym = Fsm.Symbolic.of_netlist man nl in
       (* budget the traversal, not the netlist-to-BDD build: the
          fixpoint traps exhaustion and reports a partial result *)
       Bdd.set_budget man (make_budget budget);
       let reached, st =
         with_trace trace @@ fun () ->
-        Fsm.Reach.reachable ~strategy ?cluster_bound ?minimize sym
+        Fsm.Reach.reachable ~strategy ?cluster_bound ?par ?minimize sym
       in
       Printf.printf "%s\n" (Fsm.Netlist.stats nl);
       Printf.printf
@@ -391,9 +404,9 @@ let reach_cmd =
   Cmd.v
     (Cmd.info "reach" ~doc:"Symbolic reachability statistics")
     Term.(
-      const (fun () a b c d e f -> run a b c d e f)
+      const (fun () a b c d e f g -> run a b c d e f g)
       $ logs_term $ spec $ image_term "partitioned" $ cluster_bound_term
-      $ minimizer_term $ budget_spec_term $ trace_term)
+      $ jobs_term $ minimizer_term $ budget_spec_term $ trace_term)
 
 (* ----- stats ----- *)
 
@@ -640,18 +653,31 @@ let bench_cmd =
         benches
     in
     let calls = suite.Harness.Capture.suite_calls in
+    (* the parallel-engine exhibit: seq-vs-par reachability on a shared
+       store, at least two worker domains so the concurrent tier is
+       actually exercised *)
+    Printf.eprintf "parallel phase: %d worker domains\n%!" (max 2 jobs);
+    let parallel, par_dt =
+      Obs.Clock.timed @@ fun () ->
+      Harness.Parbench.run ~jobs:(max 2 jobs)
+        ~progress:(fun m -> Printf.eprintf "  %s\n%!" m)
+        ()
+    in
     let serve, phases =
-      if serve_requests <= 0 then (None, [ ("capture", dt) ])
+      if serve_requests <= 0 then
+        (None, [ ("capture", dt); ("parallel", par_dt) ])
       else begin
         Printf.eprintf "serve phase: %d requests over %d clients\n%!"
           serve_requests serve_clients;
         let stats, serve_dt =
           serve_phase ~clients:serve_clients ~requests:serve_requests
         in
-        (Some stats, [ ("capture", dt); ("serve", serve_dt) ])
+        ( Some stats,
+          [ ("capture", dt); ("parallel", par_dt); ("serve", serve_dt) ] )
       end
     in
-    Harness.Bench_json.write ?serve ~path:out ~jobs ~quick ~max_calls
+    Harness.Bench_json.write ?serve ~parallel ~path:out ~jobs ~quick
+      ~max_calls
       ~image:(Fsm.Image.strategy_name image_strategy)
       ~limits:config.Harness.Capture.limits
       ~benches:(List.length benches) ~capture_seconds:dt ~phases

@@ -38,7 +38,12 @@ val sift :
     memoized, and the no-op insertion (putting a variable back where it
     is) is skipped, so each distinct order costs at most one rebuild.
     Returns the best placement found (never worse than the identity) and
-    its shared size. *)
+    its shared size.
+
+    @raise Invalid_argument when [man] is a view of a
+    {!Core_dd.Shared.store} with more than one registered view: the
+    repeated measurement walks would race other domains' collections.
+    Detach down to a single view before reordering. *)
 
 val sift_apply :
   ?max_rounds:int ->

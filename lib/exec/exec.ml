@@ -28,26 +28,38 @@ let recommended_jobs () = Domain.recommended_domain_count ()
    re-raises in the caller after the pool drains; later elements still
    run (their results are discarded), and the pool shuts down cleanly
    either way. *)
+let map_futures pool f xs =
+  (* tracing state is read in the caller's domain: workers start on the
+     null sink, so they could not tell whether the caller traces *)
+  let tracing = Obs.Trace.enabled () in
+  let run x () =
+    if tracing then begin
+      let buf = Obs.Trace.memory () in
+      let r = Obs.Trace.with_sink buf (fun () -> f x) in
+      (Obs.Trace.events buf, r)
+    end
+    else ([], f x)
+  in
+  let futures = List.map (fun x -> Future.spawn pool (run x)) xs in
+  List.map
+    (fun fut ->
+       let events, r = Future.await fut in
+       List.iter Obs.Trace.forward events;
+       r)
+    futures
+
+(* Same contract as [map], but over a caller-owned pool that stays up
+   afterwards — for pipelines that fan out repeatedly (a reachability
+   loop dispatching every image, a minimizer dispatching every output)
+   and cannot afford a domain spawn per fan-out.  Beware that awaiting
+   from inside a pool job would deadlock a single-worker pool; only call
+   this from outside the pool's own workers. *)
+let map_on pool f xs = map_futures pool f xs
+
 let map ?(jobs = 1) f xs =
   if jobs <= 1 then List.map f xs
-  else begin
-    let tracing = Obs.Trace.enabled () in
-    let run x () =
-      if tracing then begin
-        let buf = Obs.Trace.memory () in
-        let r = Obs.Trace.with_sink buf (fun () -> f x) in
-        (Obs.Trace.events buf, r)
-      end
-      else ([], f x)
-    in
+  else
     Pool.with_pool ~jobs:(min jobs (max 1 (List.length xs))) @@ fun pool ->
-    let futures = List.map (fun x -> Future.spawn pool (run x)) xs in
-    List.map
-      (fun fut ->
-         let events, r = Future.await fut in
-         List.iter Obs.Trace.forward events;
-         r)
-      futures
-  end
+    map_futures pool f xs
 
 let iter ?jobs f xs = ignore (map ?jobs (fun x -> f x; ()) xs)

@@ -60,6 +60,44 @@ type serve_stats = {
   serve_server : serve_server option;
 }
 
+(* Shared-store parallel-engine phase: the concurrent manager tier's
+   telemetry plus the seq-vs-par timing of the same workload and the
+   canonical-identity verdict.  [par_speedup] on a single-CPU host sits
+   near (or below) 1.0 — the section is still the record that the
+   parallel engine ran and matched. *)
+type parallel_stats = {
+  par_jobs : int;
+  par_stripes : int;
+  par_views : int;
+  par_live_nodes : int;
+  par_interned_total : int;
+  par_intern_retries : int;
+  par_gc_runs : int;
+  par_gc_reclaimed : int;
+  par_barrier_waits : int;
+  par_barrier_wait_ms : float;
+  par_seq_seconds : float;
+  par_par_seconds : float;
+  par_speedup : float;
+  par_identical : bool;  (** parallel results were the same canonical edges *)
+}
+
+let parallel_row = function
+  | None -> "null"
+  | Some p ->
+    Printf.sprintf
+      "{\"jobs\":%d,\"stripes\":%d,\"views\":%d,\"live_nodes\":%d,\
+       \"interned_total\":%d,\"intern_retries\":%d,\"gc_runs\":%d,\
+       \"gc_reclaimed\":%d,\"gc_barrier_waits\":%d,\
+       \"gc_barrier_wait_ms\":%s,\"seq_seconds\":%s,\"par_seconds\":%s,\
+       \"speedup\":%s,\"identical\":%b}"
+      p.par_jobs p.par_stripes p.par_views p.par_live_nodes
+      p.par_interned_total p.par_intern_retries p.par_gc_runs
+      p.par_gc_reclaimed p.par_barrier_waits
+      (num p.par_barrier_wait_ms)
+      (num p.par_seq_seconds) (num p.par_par_seconds) (num p.par_speedup)
+      p.par_identical
+
 let telemetry_row = function
   | None -> "null"
   | Some t ->
@@ -100,7 +138,7 @@ let serve_row = function
       (telemetry_row s.serve_telemetry)
       (server_row s.serve_server)
 
-let render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
+let render ?serve ?parallel ~jobs ~quick ~max_calls ~image ~limits ~benches
     ~capture_seconds ~phases ~names ~(engine : Bdd.Stats.t) ~dnf
     (calls : Capture.call list) =
   let minimizer_rows =
@@ -186,7 +224,7 @@ let render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
   in
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"bddmin-bench-engine/6\",\n\
+    \  \"schema\": \"bddmin-bench-engine/7\",\n\
     \  \"jobs\": %d,\n\
     \  \"quick\": %b,\n\
     \  \"max_calls\": %d,\n\
@@ -197,6 +235,7 @@ let render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
     \  \"phases\": [%s],\n\
     \  \"minimizers\": [%s],\n\
     \  \"serve\": %s,\n\
+    \  \"parallel\": %s,\n\
     \  \"engine\": %s\n\
      }\n"
     jobs quick max_calls (escape image) limits_row benches (List.length calls)
@@ -204,12 +243,12 @@ let render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
     (String.concat ", " dnf_rows)
     (String.concat ", " phase_rows)
     (String.concat ", " minimizer_rows)
-    (serve_row serve) engine_row
+    (serve_row serve) (parallel_row parallel) engine_row
 
-let write ?serve ~path ~jobs ~quick ~max_calls ~image ~limits ~benches
-    ~capture_seconds ~phases ~names ~engine ~dnf calls =
+let write ?serve ?parallel ~path ~jobs ~quick ~max_calls ~image ~limits
+    ~benches ~capture_seconds ~phases ~names ~engine ~dnf calls =
   let doc =
-    render ?serve ~jobs ~quick ~max_calls ~image ~limits ~benches
+    render ?serve ?parallel ~jobs ~quick ~max_calls ~image ~limits ~benches
       ~capture_seconds ~phases ~names ~engine ~dnf calls
   in
   let oc = open_out path in

@@ -1,0 +1,61 @@
+(* The parallel-engine exhibit behind the JSON baseline's [parallel]
+   section: run the same reachability workload twice on one shared node
+   store — sequential, then with the image merges fanned out across a
+   worker pool — check the results are the same canonical edges, and
+   scrape the store's concurrency telemetry. *)
+
+let default_benches = [ "tlc"; "gray6"; "minmax4"; "rnd344" ]
+
+let run ?(jobs = 2) ?(benches = default_benches) ?(progress = fun _ -> ())
+    () =
+  let store = Bdd.Shared.create () in
+  let man = Bdd.Shared.attach store in
+  Exec.Pool.with_pool ~jobs @@ fun pool ->
+  let par = Fsm.Image.par ~pool ~store in
+  let machines =
+    List.map
+      (fun name ->
+         match Circuits.Registry.find name with
+         | Some b ->
+           (name, Fsm.Symbolic.of_netlist man (b.Circuits.Registry.build ()))
+         | None -> invalid_arg ("Parbench.run: unknown benchmark " ^ name))
+      benches
+  in
+  let reach ?par sym =
+    fst (Fsm.Reach.reachable ~strategy:Fsm.Image.Clustered ?par sym)
+  in
+  let seq_results, seq_seconds =
+    Obs.Clock.timed (fun () -> List.map (fun (_, sym) -> reach sym) machines)
+  in
+  let par_results, par_seconds =
+    Obs.Clock.timed (fun () ->
+        List.map (fun (_, sym) -> reach ~par sym) machines)
+  in
+  let identical = List.for_all2 Bdd.equal seq_results par_results in
+  List.iter2
+    (fun (name, _) (s, p) ->
+       progress
+         (Printf.sprintf "%-10s |R| = %4d nodes   par %s" name
+            (Bdd.size man s)
+            (if Bdd.equal s p then "identical" else "DIVERGED")))
+    machines
+    (List.combine seq_results par_results);
+  if not identical then
+    failwith "Parbench.run: parallel engine diverged from sequential";
+  let t = Bdd.Shared.telemetry store in
+  {
+    Bench_json.par_jobs = jobs;
+    par_stripes = t.Bdd.Shared.stripes;
+    par_views = t.Bdd.Shared.views;
+    par_live_nodes = t.Bdd.Shared.live_nodes;
+    par_interned_total = t.Bdd.Shared.interned_total;
+    par_intern_retries = t.Bdd.Shared.intern_retries;
+    par_gc_runs = t.Bdd.Shared.gc_runs;
+    par_gc_reclaimed = t.Bdd.Shared.gc_reclaimed;
+    par_barrier_waits = t.Bdd.Shared.barrier_waits;
+    par_barrier_wait_ms = float_of_int t.Bdd.Shared.barrier_wait_ns /. 1e6;
+    par_seq_seconds = seq_seconds;
+    par_par_seconds = par_seconds;
+    par_speedup = seq_seconds /. Float.max 1e-9 par_seconds;
+    par_identical = identical;
+  }

@@ -1,0 +1,19 @@
+(** The parallel-engine exhibit: seq-vs-par reachability on one shared
+    node store, feeding the JSON baseline's [parallel] section. *)
+
+val default_benches : string list
+(** The workload machines ([tlc], [gray6], [minmax4], [rnd344]). *)
+
+val run :
+  ?jobs:int ->
+  ?benches:string list ->
+  ?progress:(string -> unit) ->
+  unit ->
+  Bench_json.parallel_stats
+(** Run the workload on a fresh shared store with a pool of [jobs]
+    (default 2) worker domains: once with sequential images, once with
+    the parallel merge tree, verifying per machine that both return the
+    same canonical edge.  [progress] receives one line per machine.
+    @raise Failure if any parallel result diverges from sequential
+    (that would be a concurrency bug — never expected).
+    @raise Invalid_argument on an unknown benchmark name. *)

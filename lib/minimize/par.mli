@@ -1,0 +1,22 @@
+(** Parallel execution context for shared-store workloads.
+
+    Bundles an [Exec.Pool] with the {!Bdd.Shared.store} the operands
+    live in.  Parallel hot loops ({!Vector.minimize}, {!Level} matching
+    graph construction, [Fsm.Image]) take an optional context and
+    dispatch their independent sub-problems onto the pool, each task on
+    a view checked out with {!Bdd.Shared.with_view}.  Results are
+    deterministic: task lists and submission order are fixed by the
+    caller, and BDD results are canonical store-wide, so a parallel run
+    returns the same edges as the sequential one. *)
+
+type t = { pool : Exec.Pool.t; store : Bdd.Shared.store }
+
+val make : pool:Exec.Pool.t -> store:Bdd.Shared.store -> t
+
+val for_man : ?pool:Exec.Pool.t -> Bdd.man -> t option
+(** [Some] context iff [pool] is given {e and} the manager is a
+    shared-store view — the usual guard when plumbing a [-j] flag. *)
+
+val map : t -> (Bdd.man -> 'a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] runs [f view x] for each element on the pool, results
+    in list order.  [f] must keep the view inside the call. *)

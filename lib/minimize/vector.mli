@@ -18,6 +18,7 @@ type result = {
 }
 
 val minimize :
+  ?par:Par.t ->
   Bdd.man ->
   minimizer:(Bdd.man -> Ispec.t -> Bdd.t) ->
   Ispec.t list ->
@@ -33,9 +34,15 @@ val minimize :
     function raises [Invalid_argument] otherwise.  (FSM encodings from
     {!Fsm.Symbolic} satisfy this when built with a fresh manager whose
     low variables are reserved, or by renaming; see
-    {!minimize_renamed}.) *)
+    {!minimize_renamed}.)
+
+    [par] recovers the per-output covers in parallel — one pool task per
+    output, each cofactoring the joint cover on a checked-out view of
+    the shared store the manager must then belong to.  The covers are
+    the same canonical edges a sequential run produces. *)
 
 val minimize_renamed :
+  ?par:Par.t ->
   Bdd.man ->
   minimizer:(Bdd.man -> Ispec.t -> Bdd.t) ->
   Ispec.t list ->

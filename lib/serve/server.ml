@@ -1037,19 +1037,78 @@ let take_batch srv =
   Mutex.unlock srv.batch_lock;
   List.sort (fun a b -> Int64.compare a.p_prio b.p_prio) items
 
+(* Split [xs] into chunks of at most [k], preserving order. *)
+let chunks_of k xs =
+  let rec take n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (n - 1) (x :: acc) rest
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+      let c, rest = take k [] xs in
+      c :: go rest
+  in
+  go xs
+
+(* One chunk runs on one fresh manager — the same manager-recycling
+   boundary the sequential drainer used, so a long batch still cannot
+   bloat one unique table. *)
+let run_chunk srv items =
+  let man = Bdd.new_man () in
+  List.iter
+    (fun p ->
+       start_item srv p;
+       run_item srv ~man p)
+    items
+
+let abort_chunk srv items = List.iter (abort_item srv ~started:false) items
+
 let run_batch srv () =
   match take_batch srv with
   | [] -> ()
   | items ->
     Obs.Metrics.inc srv.m.M.batches;
     Obs.Metrics.add srv.m.M.batched (List.length items);
-    let man = ref (Bdd.new_man ()) in
-    List.iteri
-      (fun i p ->
-         if i > 0 && i mod batch_chunk = 0 then man := Bdd.new_man ();
-         start_item srv p;
-         run_item srv ~man:!man p)
-      items
+    match chunks_of batch_chunk items with
+    | [] -> ()
+    | [ only ] -> run_chunk srv only
+    | first :: rest ->
+      (* A large batch splits at the manager-recycling boundary and the
+         surplus chunks ride to currently idle workers instead of
+         serializing behind this drainer.  Deadline order is preserved
+         within every chunk and each spread chunk is submitted at its
+         earliest deadline, so EDF still governs it against the rest of
+         the queue; per-item budgets and failure isolation are untouched
+         ([run_item] handles each member separately either way). *)
+      let idle = Exec.Pool.idle_workers srv.pool in
+      let spread, inline =
+        let rec split n = function
+          | [] -> ([], [])
+          | cs when n = 0 -> ([], cs)
+          | c :: cs ->
+            let s, i = split (n - 1) cs in
+            (c :: s, i)
+        in
+        split (max 0 idle) rest
+      in
+      let inline = ref inline in
+      List.iter
+        (fun chunk ->
+           match chunk with
+           | [] -> ()
+           | head :: _ -> (
+             try
+               Exec.Pool.submit srv.pool ~priority:head.p_prio
+                 ~on_abort:(fun () -> abort_chunk srv chunk)
+                 (fun () -> run_chunk srv chunk)
+             with Invalid_argument _ ->
+               (* pool shutting down: keep the chunk on this drainer *)
+               inline := !inline @ [ chunk ]))
+        spread;
+      run_chunk srv first;
+      List.iter (run_chunk srv) !inline
 
 let abort_batch srv = List.iter (abort_item srv ~started:false) (take_batch srv)
 

@@ -19,7 +19,12 @@ rising error *rate* or dnf rate between comparable runs gates too.
 Schema /6 adds busy_replies (backpressure refusals — reported, never
 gated as errors) and a "server" object of scraped daemon counters;
 between comparable /6 runs the result-cache hit rate gates against a
-relative drop past the serve threshold.
+relative drop past the serve threshold.  Schema /7 adds a "parallel"
+object — shared-store concurrent-manager telemetry plus the
+seq-vs-par timing of the parallel reachability workload; its
+"identical" flag (parallel results byte-identical to sequential)
+always gates, while the timing fields are reported ungated (a
+single-CPU host cannot demonstrate speedup).
 
 Exit status is 0 unless --strict is given AND a gated regression was
 found AND the two runs were actually comparable (same jobs / quick /
@@ -43,6 +48,7 @@ SCHEMAS = (
     "bddmin-bench-engine/4",
     "bddmin-bench-engine/5",
     "bddmin-bench-engine/6",
+    "bddmin-bench-engine/7",
 )
 
 # Counters that measure algorithmic work (deterministic for a given
@@ -273,6 +279,34 @@ def main():
                     f"serve cache hit rate: {100 * old_rate:.1f}% ->"
                     f" {100 * new_rate:.1f}%"
                     f" (threshold -{args.serve_threshold:.0f}%)")
+
+    # Schema /7: parallel-engine section (null when the phase was
+    # skipped, absent before /7).  The canonical-identity flag gates
+    # unconditionally — a parallel run that diverges from sequential is
+    # a correctness bug, not a perf regression.  Timings and contention
+    # telemetry are reported only: wall-clock speedup depends on the
+    # host's core count.
+    base_par, fresh_par = base.get("parallel"), fresh.get("parallel")
+    if fresh_par:
+        print(f"\n{'parallel':<24}{'baseline':>14}{'fresh':>14}")
+        for key in ("jobs", "stripes", "views", "live_nodes",
+                    "interned_total", "intern_retries", "gc_runs",
+                    "gc_reclaimed", "gc_barrier_waits"):
+            old = (base_par or {}).get(key)
+            print(f"{key:<24}{'—' if old is None else old:>14}"
+                  f"{fresh_par[key]:>14}")
+        for key in ("gc_barrier_wait_ms", "seq_seconds", "par_seconds",
+                    "speedup"):
+            old = (base_par or {}).get(key)
+            print(f"{key:<24}"
+                  f"{'—' if old is None else format(old, '>12.3f'):>14}"
+                  f"{fresh_par[key]:>14.3f}")
+        print(f"{'identical':<24}"
+              f"{'—' if base_par is None else str(base_par['identical']):>14}"
+              f"{str(fresh_par['identical']):>14}")
+        if not fresh_par["identical"]:
+            regressions.append(
+                "parallel: results diverged from sequential run")
 
     base_min = {m["name"]: m for m in base["minimizers"]}
     print(f"\n{'minimizer':<12}{'size':>10}{'sizeΔ':>8}{'seconds':>12}   delta")

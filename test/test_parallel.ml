@@ -1,0 +1,277 @@
+(* Concurrent manager tier and the parallel hot loops: shared-store
+   interning from several domains, stop-the-world GC under load, and the
+   bit-identity contract — every parallel code path must return the same
+   canonical edges as its sequential twin. *)
+
+module Tt = Logic.Truth_table
+
+(* Build the same random function on any view of a shared store. *)
+let random_fn view n seed =
+  let st = Random.State.make [| seed; n; 0x5eed |] in
+  Tt.to_bdd view (Tt.create n (fun _ -> Random.State.bool st))
+
+(* ----- shared-store basics ----- *)
+
+let shared_canonicity () =
+  let store = Bdd.Shared.create () in
+  let v1 = Bdd.Shared.attach store in
+  let v2 = Bdd.Shared.attach store in
+  (* the same function built through two different views must intern to
+     the same edge: the unique table is store-wide *)
+  for seed = 0 to 19 do
+    let f1 = random_fn v1 5 seed and f2 = random_fn v2 5 seed in
+    Util.checkb "same function, same edge across views" (Bdd.equal f1 f2)
+  done;
+  Util.checki "both views registered" 2 (Bdd.Shared.view_count store);
+  ignore (Bdd.Shared.self_check store);
+  Bdd.Shared.detach v2;
+  Util.checki "detach deregisters" 1 (Bdd.Shared.view_count store)
+
+(* ----- Par.map bit-identity (qcheck differential) ----- *)
+
+let par_map_differential =
+  Util.qtest ~count:25 "Par.map returns the sequential edges"
+    QCheck2.Gen.(
+      let* n = int_range 1 5 in
+      let* seeds = list_size (int_range 1 12) (int_bound 0xFFFF) in
+      return (n, seeds))
+    (fun (n, seeds) ->
+       let store = Bdd.Shared.create () in
+       let man = Bdd.Shared.attach store in
+       Exec.Pool.with_pool ~jobs:4 @@ fun pool ->
+       let par = Minimize.Par.make ~pool ~store in
+       let fns = List.map (fun s -> random_fn man n s) seeds in
+       let g = random_fn man n 0xCAFE in
+       let seq = List.map (fun f -> Bdd.dand man f g) fns in
+       let parr = Minimize.Par.map par (fun view f -> Bdd.dand view f g) fns in
+       (* canonical roots must be bit-identical, not just equivalent *)
+       List.for_all2 Bdd.equal seq parr)
+
+(* ----- parallel reachability differential, -j 2 and -j 4 ----- *)
+
+let reach_par_differential () =
+  List.iter
+    (fun name ->
+       let b = Option.get (Circuits.Registry.find name) in
+       let store = Bdd.Shared.create () in
+       let man = Bdd.Shared.attach store in
+       let sym = Fsm.Symbolic.of_netlist man (b.Circuits.Registry.build ()) in
+       let seq, seq_st =
+         Fsm.Reach.reachable ~strategy:Fsm.Image.Clustered sym
+       in
+       List.iter
+         (fun jobs ->
+            Exec.Pool.with_pool ~jobs @@ fun pool ->
+            let par = Fsm.Image.par ~pool ~store in
+            let r, st =
+              Fsm.Reach.reachable ~strategy:Fsm.Image.Clustered ~par sym
+            in
+            Util.checkb
+              (Printf.sprintf "%s: -j %d reached set is the same edge" name
+                 jobs)
+              (Bdd.equal seq r);
+            Util.checki
+              (Printf.sprintf "%s: -j %d iterations" name jobs)
+              seq_st.Fsm.Reach.iterations st.Fsm.Reach.iterations)
+         [ 2; 4 ];
+       ignore (Bdd.Shared.self_check store))
+    [ "tlc"; "gray6"; "minmax4" ]
+
+(* ----- parallel vector minimization and care-set restriction ----- *)
+
+let vector_par_differential () =
+  let store = Bdd.Shared.create () in
+  let man = Bdd.Shared.attach store in
+  Exec.Pool.with_pool ~jobs:3 @@ fun pool ->
+  let par = Minimize.Par.make ~pool ~store in
+  let n = 5 in
+  let instances =
+    List.init 6 (fun i ->
+        let f = random_fn man n (100 + i) in
+        let c = Bdd.dor man (random_fn man n (200 + i)) (random_fn man n i) in
+        let c = if Bdd.is_zero c then Bdd.one man else c in
+        Minimize.Ispec.make ~f ~c)
+  in
+  let minimizer m s = Bdd.restrict m s.Minimize.Ispec.f s.Minimize.Ispec.c in
+  let seq = Minimize.Vector.minimize_renamed man ~minimizer instances in
+  let parr =
+    Minimize.Vector.minimize_renamed ~par man ~minimizer instances
+  in
+  Util.checkb "vector covers are the same edges"
+    (List.for_all2 Bdd.equal seq.Minimize.Vector.covers
+       parr.Minimize.Vector.covers);
+  Util.checki "shared_after identical" seq.Minimize.Vector.shared_after
+    parr.Minimize.Vector.shared_after
+
+let restrict_to_care_par_differential () =
+  let b = Option.get (Circuits.Registry.find "tlc") in
+  let store = Bdd.Shared.create () in
+  let man = Bdd.Shared.attach store in
+  let sym = Fsm.Symbolic.of_netlist man (b.Circuits.Registry.build ()) in
+  let care, _ = Fsm.Reach.reachable sym in
+  let minimize m s = Bdd.constrain m s.Minimize.Ispec.f s.Minimize.Ispec.c in
+  let seq = Fsm.Symbolic.restrict_to_care_states sym ~care ~minimize in
+  Exec.Pool.with_pool ~jobs:3 @@ fun pool ->
+  let par = Minimize.Par.make ~pool ~store in
+  let parr = Fsm.Symbolic.restrict_to_care_states ~par sym ~care ~minimize in
+  Util.checkb "next-state functions are the same edges"
+    (Array.for_all2 Bdd.equal seq.Fsm.Symbolic.next_fns
+       parr.Fsm.Symbolic.next_fns);
+  Util.checkb "output functions are the same edges"
+    (List.for_all2
+       (fun (n1, f1) (n2, f2) -> n1 = n2 && Bdd.equal f1 f2)
+       seq.Fsm.Symbolic.output_fns parr.Fsm.Symbolic.output_fns)
+
+(* ----- level matching with a parallel adjacency matrix ----- *)
+
+let level_par_differential () =
+  let store = Bdd.Shared.create () in
+  let man = Bdd.Shared.attach store in
+  Exec.Pool.with_pool ~jobs:3 @@ fun pool ->
+  let par = Minimize.Par.make ~pool ~store in
+  List.iter
+    (fun crit ->
+       for seed = 0 to 7 do
+         let f = random_fn man 6 (300 + seed) in
+         let c = random_fn man 6 (400 + seed) in
+         let c = if Bdd.is_zero c then Bdd.one man else c in
+         let s = Minimize.Ispec.make ~f ~c in
+         let seq = Minimize.Level.minimize_all_levels man crit s in
+         let parr = Minimize.Level.minimize_all_levels ~par man crit s in
+         Util.checkb "level matching result is the same edges"
+           (Bdd.equal seq.Minimize.Ispec.f parr.Minimize.Ispec.f
+            && Bdd.equal seq.Minimize.Ispec.c parr.Minimize.Ispec.c)
+       done)
+    [ Minimize.Matching.Tsm; Minimize.Matching.Osm; Minimize.Matching.Osdm ]
+
+(* ----- suite CSV bytes at -j 1 / 2 / 4 ----- *)
+
+let suite_csv_jobs_differential () =
+  let base =
+    Harness.Capture.(
+      default_config |> with_max_calls 4 |> with_lower_bound_cubes 30)
+  in
+  let benches = [ Option.get (Circuits.Registry.find "tlc") ] in
+  let names = Harness.Capture.minimizer_names base in
+  let run jobs =
+    let calls =
+      Harness.Capture.run_suite
+        ~config:(Harness.Capture.with_jobs jobs base)
+        benches
+    in
+    Harness.Tables.calls_to_csv ~names calls
+  in
+  let csv1 = run 1 in
+  Util.checkb "captured something" (String.length csv1 > 0);
+  Util.check Alcotest.string "CSV identical at -j 2" csv1 (run 2);
+  Util.check Alcotest.string "CSV identical at -j 4" csv1 (run 4)
+
+(* ----- multi-domain intern stress, then GC, then audit ----- *)
+
+let stress_domains = 4
+let stress_applies = 10_000
+
+let multi_domain_stress () =
+  let store = Bdd.Shared.create () in
+  let man = Bdd.Shared.attach store in
+  (* every domain hammers the same store with random applies on its own
+     view; each keeps its last result ref'd so collection has real roots
+     to preserve *)
+  let kept =
+    Exec.map ~jobs:stress_domains
+      (fun d ->
+         Bdd.Shared.with_view store @@ fun view ->
+         let st = Random.State.make [| d; 0xabcd |] in
+         let nvars = 12 in
+         let acc = ref (Bdd.ithvar view (d mod nvars)) in
+         for _ = 1 to stress_applies do
+           let v = Bdd.ithvar view (Random.State.int st nvars) in
+           let w = Bdd.ithvar view (Random.State.int st nvars) in
+           let part =
+             match Random.State.int st 4 with
+             | 0 -> Bdd.dand view v w
+             | 1 -> Bdd.dor view (Bdd.compl v) w
+             | 2 -> Bdd.dxor view v w
+             | _ -> Bdd.ite view v w (Bdd.compl !acc)
+           in
+           acc :=
+             (match Random.State.int st 3 with
+              | 0 -> Bdd.dand view !acc part
+              | 1 -> Bdd.dor view !acc part
+              | _ -> Bdd.dxor view !acc part)
+         done;
+         Bdd.ref_ view !acc;
+         (d, !acc))
+      (List.init stress_domains Fun.id)
+  in
+  let live_before = Bdd.Shared.live_nodes store in
+  Util.checkb "stress interned nodes" (live_before > 0);
+  ignore (Bdd.Shared.self_check store);
+  let reclaimed = Bdd.gc man in
+  Util.checkb "gc ran" (reclaimed >= 0);
+  (* the audit re-verifies canonical form, level order and store-wide
+     uniqueness after collection rebuilt every stripe *)
+  ignore (Bdd.Shared.self_check store);
+  (* kept roots survive and rebuilding them yields the very same edges *)
+  List.iter
+    (fun (d, f) ->
+       Bdd.Shared.with_view store @@ fun view ->
+       let st = Random.State.make [| d; 0xabcd |] in
+       let nvars = 12 in
+       let acc = ref (Bdd.ithvar view (d mod nvars)) in
+       for _ = 1 to stress_applies do
+         let v = Bdd.ithvar view (Random.State.int st nvars) in
+         let w = Bdd.ithvar view (Random.State.int st nvars) in
+         let part =
+           match Random.State.int st 4 with
+           | 0 -> Bdd.dand view v w
+           | 1 -> Bdd.dor view (Bdd.compl v) w
+           | 2 -> Bdd.dxor view v w
+           | _ -> Bdd.ite view v w (Bdd.compl !acc)
+         in
+         acc :=
+           (match Random.State.int st 3 with
+            | 0 -> Bdd.dand view !acc part
+            | 1 -> Bdd.dor view !acc part
+            | _ -> Bdd.dxor view !acc part)
+       done;
+       Util.checkb "replayed build returns the kept edge" (Bdd.equal f !acc);
+       Bdd.deref man f)
+    kept
+
+(* ----- sift guard on shared managers ----- *)
+
+let sift_refuses_multi_view () =
+  let store = Bdd.Shared.create () in
+  let v1 = Bdd.Shared.attach store in
+  let v2 = Bdd.Shared.attach store in
+  let f = random_fn v1 4 7 in
+  Util.checkb "sift refuses a store with two views"
+    (match Bdd.Reorder.sift v1 [ f ] with
+     | exception Invalid_argument msg -> Util.contains msg "2 registered views"
+     | _ -> false);
+  Bdd.Shared.detach v2;
+  (* one view left: reordering is domain-safe again *)
+  let _, after = Bdd.Reorder.sift v1 [ f ] in
+  Util.checkb "sift works once detached down to one view" (after > 0)
+
+let suite =
+  [
+    Alcotest.test_case "shared-store canonicity across views" `Quick
+      shared_canonicity;
+    par_map_differential;
+    Alcotest.test_case "parallel reach is bit-identical (-j 2/4)" `Quick
+      reach_par_differential;
+    Alcotest.test_case "parallel vector minimize is bit-identical" `Quick
+      vector_par_differential;
+    Alcotest.test_case "parallel care-set restriction is bit-identical"
+      `Quick restrict_to_care_par_differential;
+    Alcotest.test_case "parallel level matching is bit-identical" `Quick
+      level_par_differential;
+    Alcotest.test_case "suite CSV identical at -j 1/2/4" `Quick
+      suite_csv_jobs_differential;
+    Alcotest.test_case "multi-domain intern stress + gc + audit" `Slow
+      multi_domain_stress;
+    Alcotest.test_case "sift refuses shared multi-view manager" `Quick
+      sift_refuses_multi_view;
+  ]
