@@ -11,13 +11,13 @@ test: build
 # A ~10 second end-to-end benchmark run: quick suite, capped calls, no
 # Bechamel microbenchmarks, a small serve load-generation phase.
 # Exercises capture, every minimizer, the table renderers, the engine
-# statistics/GC path and the daemon scheduler.
+# statistics/GC path, the CBDD ablation and the daemon scheduler.
 bench-smoke: build
 	BDDMIN_BENCH_QUICK=1 BDDMIN_BENCH_SKIP_MICRO=1 BDDMIN_BENCH_CALLS=30 \
 	BDDMIN_BENCH_SERVE_CLIENTS=2 BDDMIN_BENCH_SERVE_REQUESTS=20 \
 		dune exec bench/main.exe
 
-# Regenerate the committed perf baseline (schema bddmin-bench-engine/7;
+# Regenerate the committed perf baseline (schema bddmin-bench-engine/8;
 # see Harness.Bench_json).  Deterministic apart from the wall-time
 # fields and the serve section, at any -j.
 bench-json: build

@@ -11,6 +11,10 @@
                             (default partitioned; images are exact, so
                             the tables are identical under any strategy)
      --cluster-bound N      node bound for the clustered schedule
+     --repr R               node representation for the capture suite:
+                            bdd (plain, default) or cbdd (chain-reduced;
+                            verdicts are identical, and the tables gain
+                            the dual size columns)
 
    Environment knobs:
      BDDMIN_BENCH_QUICK=1   use the small benchmark sub-suite
@@ -25,6 +29,8 @@
      BDDMIN_BENCH_FAIL_FAST=1     cancel the suite on the first DNF
      BDDMIN_BENCH_SERVE=0   skip the serve load-generation phase
      BDDMIN_BENCH_PARALLEL=0  skip the shared-store parallel-engine phase
+     BDDMIN_BENCH_REPR=R    like --repr R
+     BDDMIN_BENCH_CBDD=0    skip the CBDD ablation phase
      BDDMIN_BENCH_SERVE_CLIENTS=N   concurrent loadgen clients (default 4)
      BDDMIN_BENCH_SERVE_REQUESTS=N  requests per client (default 150)
      BDDMIN_BENCH_JSON=PATH where to write the machine-readable baseline
@@ -112,6 +118,27 @@ let time_budget =
 
 let fail_fast = Sys.getenv_opt "BDDMIN_BENCH_FAIL_FAST" = Some "1"
 
+let repr =
+  let from_env = Sys.getenv_opt "BDDMIN_BENCH_REPR" in
+  let rec from_argv = function
+    | "--repr" :: s :: _ -> Some s
+    | _ :: rest -> from_argv rest
+    | [] -> None
+  in
+  let name =
+    match from_argv (Array.to_list Sys.argv) with
+    | Some s -> Some s
+    | None -> from_env
+  in
+  match name with
+  | None -> `Bdd
+  | Some s -> (
+      match Bdd.repr_of_string s with
+      | Some r -> r
+      | None ->
+        Printf.eprintf "unknown representation %s (expected bdd or cbdd)\n" s;
+        exit 2)
+
 let json_path =
   Option.value
     (Sys.getenv_opt "BDDMIN_BENCH_JSON")
@@ -134,7 +161,7 @@ let config =
     |> with_cluster_bound cluster_bound
     |> with_jobs jobs |> with_node_budget node_budget
     |> with_step_budget step_budget |> with_time_budget time_budget
-    |> with_fail_fast fail_fast)
+    |> with_fail_fast fail_fast |> with_repr repr)
 
 let names = Harness.Capture.minimizer_names config
 
@@ -165,7 +192,7 @@ let calls, suite_stats, suite_dnf =
    kept instances are rooted so the manager's automatic garbage collection
    can reclaim everything else between microbenchmark runs. *)
 let pool =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let pool = ref [] in
   let keep inst =
     if not (Minimize.Ispec.trivial man inst) && List.length !pool < 60 then begin
@@ -270,6 +297,11 @@ let table3 () =
   print_endline (Harness.Tables.render_table3 ~names calls);
   print_endline (Harness.Tables.render_per_bench ~dnf:suite_dnf calls);
   print_endline (Harness.Tables.render_lower_bound_summary ~names calls);
+  (* dual size columns for chain-reduced captures only, keeping the
+     plain exhibits byte-identical *)
+  (match repr with
+   | `Bdd -> ()
+   | `Cbdd -> print_endline (Harness.Tables.render_chain_summary ~names calls));
   let man, instances = pool in
   let bench (e : Minimize.Registry.entry) =
     Test.make ~name:e.name
@@ -369,7 +401,7 @@ let ablations () =
        let b = Option.get (Circuits.Registry.find bench_name) in
        let nl = b.Circuits.Registry.build () in
        let size ordering =
-         let m = Bdd.new_man () in
+         let m = Bdd.create () in
          Fsm.Symbolic.shared_node_count (Fsm.Symbolic.of_netlist ~ordering m nl)
        in
        Printf.printf
@@ -386,10 +418,10 @@ let ablations () =
     (fun bench_name ->
        let b = Option.get (Circuits.Registry.find bench_name) in
        let nl = b.Circuits.Registry.build () in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let nl2, _ = Fsm.Synth.resynthesize man nl in
        let size nl =
-         let m = Bdd.new_man () in
+         let m = Bdd.create () in
          Fsm.Symbolic.shared_node_count (Fsm.Symbolic.of_netlist m nl)
        in
        Printf.printf "   resynthesis %-10s %d -> %d nodes\n%!" bench_name
@@ -401,7 +433,7 @@ let ablations () =
     (fun bench_name ->
        let b = Option.get (Circuits.Registry.find bench_name) in
        let nl = b.Circuits.Registry.build () in
-       let m = Bdd.new_man () in
+       let m = Bdd.create () in
        let sym = Fsm.Symbolic.of_netlist m nl in
        let fns =
          Array.to_list sym.Fsm.Symbolic.next_fns
@@ -417,7 +449,7 @@ let ablations () =
   let bench_image strategy name =
     Test.make ~name
       (staged (fun () ->
-           let man = Bdd.new_man () in
+           let man = Bdd.create () in
            let sym =
              Fsm.Symbolic.of_netlist man (Circuits.Gray.make ~width:5)
            in
@@ -564,6 +596,77 @@ let parallel_phase () =
     stats.Harness.Bench_json.par_barrier_waits;
   parallel_stats := Some stats
 
+(* ----- CBDD ablation: the quick suite under chain reduction -----
+
+   The quick sub-suite is re-captured with every benchmark manager in
+   the chain-reduced representation and compared, call by call, against
+   the main capture: the minimization verdicts (winning heuristic and
+   every plain-equivalent size) must be identical, while the physical
+   node counts shrink wherever OR chains compress.  Captures are
+   deterministic, so the calls of a shared benchmark line up
+   positionally. *)
+
+let cbdd_enabled = Sys.getenv_opt "BDDMIN_BENCH_CBDD" <> Some "0"
+
+let cbdd_stats : Harness.Bench_json.cbdd_stats option ref = ref None
+
+let cbdd_phase () =
+  Printf.printf
+    "== CBDD ablation (quick suite re-captured under chain reduction) ==\n%!";
+  let (suite : Harness.Capture.suite), dt =
+    Obs.Clock.timed (fun () ->
+        Harness.Capture.run_suite_stats
+          ~config:(Harness.Capture.with_repr `Cbdd config)
+          Circuits.Registry.quick)
+  in
+  let ccalls = suite.Harness.Capture.suite_calls in
+  let by_bench cs b =
+    List.filter (fun (c : Harness.Capture.call) -> c.bench = b) cs
+  in
+  let verdicts_identical =
+    List.for_all
+      (fun (b : Circuits.Registry.bench) ->
+         let name = b.Circuits.Registry.name in
+         let plain = by_bench calls name and chain = by_bench ccalls name in
+         List.length plain = List.length chain
+         && List.for_all2
+              (fun (p : Harness.Capture.call) (c : Harness.Capture.call) ->
+                 p.min_size = c.min_size && p.min_name = c.min_name
+                 && p.sizes = c.sizes)
+              plain chain)
+      Circuits.Registry.quick
+  in
+  let plain_total =
+    List.fold_left
+      (fun acc (c : Harness.Capture.call) -> acc + c.min_size)
+      0 ccalls
+  in
+  let chain_total =
+    List.fold_left
+      (fun acc (c : Harness.Capture.call) ->
+         acc
+         + Option.value ~default:c.min_size
+             (List.assoc_opt c.min_name c.chain_sizes))
+      0 ccalls
+  in
+  Printf.printf
+    "   %d calls in %.1fs  min total: plain %d, chain-aware %d (%.2fx)  \
+     verdicts %s\n\n%!"
+    (List.length ccalls) dt plain_total chain_total
+    (if chain_total > 0 then
+       float_of_int plain_total /. float_of_int chain_total
+     else 1.0)
+    (if verdicts_identical then "identical" else "DIVERGED");
+  cbdd_stats :=
+    Some
+      {
+        Harness.Bench_json.cbdd_calls = List.length ccalls;
+        cbdd_plain_total = plain_total;
+        cbdd_chain_total = chain_total;
+        cbdd_seconds = dt;
+        cbdd_verdicts_identical = verdicts_identical;
+      }
+
 (* ----- machine-readable baseline: BENCH_engine.json -----
 
    Schema and field meanings are documented in [Harness.Bench_json]; the
@@ -574,7 +677,7 @@ let parallel_phase () =
 
 let emit_bench_json path =
   Harness.Bench_json.write ?serve:!serve_stats ?parallel:!parallel_stats
-    ~path ~jobs ~quick ~max_calls
+    ?cbdd:!cbdd_stats ~repr ~path ~jobs ~quick ~max_calls
     ~image:(Fsm.Image.strategy_name image_strategy)
     ~limits:config.Harness.Capture.limits
     ~benches:(List.length benches) ~capture_seconds:!capture_seconds
@@ -594,6 +697,7 @@ let () =
   timed_phase "phase_breakdown" phase_breakdown;
   timed_phase "engine_stats" engine_stats;
   if parallel_enabled then timed_phase "parallel" parallel_phase;
+  if cbdd_enabled then timed_phase "cbdd" cbdd_phase;
   if serve_enabled then timed_phase "serve" serve_phase;
   emit_bench_json json_path;
   print_endline "done."

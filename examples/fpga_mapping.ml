@@ -27,7 +27,7 @@ let mux_count man g = Bdd.size man g - 1
 
 let () =
   Obs.Logging.setup ();
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let care_tt =
     Logic.Truth_table.create 4 (fun m -> m < 10) (* BCD: 10..15 impossible *)
   in

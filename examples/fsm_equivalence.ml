@@ -72,10 +72,10 @@ let () =
   Obs.Logging.setup ();
   let reference = Circuits.Counter.make ~width:4 () in
 
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   report "ripple vs toggle:" (Fsm.Equiv.check man reference (toggle_counter ()));
 
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   report "ripple vs broken toggle:"
     (Fsm.Equiv.check man reference (broken_counter ()));
 
@@ -84,7 +84,7 @@ let () =
      frontier representation. *)
   Format.printf "@.Frontier minimization during reachability of lfsr10:@.";
   let measure name minimize =
-    let man = Bdd.new_man () in
+    let man = Bdd.create () in
     let sym =
       Fsm.Symbolic.of_netlist man (Circuits.Lfsr.make ~width:10 ())
     in

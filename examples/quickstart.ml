@@ -6,7 +6,7 @@
 
 let () =
   Obs.Logging.setup ();
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   (* Figure 1's instance has three variables; we use the leaf notation of
      the paper (§3.2): '1'/'0' are care values, 'd' is a don't care.  The
      vector below annotates the binary decision tree of Figure 1c. *)

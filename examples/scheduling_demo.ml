@@ -12,7 +12,7 @@ let capture_pool () =
   List.concat_map
     (fun bench_name ->
        let b = Option.get (Circuits.Registry.find bench_name) in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let nl = b.Circuits.Registry.build () in
        let pool = ref [] in
        let keep inst =

@@ -25,7 +25,7 @@ let pla_row nvars cube =
 
 let () =
   Obs.Logging.setup ();
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let zman = Bdd.Zdd.new_man () in
   let care =
     Logic.Truth_table.to_bdd man (Logic.Truth_table.create 4 (fun m -> m < 10))

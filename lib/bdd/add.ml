@@ -49,7 +49,6 @@ let mk man v ~hi ~lo =
 let ite_var man v t e = mk man v ~hi:t ~lo:e
 
 let of_bdd man bman bdd ~high ~low =
-  ignore bman;
   let memo = Hashtbl.create 256 in
   let rec go e =
     if Core_dd.is_one e then const man high
@@ -59,8 +58,8 @@ let of_bdd man bman bdd ~high ~low =
       | Some r -> r
       | None ->
         let r =
-          mk man (Core_dd.topvar e) ~hi:(go (Core_dd.hi e))
-            ~lo:(go (Core_dd.lo e))
+          mk man (Core_dd.topvar e) ~hi:(go (Core_dd.hi bman e))
+            ~lo:(go (Core_dd.lo bman e))
         in
         Hashtbl.add memo (Core_dd.uid e) r;
         r

@@ -6,6 +6,28 @@
    hence two edges denote the same function iff node pointers and complement
    bits coincide.
 
+   Chain reduction (CBDD, Bryant 2018): a manager created with
+   [chain = true] additionally compresses OR-chains.  Every node carries a
+   [bot] level with [var <= bot]; a node [(t, b, h, l)] denotes
+
+     x_t \/ x_{t+1} \/ ... \/ x_{b-1} \/ (if x_b then h else l)
+
+   so a plain node is the [var = bot] special case and a linear chain of
+   [b - t] one-armed nodes collapses to a single node.  Complement edges
+   give the dual for free: a complemented chain edge is a conjunction of
+   negated literals (the don't-care chains of sparse functions and
+   cube sets).  Chain canonical form, on top of the plain invariants:
+   - [var <= bot < topvar n_hi] and [bot < topvar n_lo];
+   - for [var < bot], [n_hi != n_lo] (the redundant [(t,b,g,g)] form is
+     rewritten to [(t,b-1,one,g)]);
+   - absorption: no node has [n_hi = one] with a {e regular} [n_lo]
+     rooted exactly at level [bot + 1] — such a pair merges into the
+     longer chain [(var, bot(n_lo), hi(n_lo), lo(n_lo))].
+   Under these rules each Boolean function keeps a unique representation,
+   so hash-consed equality still decides semantic equality.  Managers
+   with [chain = false] never create [var < bot] nodes and behave exactly
+   as before.
+
    Storage layer (CUDD-style):
    - the unique table is a custom open-addressed (linear-probing) array of
      nodes, grown at 75% load and garbage-collected by mark-and-sweep from
@@ -25,7 +47,8 @@
 
 type node = {
   id : int;
-  var : int;                    (* level; [max_int] for the terminal *)
+  var : int;                    (* top level; [max_int] for the terminal *)
+  bot : int;                    (* chain bottom level; [= var] when plain *)
   n_hi : t;                     (* invariant: regular *)
   n_lo : t;
   mutable mark : bool;          (* mark-and-sweep bit; clear outside GC *)
@@ -36,6 +59,21 @@ and t = { neg : bool; node : node }
 type engine_event =
   | Gc_run of { reclaimed : int; live_nodes : int }
   | Cache_grown of { old_capacity : int; new_capacity : int }
+  | Table_grown of { old_capacity : int; new_capacity : int }
+
+type repr = [ `Bdd | `Cbdd ]
+
+(* Listener-side state of an [On_growth] reordering policy (owned by
+   [Reorder.Policy]; the engine only stores it so a rebuilt manager can
+   inherit the installed policy). *)
+type reorder_policy_state = {
+  rp_factor : int;
+  rp_max_passes : int;
+  mutable rp_passes : int;
+  mutable rp_baseline : int;            (* capacity the factor is judged against *)
+  mutable rp_pending : bool;            (* set by the listener, consumed at a
+                                           clean operation boundary *)
+}
 
 (* Resource budgets.  A budget is installed per manager and consulted by
    the kernels exactly at their cache-missing recursion steps (where the
@@ -68,6 +106,7 @@ type budget = {
    the immutable [shared] field, so the private hot paths are
    unchanged. *)
 type man = {
+  chain : bool;                 (* chain-reduced (CBDD) representation *)
   mutable vars : int;
   (* unique table: open-addressed, [terminal] is the empty-slot sentinel *)
   mutable uslots : node array;
@@ -115,6 +154,8 @@ type man = {
   mutable peak_live : int;
   (* observability: engine-event listeners (GC runs, cache growth) *)
   mutable listeners : (engine_event -> unit) list;
+  (* dynamic-reordering policy installed by [Reorder.Policy] *)
+  mutable reorder_state : reorder_policy_state option;
   (* concurrent tier: Some store makes this manager a per-domain view *)
   shared : shared option;
   mutable op_depth : int;       (* nesting of barrier-bracketed operations *)
@@ -127,6 +168,7 @@ type man = {
    sequence is the classical linear one.  All global quantities (node
    ids, live count, telemetry) are atomics. *)
 and shared = {
+  sh_chain : bool;                                (* representation of every view *)
   sh_stripes : stripe array;                      (* length is a power of two *)
   sh_terminal : node;
   sh_top : t;
@@ -173,9 +215,11 @@ let bytes_per_cache_entry = 32                    (* 3 boxed-free ints + 1 point
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
 
 let new_man ?(nvars = 0) ?(cache_bits = default_cache_bits)
-    ?(cache_budget = default_cache_budget) ?(auto_gc = true) () =
+    ?(cache_budget = default_cache_budget) ?(auto_gc = true)
+    ?(chain = false) () =
   let rec terminal =
-    { id = 0; var = const_var; n_hi = self; n_lo = self; mark = false }
+    { id = 0; var = const_var; bot = const_var; n_hi = self; n_lo = self;
+      mark = false }
   and self = { neg = false; node = terminal } in
   let cache_bits = max 1 (min 24 cache_bits) in
   let ccap = 1 lsl cache_bits in
@@ -187,6 +231,7 @@ let new_man ?(nvars = 0) ?(cache_bits = default_cache_bits)
     max ccap (down 1)
   in
   {
+    chain;
     vars = nvars;
     uslots = Array.make min_unique_capacity terminal;
     umask = min_unique_capacity - 1;
@@ -229,11 +274,24 @@ let new_man ?(nvars = 0) ?(cache_bits = default_cache_bits)
     gc_nodes = 0;
     peak_live = 0;
     listeners = [];
+    reorder_state = None;
     shared = None;
     op_depth = 0;
   }
 
 let on_event man f = man.listeners <- f :: man.listeners
+
+let repr man : repr = if man.chain then `Cbdd else `Bdd
+
+let repr_label = function `Bdd -> "bdd" | `Cbdd -> "cbdd"
+
+let repr_of_string = function
+  | "bdd" -> Some `Bdd
+  | "cbdd" -> Some `Cbdd
+  | _ -> None
+
+let reorder_state man = man.reorder_state
+let set_reorder_state man s = man.reorder_state <- s
 
 (* Events also show up as instant events in the current trace, so a GC
    run or a cache resize is visible amid the spans it interrupts. *)
@@ -249,6 +307,13 @@ let emit_event man ev =
           ]
     | Cache_grown { old_capacity; new_capacity } ->
       Obs.Trace.instant "bdd.cache_grow"
+        ~attrs:
+          [
+            ("old_capacity", Obs.Trace.Int old_capacity);
+            ("new_capacity", Obs.Trace.Int new_capacity);
+          ]
+    | Table_grown { old_capacity; new_capacity } ->
+      Obs.Trace.instant "bdd.table_grow"
         ~attrs:
           [
             ("old_capacity", Obs.Trace.Int old_capacity);
@@ -272,20 +337,11 @@ let topvar e = e.node.var
 let uid e = (2 * e.node.id) + Bool.to_int e.neg
 let node_id e = e.node.id
 
-(* Cofactors push the edge's complement bit through the node. *)
-let hi e =
-  let n = e.node in
-  if n.var = const_var then e
-  else { neg = e.neg; node = n.n_hi.node }
+let bot e = e.node.bot
 
-let lo e =
-  let n = e.node in
-  if n.var = const_var then e
-  else { neg = e.neg <> n.n_lo.neg; node = n.n_lo.node }
-
-let branches e v =
-  assert (topvar e >= v);
-  if topvar e = v then (hi e, lo e) else (e, e)
+(* Cofactors ([hi]/[lo]/[branches]) are defined after [intern]: taking
+   the else-branch of a chain node re-roots the chain one level down,
+   which interns the suffix node — they need the manager. *)
 
 (* ----- computed cache ----- *)
 
@@ -357,14 +413,17 @@ let clear_caches man = cache_reset man
 
 (* ----- unique table ----- *)
 
-let u_hash var hid luid =
-  let h = (var * 0x9e3779b1) lxor (hid * 0x85ebca6b) lxor (luid * 0xc2b2ae35) in
+let u_hash var bt hid luid =
+  let h =
+    (var * 0x9e3779b1) lxor (bt * 0x7feb352d) lxor (hid * 0x85ebca6b)
+    lxor (luid * 0xc2b2ae35)
+  in
   (h lxor (h lsr 15)) land max_int
 
 (* Insert a node known to be absent (used on growth and GC rebuild). *)
 let u_insert_fresh man n =
   let mask = man.umask in
-  let i = ref (u_hash n.var n.n_hi.node.id (uid n.n_lo) land mask) in
+  let i = ref (u_hash n.var n.bot n.n_hi.node.id (uid n.n_lo) land mask) in
   while man.uslots.(!i) != man.terminal do
     i := (!i + 1) land mask
   done;
@@ -392,7 +451,7 @@ let[@inline] stripe_of sh h =
 
 let stripe_insert_fresh terminal st n =
   let mask = st.st_mask in
-  let i = ref (u_hash n.var n.n_hi.node.id (uid n.n_lo) land mask) in
+  let i = ref (u_hash n.var n.bot n.n_hi.node.id (uid n.n_lo) land mask) in
   while st.st_slots.(!i) != terminal do
     i := (!i + 1) land mask
   done;
@@ -479,10 +538,10 @@ let[@inline] shared_op man k =
     op_enter man;
     Fun.protect ~finally:(fun () -> op_exit man) k
 
-let intern_shared sh var ~hi:h ~lo:l =
+let intern_shared sh var ~bot:bt ~hi:h ~lo:l =
   assert (not h.neg);
   let hid = h.node.id and luid = uid l in
-  let h0 = u_hash var hid luid in
+  let h0 = u_hash var bt hid luid in
   let st = stripe_of sh h0 in
   if not (Mutex.try_lock st.st_lock) then begin
     Atomic.incr sh.sh_intern_retries;
@@ -499,7 +558,7 @@ let intern_shared sh var ~hi:h ~lo:l =
     let n = st.st_slots.(i) in
     if n == sh.sh_terminal then begin
       let id = Atomic.fetch_and_add sh.sh_next_id 1 in
-      let n = { id; var; n_hi = h; n_lo = l; mark = false } in
+      let n = { id; var; bot = bt; n_hi = h; n_lo = l; mark = false } in
       Atomic.incr sh.sh_made;
       let live = 1 + Atomic.fetch_and_add sh.sh_live 1 in
       bump_shared_peak sh live;
@@ -508,7 +567,9 @@ let intern_shared sh var ~hi:h ~lo:l =
       Mutex.unlock st.st_lock;
       { neg = false; node = n }
     end
-    else if n.var = var && n.n_hi.node.id = hid && uid n.n_lo = luid then begin
+    else if
+      n.var = var && n.bot = bt && n.n_hi.node.id = hid && uid n.n_lo = luid
+    then begin
       Mutex.unlock st.st_lock;
       { neg = false; node = n }
     end
@@ -521,21 +582,30 @@ let[@inline] live_count man =
   | None -> man.ucount
   | Some sh -> Atomic.get sh.sh_live
 
-(* Intern a node whose then-edge is already regular. *)
-let intern_private man var ~hi:h ~lo:l =
+(* Intern a node whose then-edge is already regular.  The growth path
+   additionally publishes a [Table_grown] event: listeners run mid-intern
+   (inside the operation bracket), so they must only record state — the
+   [Reorder.Policy] listener sets a pending flag that is consumed at a
+   clean operation boundary. *)
+let intern_private man var ~bot:bt ~hi:h ~lo:l =
   assert (not h.neg);
   if (man.ucount + 1) * 4 > (man.umask + 1) * 3 then begin
-    u_rebuild man ((man.umask + 1) * 2) (fun _ -> true);
+    let old_capacity = man.umask + 1 in
+    u_rebuild man (old_capacity * 2) (fun _ -> true);
     (* A growing table is the GC trigger: if external roots are in use,
        request a collection at the next operation boundary. *)
-    if man.auto_gc && Hashtbl.length man.refs > 0 then man.gc_wanted <- true
+    if man.auto_gc && Hashtbl.length man.refs > 0 then man.gc_wanted <- true;
+    emit_event man
+      (Table_grown { old_capacity; new_capacity = man.umask + 1 })
   end;
   let hid = h.node.id and luid = uid l in
   let mask = man.umask in
   let rec probe i =
     let n = man.uslots.(i) in
     if n == man.terminal then begin
-      let n = { id = man.next_id; var; n_hi = h; n_lo = l; mark = false } in
+      let n =
+        { id = man.next_id; var; bot = bt; n_hi = h; n_lo = l; mark = false }
+      in
       man.next_id <- man.next_id + 1;
       man.made <- man.made + 1;
       man.ucount <- man.ucount + 1;
@@ -543,16 +613,33 @@ let intern_private man var ~hi:h ~lo:l =
       man.uslots.(i) <- n;
       { neg = false; node = n }
     end
-    else if n.var = var && n.n_hi.node.id = hid && uid n.n_lo = luid then
-      { neg = false; node = n }
+    else if
+      n.var = var && n.bot = bt && n.n_hi.node.id = hid && uid n.n_lo = luid
+    then { neg = false; node = n }
     else probe ((i + 1) land mask)
   in
-  probe (u_hash var hid luid land mask)
+  probe (u_hash var bt hid luid land mask)
 
-let[@inline] intern man var ~hi ~lo =
+let[@inline] intern man var ~bot ~hi ~lo =
   match man.shared with
-  | None -> intern_private man var ~hi ~lo
-  | Some sh -> intern_shared sh var ~hi ~lo
+  | None -> intern_private man var ~bot ~hi ~lo
+  | Some sh -> intern_shared sh var ~bot ~hi ~lo
+
+(* Intern [(var, bot, h, l)] with [h] already regular, applying the
+   chain absorption rule on chain managers: a one-armed node whose
+   else-edge is a regular node rooted exactly one level below the bottom
+   swallows that node's chain, so OR-chains built one [mk] at a time by
+   the generic kernels collapse back to single nodes.  Absorption never
+   needs to recurse — the absorbed node is canonical, so its own then-arm
+   cannot trigger the rule again. *)
+let intern_canon man var ~bot:bt ~hi:h ~lo:l =
+  if
+    man.chain && is_one h && not l.neg
+    && l.node.var = bt + 1
+  then
+    let n = l.node in
+    intern man var ~bot:n.bot ~hi:n.n_hi ~lo:n.n_lo
+  else intern man var ~bot:bt ~hi:h ~lo:l
 
 (* [mk] is itself barrier-bracketed: external callers (Store loading,
    netlist synthesis) construct nodes with it outside any public
@@ -565,12 +652,71 @@ let mk man var ~hi:h ~lo:l =
   else begin
     op_enter man;
     let r =
-      if h.neg then compl (intern man var ~hi:(compl h) ~lo:(compl l))
-      else intern man var ~hi:h ~lo:l
+      if h.neg then
+        compl (intern_canon man var ~bot:var ~hi:(compl h) ~lo:(compl l))
+      else intern_canon man var ~bot:var ~hi:h ~lo:l
     in
     op_exit man;
     r
   end
+
+(* The chain [x_t \/ ... \/ x_m \/ r] as an edge ([t <= m < topvar r]).
+   On a chain manager this is one node (or an absorption into [r]'s own
+   chain); on a plain manager it is built one level at a time. *)
+let mk_or_chain man t m r =
+  assert (t <= m && m < topvar r);
+  if is_one r then r
+  else if man.chain then begin
+    op_enter man;
+    let e =
+      if (not r.neg) && r.node.var = m + 1 then
+        let n = r.node in
+        intern man t ~bot:n.bot ~hi:n.n_hi ~lo:n.n_lo
+      else intern man t ~bot:m ~hi:(one man) ~lo:r
+    in
+    op_exit man;
+    e
+  end
+  else begin
+    op_enter man;
+    let e = ref r in
+    for i = m downto t do
+      if not (equal !e (one man)) then
+        e := intern_canon man i ~bot:i ~hi:(one man) ~lo:!e
+    done;
+    op_exit man;
+    !e
+  end
+
+(* Re-root a chain edge at level [v] ([topvar e < v <= bot e]): the
+   suffix [x_v \/ ... \/ (x_b ? h : l)], with the edge's sign kept.  The
+   suffix of a canonical chain node is itself canonical. *)
+let chain_suffix man e v =
+  let n = e.node in
+  assert (n.var < v && v <= n.bot);
+  op_enter man;
+  let s = intern man v ~bot:n.bot ~hi:n.n_hi ~lo:n.n_lo in
+  op_exit man;
+  { neg = e.neg; node = s.node }
+
+(* Cofactors push the edge's complement bit through the node.  At the
+   top level of a chain node the then-cofactor is a constant (the OR
+   chain fires) and the else-cofactor is the re-rooted suffix. *)
+let hi man e =
+  let n = e.node in
+  if n.var = const_var then e
+  else if n.bot = n.var then { neg = e.neg; node = n.n_hi.node }
+  else { neg = e.neg; node = man.terminal }
+
+let lo man e =
+  let n = e.node in
+  if n.var = const_var then e
+  else if n.bot = n.var then { neg = e.neg <> n.n_lo.neg; node = n.n_lo.node }
+  else chain_suffix man e (n.var + 1)
+
+let branches man e v =
+  assert (topvar e >= v);
+  if topvar e = v then (hi man e, lo man e) else (e, e)
 
 let ithvar man i =
   if i < 0 then invalid_arg "Core_dd.ithvar: negative variable";
@@ -963,10 +1109,26 @@ let rec and_rec man f g =
       budget_tick man;
       man.n_and <- man.n_and + 1;
       let v = min (topvar f) (topvar g) in
-      let ft, fe = branches f v and gt, ge = branches g v in
-      let t = and_rec man ft gt in
-      let e = and_rec man fe ge in
-      let r = mk man v ~hi:t ~lo:e in
+      let r =
+        (* Chain fast path: both operands are chains rooted at [v], so
+           the shared chain prefix [X = x_v \/ ... \/ x_{m-1}] factors
+           out in one step instead of one recursion per level:
+           (X ∨ A)(X ∨ B) = X ∨ AB, and when either operand is
+           complemented the product is ¬X ∧ (A'B') = ¬(X ∨ ¬(A'B')). *)
+        let m = min f.node.bot g.node.bot in
+        if topvar f = v && topvar g = v && m > v then begin
+          let fs = chain_suffix man f m and gs = chain_suffix man g m in
+          let c = and_rec man fs gs in
+          if (not f.neg) && not g.neg then mk_or_chain man v (m - 1) c
+          else compl (mk_or_chain man v (m - 1) (compl c))
+        end
+        else begin
+          let ft, fe = branches man f v and gt, ge = branches man g v in
+          let t = and_rec man ft gt in
+          let e = and_rec man fe ge in
+          mk man v ~hi:t ~lo:e
+        end
+      in
       cache_store man k0 k1 0 r;
       r
   end
@@ -995,10 +1157,21 @@ let rec xor_rec man f g =
         budget_tick man;
         man.n_xor <- man.n_xor + 1;
         let v = min (topvar f) (topvar g) in
-        let ft, fe = branches f v and gt, ge = branches g v in
-        let t = xor_rec man ft gt in
-        let e = xor_rec man fe ge in
-        let r = mk man v ~hi:t ~lo:e in
+        let r =
+          (* Chain fast path (operands regular here): the shared prefix
+             cancels — (X ∨ A) ⊕ (X ∨ B) = ¬X ∧ (A ⊕ B). *)
+          let m = min f.node.bot g.node.bot in
+          if topvar f = v && topvar g = v && m > v then begin
+            let fs = chain_suffix man f m and gs = chain_suffix man g m in
+            compl (mk_or_chain man v (m - 1) (compl (xor_rec man fs gs)))
+          end
+          else begin
+            let ft, fe = branches man f v and gt, ge = branches man g v in
+            let t = xor_rec man ft gt in
+            let e = xor_rec man fe ge in
+            mk man v ~hi:t ~lo:e
+          end
+        in
         cache_store man k0 k1 0 r;
         r
     in
@@ -1041,7 +1214,9 @@ and ite_aux man f g h =
     budget_tick man;
     man.n_ite <- man.n_ite + 1;
     let v = min (topvar f) (min (topvar g) (topvar h)) in
-    let ft, fe = branches f v and gt, ge = branches g v and ht, he = branches h v in
+    let ft, fe = branches man f v
+    and gt, ge = branches man g v
+    and ht, he = branches man h v in
     let t = ite_norm man ft gt ht in
     let e = ite_norm man fe ge he in
     let r = mk man v ~hi:t ~lo:e in
@@ -1091,12 +1266,12 @@ let cofactor man f ~var phase =
   let memo = Hashtbl.create 64 in
   let rec go f =
     if topvar f > var then f
-    else if topvar f = var then if phase then hi f else lo f
+    else if topvar f = var then if phase then hi man f else lo man f
     else
       match Hashtbl.find_opt memo (uid f) with
       | Some r -> r
       | None ->
-        let r = mk man (topvar f) ~hi:(go (hi f)) ~lo:(go (lo f)) in
+        let r = mk man (topvar f) ~hi:(go (hi man f)) ~lo:(go (lo man f)) in
         Hashtbl.add memo (uid f) r;
         r
   in
@@ -1156,6 +1331,14 @@ let interned_sets man = man.next_iarr
    intermediates. *)
 let quantify_rec man tag combine vars suffix i0 f0 =
   let nv = Array.length vars in
+  (* [x_v] is a chain-OR level of [f]'s root ([t < v < b]): dropping the
+     literal leaves the rest of the chain, [x_t../x_{v-1} \/ x_{v+1}.. \/
+     (x_b ? h : l)], as a regular function. *)
+  let drop_chain_level f v =
+    let n = f.node in
+    let s = chain_suffix man { neg = false; node = n } (v + 1) in
+    mk_or_chain man n.var (v - 1) s
+  in
   let rec go i f =
     if i >= nv then f
     else if is_const f then f
@@ -1167,11 +1350,24 @@ let quantify_rec man tag combine vars suffix i0 f0 =
       | None ->
         budget_tick man;
         man.n_quantify <- man.n_quantify + 1;
-        let i' = if topvar f = vars.(i) then i + 1 else i in
-        let t = go i' (hi f) and e = go i' (lo f) in
+        let v = vars.(i) in
         let r =
-          if topvar f = vars.(i) then combine man t e
-          else mk man (topvar f) ~hi:t ~lo:e
+          if v > topvar f && v < f.node.bot then
+            (* Chain fast path: [x_v] sits strictly inside the root's OR
+               chain.  A regular edge is [X ∨ A]: exists gives [one]
+               (set [x_v]), forall drops the literal.  A complemented
+               edge is [¬x.. ∧ ¬A]: exists drops the literal, forall
+               gives [zero]. *)
+            if tag = tag_forall then
+              if f.neg then zero man else go (i + 1) (drop_chain_level f v)
+            else if f.neg then go (i + 1) (compl (drop_chain_level f v))
+            else one man
+          else begin
+            let i' = if topvar f = v then i + 1 else i in
+            let t = go i' (hi man f) and e = go i' (lo man f) in
+            if topvar f = v then combine man t e
+            else mk man (topvar f) ~hi:t ~lo:e
+          end
         in
         cache_store man k0 k1 0 r;
         r
@@ -1218,7 +1414,7 @@ let and_exists man vars f g =
         | None ->
           budget_tick man;
           man.n_and_exists <- man.n_and_exists + 1;
-          let ft, fe = branches f top and gt, ge = branches g top in
+          let ft, fe = branches man f top and gt, ge = branches man g top in
           let i' = if top = vars.(i) then i + 1 else i in
           let r =
             if top = vars.(i) then or_rec man (go i' ft gt) (go i' fe ge)
@@ -1272,7 +1468,7 @@ let vector_compose man f subs =
             | Some g -> g
             | None -> ithvar man v
           in
-          let r = ite_norm man test (go (hi f)) (go (lo f)) in
+          let r = ite_norm man test (go (hi man f)) (go (lo man f)) in
           cache_store man k0 sid 0 r;
           r
     in
@@ -1295,7 +1491,7 @@ let rec constrain_rec man f c =
       budget_tick man;
       man.n_constrain <- man.n_constrain + 1;
       let v = min (topvar f) (topvar c) in
-      let ft, fe = branches f v and ct, ce = branches c v in
+      let ft, fe = branches man f v and ct, ce = branches man c v in
       let r =
         if is_zero ce then constrain_rec man ft ct
         else if is_zero ct then constrain_rec man fe ce
@@ -1322,9 +1518,9 @@ let rec restrict_rec man f c =
       man.n_restrict <- man.n_restrict + 1;
       let fv = topvar f and cv = topvar c in
       let r =
-        if cv < fv then restrict_rec man f (or_rec man (hi c) (lo c))
+        if cv < fv then restrict_rec man f (or_rec man (hi man c) (lo man c))
         else
-          let ft, fe = branches f fv and ct, ce = branches c fv in
+          let ft, fe = branches man f fv and ct, ce = branches man c fv in
           if is_zero ce then restrict_rec man ft ct
           else if is_zero ct then restrict_rec man fe ce
           else
@@ -1376,16 +1572,34 @@ let shared_size _man fs =
   List.iter (fun e -> go e.node) fs;
   !count
 
-let support man f =
+(* Every chain level is in the support: [h = one, l = one] chains are
+   forbidden by canonical form, so flipping any chained variable always
+   changes the function's value somewhere. *)
+let support _man f =
+  let seen = Hashtbl.create 64 in
   let vars = Hashtbl.create 16 in
-  iter_nodes man f (fun _ v -> if v <> const_var then Hashtbl.replace vars v ());
+  let rec go n =
+    if n.var <> const_var && not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.add seen n.id ();
+      for v = n.var to n.bot do
+        Hashtbl.replace vars v ()
+      done;
+      go n.n_hi.node;
+      go n.n_lo.node
+    end
+  in
+  go f.node;
   List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
 
 let eval f assign =
+  let rec chain_hit v b = v < b && (assign v || chain_hit (v + 1) b) in
   let rec go e =
     if is_const e then not e.neg
-    else if assign (topvar e) then go (hi e)
-    else go (lo e)
+    else
+      let n = e.node in
+      if chain_hit n.var n.bot then not e.neg
+      else if assign n.bot then go { neg = e.neg; node = n.n_hi.node }
+      else go { neg = e.neg <> n.n_lo.neg; node = n.n_lo.node }
   in
   go f
 
@@ -1415,7 +1629,21 @@ let sat_count man f ~nvars =
       match Hashtbl.find_opt memo (uid e) with
       | Some d -> d
       | None ->
-        let d = 0.5 *. (density (hi e) +. density (lo e)) in
+        let n = e.node in
+        let h = { neg = e.neg; node = n.n_hi.node }
+        and l = { neg = e.neg <> n.n_lo.neg; node = n.n_lo.node } in
+        let db = 0.5 *. (density h +. density l) in
+        (* [m] chained levels scale the branch density: a regular chain
+           edge is [X ∨ A] with P = 1 - 2^-m + 2^-m P(A); a complemented
+           one is [¬X ∧ ¬A] with P = 2^-m P(¬A) — and [db] already
+           carries the sign. *)
+        let m = n.bot - n.var in
+        let d =
+          if m = 0 then db
+          else
+            let p = Float.ldexp 1.0 (-m) in
+            if e.neg then p *. db else (1.0 -. p) +. (p *. db)
+        in
         Hashtbl.add memo (uid e) d;
         d
   in
@@ -1430,6 +1658,64 @@ let count_below man f level =
   let n = ref 0 in
   iter_nodes man f (fun _ v -> if v > level then incr n);
   !n
+
+(* ----- Size metrics ----- *)
+
+(* The single entry point for size accounting.  [nodes] is the physical
+   (representation-dependent) count, [chain_nodes] counts how many of
+   those are compressed chains, and [plain_equivalent] is the size the
+   same function has as a plain BDD — the representation-independent
+   metric the minimization verdicts are judged on.
+
+   [plain_equivalent] is exact: expanding a chain node [(t,b,h,l)] into
+   plain form creates one virtual node per level [i] in [t..b], each
+   fully determined by the key [(i, b, id h, uid l)] — distinct chain
+   nodes sharing a tail share the corresponding virtual nodes, and a
+   virtual node at level [b] coincides with a physical plain node
+   [(b,h,l)] when one exists, so keys are deduplicated globally. *)
+module Metric = struct
+  let fold_physical fs k =
+    let seen = Hashtbl.create 64 in
+    let rec go n =
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        k n;
+        if n.var <> const_var then begin
+          go n.n_hi.node;
+          go n.n_lo.node
+        end
+      end
+    in
+    List.iter (fun e -> go e.node) fs
+
+  let shared_nodes _man fs =
+    let count = ref 0 in
+    fold_physical fs (fun _ -> incr count);
+    !count
+
+  let nodes man f = shared_nodes man [ f ]
+
+  let shared_chain_nodes _man fs =
+    let count = ref 0 in
+    fold_physical fs (fun n ->
+        if n.var <> const_var && n.bot > n.var then incr count);
+    !count
+
+  let chain_nodes man f = shared_chain_nodes man [ f ]
+
+  let shared_plain_equivalent _man fs =
+    let keys = Hashtbl.create 64 in
+    fold_physical fs (fun n ->
+        if n.var <> const_var then begin
+          let hid = n.n_hi.node.id and luid = uid n.n_lo in
+          for i = n.var to n.bot do
+            Hashtbl.replace keys (i, n.bot, hid, luid) ()
+          done
+        end);
+    Hashtbl.length keys + 1 (* the terminal *)
+
+  let plain_equivalent man f = shared_plain_equivalent man [ f ]
+end
 
 (* ----- Statistics ----- *)
 
@@ -1587,13 +1873,15 @@ module Shared = struct
     barrier_wait_ns : int;
   }
 
-  let create ?(nvars = 0) ?(stripes = 64) () =
+  let create ?(nvars = 0) ?(stripes = 64) ?(repr : repr = `Bdd) () =
     if stripes < 1 then invalid_arg "Shared.create: stripes";
     let nstripes = min 1024 (next_pow2 stripes 1) in
     let rec terminal =
-      { id = 0; var = const_var; n_hi = self; n_lo = self; mark = false }
+      { id = 0; var = const_var; bot = const_var; n_hi = self; n_lo = self;
+        mark = false }
     and self = { neg = false; node = terminal } in
     {
+      sh_chain = (repr = `Cbdd);
       sh_stripes =
         Array.init nstripes (fun _ ->
             {
@@ -1644,6 +1932,7 @@ module Shared = struct
     let nvars = Atomic.get sh.sh_vars in
     let view =
       {
+        chain = sh.sh_chain;
         vars = nvars;
         uslots = Array.make 1 terminal;
         umask = 0;
@@ -1686,6 +1975,7 @@ module Shared = struct
         gc_nodes = 0;
         peak_live = 0;
         listeners = [];
+        reorder_state = None;
         shared = Some sh;
         op_depth = 0;
       }
@@ -1776,11 +2066,21 @@ module Shared = struct
                 incr count;
                 if n.n_hi.neg then
                   failwith "Shared.self_check: complemented then-edge";
-                if n.var >= n.n_hi.node.var || n.var >= n.n_lo.node.var then
+                if n.var > n.bot then
+                  failwith "Shared.self_check: bot above var";
+                if (not sh.sh_chain) && n.bot > n.var then
+                  failwith "Shared.self_check: chain node in a plain store";
+                if n.bot >= n.n_hi.node.var || n.bot >= n.n_lo.node.var then
                   failwith "Shared.self_check: level order violated";
                 if n.n_hi.node == n.n_lo.node && n.n_hi.neg = n.n_lo.neg then
                   failwith "Shared.self_check: redundant node";
-                let key = (n.var, n.n_hi.node.id, uid n.n_lo) in
+                if
+                  sh.sh_chain
+                  && n.n_hi.node.var = const_var && not n.n_hi.neg
+                  && (not n.n_lo.neg)
+                  && n.n_lo.node.var = n.bot + 1
+                then failwith "Shared.self_check: unabsorbed chain";
+                let key = (n.var, n.bot, n.n_hi.node.id, uid n.n_lo) in
                 if Hashtbl.mem seen key then
                   failwith "Shared.self_check: duplicate node (canonicity)";
                 Hashtbl.add seen key ()

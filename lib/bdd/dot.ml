@@ -19,7 +19,7 @@ let to_dot ?(name = "bdd") ?(var_name = fun v -> Printf.sprintf "x%d" v) man
       Hashtbl.add seen id ();
       pr "  n%d [label=\"%s\"];\n" id (var_name (Core_dd.topvar f));
       let reg = if is_neg f then Core_dd.compl f else f in
-      let hi = Core_dd.hi reg and lo = Core_dd.lo reg in
+      let hi = Core_dd.hi man reg and lo = Core_dd.lo man reg in
       edges :=
         (id, Core_dd.node_id hi, false, is_neg hi)
         :: (id, Core_dd.node_id lo, true, is_neg lo)
@@ -42,7 +42,6 @@ let to_dot ?(name = "bdd") ?(var_name = fun v -> Printf.sprintf "x%d" v) man
          (node_name (Core_dd.node_id f))
          (if is_neg f then " [color=red, arrowhead=odot]" else ""))
     roots;
-  ignore man;
   pr "}\n";
   Buffer.contents buf
 

@@ -25,7 +25,10 @@ let save man roots =
     let id = Core_dd.node_id e in
     if id <> 0 && not (Hashtbl.mem emitted id) then begin
       let reg = if is_complemented e then Core_dd.compl e else e in
-      let hi = Core_dd.hi reg and lo = Core_dd.lo reg in
+      (* Chain nodes serialize through their cofactors: the lo cofactor
+         of a chain is its interned one-level-shorter suffix, so the
+         "bdd 1" format stays representation-agnostic. *)
+      let hi = Core_dd.hi man reg and lo = Core_dd.lo man reg in
       visit hi;
       visit lo;
       Hashtbl.add emitted id ();
@@ -50,7 +53,6 @@ let save man roots =
        Hashtbl.add seen_names name ();
        Buffer.add_string buf (Printf.sprintf "root %s %s\n" name (edge_ref e)))
     roots;
-  ignore man;
   Buffer.contents buf
 
 let save_file path man roots =

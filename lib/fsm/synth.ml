@@ -1,4 +1,5 @@
 type shared = {
+  man : Bdd.man;
   builder : Netlist.builder;
   var_signal : int -> Netlist.signal;
   (* node id -> signal computing the node's REGULAR function *)
@@ -7,8 +8,14 @@ type shared = {
   compl_memo : (int, Netlist.signal) Hashtbl.t;
 }
 
-let make_shared builder ~var_signal =
-  { builder; var_signal; memo = Hashtbl.create 64; compl_memo = Hashtbl.create 64 }
+let make_shared man builder ~var_signal =
+  {
+    man;
+    builder;
+    var_signal;
+    memo = Hashtbl.create 64;
+    compl_memo = Hashtbl.create 64;
+  }
 
 let is_complemented e = Bdd.uid e land 1 = 1
 
@@ -22,8 +29,8 @@ let rec node_signal ctx e =
     | Some s -> s
     | None ->
       let v = Bdd.topvar reg in
-      let t1 = shared_signal ctx (Bdd.hi reg) in
-      let e0 = shared_signal ctx (Bdd.lo reg) in
+      let t1 = shared_signal ctx (Bdd.hi ctx.man reg) in
+      let e0 = shared_signal ctx (Bdd.lo ctx.man reg) in
       let s = Netlist.mux ctx.builder ~sel:(ctx.var_signal v) ~t1 ~e0 in
       Hashtbl.add ctx.memo id s;
       s
@@ -40,8 +47,8 @@ and shared_signal ctx e =
       Hashtbl.add ctx.compl_memo id s;
       s
 
-let signal_of_bdd builder ~var_signal e =
-  shared_signal (make_shared builder ~var_signal) e
+let signal_of_bdd man builder ~var_signal e =
+  shared_signal (make_shared man builder ~var_signal) e
 
 let netlist_of_symbolic ?name (sym : Symbolic.t) =
   let nl = sym.netlist in
@@ -84,7 +91,7 @@ let netlist_of_symbolic ?name (sym : Symbolic.t) =
                 which is neither a current-state variable nor an input"
                v))
   in
-  let ctx = make_shared b ~var_signal in
+  let ctx = make_shared sym.man b ~var_signal in
   List.iteri
     (fun j (_, set) -> set (shared_signal ctx sym.next_fns.(j)))
     latches;

@@ -9,21 +9,23 @@
     sequentially equivalent to the original. *)
 
 val signal_of_bdd :
+  Bdd.man ->
   Netlist.builder ->
   var_signal:(int -> Netlist.signal) ->
   Bdd.t ->
   Netlist.signal
 (** Build gates computing the function of the BDD inside the given
-    builder; [var_signal] maps BDD levels to driver signals.  Nodes
-    shared inside one call are shared structurally; pass the same memo
-    across calls with {!make_shared}. *)
+    builder; [var_signal] maps BDD levels to driver signals (the
+    manager is needed to expand chain nodes into their per-level
+    cofactors).  Nodes shared inside one call are shared structurally;
+    pass the same memo across calls with {!make_shared}. *)
 
 type shared
 (** A synthesis context sharing gates across several {!shared_signal}
     calls within one builder. *)
 
 val make_shared :
-  Netlist.builder -> var_signal:(int -> Netlist.signal) -> shared
+  Bdd.man -> Netlist.builder -> var_signal:(int -> Netlist.signal) -> shared
 
 val shared_signal : shared -> Bdd.t -> Netlist.signal
 

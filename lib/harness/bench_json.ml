@@ -98,6 +98,28 @@ let parallel_row = function
       (num p.par_seq_seconds) (num p.par_par_seconds) (num p.par_speedup)
       p.par_identical
 
+(* CBDD ablation: the quick capture suite re-run under `Cbdd, compared
+   against the plain run of the same workload. *)
+type cbdd_stats = {
+  cbdd_calls : int;
+  cbdd_plain_total : int;
+  cbdd_chain_total : int;
+  cbdd_seconds : float;
+  cbdd_verdicts_identical : bool;
+}
+
+let cbdd_row = function
+  | None -> "null"
+  | Some a ->
+    Printf.sprintf
+      "{\"calls\":%d,\"plain_total\":%d,\"chain_total\":%d,\
+       \"compression\":%s,\"seconds\":%s,\"verdicts_identical\":%b}"
+      a.cbdd_calls a.cbdd_plain_total a.cbdd_chain_total
+      (num
+         (if a.cbdd_chain_total = 0 then 1.0
+          else float_of_int a.cbdd_plain_total /. float_of_int a.cbdd_chain_total))
+      (num a.cbdd_seconds) a.cbdd_verdicts_identical
+
 let telemetry_row = function
   | None -> "null"
   | Some t ->
@@ -138,9 +160,9 @@ let serve_row = function
       (telemetry_row s.serve_telemetry)
       (server_row s.serve_server)
 
-let render ?serve ?parallel ~jobs ~quick ~max_calls ~image ~limits ~benches
-    ~capture_seconds ~phases ~names ~(engine : Bdd.Stats.t) ~dnf
-    (calls : Capture.call list) =
+let render ?serve ?parallel ?cbdd ?(repr : Bdd.repr = `Bdd) ~jobs ~quick
+    ~max_calls ~image ~limits ~benches ~capture_seconds ~phases ~names
+    ~(engine : Bdd.Stats.t) ~dnf (calls : Capture.call list) =
   let minimizer_rows =
     List.map
       (fun name ->
@@ -149,6 +171,11 @@ let render ?serve ?parallel ~jobs ~quick ~max_calls ~image ~limits ~benches
            List.fold_left
              (fun acc (c : Capture.call) ->
                 acc + Option.value (pick c.sizes) ~default:0)
+             0 calls
+         and total_chain_size =
+           List.fold_left
+             (fun acc (c : Capture.call) ->
+                acc + Option.value (pick c.chain_sizes) ~default:0)
              0 calls
          and total_seconds =
            List.fold_left
@@ -169,10 +196,10 @@ let render ?serve ?parallel ~jobs ~quick ~max_calls ~image ~limits ~benches
            | hs -> List.fold_left ( +. ) 0.0 hs /. float_of_int (List.length hs)
          in
          Printf.sprintf
-           "{\"name\":\"%s\",\"total_size\":%d,\"total_seconds\":%s,\
-            \"mean_hit_rate\":%s,\"dnf_calls\":%d}"
-           (escape name) total_size (num total_seconds) (num mean_hit_rate)
-           dnf_calls)
+           "{\"name\":\"%s\",\"total_size\":%d,\"total_chain_size\":%d,\
+            \"total_seconds\":%s,\"mean_hit_rate\":%s,\"dnf_calls\":%d}"
+           (escape name) total_size total_chain_size (num total_seconds)
+           (num mean_hit_rate) dnf_calls)
       names
   in
   let phase_rows =
@@ -224,7 +251,8 @@ let render ?serve ?parallel ~jobs ~quick ~max_calls ~image ~limits ~benches
   in
   Printf.sprintf
     "{\n\
-    \  \"schema\": \"bddmin-bench-engine/7\",\n\
+    \  \"schema\": \"bddmin-bench-engine/8\",\n\
+    \  \"repr\": \"%s\",\n\
     \  \"jobs\": %d,\n\
     \  \"quick\": %b,\n\
     \  \"max_calls\": %d,\n\
@@ -236,20 +264,22 @@ let render ?serve ?parallel ~jobs ~quick ~max_calls ~image ~limits ~benches
     \  \"minimizers\": [%s],\n\
     \  \"serve\": %s,\n\
     \  \"parallel\": %s,\n\
+    \  \"cbdd\": %s,\n\
     \  \"engine\": %s\n\
      }\n"
-    jobs quick max_calls (escape image) limits_row benches (List.length calls)
+    (Bdd.repr_label repr) jobs quick max_calls (escape image) limits_row
+    benches (List.length calls)
     (num capture_seconds)
     (String.concat ", " dnf_rows)
     (String.concat ", " phase_rows)
     (String.concat ", " minimizer_rows)
-    (serve_row serve) (parallel_row parallel) engine_row
+    (serve_row serve) (parallel_row parallel) (cbdd_row cbdd) engine_row
 
-let write ?serve ?parallel ~path ~jobs ~quick ~max_calls ~image ~limits
-    ~benches ~capture_seconds ~phases ~names ~engine ~dnf calls =
+let write ?serve ?parallel ?cbdd ?repr ~path ~jobs ~quick ~max_calls ~image
+    ~limits ~benches ~capture_seconds ~phases ~names ~engine ~dnf calls =
   let doc =
-    render ?serve ?parallel ~jobs ~quick ~max_calls ~image ~limits ~benches
-      ~capture_seconds ~phases ~names ~engine ~dnf calls
+    render ?serve ?parallel ?cbdd ?repr ~jobs ~quick ~max_calls ~image ~limits
+      ~benches ~capture_seconds ~phases ~names ~engine ~dnf calls
   in
   let oc = open_out path in
   output_string oc doc;

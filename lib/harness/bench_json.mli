@@ -1,10 +1,11 @@
 (** The machine-readable benchmark baseline ([BENCH_engine.json]).
 
-    One JSON document per benchmark run, schema ["bddmin-bench-engine/7"],
+    One JSON document per benchmark run, schema ["bddmin-bench-engine/8"],
     with every key always present:
 
     {v
-    schema       string  "bddmin-bench-engine/7"
+    schema       string  "bddmin-bench-engine/8"
+    repr         string  "bdd" | "cbdd" — node representation of the run
     jobs         int     worker domains used for the capture suite
     quick        bool    small sub-suite?
     max_calls    int     per-benchmark cap on measured calls
@@ -14,8 +15,8 @@
     suite        { benches, calls, capture_seconds }
     dnf          [ { bench, reason } ]   benchmarks whose driver DNF'd
     phases       [ { name, seconds } ]   wall time, execution order
-    minimizers   [ { name, total_size, total_seconds, mean_hit_rate,
-                     dnf_calls } ]
+    minimizers   [ { name, total_size, total_chain_size, total_seconds,
+                     mean_hit_rate, dnf_calls } ]
     serve        { clients, requests, workers, seconds, requests_per_sec,
                    p50_ms, p95_ms, p99_ms, mean_ms, ok_replies,
                    dnf_replies, partial_replies, busy_replies,
@@ -26,6 +27,11 @@
                    gc_barrier_waits, gc_barrier_wait_ms, seq_seconds,
                    par_seconds, speedup, identical }
                  or null when the parallel-engine phase was skipped
+    cbdd         { calls, plain_total, chain_total, compression, seconds,
+                   verdicts_identical }
+                 — the CBDD ablation row (the quick suite re-captured
+                 under the chain-reduced representation, compared to
+                 the plain run) — or null when that phase was skipped
     engine       Bdd.Stats.t counters (summed over the suite's managers)
     v}
 
@@ -57,7 +63,10 @@
     manager tier's telemetry (unique-table stripes, intern lock
     retries, stop-the-world barrier waits) and the seq-vs-par timing
     and canonical-identity verdict of the parallel reachability
-    workload ([null] when that phase is disabled).
+    workload ([null] when that phase is disabled); [/8] added the
+    top-level [repr] field, the per-minimizer [total_chain_size]
+    column (physical nodes — equal to [total_size] under ["bdd"]) and
+    the [cbdd] ablation section.
 
     Committed snapshots of this file are the perf trajectory: every
     change regenerates it ([make bench-json] or [bddmin bench]) and
@@ -129,9 +138,24 @@ type parallel_stats = {
 (** The [parallel] section — concurrent manager telemetry plus the
     seq-vs-par comparison of the phase's reachability workload. *)
 
+type cbdd_stats = {
+  cbdd_calls : int;  (** measured calls of the ablation capture *)
+  cbdd_plain_total : int;
+      (** total plain-equivalent [min] size over the ablation's calls *)
+  cbdd_chain_total : int;
+      (** total chain-aware (physical) [min] size over the same calls *)
+  cbdd_seconds : float;  (** ablation capture wall time *)
+  cbdd_verdicts_identical : bool;
+      (** per-call [min_size]/[min_name] verdicts matched the plain run *)
+}
+(** The [cbdd] ablation section; [compression] is derived
+    (plain/chain). *)
+
 val render :
   ?serve:serve_stats ->
   ?parallel:parallel_stats ->
+  ?cbdd:cbdd_stats ->
+  ?repr:Bdd.repr ->
   jobs:int ->
   quick:bool ->
   max_calls:int ->
@@ -154,6 +178,8 @@ val render :
 val write :
   ?serve:serve_stats ->
   ?parallel:parallel_stats ->
+  ?cbdd:cbdd_stats ->
+  ?repr:Bdd.repr ->
   path:string ->
   jobs:int ->
   quick:bool ->

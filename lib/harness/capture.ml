@@ -9,8 +9,10 @@ type call = {
   iteration : int;
   origin : origin;
   f_size : int;
+  f_chain_size : int;
   c_onset_fraction : float;
   sizes : (string * int) list;
+  chain_sizes : (string * int) list;
   times : (string * float) list;
   hit_rates : (string * float) list;
   dnf : (string * string) list;
@@ -21,6 +23,7 @@ type call = {
 
 type engine_config = {
   entries : Minimize.Registry.entry list;
+  repr : Bdd.repr;
   lower_bound_cubes : int;
   self_product : bool;
   flush_caches : bool;
@@ -53,6 +56,7 @@ let default_config =
     engine =
       {
         entries = Minimize.Registry.all;
+        repr = `Bdd;
         lower_bound_cubes = 1000;
         self_product = true;
         flush_caches = true;
@@ -72,6 +76,7 @@ let default_config =
   }
 
 let with_entries entries c = { c with engine = { c.engine with entries } }
+let with_repr repr c = { c with engine = { c.engine with repr } }
 
 let with_lower_bound_cubes lower_bound_cubes c =
   { c with engine = { c.engine with lower_bound_cubes } }
@@ -157,7 +162,7 @@ let measure_call config ?cancelled man ~bench ~iteration ~origin
       if Obs.Trace.enabled () then begin
         let d get = get s1 - get s0 in
         Obs.Trace.add sp "result_nodes"
-          (Obs.Trace.Int (Bdd.size man (fst r)));
+          (Obs.Trace.Int (Bdd.Metric.nodes man (fst r)));
         Obs.Trace.add sp "cache_lookups"
           (Obs.Trace.Int (d (fun s -> s.Bdd.Stats.cache_lookups)));
         Obs.Trace.add sp "cache_hits"
@@ -189,7 +194,16 @@ let measure_call config ?cancelled man ~bench ~iteration ~origin
             if lookups = 0 then 0.0
             else float_of_int hits /. float_of_int lookups
           in
-          Ok (e.name, Bdd.size man g, dt, hit_rate))
+          (* Verdicts anchor on the representation-independent plain
+             size (identical covers rank identically under either
+             repr); the physical node count rides along so chain
+             compression is visible without changing any winner. *)
+          Ok
+            ( e.name,
+              Bdd.Metric.plain_equivalent man g,
+              Bdd.Metric.nodes man g,
+              dt,
+              hit_rate ))
   in
   let results = List.map run_entry config.engine.entries in
   let completed =
@@ -207,7 +221,7 @@ let measure_call config ?cancelled man ~bench ~iteration ~origin
   | _ ->
     let min_name, min_size =
       List.fold_left
-        (fun (bn, bs) (n, s, _, _) -> if s < bs then (n, s) else (bn, bs))
+        (fun (bn, bs) (n, s, _, _, _) -> if s < bs then (n, s) else (bn, bs))
         ("", max_int) completed
     in
     let low_bd =
@@ -219,11 +233,13 @@ let measure_call config ?cancelled man ~bench ~iteration ~origin
         bench;
         iteration;
         origin;
-        f_size = Bdd.size man inst.Minimize.Ispec.f;
+        f_size = Bdd.Metric.plain_equivalent man inst.Minimize.Ispec.f;
+        f_chain_size = Bdd.Metric.nodes man inst.Minimize.Ispec.f;
         c_onset_fraction = Minimize.Ispec.c_onset_fraction man inst;
-        sizes = List.map (fun (n, s, _, _) -> (n, s)) completed;
-        times = List.map (fun (n, _, t, _) -> (n, t)) completed;
-        hit_rates = List.map (fun (n, _, _, h) -> (n, h)) completed;
+        sizes = List.map (fun (n, s, _, _, _) -> (n, s)) completed;
+        chain_sizes = List.map (fun (n, _, cs, _, _) -> (n, cs)) completed;
+        times = List.map (fun (n, _, _, t, _) -> (n, t)) completed;
+        hit_rates = List.map (fun (n, _, _, _, h) -> (n, h)) completed;
         dnf;
         min_size;
         min_name;
@@ -239,7 +255,7 @@ type bench_result = {
 
 let run_bench_stats ?(config = default_config) ?cancel
     (b : Circuits.Registry.bench) =
-  let man = Bdd.new_man () in
+  let man = Bdd.create ~repr:config.engine.repr () in
   let cancelled =
     Option.map (fun t () -> Exec.Cancel.cancelled t) cancel
   in

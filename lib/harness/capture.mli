@@ -27,10 +27,19 @@ type call = {
   bench : string;
   iteration : int;
   origin : origin;
-  f_size : int;  (** [|f|], the unminimized function *)
+  f_size : int;
+  (** [|f|], the unminimized function, as a plain-BDD node count
+      ({!Bdd.Metric.plain_equivalent}) — representation-independent *)
+  f_chain_size : int;
+  (** physical node count of [f] ({!Bdd.Metric.nodes}); equals [f_size]
+      under [`Bdd], smaller under [`Cbdd] when chains compress *)
   c_onset_fraction : float;  (** the paper's [c_onset_size], in [0, 1] *)
   sizes : (string * int) list;
-  (** result size per minimizer that completed within budget *)
+  (** result size per minimizer that completed within budget, as
+      plain-equivalent node counts, so verdicts and rankings are
+      identical across representations *)
+  chain_sizes : (string * int) list;
+  (** physical (chain-aware) node count per completed minimizer *)
   times : (string * float) list;  (** seconds per completed minimizer *)
   hit_rates : (string * float) list;
   (** computed-cache hit rate ([0, 1]) observed while each minimizer ran
@@ -59,6 +68,10 @@ type call = {
 
 type engine_config = {
   entries : Minimize.Registry.entry list;
+  repr : Bdd.repr;
+  (** node representation of every benchmark manager (default [`Bdd]);
+      under [`Cbdd] the [sizes]/[min] columns are unchanged (they are
+      plain-equivalent counts) while [chain_sizes] shrinks *)
   lower_bound_cubes : int;
   self_product : bool;
   (** intercept inside the product-machine self-equivalence check (the
@@ -121,6 +134,7 @@ val default_config : config
 (** {2 Builders} *)
 
 val with_entries : Minimize.Registry.entry list -> config -> config
+val with_repr : Bdd.repr -> config -> config
 val with_lower_bound_cubes : int -> config -> config
 val with_self_product : bool -> config -> config
 val with_flush_caches : bool -> config -> config

@@ -36,7 +36,7 @@ let run ?(jobs = 2) ?(benches = default_benches) ?(progress = fun _ -> ())
     (fun (name, _) (s, p) ->
        progress
          (Printf.sprintf "%-10s |R| = %4d nodes   par %s" name
-            (Bdd.size man s)
+            (Bdd.Metric.nodes man s)
             (if Bdd.equal s p then "identical" else "DIVERGED")))
     machines
     (List.combine seq_results par_results);

@@ -25,13 +25,13 @@ let minimize man ?(max_support = 8) ?(max_dc = 16) (s : Ispec.t) =
     if d > max_dc then None
     else begin
       let dc_arr = Array.of_list dc_points in
-      let scratch = ref (Bdd.new_man ~nvars:k ()) in
+      let scratch = ref (Bdd.create ~nvars:k ()) in
       let onset = Array.init (1 lsl k) (fun m -> Tt.get tt_f m && Tt.get tt_c m) in
       let best_size = ref max_int in
       let best_mask = ref 0 in
       for mask = 0 to (1 lsl d) - 1 do
         (* Bound scratch-manager growth during long enumerations. *)
-        if mask land 0xfff = 0xfff then scratch := Bdd.new_man ~nvars:k ();
+        if mask land 0xfff = 0xfff then scratch := Bdd.create ~nvars:k ();
         let value m =
           if Tt.get tt_c m then onset.(m)
           else

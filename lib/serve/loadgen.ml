@@ -72,7 +72,7 @@ type stats = {
    function with a complemented one so the don't-care set is dense
    enough to matter. *)
 let build_payload ~nvars ~seed =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let state = ref ((seed + 0x9E3779B9) land 0x3FFFFFFF) in
   let rand n =
     state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
@@ -129,7 +129,7 @@ let scrape_server_counters addr =
 
 let run ?(clients = 4) ?(requests = 100) ?connect ?workers
     ?(heuristic = "sched") ?(nvars = 12) ?(seed = 1) ?max_steps ?timeout_ms
-    ?(explain = false) ?(sessions = false) ?(duplicate_rate = 0.0) () =
+    ?(explain = false) ?(sessions = false) ?(duplicate_rate = 0.0) ?repr () =
   if clients < 1 then invalid_arg "Serve.Loadgen.run: clients must be >= 1";
   if requests < 0 then invalid_arg "Serve.Loadgen.run: negative requests";
   if duplicate_rate < 0.0 || duplicate_rate > 1.0 then
@@ -146,7 +146,7 @@ let run ?(clients = 4) ?(requests = 100) ?connect ?workers
       in
       let path = Filename.temp_file "bddmin-serve" ".sock" in
       Sys.remove path;
-      let srv = Server.start ~workers (Server.Unix_path path) in
+      let srv = Server.start ~workers ?repr (Server.Unix_path path) in
       (Some srv, Client.Unix_path path, workers)
   in
   let per_client k =
@@ -176,7 +176,7 @@ let run ?(clients = 4) ?(requests = 100) ?connect ?workers
       if not sessions then None
       else
         match
-          Client.session_open c payloads.(k mod Array.length payloads)
+          Client.session_open c ?repr payloads.(k mod Array.length payloads)
         with
         | Ok (`Session sid) -> Some sid
         | Error _ ->
@@ -197,7 +197,8 @@ let run ?(clients = 4) ?(requests = 100) ?connect ?workers
       in
       let t0 = Obs.Clock.now_ns () in
       let r =
-        Client.minimize c ~heuristic ?max_steps ?timeout_ms ~explain source
+        Client.minimize c ~heuristic ?max_steps ?timeout_ms ?repr ~explain
+          source
       in
       lat.(j) <-
         Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e6;

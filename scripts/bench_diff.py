@@ -24,7 +24,14 @@ object — shared-store concurrent-manager telemetry plus the
 seq-vs-par timing of the parallel reachability workload; its
 "identical" flag (parallel results byte-identical to sequential)
 always gates, while the timing fields are reported ungated (a
-single-CPU host cannot demonstrate speedup).
+single-CPU host cannot demonstrate speedup).  Schema /8 adds the
+top-level "repr" (node representation of the run: "bdd" or "cbdd"),
+per-minimizer total_chain_size, and a "cbdd" ablation object.  Runs
+whose repr differs are never gated against each other (chain-reduced
+managers do different amounts of per-node work), and the ablation's
+verdicts_identical flag gates unconditionally — the chain-reduced
+representation diverging from plain on any minimization verdict is a
+correctness bug.
 
 Exit status is 0 unless --strict is given AND a gated regression was
 found AND the two runs were actually comparable (same jobs / quick /
@@ -49,6 +56,7 @@ SCHEMAS = (
     "bddmin-bench-engine/5",
     "bddmin-bench-engine/6",
     "bddmin-bench-engine/7",
+    "bddmin-bench-engine/8",
 )
 
 # Counters that measure algorithmic work (deterministic for a given
@@ -67,8 +75,10 @@ WORK_COUNTERS = (
 
 # Configuration keys that must match for timings/counters to be
 # comparable.  "image" only exists from schema /2 on, "limits" (the
-# resource budgets) from /3 on.
-CONFIG_KEYS = ("jobs", "quick", "max_calls", "image", "limits")
+# resource budgets) from /3 on, "repr" (the node representation) from
+# /8 on — a pre-/8 baseline is implicitly a plain-"bdd" run, so a
+# missing repr only mismatches a fresh "cbdd" one.
+CONFIG_KEYS = ("jobs", "quick", "max_calls", "image", "limits", "repr")
 
 
 def load(path):
@@ -115,6 +125,9 @@ def main():
     comparable = True
     for key in CONFIG_KEYS:
         b, f = base.get(key), fresh.get(key)
+        if key == "repr":
+            # pre-/8 documents are implicitly plain-"bdd" runs
+            b, f = b or "bdd", f or "bdd"
         if b is not None and f is not None and b != f:
             print(f"note: {key} differs (baseline {b!r}, fresh {f!r})")
             comparable = False
@@ -307,6 +320,29 @@ def main():
         if not fresh_par["identical"]:
             regressions.append(
                 "parallel: results diverged from sequential run")
+
+    # Schema /8: CBDD ablation section (null when the phase was skipped,
+    # absent before /8).  verdicts_identical gates unconditionally — a
+    # chain-reduced capture must reach every plain verdict; compression
+    # is reported only (it depends on the suite's chain structure).
+    base_cbdd, fresh_cbdd = base.get("cbdd"), fresh.get("cbdd")
+    if fresh_cbdd:
+        print(f"\n{'cbdd ablation':<24}{'baseline':>14}{'fresh':>14}")
+        for key in ("calls", "plain_total", "chain_total"):
+            old = (base_cbdd or {}).get(key)
+            print(f"{key:<24}{'—' if old is None else old:>14}"
+                  f"{fresh_cbdd[key]:>14}")
+        for key in ("compression", "seconds"):
+            old = (base_cbdd or {}).get(key)
+            print(f"{key:<24}"
+                  f"{'—' if old is None else format(old, '>12.3f'):>14}"
+                  f"{fresh_cbdd[key]:>14.3f}")
+        print(f"{'verdicts_identical':<24}"
+              f"{'—' if base_cbdd is None else str(base_cbdd['verdicts_identical']):>14}"
+              f"{str(fresh_cbdd['verdicts_identical']):>14}")
+        if not fresh_cbdd["verdicts_identical"]:
+            regressions.append(
+                "cbdd: minimization verdicts diverged from the plain run")
 
     base_min = {m["name"]: m for m in base["minimizers"]}
     print(f"\n{'minimizer':<12}{'size':>10}{'sizeΔ':>8}{'seconds':>12}   delta")

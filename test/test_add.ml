@@ -92,14 +92,14 @@ let depth_matches_explicit =
          Circuits.Random_fsm.make
            { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed }
        in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let sym = Fsm.Symbolic.of_netlist man nl in
        let d = Fsm.Depth.compute sym in
        let explicit = Fsm.Explicit.reachable nl in
        d.Fsm.Depth.diameter = explicit.Fsm.Explicit.depth)
 
 let counter_depths () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Fsm.Symbolic.of_netlist man (Circuits.Counter.make ~width:4 ()) in
   let d = Fsm.Depth.compute sym in
   Util.checki "diameter 15" 15 d.Fsm.Depth.diameter;
@@ -113,7 +113,7 @@ let counter_depths () =
     [ 0; 1; 7; 15 ]
 
 let rings_partition () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Fsm.Symbolic.of_netlist man (Circuits.Gray.make ~width:4) in
   let d = Fsm.Depth.compute sym in
   let reached, _ = Fsm.Reach.reachable sym in

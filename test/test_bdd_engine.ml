@@ -47,8 +47,8 @@ let tiny_cache_differential =
     (fun (s1, s2) ->
        (* cache_bits = 2 and a budget that forbids growth: every probe
           conflicts constantly, so most lookups are forced evictions. *)
-       let small = Bdd.new_man ~cache_bits:2 ~cache_budget:0 () in
-       let big = Bdd.new_man () in
+       let small = Bdd.create ~cache_bits:2 ~cache_bytes:0 () in
+       let big = Bdd.create () in
        let ft = tt_of_seed nvars s1 and ct = tt_of_seed nvars s2 in
        let r_small =
          op_results small (Tt.to_bdd small ft) (Tt.to_bdd small ct)
@@ -60,8 +60,8 @@ let forced_gc_differential =
   Util.qtest ~count:150 "forced GC cycles never change operator results"
     gen_seeds
     (fun (s1, s2) ->
-       let man = Bdd.new_man () in
-       let big = Bdd.new_man () in
+       let man = Bdd.create () in
+       let big = Bdd.create () in
        let ft = tt_of_seed nvars s1 and ct = tt_of_seed nvars s2 in
        let f = Tt.to_bdd man ft and c = Tt.to_bdd man ct in
        (* Root the inputs, then interleave operator runs with full
@@ -84,7 +84,7 @@ let kernel_vs_ite_differential =
   Util.qtest ~count:200 "specialized and/or/xor kernels agree with raw ite"
     gen_seeds
     (fun (s1, s2) ->
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let f = Tt.to_bdd man (tt_of_seed nvars s1) in
        let g = Tt.to_bdd man (tt_of_seed nvars s2) in
        (* The 3-operand encodings the kernels replace.  [ite] itself
@@ -113,7 +113,7 @@ let kernel_vs_ite_differential =
        List.for_all (fun (a, b) -> Bdd.equal a b) cases)
 
 let kernel_counters () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x i = Bdd.ithvar man i in
   ignore (Bdd.and_ man (x 0) (x 1));
   ignore (Bdd.xor man (x 2) (x 3));
@@ -131,7 +131,7 @@ let kernel_counters () =
     (s2.Bdd.Stats.cache_hits > s1.Bdd.Stats.cache_hits)
 
 let stats_delta () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x i = Bdd.ithvar man i in
   let before = Bdd.snapshot man in
   let f = Bdd.and_ man (x 0) (Bdd.xor man (x 1) (x 2)) in
@@ -165,7 +165,7 @@ let canonicity_after_gc_churn =
   Util.qtest ~count:100 "equal iff same uid holds after GC under churn"
     gen_seeds
     (fun (s1, s2) ->
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let f = Tt.to_bdd man (tt_of_seed nvars s1) in
        let c = Tt.to_bdd man (tt_of_seed nvars s2) in
        Bdd.ref_ man f;
@@ -189,7 +189,7 @@ let canonicity_after_gc_churn =
        !ok)
 
 let gc_reclaims_and_roots_survive () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x i = Bdd.ithvar man i in
   let kept = Bdd.dand man (x 0) (Bdd.dor man (x 1) (x 2)) in
   Bdd.ref_ man kept;
@@ -219,7 +219,7 @@ let gc_reclaims_and_roots_survive () =
     (Bdd.snapshot man).Bdd.Stats.live_nodes
 
 let with_root_protects () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x i = Bdd.ithvar man i in
   let f = Bdd.dand man (x 0) (x 1) in
   let uid_inside =
@@ -233,7 +233,7 @@ let with_root_protects () =
     (Bdd.snapshot man).Bdd.Stats.external_refs
 
 let eviction_counters () =
-  let man = Bdd.new_man ~cache_bits:1 ~cache_budget:0 () in
+  let man = Bdd.create ~cache_bits:1 ~cache_bytes:0 () in
   let x i = Bdd.ithvar man i in
   (* enough distinct operations to overflow a 2-entry cache many times *)
   let acc = ref (Bdd.zero man) in
@@ -251,7 +251,7 @@ let eviction_counters () =
 
 let cache_growth_bounded () =
   (* 4-entry start, budget for exactly 64 entries: growth must stop there *)
-  let man = Bdd.new_man ~cache_bits:2 ~cache_budget:(64 * 32) () in
+  let man = Bdd.create ~cache_bits:2 ~cache_bytes:(64 * 32) () in
   let x i = Bdd.ithvar man i in
   let acc = ref (Bdd.zero man) in
   for i = 0 to 11 do
@@ -265,7 +265,7 @@ let cache_growth_bounded () =
 let auto_gc_triggers () =
   (* With a rooted edge and lots of garbage, the automatic trigger must
      eventually fire a collection on its own. *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x i = Bdd.ithvar man i in
   let kept = Bdd.dand man (x 0) (x 1) in
   Bdd.ref_ man kept;
@@ -281,7 +281,7 @@ let auto_gc_triggers () =
     (Bdd.uid (Bdd.dand man (x 0) (x 1)) = Bdd.uid kept)
 
 let stats_labels_honest () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x i = Bdd.ithvar man i in
   let f = Bdd.dand man (x 0) (x 1) in
   ignore (Bdd.dor man f (x 2));
@@ -316,7 +316,7 @@ let sat_count_undersized_space () =
     (Bdd.sat_count man g ~nvars:2 = 1.0)
 
 let cube_interning () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   Util.checki "sorted/deduped identity"
     (Bdd.cube_id man [ 3; 1; 2; 1 ])
     (Bdd.cube_id man [ 1; 2; 3 ]);
@@ -332,7 +332,7 @@ let cube_interning () =
     (Bdd.snapshot man).Bdd.Stats.interned_cubes
 
 let quantify_cache_persists () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let f = Tt.to_bdd man (tt_of_seed 6 0xbeef) in
   let g = Bdd.exists man [ 0; 2; 4 ] f in
   let s1 = Bdd.snapshot man in
@@ -352,7 +352,7 @@ let quantify_cache_persists () =
     (s3.Bdd.Stats.quantify_recursions > s2.Bdd.Stats.quantify_recursions)
 
 let and_exists_counted () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let f = Tt.to_bdd man (tt_of_seed 6 0x1234) in
   let g = Tt.to_bdd man (tt_of_seed 6 0x5678) in
   let r = Bdd.and_exists man [ 0; 1; 2 ] f g in
@@ -368,7 +368,7 @@ let and_exists_counted () =
     (Bdd.snapshot man).Bdd.Stats.and_exists_recursions
 
 let clear_caches_keeps_nodes () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x i = Bdd.ithvar man i in
   let f = Bdd.dand man (x 0) (x 1) in
   let live = (Bdd.snapshot man).Bdd.Stats.live_nodes in

@@ -133,7 +133,7 @@ let roundtrip_counter () =
   match Fsm.Blif.parse printed with
   | Error e -> Alcotest.fail e
   | Ok nl2 ->
-    let man = Bdd.new_man () in
+    let man = Bdd.create () in
     (match Fsm.Equiv.check man nl nl2 with
      | Fsm.Equiv.Equivalent _ -> ()
      | Fsm.Equiv.Not_equivalent _ -> Alcotest.fail "round trip changed behaviour")
@@ -150,7 +150,7 @@ let roundtrip_random =
        match Fsm.Blif.parse printed with
        | Error _ -> false
        | Ok nl2 ->
-         let man = Bdd.new_man () in
+         let man = Bdd.create () in
          (match Fsm.Equiv.check man nl nl2 with
           | Fsm.Equiv.Equivalent _ -> true
           | Fsm.Equiv.Not_equivalent _ -> false))

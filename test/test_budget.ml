@@ -45,7 +45,7 @@ let budget_basics () =
     ]
 
 let step_budget_trips () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let s = deep_instance man in
   let b = B.create ~max_steps:2 () in
   (match Bdd.with_budget man b (fun () -> Bdd.constrain man s.I.f s.I.c) with
@@ -59,7 +59,7 @@ let step_budget_trips () =
     (Bdd.current_budget man = None)
 
 let cancellation_trips () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let s = deep_instance man in
   let t = Exec.Cancel.create () in
   Exec.Cancel.cancel t;
@@ -70,7 +70,7 @@ let cancellation_trips () =
      | exception Bdd.Budget_exhausted B.Cancelled -> true)
 
 let time_budget_trips () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let s = deep_instance man in
   (* An already-expired deadline: the first polled step trips it. *)
   let b = B.create ~timeout_s:1e-9 () in
@@ -84,7 +84,7 @@ let deadline_checked_at_entry () =
      public operation even when that operation would do no cache-missing
      recursion at all (terminal rule or warm cache), which is what keeps
      a server's deadline latency bounded by one operation. *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x = Bdd.ithvar man 0 and y = Bdd.ithvar man 1 in
   let b = B.create ~timeout_s:0.005 () in
   Bdd.with_budget man b (fun () ->
@@ -103,7 +103,7 @@ let deadline_checked_at_entry () =
       | exception Bdd.Budget_exhausted (B.Time _) -> ())
 
 let cancel_checked_at_entry () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x = Bdd.ithvar man 0 in
   let flag = ref false in
   let b = B.create ~cancelled:(fun () -> !flag) () in
@@ -115,7 +115,7 @@ let cancel_checked_at_entry () =
       | exception Bdd.Budget_exhausted B.Cancelled -> ())
 
 let node_budget_trips () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let s = deep_instance man in
   (* The instance already interned more nodes than the ceiling, so the
      first budgeted step sees live > limit. *)
@@ -130,7 +130,7 @@ let node_budget_trips () =
        live > 2)
 
 let unlimited_budget_never_trips () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let s = deep_instance man in
   let b = B.create () in
   let g = Bdd.with_budget man b (fun () -> Bdd.constrain man s.I.f s.I.c) in
@@ -158,7 +158,7 @@ let consistency_after_abort =
          let c = if Bdd.is_zero c then Bdd.one man else c in
          (f, c)
        in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let f, c = build man in
        (* Abort a few different kernels mid-recursion. *)
        List.iter
@@ -177,7 +177,7 @@ let consistency_after_abort =
        (* The manager still GCs cleanly after the aborts. *)
        ignore (Bdd.gc man);
        (* Unbudgeted retries on the aborted manager vs. a fresh manager. *)
-       let man2 = Bdd.new_man () in
+       let man2 = Bdd.create () in
        let f2, c2 = build man2 in
        let same op op2 =
          Tt.equal (Tt.of_bdd man ~nvars:n (op f c))
@@ -214,7 +214,7 @@ let schedule_best_so_far =
 (* ----- registry: run installs the context budget; best skips DNFs ----- *)
 
 let registry_run_installs_budget () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let s = deep_instance man in
   let e = Option.get (R.find "const") in
   let b = B.create ~max_steps:2 () in
@@ -229,7 +229,7 @@ let registry_run_installs_budget () =
     (Bdd.equal g (Bdd.constrain man s.I.f s.I.c))
 
 let best_skips_exhausted () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let s = deep_instance man in
   (* f_orig performs no kernel work, so it always completes: best must
      return even under a 1-step budget. *)
@@ -247,7 +247,7 @@ let best_skips_exhausted () =
   Util.checkb "budget recorded the exhaustion" (B.exhausted b <> None)
 
 let best_raises_when_all_exhaust () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let s = deep_instance man in
   let b = B.create ~max_steps:1 () in
   let ctx = Minimize.Ctx.make ~budget:b man in
@@ -266,7 +266,7 @@ let reach_partial_resume () =
     (Option.get (Circuits.Registry.find "gray6")).Circuits.Registry.build ()
   in
   (* Reference traversal on its own manager. *)
-  let man_full = Bdd.new_man () in
+  let man_full = Bdd.create () in
   let _, st_full =
     Fsm.Reach.reachable (Fsm.Symbolic.of_netlist man_full nl)
   in
@@ -275,7 +275,7 @@ let reach_partial_resume () =
   (* Starve a cold traversal on a fresh manager (ticks fire on cache
      misses, so a warm manager might never trip): it stops somewhere in
      the middle with an explicit frontier. *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Fsm.Symbolic.of_netlist man nl in
   Bdd.set_budget man (Some (B.create ~max_steps:25 ()));
   let partial, st_partial = Fsm.Reach.reachable sym in
@@ -302,7 +302,7 @@ let reach_partial_resume () =
         >= st_full.Fsm.Reach.iterations))
 
 let equiv_refuses_partial_verdict () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let nl =
     (Option.get (Circuits.Registry.find "tlc")).Circuits.Registry.build ()
   in

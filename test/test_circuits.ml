@@ -179,7 +179,7 @@ let cbp_adds =
 let random_fsm_deterministic () =
   let p = { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed = 7 } in
   let a = Circuits.Random_fsm.make p and b = Circuits.Random_fsm.make p in
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   match Fsm.Equiv.check man a b with
   | Fsm.Equiv.Equivalent _ -> ()
   | Fsm.Equiv.Not_equivalent _ -> Alcotest.fail "same seed, different FSM"

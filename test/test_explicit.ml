@@ -9,7 +9,7 @@ let explicit_matches_symbolic =
            { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed }
        in
        let explicit = Fsm.Explicit.reachable nl in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let sym = Fsm.Symbolic.of_netlist man nl in
        let _, st = Fsm.Reach.reachable sym in
        float_of_int explicit.Fsm.Explicit.states
@@ -29,7 +29,7 @@ let reachable_states_are_reachable () =
   let states, st = Fsm.Explicit.reachable_states nl in
   Util.checki "count matches list" st.Fsm.Explicit.states
     (List.length states);
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Fsm.Symbolic.of_netlist man nl in
   let reached, _ = Fsm.Reach.reachable sym in
   List.iter
@@ -61,7 +61,7 @@ let equivalence_oracle =
          Circuits.Random_fsm.make ~name:"m2"
            { p with Circuits.Random_fsm.seed = seed + 1 }
        in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let symbolic_same =
          match Fsm.Equiv.check man nl1 nl2 with
          | Fsm.Equiv.Equivalent _ -> true

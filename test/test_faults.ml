@@ -38,7 +38,7 @@ let engines_agree =
        match Circuits.Mutate.mutate ~seed nl with
        | None -> true
        | Some (nl', _) ->
-         let man = Bdd.new_man () in
+         let man = Bdd.create () in
          let symbolic =
            match Fsm.Equiv.check man nl nl' with
            | Fsm.Equiv.Equivalent _ -> true
@@ -87,7 +87,7 @@ let fault_campaign () =
   let detected = ref 0 in
   List.iter
     (fun (nl', m) ->
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let symbolic =
          match Fsm.Equiv.check man nl nl' with
          | Fsm.Equiv.Equivalent _ -> true
@@ -128,7 +128,7 @@ let traces_replay =
        match Circuits.Mutate.mutate ~seed nl with
        | None -> true
        | Some (nl', _) ->
-         let man = Bdd.new_man () in
+         let man = Bdd.create () in
          let differ =
            match Fsm.Equiv.check man nl nl' with
            | Fsm.Equiv.Equivalent _ -> false
@@ -153,7 +153,7 @@ let trace_on_known_fault () =
     Array.iteri (fun i qi -> Fsm.Netlist.output b (Printf.sprintf "q%d" i) qi) q;
     Fsm.Netlist.finalize b
   in
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   match Fsm.Equiv.counterexample_trace man (mk 0) (mk 1) with
   | Some trace ->
     Util.checki "length 1" 1 (List.length trace);
@@ -164,7 +164,7 @@ let trace_on_known_fault () =
 
 let no_trace_for_equivalent () =
   let nl = Circuits.Tlc.make () in
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   Util.checkb "no trace" (Fsm.Equiv.counterexample_trace man nl nl = None)
 
 let suite =

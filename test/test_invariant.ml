@@ -6,7 +6,7 @@ module Inv = Fsm.Invariant
 
 let counter_inv () =
   (* AG (q < 12) on a 4-bit counter is violated at depth 12. *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (Circuits.Counter.make ~width:4 ()) in
   let q_lt_12 =
     (* states with value < 12 over the 4 interleaved state vars *)
@@ -49,7 +49,7 @@ let counter_inv () =
 
 let counter_inv_holds () =
   (* AG (q <= 15) trivially holds. *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (Circuits.Counter.make ~width:4 ()) in
   match Inv.check_state man sym ~invariant:(Bdd.one man) with
   | Inv.Holds st -> Util.checki "16 iterations" 16 st.Fsm.Reach.iterations
@@ -59,7 +59,7 @@ let tlc_safety () =
   (* the traffic-light controller never shows green both ways:
      AG ¬(hl_green ∧ fl_green) over the symbolic outputs *)
   let nl = Circuits.Tlc.make () in
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man nl in
   let hg = List.assoc "hl_green" sym.Sym.output_fns in
   let fg = List.assoc "fl_green" sym.Sym.output_fns in
@@ -72,7 +72,7 @@ let tlc_safety () =
 let johnson_one_hot_violation () =
   (* "exactly one bit set" is false for a Johnson counter (e.g. at reset
      all bits are 0): expect a violation at depth 0. *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let nl = Circuits.Johnson.make ~width:4 in
   let sym = Sym.of_netlist man nl in
   let one_hot =
@@ -92,7 +92,7 @@ let output_never =
          Circuits.Random_fsm.make
            { Circuits.Random_fsm.latches = 4; inputs = 2; depth = 2; seed }
        in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let sym = Sym.of_netlist man nl in
        match Inv.check_output_never man sym ~output:"o0" with
        | Inv.Holds _ ->
@@ -123,7 +123,7 @@ let output_never =
          !last)
 
 let unknown_output () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (Circuits.Tlc.make ()) in
   Util.checkb "raises"
     (match Inv.check_output_never man sym ~output:"nope" with

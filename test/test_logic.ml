@@ -109,7 +109,7 @@ let eval_vs_bdd =
            | _ -> Bx.Iff (gen (d - 1), gen (d - 1))
        in
        let e = gen 4 in
-       let local = Bdd.new_man () in
+       let local = Bdd.create () in
        let names = [ "a"; "b"; "c" ] in
        let env name =
          let rec idx i = function
@@ -161,7 +161,7 @@ let vars_order () =
 
 let to_bdd_auto_mapping () =
   let e = Bx.parse_exn "p => q" in
-  let local = Bdd.new_man () in
+  let local = Bdd.create () in
   let g, mapping = Bx.to_bdd_auto local e in
   Alcotest.(check (list (pair string int))) "mapping" [ ("p", 0); ("q", 1) ]
     mapping;

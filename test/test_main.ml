@@ -9,6 +9,7 @@ let () =
       ("logic", Test_logic.suite);
       ("pla", Test_pla.suite);
       ("reorder", Test_reorder.suite);
+      ("cbdd", Test_cbdd.suite);
       ("store", Test_store.suite);
       ("zdd", Test_zdd.suite);
       ("add", Test_add.suite);

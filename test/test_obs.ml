@@ -440,14 +440,15 @@ let probe_counters_and_histograms () =
 (* ----- engine events ----- *)
 
 let engine_events () =
-  let man = Bdd.new_man ~cache_bits:4 () in
+  let man = Bdd.create ~cache_bits:4 () in
   let gcs = ref 0 and grows = ref [] in
   Bdd.on_event man (function
       | Bdd.Gc_run { reclaimed; live_nodes } ->
         incr gcs;
         Util.checkb "gc counts sane" (reclaimed >= 0 && live_nodes > 0)
       | Bdd.Cache_grown { old_capacity; new_capacity } ->
-        grows := (old_capacity, new_capacity) :: !grows);
+        grows := (old_capacity, new_capacity) :: !grows
+      | Bdd.Table_grown _ -> ());
   (* churn enough distinct operations to overflow a 16-entry cache into
      growth, then collect the garbage *)
   let vars = List.init 10 (Bdd.ithvar man) in
@@ -467,7 +468,7 @@ let engine_events () =
   (* the same events appear as instants on a trace sink *)
   let sink = T.memory () in
   T.with_sink sink (fun () ->
-      let man2 = Bdd.new_man ~cache_bits:4 () in
+      let man2 = Bdd.create ~cache_bits:4 () in
       let vars = List.init 10 (Bdd.ithvar man2) in
       ignore
         (List.fold_left

@@ -19,7 +19,7 @@ let fingerprint (s : Q.t) =
     s.Q.vars_early )
 
 let schedule_of ?cluster_bound nl =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man nl in
   (man, sym, Sym.schedule ?cluster_bound sym)
 
@@ -69,7 +69,7 @@ let quantified_exactly_once =
        List.sort compare scheduled = expected)
 
 let bound_one_keeps_conjuncts_apart () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (Circuits.Counter.make ~width:5 ()) in
   let sched = Sym.schedule ~cluster_bound:1 sym in
   Alcotest.(check int)
@@ -81,7 +81,7 @@ let bound_one_keeps_conjuncts_apart () =
     (Array.length merged.Q.clusters < 5)
 
 let schedule_is_memoized () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (Circuits.Gray.make ~width:4) in
   let a = Sym.schedule sym in
   Util.checkb "same bound returns the memo" (a == Sym.schedule sym);
@@ -91,7 +91,7 @@ let schedule_is_memoized () =
   Util.checkb "rebuilt memo sticks" (b == Sym.schedule ~cluster_bound:1 sym)
 
 let relations_are_memoized () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (Circuits.Gray.make ~width:4) in
   let t1 = Sym.transition_relation sym in
   let t2 = Sym.transition_relation sym in
@@ -107,7 +107,7 @@ let restrict_resets_memos =
   Util.qtest ~count:10 "restrict_to_care_states rebuilds relations"
     QCheck2.Gen.(int_bound 1000)
     (fun seed ->
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let sym = Sym.of_netlist man (random_nl seed) in
        let t = Sym.transition_relation sym in
        let _ = Sym.schedule sym in

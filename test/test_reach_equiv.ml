@@ -4,7 +4,7 @@ module N = Fsm.Netlist
 module Sym = Fsm.Symbolic
 
 let reached_count name build expected () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (build ()) in
   let _, st = Fsm.Reach.reachable sym in
   Alcotest.(check (float 0.01)) name expected st.Fsm.Reach.reached_states
@@ -19,7 +19,7 @@ let minimizer_independent =
            { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed }
        in
        let run minimize =
-         let man = Bdd.new_man () in
+         let man = Bdd.create () in
          let sym = Sym.of_netlist man nl in
          let _, st = Fsm.Reach.reachable ~minimize sym in
          st.Fsm.Reach.reached_states
@@ -46,7 +46,7 @@ let strategy_independent =
            { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed }
        in
        let run ?cluster_bound strategy =
-         let man = Bdd.new_man () in
+         let man = Bdd.create () in
          let sym = Sym.of_netlist man nl in
          let _, st = Fsm.Reach.reachable ~strategy ?cluster_bound sym in
          (st.Fsm.Reach.reached_states, st.Fsm.Reach.iterations)
@@ -58,7 +58,7 @@ let strategy_independent =
        && a = run ~cluster_bound:8 Fsm.Image.Clustered)
 
 let max_iterations_enforced () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (Circuits.Counter.make ~width:6 ()) in
   Alcotest.check_raises "bounded"
     (Failure "Reach.reachable: max_iterations exceeded")
@@ -67,7 +67,7 @@ let max_iterations_enforced () =
 let frontier_instances_sound () =
   (* Each reported instance satisfies f = U <= c and DC = previously
      reached minus the frontier. *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (Circuits.Gray.make ~width:4) in
   let ok = ref true in
   let _ =
@@ -83,7 +83,7 @@ let self_equivalence () =
   List.iter
     (fun name ->
        let b = Option.get (Circuits.Registry.find name) in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        match Fsm.Equiv.check_self man (b.Circuits.Registry.build ()) with
        | Fsm.Equiv.Equivalent _ -> ()
        | Fsm.Equiv.Not_equivalent _ -> Alcotest.fail (name ^ " != itself"))
@@ -100,7 +100,7 @@ let latch_init_difference_detected () =
     Array.iteri (fun i qi -> N.output b (Printf.sprintf "q%d" i) qi) q;
     N.finalize b
   in
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   match Fsm.Equiv.check man (mk 0) (mk 1) with
   | Fsm.Equiv.Not_equivalent _ -> ()
   | Fsm.Equiv.Equivalent _ -> Alcotest.fail "should differ"
@@ -124,7 +124,7 @@ let transition_minimization =
          Circuits.Random_fsm.make
            { Circuits.Random_fsm.latches = 5; inputs = 2; depth = 3; seed }
        in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let sym = Sym.of_netlist man nl in
        let reached, _ = Fsm.Reach.reachable sym in
        let sym' =
@@ -145,7 +145,7 @@ let transition_minimization =
 
 let transition_minimization_shrinks () =
   (* On a machine with a very sparse reachable set, minimization helps. *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man (Circuits.Johnson.make ~width:8) in
   let reached, _ = Fsm.Reach.reachable sym in
   let clamped man (i : Minimize.Ispec.t) =

@@ -2,7 +2,7 @@
 
 module Tt = Logic.Truth_table
 
-let fresh () = Bdd.new_man ()
+let fresh () = Bdd.create ()
 
 (* The classic order-sensitive family: x0·x_k + x1·x_{k+1} + ... is linear
    under the interleaved order and exponential under the separated one. *)

@@ -89,7 +89,7 @@ let restr_uses_engine_kernel () =
      through the generic sibling matcher, which computes the same
      function without ever touching the kernel, leaving the counter at 0
      while the bench charged seconds to "restr". *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let st = Random.State.make [| 0x7e57 |] in
   let tt () =
     Logic.Truth_table.create 6 (fun _ -> Random.State.bool st)

@@ -158,7 +158,7 @@ let serve_minimize_ok () =
   Util.checkb "positive cover size" (size > 0);
   (* the returned cover must actually cover the instance *)
   let cover_text = Option.get (J.string_field "cover" result) in
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   (match Bdd.Store.load man payload, Bdd.Store.load man cover_text with
    | Ok roots, Ok [ ("g", g) ] ->
      let f = List.assoc "f" roots and cc = List.assoc "c" roots in

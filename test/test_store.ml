@@ -10,7 +10,7 @@ let roundtrip_random =
       let* s2 = int_bound 0xFFFFF in
       return (n, s1, s2))
     (fun (n, s1, s2) ->
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let mk seed =
          let st = Random.State.make [| seed; n |] in
          Tt.to_bdd man (Tt.create n (fun _ -> Random.State.bool st))
@@ -29,24 +29,24 @@ let roundtrip_other_manager =
       let* seed = int_bound 0xFFFFF in
       return (n, seed))
     (fun (n, seed) ->
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let st = Random.State.make [| seed; n; 5 |] in
        let tt = Tt.create n (fun _ -> Random.State.bool st) in
        let f = Tt.to_bdd man tt in
        let text = Bdd.Store.save man [ ("f", f) ] in
-       let man2 = Bdd.new_man () in
+       let man2 = Bdd.create () in
        match Bdd.Store.load man2 text with
        | Ok [ ("f", f') ] -> Tt.equal tt (Tt.of_bdd man2 ~nvars:n f')
        | _ -> false)
 
 let sharing_preserved () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let x i = Bdd.ithvar man i in
   let shared = Bdd.dxor man (x 2) (x 3) in
   let f = Bdd.dand man (x 0) shared in
   let g = Bdd.dor man (x 1) shared in
   let text = Bdd.Store.save man [ ("f", f); ("g", g) ] in
-  let man2 = Bdd.new_man () in
+  let man2 = Bdd.create () in
   match Bdd.Store.load man2 text with
   | Ok [ (_, f'); (_, g') ] ->
     Util.checki "shared size preserved"
@@ -55,7 +55,7 @@ let sharing_preserved () =
   | Ok _ | Error _ -> Alcotest.fail "load failed"
 
 let constants () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let text =
     Bdd.Store.save man [ ("one", Bdd.one man); ("zero", Bdd.zero man) ]
   in
@@ -66,7 +66,7 @@ let constants () =
   | Ok _ | Error _ -> Alcotest.fail "load failed"
 
 let malformed () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   List.iter
     (fun (what, text) ->
        Util.checkb what (Result.is_error (Bdd.Store.load man text)))
@@ -82,13 +82,13 @@ let malformed () =
 
 let redundant_nodes_tolerated () =
   (* a node with equal children is not canonical but must load fine *)
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   match Bdd.Store.load man "bdd 1\nnode 1 2 0 0\nroot f 1\n" with
   | Ok [ ("f", f) ] -> Util.checkb "collapsed to one" (Bdd.is_one f)
   | Ok _ | Error _ -> Alcotest.fail "load failed"
 
 let file_roundtrip () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let f = Bdd.dxor man (Bdd.ithvar man 0) (Bdd.ithvar man 1) in
   let path = Filename.temp_file "bddmin" ".bdd" in
   Bdd.Store.save_file path man [ ("f", f) ];
@@ -100,7 +100,7 @@ let file_roundtrip () =
     (Result.is_error (Bdd.Store.load_file man path))
 
 let header_placement () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   (* blank lines (including leading ones) are ignored; the header is the
      first non-blank line *)
   (match Bdd.Store.load man "\n\n   \nbdd 1\n\nroot f 0\n" with
@@ -114,13 +114,13 @@ let header_placement () =
     (Result.is_error (Bdd.Store.load man "\n\n\n"))
 
 let duplicate_root_rejected () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   match Bdd.Store.load man "bdd 1\nroot f 0\nroot f !0\n" with
   | Error msg -> Util.checkb "mentions the name" (Util.contains msg "f")
   | Ok _ -> Alcotest.fail "duplicate root name must be rejected"
 
 let save_rejects_non_roundtrippable_names () =
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let f = Bdd.ithvar man 0 in
   let refuses what roots =
     match Bdd.Store.save man roots with
@@ -143,12 +143,12 @@ let roundtrip_complemented =
       let* seed = int_bound 0xFFFFF in
       return (n, seed))
     (fun (n, seed) ->
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let st = Random.State.make [| seed; n; 11 |] in
        let tt = Tt.create n (fun _ -> Random.State.bool st) in
        let f = Tt.to_bdd man tt in
        let text = Bdd.Store.save man [ ("f", f); ("nf", Bdd.compl f) ] in
-       let man2 = Bdd.new_man () in
+       let man2 = Bdd.create () in
        match Bdd.Store.load man2 text with
        | Ok [ ("f", f'); ("nf", nf') ] ->
          Tt.equal tt (Tt.of_bdd man2 ~nvars:n f')
@@ -166,7 +166,7 @@ let fuzz_mutations =
       let* mode = int_bound 2 in
       return (seed, pos_frac, byte, mode))
     (fun (seed, pos_frac, byte, mode) ->
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let st = Random.State.make [| seed; 4; 17 |] in
        let tt = Tt.create 4 (fun _ -> Random.State.bool st) in
        let f = Tt.to_bdd man tt in
@@ -184,7 +184,7 @@ let fuzz_mutations =
            String.sub text 0 pos ^ Printf.sprintf " %d " byte
            ^ String.sub text pos (n - pos)
        in
-       match Bdd.Store.load (Bdd.new_man ()) mutated with
+       match Bdd.Store.load (Bdd.create ()) mutated with
        | Ok _ | Error _ -> true)
 
 let suite =

@@ -19,7 +19,7 @@ let symbolic_matches_simulation =
       return (seed, steps))
     (fun (seed, steps) ->
        let nl = random_nl seed in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let sym = Sym.of_netlist man nl in
        let rng = Random.State.make [| seed; steps |] in
        let state = ref (N.sim_initial nl) in
@@ -63,7 +63,7 @@ let symbolic_matches_simulation =
 
 let init_is_initial_state () =
   let nl = Circuits.Counter.make ~width:4 () in
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man nl in
   Util.checkb "one state"
     (Bdd.sat_count man sym.Sym.init ~nvars:(Sym.num_state_vars sym) = 1.0);
@@ -78,7 +78,7 @@ let strategies_agree =
       return (seed, sseed))
     (fun (seed, sseed) ->
        let nl = random_nl seed in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let sym = Sym.of_netlist man nl in
        (* random non-empty state set over the state variables *)
        let st = Random.State.make [| sseed |] in
@@ -103,7 +103,7 @@ let strategies_agree =
 
 let image_empty_and_total () =
   let nl = Circuits.Counter.make ~width:3 () in
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man nl in
   Util.checkb "image of empty is empty"
     (Bdd.is_zero (Img.image sym (Bdd.zero man)));
@@ -118,7 +118,7 @@ let image_matches_simulation () =
   (* image of the initial state of the tlc contains exactly the concrete
      successors under both input values *)
   let nl = Circuits.Tlc.make () in
-  let man = Bdd.new_man () in
+  let man = Bdd.create () in
   let sym = Sym.of_netlist man nl in
   let succ_states =
     List.map
@@ -140,7 +140,7 @@ let preimage_duality =
     QCheck2.Gen.(int_bound 10000)
     (fun seed ->
        let nl = random_nl seed in
-       let man = Bdd.new_man () in
+       let man = Bdd.create () in
        let sym = Sym.of_netlist man nl in
        let img = Img.image sym sym.Sym.init in
        (* Every single successor state's preimage intersects init. *)
@@ -169,7 +169,7 @@ let orderings_agree =
     (fun seed ->
        let nl = random_nl seed in
        let count ordering =
-         let man = Bdd.new_man () in
+         let man = Bdd.create () in
          let sym = Sym.of_netlist ~ordering man nl in
          let _, st = Fsm.Reach.reachable sym in
          st.Fsm.Reach.reached_states

@@ -17,7 +17,7 @@ let contains s sub =
   m = 0 || go 0
 
 (* A fresh manager per suite keeps node counts meaningful. *)
-let man = Bdd.new_man ()
+let man = Bdd.create ()
 
 let rng = Random.State.make [| 0xbdd; 0xd0c |]
 
